@@ -1,0 +1,354 @@
+//! The Advanced Memory Buffer engine: the logic on each DIMM that turns
+//! channel commands into DDR2 device operations.
+//!
+//! One [`AmbDimm`] owns the DRAM devices of one logical DIMM (a ganged
+//! pair of physical DIMMs operating in lockstep): its banks and its
+//! private DDR2 data bus. It executes three operations on behalf of the
+//! memory controller:
+//!
+//! * [`read_line`](AmbDimm::read_line) — a normal single-line read;
+//! * [`fetch_group`](AmbDimm::fetch_group) — the paper's group fetch:
+//!   one activation followed by K pipelined column reads, the demanded
+//!   line first (paper §3.2);
+//! * [`write_line`](AmbDimm::write_line) — a line write.
+//!
+//! Data timing is *cut-through*: the AMB forwards beats to the
+//! northbound link as the DRAM produces them, so a read's data is ready
+//! for the channel at the DRAM burst start.
+
+use fbd_dram::{BankArray, ColKind, ColumnOp, DataBus};
+use fbd_types::config::DramTimings;
+use fbd_types::stats::DramOpCounts;
+use fbd_types::time::{Dur, Time};
+
+/// Outcome of a single-line read at the DRAM devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Instant the first data beats exist at the AMB (northbound
+    /// forwarding may start here).
+    pub data_ready: Time,
+    /// True if the read hit an open row (open-page mode only).
+    pub row_hit: bool,
+}
+
+/// Outcome of a K-line group fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupFetchOutcome {
+    /// Instant the *demanded* line's data is ready at the AMB (it is
+    /// fetched with the first column access).
+    pub demanded_ready: Time,
+    /// Instant the last prefetched line finishes on the DIMM's DDR2 bus.
+    pub fill_done: Time,
+    /// Lines actually fetched (K, or fewer if the region is truncated).
+    pub lines_fetched: u32,
+}
+
+/// One logical DIMM: its AMB engine plus the DRAM devices behind it.
+///
+/// A DIMM may carry multiple ranks; each rank is an independent timing
+/// domain (its own tRRD/tWTR windows) but all ranks share the DIMM's
+/// DDR2 data bus — only one rank transfers at a time (paper §3.2).
+#[derive(Clone, Debug)]
+pub struct AmbDimm {
+    ranks: Vec<BankArray>,
+    bus: DataBus,
+    burst: Dur,
+    close_page: bool,
+}
+
+impl AmbDimm {
+    /// Creates a single-rank DIMM with `banks` logical banks.
+    ///
+    /// `burst` is the DDR2-bus time for one 64-byte line on this (ganged)
+    /// DIMM; `close_page` selects auto-precharge on the final column
+    /// access of every operation.
+    pub fn new(banks: usize, timings: DramTimings, clock: Dur, burst: Dur, close_page: bool) -> AmbDimm {
+        AmbDimm::with_ranks(1, banks, timings, clock, burst, close_page)
+    }
+
+    /// Creates a DIMM with `ranks` ranks of `banks` logical banks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero.
+    pub fn with_ranks(
+        ranks: usize,
+        banks: usize,
+        timings: DramTimings,
+        clock: Dur,
+        burst: Dur,
+        close_page: bool,
+    ) -> AmbDimm {
+        assert!(ranks > 0, "a DIMM must have at least one rank");
+        AmbDimm {
+            ranks: (0..ranks).map(|_| BankArray::new(banks, timings, clock)).collect(),
+            bus: DataBus::new(clock),
+            burst,
+            close_page,
+        }
+    }
+
+    fn rank(&self, rank: usize) -> &BankArray {
+        &self.ranks[rank]
+    }
+
+    /// True if `row` is open in `(rank, bank)` (for hit-first
+    /// scheduling).
+    pub fn is_row_open_at(&self, rank: usize, bank: usize, row: u32) -> bool {
+        self.rank(rank).is_row_open(bank, row)
+    }
+
+    /// Single-rank convenience for [`is_row_open_at`](Self::is_row_open_at).
+    pub fn is_row_open(&self, bank: usize, row: u32) -> bool {
+        self.is_row_open_at(0, bank, row)
+    }
+
+    /// Earliest instant `(rank, bank)` could accept an activate (for
+    /// bank-readiness-aware scheduling).
+    pub fn earliest_act_at(&self, rank: usize, bank: usize) -> Time {
+        self.rank(rank).earliest_act(bank)
+    }
+
+    /// Earliest read command on `rank` given tWTR (for scheduling).
+    pub fn read_turnaround_until(&self, rank: usize) -> Time {
+        self.rank(rank).read_turnaround_until()
+    }
+
+    /// Single-rank convenience for [`earliest_act_at`](Self::earliest_act_at).
+    pub fn earliest_act(&self, bank: usize) -> Time {
+        self.earliest_act_at(0, bank)
+    }
+
+    /// Performs a single-line read on `(rank, bank)`; commands may not
+    /// issue before `not_before` (the command's arrival at this AMB).
+    pub fn read_line_at(&mut self, rank: usize, bank: usize, row: u32, not_before: Time) -> ReadOutcome {
+        let op = ColumnOp {
+            kind: ColKind::Read,
+            auto_precharge: self.close_page,
+            burst: self.burst,
+        };
+        let plan = self.ranks[rank].plan(bank, row, op, not_before, &self.bus);
+        let row_hit = !plan.is_row_miss();
+        self.ranks[rank].commit(&plan, &mut self.bus);
+        ReadOutcome {
+            data_ready: plan.data_start,
+            row_hit,
+        }
+    }
+
+    /// Single-rank convenience for [`read_line_at`](Self::read_line_at).
+    pub fn read_line(&mut self, bank: usize, row: u32, not_before: Time) -> ReadOutcome {
+        self.read_line_at(0, bank, row, not_before)
+    }
+
+    /// Performs the group fetch: one activation (if needed) plus
+    /// `lines` pipelined column reads on one row, demanded line first.
+    /// Close-page mode auto-precharges with the final column access, so
+    /// the whole group costs a single ACT/PRE pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn fetch_group(&mut self, bank: usize, row: u32, lines: u32, not_before: Time) -> GroupFetchOutcome {
+        self.fetch_group_at(0, bank, row, lines, not_before)
+    }
+
+    /// [`fetch_group`](Self::fetch_group) on a specific rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn fetch_group_at(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        row: u32,
+        lines: u32,
+        not_before: Time,
+    ) -> GroupFetchOutcome {
+        assert!(lines > 0, "group fetch needs at least one line");
+        let mut demanded_ready = Time::ZERO;
+        let mut fill_done = Time::ZERO;
+        for i in 0..lines {
+            let op = ColumnOp {
+                kind: ColKind::Read,
+                auto_precharge: self.close_page && i == lines - 1,
+                burst: self.burst,
+            };
+            let plan = self.ranks[rank].plan(bank, row, op, not_before, &self.bus);
+            self.ranks[rank].commit(&plan, &mut self.bus);
+            if i == 0 {
+                demanded_ready = plan.data_start;
+            }
+            fill_done = plan.data_end;
+        }
+        GroupFetchOutcome {
+            demanded_ready,
+            fill_done,
+            lines_fetched: lines,
+        }
+    }
+
+    /// Performs a line write; returns the instant the write data finishes
+    /// on the DIMM's DDR2 bus.
+    pub fn write_line(&mut self, bank: usize, row: u32, not_before: Time) -> Time {
+        self.write_line_at(0, bank, row, not_before)
+    }
+
+    /// [`write_line`](Self::write_line) on a specific rank.
+    pub fn write_line_at(&mut self, rank: usize, bank: usize, row: u32, not_before: Time) -> Time {
+        let op = ColumnOp {
+            kind: ColKind::Write,
+            auto_precharge: self.close_page,
+            burst: self.burst,
+        };
+        let plan = self.ranks[rank].plan(bank, row, op, not_before, &self.bus);
+        self.ranks[rank].commit(&plan, &mut self.bus);
+        plan.data_end
+    }
+
+    /// Performs an all-bank auto-refresh of every rank requested at
+    /// `at`; returns when the banks become usable again.
+    pub fn refresh(&mut self, at: Time, t_rfc: Dur) -> Time {
+        self.ranks
+            .iter_mut()
+            .map(|r| r.refresh_all(at, t_rfc))
+            .max()
+            .expect("at least one rank")
+    }
+
+    /// DRAM operation counters (power-model inputs), summed over ranks.
+    pub fn ops(&self) -> DramOpCounts {
+        let mut total = DramOpCounts::default();
+        for r in &self.ranks {
+            total.merge(r.ops());
+        }
+        total
+    }
+
+    /// Time the DIMM's DDR2 data bus has carried data.
+    pub fn bus_busy(&self) -> Dur {
+        self.bus.busy_time()
+    }
+
+    /// Total rank-active time summed over this DIMM's ranks (for
+    /// static-power accounting).
+    pub fn active_time(&self) -> Dur {
+        self.ranks.iter().map(BankArray::active_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: Dur = Dur::from_ns(3);
+    const BURST: Dur = Dur::from_ns(6);
+
+    fn dimm() -> AmbDimm {
+        AmbDimm::new(4, DramTimings::ddr2_table2(), CLK, BURST, true)
+    }
+
+    #[test]
+    fn single_read_data_ready_after_rcd_plus_cl() {
+        let mut d = dimm();
+        let out = d.read_line(0, 5, Time::from_ns(15));
+        // ACT@15, RD@30, data@45 — the DRAM part of the 63 ns budget.
+        assert_eq!(out.data_ready, Time::from_ns(45));
+        assert!(!out.row_hit);
+        assert_eq!(d.ops().act_pre, 1);
+        assert_eq!(d.ops().col_reads, 1);
+    }
+
+    #[test]
+    fn group_fetch_single_activation_k_columns() {
+        let mut d = dimm();
+        let out = d.fetch_group(0, 5, 4, Time::from_ns(15));
+        assert_eq!(out.demanded_ready, Time::from_ns(45));
+        // Demanded line is not delayed by the prefetch columns.
+        let mut d2 = dimm();
+        let single = d2.read_line(0, 5, Time::from_ns(15));
+        assert_eq!(out.demanded_ready, single.data_ready);
+        // 4 bursts of 6 ns pipelined back-to-back.
+        assert_eq!(out.fill_done, Time::from_ns(45 + 24));
+        assert_eq!(d.ops().act_pre, 1);
+        assert_eq!(d.ops().col_reads, 4);
+        assert_eq!(out.lines_fetched, 4);
+    }
+
+    #[test]
+    fn group_fetch_delays_next_access_to_same_bank() {
+        let mut d = dimm();
+        d.fetch_group(0, 5, 8, Time::ZERO);
+        let out = d.read_line(0, 6, Time::ZERO);
+        // The bank reopens only after the group's auto-precharge.
+        let mut d2 = dimm();
+        d2.read_line(0, 5, Time::ZERO);
+        let after_single = d2.read_line(0, 6, Time::ZERO);
+        assert!(out.data_ready > after_single.data_ready);
+    }
+
+    #[test]
+    fn open_page_second_read_is_row_hit() {
+        let mut d = AmbDimm::new(4, DramTimings::ddr2_table2(), CLK, BURST, false);
+        let first = d.read_line(0, 5, Time::ZERO);
+        assert!(!first.row_hit);
+        assert!(d.is_row_open(0, 5));
+        let second = d.read_line(0, 5, Time::ZERO);
+        assert!(second.row_hit);
+        assert_eq!(d.ops().act_pre, 1);
+    }
+
+    #[test]
+    fn write_then_read_separated_by_turnaround() {
+        let mut d = dimm();
+        let wr_done = d.write_line(0, 1, Time::ZERO);
+        assert_eq!(wr_done, Time::from_ns(33)); // ACT@0, WR@15, data 27..33
+        let rd = d.read_line(1, 1, Time::ZERO);
+        // RD cmd ≥ 33 + tWTR(9) = 42, data at 57.
+        assert_eq!(rd.data_ready, Time::from_ns(57));
+        assert_eq!(d.ops().col_writes, 1);
+    }
+
+    #[test]
+    fn bus_busy_accumulates_bursts() {
+        let mut d = dimm();
+        d.fetch_group(0, 5, 4, Time::ZERO);
+        assert_eq!(d.bus_busy(), Dur::from_ns(24));
+    }
+
+    #[test]
+    fn ranks_are_independent_timing_domains() {
+        let mut d = AmbDimm::with_ranks(2, 4, DramTimings::ddr2_table2(), CLK, BURST, true);
+        // Same bank index on two different ranks: no tRC between them.
+        let a = d.read_line_at(0, 0, 5, Time::ZERO);
+        let b = d.read_line_at(1, 0, 5, Time::ZERO);
+        // Rank 1's activate is not held back by rank 0's tRC; only the
+        // shared data bus orders the bursts.
+        assert!(b.data_ready < Time::from_ns(54 + 30), "rank 1 delayed by rank 0's tRC");
+        assert!(b.data_ready >= a.data_ready + Dur::from_ns(6), "bus must serialize bursts");
+        // Ops are summed over ranks.
+        assert_eq!(d.ops().act_pre, 2);
+    }
+
+    #[test]
+    fn same_rank_same_bank_still_pays_trc() {
+        let mut d = AmbDimm::with_ranks(2, 4, DramTimings::ddr2_table2(), CLK, BURST, true);
+        d.read_line_at(0, 0, 5, Time::ZERO);
+        let b = d.read_line_at(0, 0, 6, Time::ZERO);
+        assert!(b.data_ready >= Time::from_ns(54 + 30), "tRC must apply within a rank");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = AmbDimm::with_ranks(0, 4, DramTimings::ddr2_table2(), CLK, BURST, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn empty_group_rejected() {
+        let mut d = dimm();
+        d.fetch_group(0, 5, 0, Time::ZERO);
+    }
+}

@@ -1,0 +1,91 @@
+//! The Advanced Memory Buffer: prefetch buffer and per-DIMM engine.
+//!
+//! This crate implements the DIMM-side half of the paper's proposal: the
+//! AMB cache ([`PrefetchBuffer`]) holding prefetched cachelines with FIFO
+//! replacement, and the AMB engine ([`AmbDimm`]) that executes
+//! single-line reads, K-line group fetches and writes against the DRAM
+//! devices of one DIMM.
+//!
+//! # Examples
+//!
+//! A group fetch costs one activation and K column accesses, and the
+//! demanded line is not delayed by the prefetched ones:
+//!
+//! ```
+//! use fbd_amb::AmbDimm;
+//! use fbd_types::config::DramTimings;
+//! use fbd_types::time::{Dur, Time};
+//!
+//! let mut dimm = AmbDimm::new(4, DramTimings::ddr2_table2(), Dur::from_ns(3), Dur::from_ns(6), true);
+//! let group = dimm.fetch_group(0, 42, 4, Time::ZERO);
+//! assert_eq!(dimm.ops().act_pre, 1);
+//! assert_eq!(dimm.ops().col_reads, 4);
+//! assert_eq!(group.demanded_ready, Time::from_ns(30)); // tRCD + tCL
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffer;
+pub mod engine;
+
+pub use buffer::PrefetchBuffer;
+pub use engine::{AmbDimm, GroupFetchOutcome, ReadOutcome};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fbd_types::config::{AmbPrefetchConfig, Associativity, Replacement};
+    use fbd_types::LineAddr;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// Under any mix of inserts, hits and invalidates, the buffer
+        /// never exceeds capacity, never holds duplicates, and answers
+        /// `contains` consistently with the operation history.
+        #[test]
+        fn buffer_capacity_and_consistency(
+            ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300),
+            entries_log in 2u32..6,
+            ways_sel in 0u8..3,
+        ) {
+            let entries = 1u32 << entries_log;
+            let associativity = match ways_sel {
+                0 => Associativity::Direct,
+                1 => Associativity::Ways(2),
+                _ => Associativity::Full,
+            };
+            let cfg = AmbPrefetchConfig {
+                cache_lines: entries,
+                associativity,
+                replacement: Replacement::Fifo,
+                ..AmbPrefetchConfig::paper_default()
+            };
+            let mut buf = PrefetchBuffer::new(&cfg);
+            let mut model: HashSet<u64> = HashSet::new();
+            for (op, line) in ops {
+                let l = LineAddr::new(line);
+                match op {
+                    0 => {
+                        let evicted = buf.insert(l);
+                        model.insert(line);
+                        if let Some(e) = evicted {
+                            model.remove(&e.as_u64());
+                        }
+                    }
+                    1 => {
+                        let hit = buf.on_hit(l);
+                        prop_assert_eq!(hit, model.contains(&line));
+                    }
+                    _ => {
+                        let was = buf.invalidate(l);
+                        prop_assert_eq!(was, model.remove(&line));
+                    }
+                }
+                prop_assert!(buf.len() <= buf.capacity());
+                prop_assert_eq!(buf.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Extension experiment: total DRAM energy breakdown — dynamic + static,
+//! with and without precharge power-down.
+//!
+//! The paper's Figure 13 covers dynamic energy only and notes that
+//! static power is ≈17.5 % of the total in its configuration, and that
+//! AP's performance gain "also reduces processor execution time and
+//! energy consumption." This bench completes that picture: state-
+//! residency static energy per rank (active standby vs precharge
+//! standby vs power-down), showing that FBD-AP's shorter runtimes save
+//! static energy on top of Figure 13's dynamic savings.
+
+use fbd_bench::*;
+use fbd_core::experiment::ExperimentConfig;
+use fbd_power::{PowerModel, StandbyPower};
+
+fn main() {
+    let exp = ExperimentConfig::from_env();
+    banner(
+        "Extension",
+        "total DRAM energy: dynamic + static (+ power-down)",
+        &exp,
+    );
+    let dynamic = PowerModel::paper_ratio();
+    let standby = StandbyPower::micron_ddr2_667();
+
+    let mut rows = vec![vec![
+        "group".to_string(),
+        "dyn ratio".to_string(),
+        "static ratio".to_string(),
+        "static+PD ratio".to_string(),
+        "active residency".to_string(),
+    ]];
+    for (group, workloads) in workload_groups() {
+        let cores = workloads[0].cores();
+        let configs = vec![
+            ("FBD".to_string(), system(Variant::Fbd, cores)),
+            ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+        ];
+        let results = run_matrix(&configs, &workloads, &exp);
+        let ranks = {
+            let m = configs[0].1.mem;
+            u64::from(m.logical_channels * m.dimms_per_channel * m.ranks_per_dimm)
+        };
+        let (mut dyn_r, mut st_r, mut pd_r, mut resid) = (vec![], vec![], vec![], vec![]);
+        for w in &workloads {
+            let base = &results
+                .iter()
+                .find(|((c, n), _)| c == "FBD" && n == w.name())
+                .expect("run")
+                .1;
+            let ap = &results
+                .iter()
+                .find(|((c, n), _)| c == "FBD-AP" && n == w.name())
+                .expect("run")
+                .1;
+            dyn_r.push(
+                dynamic.dynamic_energy(&ap.mem.dram_ops) / dynamic.dynamic_energy(&base.mem.dram_ops),
+            );
+            // Static energy: per-rank residency over each run's own
+            // elapsed time (AP finishing sooner is the point).
+            let static_of = |r: &fbd_core::RunResult, pd: bool| {
+                let per_rank_active = r.mem.dram_active_time / ranks;
+                standby.static_energy(per_rank_active.min(r.elapsed), r.elapsed, pd)
+                    * ranks as f64
+            };
+            st_r.push(static_of(ap, false) / static_of(base, false));
+            pd_r.push(static_of(ap, true) / static_of(base, true));
+            resid.push(
+                (ap.mem.dram_active_time / ranks).as_ns_f64() / ap.elapsed.as_ns_f64(),
+            );
+        }
+        rows.push(vec![
+            group.to_string(),
+            f3(mean(&dyn_r)),
+            f3(mean(&st_r)),
+            f3(mean(&pd_r)),
+            format!("{:.1}%", mean(&resid) * 100.0),
+        ]);
+    }
+    print_table(&rows);
+    println!();
+    println!("ratios are FBD-AP / FBD; < 1.0 = AP saves energy. Static savings come from");
+    println!("shorter runtimes; power-down amplifies them by making idle time cheaper.");
+}

@@ -1,0 +1,66 @@
+//! Figure 5: average utilized bandwidth vs. average read latency for
+//! DDR2 and FB-DIMM.
+//!
+//! Expected shape (paper §5.1): single-core workloads use ~4 GB/s with
+//! ~60 ns latency on both systems (DDR2 marginally faster); 8-core
+//! workloads push past 14 GB/s where FB-DIMM's extra write path gives it
+//! *lower* latency than DDR2 despite its longer idle latency.
+
+use fbd_bench::*;
+use fbd_core::experiment::ExperimentConfig;
+
+fn main() {
+    let exp = ExperimentConfig::from_env();
+    banner("Figure 5", "utilized bandwidth vs average latency", &exp);
+
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "DDR2 GB/s".to_string(),
+        "DDR2 lat ns".to_string(),
+        "FBD GB/s".to_string(),
+        "FBD lat ns".to_string(),
+    ]];
+    for (group, workloads) in workload_groups() {
+        let cores = workloads[0].cores();
+        let configs = vec![
+            ("DDR2".to_string(), system(Variant::Ddr2, cores)),
+            ("FBD".to_string(), system(Variant::Fbd, cores)),
+        ];
+        let results = run_matrix(&configs, &workloads, &exp);
+        let (mut bw_d, mut lat_d, mut bw_f, mut lat_f) = (vec![], vec![], vec![], vec![]);
+        for w in &workloads {
+            let d = &results
+                .iter()
+                .find(|((c, n), _)| c == "DDR2" && n == w.name())
+                .expect("run")
+                .1;
+            let f = &results
+                .iter()
+                .find(|((c, n), _)| c == "FBD" && n == w.name())
+                .expect("run")
+                .1;
+            bw_d.push(d.bandwidth_gbps());
+            lat_d.push(d.avg_read_latency_ns());
+            bw_f.push(f.bandwidth_gbps());
+            lat_f.push(f.avg_read_latency_ns());
+            rows.push(vec![
+                w.name().to_string(),
+                f2(d.bandwidth_gbps()),
+                f2(d.avg_read_latency_ns()),
+                f2(f.bandwidth_gbps()),
+                f2(f.avg_read_latency_ns()),
+            ]);
+        }
+        rows.push(vec![
+            format!("avg {group}"),
+            f2(mean(&bw_d)),
+            f2(mean(&lat_d)),
+            f2(mean(&bw_f)),
+            f2(mean(&lat_f)),
+        ]);
+        rows.push(Vec::new());
+    }
+    print_table(&rows);
+    println!();
+    println!("paper: 1-core avg 4.2 GB/s @ 60/62 ns; 8-core avg 16.0 GB/s @ 155 ns (DDR2) vs 17.1 GB/s @ 146 ns (FBD)");
+}

@@ -1,0 +1,72 @@
+//! Figure 10: average utilized bandwidth vs. average latency for
+//! FB-DIMM with and without AMB prefetching.
+//!
+//! Expected shape (paper §5.2): for every workload FBD-AP moves
+//! up-and-left — significantly higher utilized bandwidth at
+//! significantly shorter latency.
+
+use fbd_bench::*;
+use fbd_core::experiment::ExperimentConfig;
+
+fn main() {
+    let exp = ExperimentConfig::from_env();
+    banner("Figure 10", "bandwidth vs latency, FBD vs FBD-AP", &exp);
+
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "FBD GB/s".to_string(),
+        "FBD lat ns".to_string(),
+        "AP GB/s".to_string(),
+        "AP lat ns".to_string(),
+    ]];
+    let mut regressions = Vec::new();
+    for (group, workloads) in workload_groups() {
+        let cores = workloads[0].cores();
+        let configs = vec![
+            ("FBD".to_string(), system(Variant::Fbd, cores)),
+            ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+        ];
+        let results = run_matrix(&configs, &workloads, &exp);
+        let (mut bw_b, mut lat_b, mut bw_a, mut lat_a) = (vec![], vec![], vec![], vec![]);
+        for w in &workloads {
+            let b = &results
+                .iter()
+                .find(|((c, n), _)| c == "FBD" && n == w.name())
+                .expect("run")
+                .1;
+            let a = &results
+                .iter()
+                .find(|((c, n), _)| c == "FBD-AP" && n == w.name())
+                .expect("run")
+                .1;
+            if a.avg_read_latency_ns() > b.avg_read_latency_ns() {
+                regressions.push(w.name().to_string());
+            }
+            bw_b.push(b.bandwidth_gbps());
+            lat_b.push(b.avg_read_latency_ns());
+            bw_a.push(a.bandwidth_gbps());
+            lat_a.push(a.avg_read_latency_ns());
+            rows.push(vec![
+                w.name().to_string(),
+                f2(b.bandwidth_gbps()),
+                f2(b.avg_read_latency_ns()),
+                f2(a.bandwidth_gbps()),
+                f2(a.avg_read_latency_ns()),
+            ]);
+        }
+        rows.push(vec![
+            format!("avg {group}"),
+            f2(mean(&bw_b)),
+            f2(mean(&lat_b)),
+            f2(mean(&bw_a)),
+            f2(mean(&lat_a)),
+        ]);
+        rows.push(Vec::new());
+    }
+    print_table(&rows);
+    println!();
+    println!("paper: every workload shows higher utilized bandwidth and shorter latency with AP");
+    if !regressions.is_empty() {
+        println!("NOTE: latency regressions on: {}", regressions.join(", "));
+    }
+}

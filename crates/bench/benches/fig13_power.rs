@@ -1,0 +1,100 @@
+//! Figure 13: DRAM dynamic power/energy of AMB-prefetching variants,
+//! normalized to FB-DIMM without prefetching.
+//!
+//! Both runs commit the same instruction budget, so the normalized
+//! dynamic energy compares equal work, as the paper's operation-count
+//! method does. Expected shape (paper §5.5): solid savings at the 4-CL
+//! default (−29.9% single-core, −14.7% four-core); 8-CL interleaving on
+//! 8 cores can *increase* power (the +12.7% extreme case); ACT/PRE
+//! counts drop while column counts rise with K.
+
+use fbd_bench::*;
+use fbd_core::experiment::ExperimentConfig;
+use fbd_power::PowerModel;
+use fbd_types::config::Associativity;
+
+fn main() {
+    let exp = ExperimentConfig::from_env();
+    banner("Figure 13", "normalized DRAM dynamic energy", &exp);
+    let model = PowerModel::paper_ratio();
+
+    let points: Vec<(String, u32, u32, Associativity)> = vec![
+        ("#CL=2".into(), 2, 64, Associativity::Full),
+        ("#CL=4".into(), 4, 64, Associativity::Full),
+        ("#CL=8".into(), 8, 64, Associativity::Full),
+        ("#entry=32".into(), 4, 32, Associativity::Full),
+        ("#entry=128".into(), 4, 128, Associativity::Full),
+        ("Set=4".into(), 4, 64, Associativity::Ways(4)),
+    ];
+
+    let mut rows = vec![{
+        let mut h = vec!["config".to_string()];
+        h.extend(workload_groups().iter().map(|(g, _)| g.to_string()));
+        h
+    }];
+    let mut table: Vec<Vec<String>> = points.iter().map(|(l, _, _, _)| vec![l.clone()]).collect();
+    let mut op_deltas: Vec<String> = Vec::new();
+
+    for (group, workloads) in workload_groups() {
+        let cores = workloads[0].cores();
+        let mut configs = vec![("FBD".to_string(), system(Variant::Fbd, cores))];
+        configs.extend(
+            points
+                .iter()
+                .map(|(label, k, e, a)| (label.clone(), ap_system(cores, *k, *e, *a))),
+        );
+        let results = run_matrix(&configs, &workloads, &exp);
+        let find = |label: &str, w: &fbd_workloads::Workload| {
+            results
+                .iter()
+                .find(|((c, n), _)| c == label && n == w.name())
+                .map(|(_, r)| r.clone())
+                .expect("run")
+        };
+        for (i, (label, _, _, _)) in points.iter().enumerate() {
+            let ratios: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let base = find("FBD", w);
+                    let ap = find(label, w);
+                    model.normalized(&ap.mem.dram_ops, &base.mem.dram_ops)
+                })
+                .collect();
+            table[i].push(f3(mean(&ratios)));
+        }
+        // Operation-count shifts for the K sweep (paper §5.5 quotes the
+        // 4-core numbers).
+        for (label, _, _, _) in points.iter().take(3) {
+            let act: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let b = find("FBD", w);
+                    let a = find(label, w);
+                    a.mem.dram_ops.act_pre as f64 / b.mem.dram_ops.act_pre as f64
+                })
+                .collect();
+            let col: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let b = find("FBD", w);
+                    let a = find(label, w);
+                    a.mem.dram_ops.col_total() as f64 / b.mem.dram_ops.col_total() as f64
+                })
+                .collect();
+            op_deltas.push(format!(
+                "{group} {label}: ACT/PRE {} | columns {}",
+                pct(mean(&act)),
+                pct(mean(&col))
+            ));
+        }
+    }
+    rows.extend(table);
+    print_table(&rows);
+    println!();
+    println!("operation-count shifts vs FBD:");
+    for line in op_deltas {
+        println!("  {line}");
+    }
+    println!();
+    println!("paper: 4-CL saves 29.9% (1-core) / 14.7% (4-core); 8-CL on 8 cores can increase power (+12.7%)");
+}

@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks for the simulator's hot paths: address
+//! mapping, AMB-cache operations, scheduler picks, DRAM plan/commit and
+//! a short end-to-end run. These track the *simulator's* performance
+//! (simulation throughput), complementing the figure benches that track
+//! the *simulated system's* performance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_types::config::{MemoryConfig, SystemConfig};
+use fbd_types::time::{Dur, Time};
+use fbd_types::LineAddr;
+use fbd_workloads::Workload;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mapper = fbd_ctrl_mapper();
+    let mut line = 0u64;
+    c.bench_function("mapping/map", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(977);
+            black_box(mapper.map(LineAddr::new(line)))
+        })
+    });
+}
+
+fn fbd_ctrl_mapper() -> fbd_ctrl::AddressMapper {
+    fbd_ctrl::AddressMapper::new(&MemoryConfig::fbdimm_with_prefetch())
+}
+
+fn bench_amb_cache(c: &mut Criterion) {
+    let cfg = fbd_types::config::AmbPrefetchConfig::paper_default();
+    let mut buf = fbd_amb::PrefetchBuffer::new(&cfg);
+    let mut line = 0u64;
+    c.bench_function("amb_cache/insert_lookup", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(3);
+            buf.insert(LineAddr::new(line % 256));
+            black_box(buf.on_hit(LineAddr::new((line + 1) % 256)))
+        })
+    });
+}
+
+fn bench_dram_plan_commit(c: &mut Criterion) {
+    let timings = fbd_types::config::DramTimings::ddr2_table2();
+    c.bench_function("dram/plan_commit_close_page", |b| {
+        let mut banks = fbd_dram::BankArray::new(4, timings, Dur::from_ns(3));
+        let mut bus = fbd_dram::DataBus::new(Dur::from_ns(3));
+        let mut now = Time::ZERO;
+        let mut bank = 0usize;
+        b.iter(|| {
+            bank = (bank + 1) % 4;
+            let op = fbd_dram::ColumnOp {
+                kind: fbd_dram::ColKind::Read,
+                auto_precharge: true,
+                burst: Dur::from_ns(6),
+            };
+            let plan = banks.plan(bank, 7, op, now, &bus);
+            banks.commit(&plan, &mut bus);
+            now = plan.data_end;
+            black_box(plan.cmd_at)
+        })
+    });
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    c.bench_function("link/timeline_reserve", |b| {
+        let mut tl = fbd_link::Timeline::new(Dur::from_ns(3));
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            t += Dur::from_ns(9);
+            black_box(tl.reserve(t, Dur::from_ns(6)))
+        })
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("swim_20k_instructions", |b| {
+        let exp = ExperimentConfig {
+            seed: 42,
+            budget: 20_000,
+            ..Default::default()
+        };
+        let w = Workload::new("1C-swim", &["swim"]);
+        let mut cfg = SystemConfig::paper_default(1);
+        cfg.mem = MemoryConfig::fbdimm_with_prefetch();
+        b.iter(|| black_box(run_workload(&cfg, &w, &exp).elapsed))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mapping,
+    bench_amb_cache,
+    bench_dram_plan_commit,
+    bench_timeline,
+    bench_full_system
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 3 companion: single-core characterization of the twelve
+//! synthetic SPEC2000-like benchmarks on the default FB-DIMM system.
+//!
+//! The paper selects its programs for memory intensity; this bench
+//! documents what our substitutes actually look like to the memory
+//! subsystem — the numbers DESIGN.md §4's substitution argument rests
+//! on. (IPC, memory traffic, bandwidth, latency, and how streaming each
+//! program's miss sequence is.)
+
+use fbd_bench::*;
+use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_workloads::Workload;
+
+fn main() {
+    let exp = ExperimentConfig::from_env();
+    banner("Table 3 companion", "workload characterization (FBD, 1 core)", &exp);
+
+    let names = benchmark_names();
+    let results = parallel_map(&names, |name| {
+        let w = Workload::new(format!("1C-{name}"), &[name]);
+        run_workload(&system(Variant::Fbd, 1), &w, &exp)
+    });
+
+    let mut rows = vec![vec![
+        "benchmark".to_string(),
+        "IPC".to_string(),
+        "L2 MPKI".to_string(),
+        "reads".to_string(),
+        "swpf".to_string(),
+        "writes".to_string(),
+        "GB/s".to_string(),
+        "lat ns".to_string(),
+        "p99 ns".to_string(),
+    ]];
+    for (name, r) in names.iter().zip(&results) {
+        let instr = r.cores[0].instructions.max(1);
+        let mpki = r.cores[0].l2_misses as f64 * 1000.0 / instr as f64;
+        rows.push(vec![
+            name.to_string(),
+            f3(r.cores[0].ipc()),
+            f2(mpki),
+            r.mem.demand_reads.to_string(),
+            r.mem.sw_prefetch_reads.to_string(),
+            r.mem.writes.to_string(),
+            f2(r.bandwidth_gbps()),
+            f2(r.avg_read_latency_ns()),
+            f2(r.read_latency_percentile_ns(0.99)),
+        ]);
+    }
+    print_table(&rows);
+    println!();
+    println!("FP streaming codes (swim, mgrid, applu) should dominate bandwidth;");
+    println!("integer codes (parser, vortex) should be latency-bound at low MPKI.");
+}

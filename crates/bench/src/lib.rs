@@ -1,0 +1,276 @@
+//! Shared harness for the figure-regeneration benches.
+//!
+//! Each bench target under `benches/` regenerates one figure of the
+//! paper's evaluation section (Figures 4–13): it sweeps the same
+//! workloads and configurations and prints the same rows/series the
+//! paper plots. This crate holds the common pieces: system-configuration
+//! builders for every evaluated variant, a parallel run executor, and
+//! plain-text table formatting.
+//!
+//! Budgets: benches default to 300k instructions per core (the paper
+//! uses 100M-instruction SimPoints, which is hours of wall-clock per
+//! figure). Set `FBD_BUDGET=<n>` or `FBD_PAPER_MODE=1` to lengthen runs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fbd_core::experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig};
+use fbd_core::RunResult;
+use fbd_types::config::{
+    AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, MemoryTech, SystemConfig,
+};
+use fbd_types::time::DataRate;
+use fbd_workloads::{paper_workloads, Workload, PROFILES};
+
+/// A system variant evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Conventional DDR2 (baseline).
+    Ddr2,
+    /// FB-DIMM without prefetching.
+    Fbd,
+    /// FB-DIMM with AMB prefetching.
+    FbdAp,
+    /// FB-DIMM with the full-latency prefetching ablation.
+    FbdApfl,
+}
+
+impl Variant {
+    /// Short display label, matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Ddr2 => "DDR2",
+            Variant::Fbd => "FBD",
+            Variant::FbdAp => "FBD-AP",
+            Variant::FbdApfl => "FBD-APFL",
+        }
+    }
+}
+
+/// Builds a system configuration for `variant` with `cores` cores.
+pub fn system(variant: Variant, cores: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(cores);
+    cfg.mem = match variant {
+        Variant::Ddr2 => MemoryConfig::ddr2_default(),
+        Variant::Fbd => MemoryConfig::fbdimm_default(),
+        Variant::FbdAp => MemoryConfig::fbdimm_with_prefetch(),
+        Variant::FbdApfl => {
+            let mut m = MemoryConfig::fbdimm_with_prefetch();
+            m.amb.mode = AmbPrefetchMode::FullLatency;
+            m
+        }
+    };
+    cfg
+}
+
+/// AMB-prefetching system with explicit region size, buffer entries and
+/// associativity (the Figure 8/11/13 sensitivity grid).
+pub fn ap_system(cores: u32, region_lines: u32, entries: u32, assoc: Associativity) -> SystemConfig {
+    let mut cfg = system(Variant::FbdAp, cores);
+    cfg.mem.amb.region_lines = region_lines;
+    cfg.mem.amb.cache_lines = entries;
+    cfg.mem.amb.associativity = assoc;
+    cfg.mem.interleaving = Interleaving::MultiCacheline { lines: region_lines };
+    cfg
+}
+
+/// Applies a channel-count / data-rate sweep point (Figure 6).
+pub fn with_channels_and_rate(
+    mut cfg: SystemConfig,
+    logical_channels: u32,
+    rate: DataRate,
+) -> SystemConfig {
+    cfg.mem.logical_channels = logical_channels;
+    cfg.mem.data_rate = rate;
+    cfg
+}
+
+/// True for FB-DIMM variants (used when a sweep applies to both).
+pub fn is_fbd(cfg: &SystemConfig) -> bool {
+    matches!(cfg.mem.tech, MemoryTech::FbDimm { .. })
+}
+
+/// The paper's workload groups: (label, workloads).
+pub fn workload_groups() -> Vec<(&'static str, Vec<Workload>)> {
+    let (c1, c2, c4, c8) = paper_workloads();
+    vec![("1-core", c1), ("2-core", c2), ("4-core", c4), ("8-core", c8)]
+}
+
+/// All twelve benchmark names.
+pub fn benchmark_names() -> Vec<&'static str> {
+    PROFILES.iter().map(|p| p.name).collect()
+}
+
+/// Runs `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<R>>> = (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// Runs `workload` on every (label, config) pair in parallel; returns
+/// results in the same order.
+pub fn run_matrix(
+    configs: &[(String, SystemConfig)],
+    workloads: &[Workload],
+    exp: &ExperimentConfig,
+) -> Vec<((String, String), RunResult)> {
+    let jobs: Vec<(String, SystemConfig, Workload)> = configs
+        .iter()
+        .flat_map(|(label, cfg)| {
+            workloads
+                .iter()
+                .map(move |w| (label.clone(), *cfg, w.clone()))
+        })
+        .collect();
+    let results = parallel_map(&jobs, |(_, cfg, w)| run_workload(cfg, w, exp));
+    jobs.into_iter()
+        .zip(results)
+        .map(|((label, _, w), r)| ((label, w.name().to_string()), r))
+        .collect()
+}
+
+/// Computes per-benchmark reference IPCs on the single-core variant of
+/// `reference` (the denominator of the SMT-speedup metric), in parallel.
+pub fn references(reference: Variant, exp: &ExperimentConfig) -> HashMap<String, f64> {
+    let names = benchmark_names();
+    let cfg = system(reference, 1);
+    let ipcs = parallel_map(&names, |name| {
+        reference_ipcs(&cfg, &[name], exp)
+            .remove(*name)
+            .expect("reference computed")
+    });
+    names
+        .into_iter()
+        .map(String::from)
+        .zip(ipcs)
+        .collect()
+}
+
+/// SMT speedup of a finished run.
+pub fn speedup(workload: &Workload, result: &RunResult, refs: &HashMap<String, f64>) -> f64 {
+    smt_speedup(workload, result, refs)
+}
+
+/// Prints a fixed-width table; the first row is the header.
+pub fn print_table(rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| rows.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+        if i == 0 {
+            let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            println!("{}", sep.join("  "));
+        }
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a ratio as a signed percentage delta (1.16 → "+16.0%").
+pub fn pct(v: f64) -> String {
+    format!("{:+.1}%", (v - 1.0) * 100.0)
+}
+
+/// Prints the standard bench banner with run parameters.
+pub fn banner(figure: &str, what: &str, exp: &ExperimentConfig) {
+    println!();
+    println!("=== {figure}: {what} ===");
+    println!(
+        "budget: {} instructions/core, seed {} (FBD_BUDGET / FBD_PAPER_MODE=1 to lengthen)",
+        exp.budget, exp.seed
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn variant_configs_validate() {
+        for v in [Variant::Ddr2, Variant::Fbd, Variant::FbdAp, Variant::FbdApfl] {
+            for cores in [1, 2, 4, 8] {
+                system(v, cores).validate().unwrap();
+            }
+        }
+        ap_system(4, 8, 128, Associativity::Ways(4)).validate().unwrap();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(1.16), "+16.0%");
+        assert_eq!(pct(0.9), "-10.0%");
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn workload_groups_cover_the_paper() {
+        let groups = workload_groups();
+        let counts: Vec<usize> = groups.iter().map(|(_, ws)| ws.len()).collect();
+        assert_eq!(counts, vec![12, 6, 6, 3]);
+    }
+}

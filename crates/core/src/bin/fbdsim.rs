@@ -1,0 +1,466 @@
+//! `fbdsim` — command-line experiment runner for the FB-DIMM AMB
+//! prefetching simulator.
+//!
+//! ```text
+//! fbdsim list
+//! fbdsim run     --workload 4C-1 --system fbd-ap [--budget N] [--seed N] [--csv]
+//! fbdsim compare --workload 1C-swim [--budget N] [--seed N] [--csv]
+//! fbdsim sweep   --workload 1C-mgrid --knob {k|entries|assoc|channels|rate} [--csv]
+//! ```
+//!
+//! Systems: `ddr2`, `fbd`, `fbd-ap`, `fbd-apfl`.
+//! Workloads: the paper's Table 3 mixes (`2C-1` … `8C-3`) and the
+//! single-program workloads (`1C-<benchmark>`).
+
+use std::process::ExitCode;
+
+use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::RunResult;
+use fbd_types::config::{
+    AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, SystemConfig,
+};
+use fbd_types::time::DataRate;
+use fbd_workloads::{paper_workloads, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fbdsim list\n  fbdsim run --workload <name> --system <ddr2|fbd|fbd-ap|fbd-apfl> \
+         [--budget N] [--seed N] [--csv] [--timeline]\n  fbdsim compare --workload <name> [--budget N] [--seed N] [--csv]\n  \
+         fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] [--csv]\n  \
+         fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
+         fbdsim replay --trace <trace.csv> --system <name>"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Option<Args> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            let key = a.strip_prefix("--")?;
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((key.to_string(), it.next().expect("peeked").clone()));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Some(Args { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn all_workloads() -> Vec<Workload> {
+    let (c1, c2, c4, c8) = paper_workloads();
+    c1.into_iter().chain(c2).chain(c4).chain(c8).collect()
+}
+
+fn find_workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+fn system_config(name: &str, cores: u32) -> Option<SystemConfig> {
+    let mut cfg = SystemConfig::paper_default(cores);
+    cfg.mem = match name {
+        "ddr2" => MemoryConfig::ddr2_default(),
+        "fbd" => MemoryConfig::fbdimm_default(),
+        "fbd-ap" => MemoryConfig::fbdimm_with_prefetch(),
+        "fbd-apfl" => {
+            let mut m = MemoryConfig::fbdimm_with_prefetch();
+            m.amb.mode = AmbPrefetchMode::FullLatency;
+            m
+        }
+        _ => return None,
+    };
+    Some(cfg)
+}
+
+fn experiment(args: &Args) -> ExperimentConfig {
+    let mut exp = ExperimentConfig::from_env();
+    if let Some(b) = args.get("budget").and_then(|v| v.parse().ok()) {
+        exp.budget = b;
+    }
+    if let Some(s) = args.get("seed").and_then(|v| v.parse().ok()) {
+        exp.seed = s;
+    }
+    exp
+}
+
+const CSV_HEADER: &str = "workload,system,ipc_sum,bandwidth_gbps,avg_latency_ns,p50_ns,p95_ns,p99_ns,\
+     demand_reads,prefetch_reads,writes,amb_hits,coverage,efficiency,act_pre,col_accesses";
+
+fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
+    let ipc_sum: f64 = r.ipcs().iter().sum();
+    if csv {
+        println!(
+            "{},{},{:.4},{:.3},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{:.4},{:.4},{},{}",
+            workload.name(),
+            system,
+            ipc_sum,
+            r.bandwidth_gbps(),
+            r.avg_read_latency_ns(),
+            r.read_latency_percentile_ns(0.50),
+            r.read_latency_percentile_ns(0.95),
+            r.read_latency_percentile_ns(0.99),
+            r.mem.demand_reads,
+            r.mem.sw_prefetch_reads + r.mem.hw_prefetch_reads,
+            r.mem.writes,
+            r.mem.amb_hits,
+            r.mem.prefetch_coverage(),
+            r.mem.prefetch_efficiency(),
+            r.mem.dram_ops.act_pre,
+            r.mem.dram_ops.col_total(),
+        );
+    } else {
+        println!("{} on {}:", workload.name(), system);
+        println!("  IPC sum            {ipc_sum:.3}");
+        println!("  bandwidth          {:.2} GB/s", r.bandwidth_gbps());
+        println!(
+            "  read latency       avg {:.1} / p50 {:.0} / p95 {:.0} / p99 {:.0} ns",
+            r.avg_read_latency_ns(),
+            r.read_latency_percentile_ns(0.50),
+            r.read_latency_percentile_ns(0.95),
+            r.read_latency_percentile_ns(0.99)
+        );
+        println!(
+            "  traffic            {} demand reads, {} prefetch reads, {} writes",
+            r.mem.demand_reads,
+            r.mem.sw_prefetch_reads + r.mem.hw_prefetch_reads,
+            r.mem.writes
+        );
+        if r.mem.amb_hits > 0 || r.mem.lines_prefetched > 0 {
+            println!(
+                "  AMB prefetching    {} hits, coverage {:.1}%, efficiency {:.1}%",
+                r.mem.amb_hits,
+                r.mem.prefetch_coverage() * 100.0,
+                r.mem.prefetch_efficiency() * 100.0
+            );
+        }
+        println!(
+            "  DRAM operations    {} ACT/PRE, {} column accesses",
+            r.mem.dram_ops.act_pre,
+            r.mem.dram_ops.col_total()
+        );
+        println!();
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("systems: ddr2 fbd fbd-ap fbd-apfl");
+    println!();
+    println!("workloads:");
+    for w in all_workloads() {
+        let names: Vec<&str> = w.benchmarks().iter().map(|b| b.name).collect();
+        println!("  {:<12} {} core(s): {}", w.name(), w.cores(), names.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let (Some(wname), Some(sname)) = (args.get("workload"), args.get("system")) else {
+        return usage();
+    };
+    let Some(workload) = find_workload(wname) else {
+        eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(cfg) = system_config(sname, workload.cores()) else {
+        eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
+        return ExitCode::FAILURE;
+    };
+    let exp = experiment(args);
+    let csv = args.has_flag("csv");
+    if csv {
+        println!("{CSV_HEADER}");
+    }
+    let r = run_workload(&cfg, &workload, &exp);
+    report(&workload, sname, &r, csv);
+    if args.has_flag("timeline") {
+        println!("bandwidth over time ({} epochs):", r.mem.bandwidth_series.epoch());
+        for (i, gbps) in r.mem.bandwidth_series.series_gbps().iter().enumerate() {
+            let bar = "#".repeat((gbps * 2.0).round() as usize);
+            println!("  {:>5} µs  {gbps:>6.2} GB/s  {bar}", i);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    let Some(wname) = args.get("workload") else {
+        return usage();
+    };
+    let Some(workload) = find_workload(wname) else {
+        eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
+        return ExitCode::FAILURE;
+    };
+    let exp = experiment(args);
+    let csv = args.has_flag("csv");
+    if csv {
+        println!("{CSV_HEADER}");
+    }
+    for sname in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
+        let cfg = system_config(sname, workload.cores()).expect("known system");
+        let r = run_workload(&cfg, &workload, &exp);
+        report(&workload, sname, &r, csv);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &Args) -> ExitCode {
+    let (Some(wname), Some(knob)) = (args.get("workload"), args.get("knob")) else {
+        return usage();
+    };
+    let Some(workload) = find_workload(wname) else {
+        eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
+        return ExitCode::FAILURE;
+    };
+    let exp = experiment(args);
+    let csv = args.has_flag("csv");
+    if csv {
+        println!("{CSV_HEADER}");
+    }
+    let base = system_config("fbd-ap", workload.cores()).expect("known system");
+    let points: Vec<(String, SystemConfig)> = match knob {
+        "k" => [2u32, 4, 8]
+            .iter()
+            .map(|&k| {
+                let mut c = base;
+                c.mem.amb.region_lines = k;
+                c.mem.interleaving = Interleaving::MultiCacheline { lines: k };
+                (format!("fbd-ap/k={k}"), c)
+            })
+            .collect(),
+        "entries" => [32u32, 64, 128]
+            .iter()
+            .map(|&e| {
+                let mut c = base;
+                c.mem.amb.cache_lines = e;
+                (format!("fbd-ap/entries={e}"), c)
+            })
+            .collect(),
+        "assoc" => vec![
+            ("fbd-ap/direct".to_string(), Associativity::Direct),
+            ("fbd-ap/2way".to_string(), Associativity::Ways(2)),
+            ("fbd-ap/4way".to_string(), Associativity::Ways(4)),
+            ("fbd-ap/full".to_string(), Associativity::Full),
+        ]
+        .into_iter()
+        .map(|(l, a)| {
+            let mut c = base;
+            c.mem.amb.associativity = a;
+            (l, c)
+        })
+        .collect(),
+        "channels" => [1u32, 2, 4]
+            .iter()
+            .map(|&n| {
+                let mut c = base;
+                c.mem.logical_channels = n;
+                (format!("fbd-ap/{n}ch"), c)
+            })
+            .collect(),
+        "rate" => [
+            ("533", DataRate::MTS533),
+            ("667", DataRate::MTS667),
+            ("800", DataRate::MTS800),
+        ]
+        .iter()
+        .map(|&(l, r)| {
+            let mut c = base;
+            c.mem.data_rate = r;
+            (format!("fbd-ap/{l}MT"), c)
+        })
+        .collect(),
+        _ => {
+            eprintln!("unknown knob `{knob}` (k|entries|assoc|channels|rate)");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (label, cfg) in points {
+        let r = run_workload(&cfg, &workload, &exp);
+        report(&workload, &label, &r, csv);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_record(args: &Args) -> ExitCode {
+    let (Some(wname), Some(sname), Some(out)) =
+        (args.get("workload"), args.get("system"), args.get("out"))
+    else {
+        return usage();
+    };
+    let Some(workload) = find_workload(wname) else {
+        eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(cfg) = system_config(sname, workload.cores()) else {
+        eprintln!("unknown system `{sname}`");
+        return ExitCode::FAILURE;
+    };
+    let exp = experiment(args);
+    let mut sys = fbd_core::System::new(&cfg, workload.traces(exp.seed), exp.budget);
+    sys.enable_trace_capture();
+    let result = sys.run();
+    let trace = result.trace.expect("capture enabled");
+    let mut file = match std::fs::File::create(out) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = trace.to_csv(&mut file) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "recorded {} transactions from {} on {} to {}",
+        trace.len(),
+        workload.name(),
+        sname,
+        out
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(args: &Args) -> ExitCode {
+    let (Some(path), Some(sname)) = (args.get("trace"), args.get("system")) else {
+        return usage();
+    };
+    let Some(cfg) = system_config(sname, 1) else {
+        eprintln!("unknown system `{sname}`");
+        return ExitCode::FAILURE;
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => std::io::BufReader::new(f),
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match fbd_core::MemoryTrace::from_csv(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = fbd_core::replay(&cfg.mem, &trace);
+    println!("replayed {} transactions on {}:", trace.len(), sname);
+    println!("  finished at        {:.2} µs", result.finished.as_ns_f64() / 1_000.0);
+    println!("  bandwidth          {:.2} GB/s", result.bandwidth_gbps());
+    println!(
+        "  read latency       avg {:.1} ns",
+        result
+            .mem
+            .read_latency
+            .mean()
+            .map_or(0.0, |d| d.as_ns_f64())
+    );
+    println!(
+        "  DRAM operations    {} ACT/PRE, {} column accesses",
+        result.mem.dram_ops.act_pre,
+        result.mem.dram_ops.col_total()
+    );
+    if result.mem.amb_hits > 0 {
+        println!(
+            "  AMB prefetching    {} hits, coverage {:.1}%",
+            result.mem.amb_hits,
+            result.mem.prefetch_coverage() * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(&argv[1..]) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "sweep" => cmd_sweep(&args),
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Option<Args> {
+        let v: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v)
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let args = parse(&["--workload", "1C-swim", "--csv", "--budget", "1000"]).unwrap();
+        assert_eq!(args.get("workload"), Some("1C-swim"));
+        assert_eq!(args.get("budget"), Some("1000"));
+        assert!(args.has_flag("csv"));
+        assert!(!args.has_flag("timeline"));
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(parse(&["stray"]).is_none());
+        assert!(parse(&["--ok", "v", "stray"]).is_none());
+    }
+
+    #[test]
+    fn trailing_flag_parses() {
+        let args = parse(&["--csv"]).unwrap();
+        assert!(args.has_flag("csv"));
+    }
+
+    #[test]
+    fn workloads_and_systems_resolve() {
+        assert!(find_workload("1C-swim").is_some());
+        assert!(find_workload("4C-1").is_some());
+        assert!(find_workload("9C-1").is_none());
+        for s in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
+            let cfg = system_config(s, 2).expect(s);
+            cfg.validate().unwrap();
+        }
+        assert!(system_config("ddr5", 1).is_none());
+    }
+
+    #[test]
+    fn experiment_flags_override_defaults() {
+        let args = parse(&["--budget", "123", "--seed", "9"]).unwrap();
+        let exp = experiment(&args);
+        assert_eq!(exp.budget, 123);
+        assert_eq!(exp.seed, 9);
+        // Bad numbers fall back to defaults rather than erroring.
+        let args = parse(&["--budget", "abc"]).unwrap();
+        let exp2 = experiment(&args);
+        assert!(exp2.budget > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Experiment helpers: running workloads, reference IPCs and the SMT
+//! speedup metric (paper §4.2).
+//!
+//! `SMT speedup = Σ IPC_cmp[i] / IPC_single[i]`, where the reference
+//! `IPC_single[i]` is the program's IPC alone on a single-core reference
+//! system. The bench harness computes one reference set per figure, as
+//! the paper does (Figure 4 references single-core DDR2 at the default
+//! channel count; Figure 7 references two-channel DDR2).
+
+use std::collections::HashMap;
+
+use fbd_types::config::SystemConfig;
+use fbd_workloads::Workload;
+
+use crate::system::{RunResult, System};
+
+/// L2 warm-up policy for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Warmup {
+    /// No warm-up (cold caches).
+    None,
+    /// Fast-forward enough trace operations to fill the shared L2
+    /// roughly twice over (split across cores).
+    #[default]
+    Auto,
+    /// Exactly this many operations per core.
+    Ops(u64),
+}
+
+/// Run-control parameters shared by every experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Seed for the deterministic workload generators.
+    pub seed: u64,
+    /// Instructions each core must commit (the run stops when the first
+    /// core gets there).
+    pub budget: u64,
+    /// L2 warm-up before measurement.
+    pub warmup: Warmup,
+}
+
+impl ExperimentConfig {
+    /// Defaults: seed 42, automatic L2 warm-up and the instruction
+    /// budget from [`default_budget`].
+    pub fn from_env() -> ExperimentConfig {
+        ExperimentConfig {
+            budget: default_budget(),
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            budget: 300_000,
+            warmup: Warmup::Auto,
+        }
+    }
+}
+
+/// The per-core instruction budget benches run with.
+///
+/// The paper simulates 100 M-instruction SimPoints; that is hours of
+/// wall-clock across 27 workloads × many configurations, so benches
+/// default to 300k instructions (results are stable well before that).
+/// Set `FBD_BUDGET=<n>` to override, or `FBD_PAPER_MODE=1` for 2M.
+pub fn default_budget() -> u64 {
+    if let Ok(v) = std::env::var("FBD_BUDGET") {
+        if let Ok(n) = v.parse::<u64>() {
+            return n.max(1);
+        }
+    }
+    match std::env::var("FBD_PAPER_MODE") {
+        Ok(v) if v == "1" => 2_000_000,
+        _ => 300_000,
+    }
+}
+
+/// Runs `workload` on `cfg`.
+///
+/// # Panics
+///
+/// Panics if the configuration's core count does not match the
+/// workload's, or if the configuration is invalid.
+pub fn run_workload(cfg: &SystemConfig, workload: &Workload, exp: &ExperimentConfig) -> RunResult {
+    assert_eq!(
+        cfg.cpu.cores,
+        workload.cores(),
+        "core count must match workload {}",
+        workload.name()
+    );
+    let traces = workload.traces(exp.seed);
+    let warmup_ops = match exp.warmup {
+        Warmup::None => 0,
+        Warmup::Auto => {
+            let l2_lines = u64::from(cfg.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
+            2 * l2_lines / u64::from(cfg.cpu.cores)
+        }
+        Warmup::Ops(n) => n,
+    };
+    System::with_warmup(cfg, traces, exp.budget, warmup_ops).run()
+}
+
+/// Computes each benchmark's single-core reference IPC on `ref_cfg`
+/// (which must be a 1-core configuration). Returns name → IPC.
+///
+/// # Panics
+///
+/// Panics if `ref_cfg` is not single-core.
+pub fn reference_ipcs(
+    ref_cfg: &SystemConfig,
+    benchmarks: &[&str],
+    exp: &ExperimentConfig,
+) -> HashMap<String, f64> {
+    assert_eq!(ref_cfg.cpu.cores, 1, "reference runs are single-core");
+    benchmarks
+        .iter()
+        .map(|name| {
+            let w = Workload::new(format!("1C-{name}"), &[name]);
+            let result = run_workload(ref_cfg, &w, exp);
+            (name.to_string(), result.cores[0].ipc())
+        })
+        .collect()
+}
+
+/// The paper's SMT-speedup metric for one run.
+///
+/// # Panics
+///
+/// Panics if a benchmark of the workload has no reference IPC.
+pub fn smt_speedup(
+    workload: &Workload,
+    result: &RunResult,
+    references: &HashMap<String, f64>,
+) -> f64 {
+    workload
+        .benchmarks()
+        .iter()
+        .zip(&result.cores)
+        .map(|(bench, stats)| {
+            let reference = references
+                .get(bench.name)
+                .unwrap_or_else(|| panic!("no reference IPC for {}", bench.name));
+            stats.ipc() / reference
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_types::stats::{CoreStats, MemStats};
+    use fbd_types::time::Dur;
+
+    fn fake_result(ipcs: &[f64]) -> RunResult {
+        RunResult {
+            elapsed: Dur::from_ns(1_000),
+            cores: ipcs
+                .iter()
+                .map(|&ipc| CoreStats {
+                    instructions: (ipc * 1000.0) as u64,
+                    cycles: 1000,
+                    l2_misses: 0,
+                    l2_accesses: 0,
+                })
+                .collect(),
+            mem: MemStats::default(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn smt_speedup_sums_per_core_ratios() {
+        let w = Workload::new("2C-x", &["swim", "parser"]);
+        let refs: HashMap<String, f64> =
+            [("swim".to_string(), 0.5), ("parser".to_string(), 1.0)]
+                .into_iter()
+                .collect();
+        let r = fake_result(&[1.0, 0.5]);
+        // 1.0/0.5 + 0.5/1.0 = 2.5.
+        let s = smt_speedup(&w, &r, &refs);
+        assert!((s - 2.5).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no reference IPC")]
+    fn smt_speedup_requires_references() {
+        let w = Workload::new("1C-swim", &["swim"]);
+        let r = fake_result(&[1.0]);
+        let _ = smt_speedup(&w, &r, &HashMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-core")]
+    fn reference_ipcs_rejects_multicore_config() {
+        let cfg = fbd_types::config::SystemConfig::paper_default(2);
+        let _ = reference_ipcs(&cfg, &["swim"], &ExperimentConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "core count must match")]
+    fn run_workload_rejects_core_mismatch() {
+        let cfg = fbd_types::config::SystemConfig::paper_default(2);
+        let w = Workload::new("1C-swim", &["swim"]);
+        let _ = run_workload(&cfg, &w, &ExperimentConfig::default());
+    }
+
+    #[test]
+    fn budget_env_parsing() {
+        // No env manipulation (tests run in parallel): just check the
+        // default path returns something positive.
+        assert!(default_budget() >= 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! `fbd-core` — the full-system simulator for DRAM-level (AMB)
+//! prefetching on Fully-Buffered DIMM.
+//!
+//! This crate wires the workspace's substrates into the systems the
+//! paper evaluates:
+//!
+//! * **FBD** — FB-DIMM channels, no prefetching;
+//! * **FBD-AP** — FB-DIMM with region-based AMB prefetching (the
+//!   contribution);
+//! * **FBD-APFL** — the full-latency ablation isolating the
+//!   bandwidth-utilization gain;
+//! * **DDR2** — the conventional shared-bus baseline.
+//!
+//! # Examples
+//!
+//! Run the `swim` workload on FB-DIMM with and without AMB prefetching:
+//!
+//! ```
+//! use fbd_core::experiment::{run_workload, ExperimentConfig};
+//! use fbd_types::config::{MemoryConfig, SystemConfig};
+//! use fbd_workloads::Workload;
+//!
+//! let exp = ExperimentConfig { seed: 7, budget: 20_000, ..Default::default() };
+//! let workload = Workload::new("1C-swim", &["swim"]);
+//!
+//! let fbd = SystemConfig::paper_default(1);
+//! let base = run_workload(&fbd, &workload, &exp);
+//!
+//! let mut ap = fbd;
+//! ap.mem = MemoryConfig::fbdimm_with_prefetch();
+//! let with_ap = run_workload(&ap, &workload, &exp);
+//!
+//! assert!(with_ap.mem.amb_hits > 0, "streaming workload must hit the AMB cache");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod memsys;
+pub mod system;
+pub mod trace_io;
+
+pub use experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig, Warmup};
+pub use memsys::{DecideResult, Issued, MemorySystem};
+pub use system::{RunResult, System};
+pub use trace_io::{replay, MemoryTrace, ReplayResult, TraceRecord};

@@ -1,0 +1,539 @@
+//! The complete memory subsystem: controller policy wired to a datapath.
+//!
+//! One [`MemorySystem`] owns the transaction queue, scheduler, address
+//! mapper and (when prefetching is on) the prefetch information table,
+//! plus one datapath per logical channel:
+//!
+//! * **FB-DIMM**: southbound/northbound links ([`fbd_link::FbdChannel`])
+//!   in front of per-DIMM AMB engines ([`fbd_amb::AmbDimm`]);
+//! * **DDR2** baseline: a shared command bus and a shared data bus in
+//!   front of per-DIMM bank arrays.
+//!
+//! The subsystem is driven by *decision events*: at each decision
+//! instant for a channel the scheduler picks the best ready transaction
+//! (hit-first, read-priority) and issues it, reserving link/bus/bank
+//! time and computing the completion analytically. One decision issues
+//! at most one transaction, and the next decision follows one command
+//! slot later, so scheduling stays fine-grained.
+
+use std::collections::VecDeque;
+
+use fbd_amb::AmbDimm;
+use fbd_ctrl::{AddressMapper, HitFirstScheduler, MappedAddr, PrefetchTable, QueueEntry, SchedClass, TransactionQueue};
+use fbd_dram::{BankArray, ColKind, ColumnOp, DataBus};
+use fbd_link::{Ddr2CommandBus, FbdChannel};
+use fbd_types::config::{AmbPrefetchMode, MemoryConfig, MemoryTech, PagePolicy};
+use fbd_types::request::{AccessKind, MemRequest, MemResponse, ServiceKind};
+use fbd_types::stats::MemStats;
+use fbd_types::time::{Dur, Time};
+use fbd_types::CACHE_LINE_BYTES;
+
+/// Reads in flight per logical channel before the controller stops
+/// issuing and waits for completions. Bounds how far reservations run
+/// ahead of service, keeping hit-first reordering effective.
+const MAX_INFLIGHT_PER_CHANNEL: u32 = 16;
+
+/// An issued transaction, as reported to the simulation engine.
+#[derive(Clone, Copy, Debug)]
+pub enum Issued {
+    /// A read; `resp.completion` is when the critical line reaches the
+    /// controller.
+    Read {
+        /// The completed response.
+        resp: MemResponse,
+    },
+    /// A write; `done` is when its data finishes at the devices.
+    Write {
+        /// Completion instant (frees the in-flight slot).
+        done: Time,
+    },
+}
+
+/// Outcome of one scheduling decision.
+///
+/// A decision usually issues at most one transaction; on a shared-bus
+/// (DDR2) channel a triggered write drain commits the whole batch in one
+/// decision so the following reads' activates overlap the write burst.
+#[derive(Clone, Debug, Default)]
+pub struct DecideResult {
+    /// The transactions issued (empty if none was ready).
+    pub issued: Vec<Issued>,
+    /// When this channel should next run a decision (None: wait for a
+    /// new arrival or a completion).
+    pub next_decision: Option<Time>,
+}
+
+enum ChannelPath {
+    Fbd {
+        link: FbdChannel,
+        dimms: Vec<AmbDimm>,
+    },
+    Ddr2 {
+        cmd: Ddr2CommandBus,
+        bus: DataBus,
+        dimms: Vec<BankArray>,
+    },
+}
+
+struct Channel {
+    path: ChannelPath,
+    inflight: u32,
+    /// Per-DIMM next refresh deadline (empty when refresh is disabled).
+    refresh_due: Vec<Time>,
+}
+
+/// The full memory subsystem behind the processor complex.
+pub struct MemorySystem {
+    cfg: MemoryConfig,
+    mapper: AddressMapper,
+    queue: TransactionQueue,
+    spill: VecDeque<(MemRequest, MappedAddr)>,
+    /// One scheduler per logical channel (drain-mode state is
+    /// per-channel).
+    scheds: Vec<HitFirstScheduler>,
+    table: Option<PrefetchTable>,
+    channels: Vec<Channel>,
+    stats: MemStats,
+    /// DIMM-bus time of one line on a (ganged) DIMM.
+    burst: Dur,
+    clock: Dur,
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("tech", &self.cfg.tech)
+            .field("channels", &self.channels.len())
+            .field("queued", &self.queue.len())
+            .field("spilled", &self.spill.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemorySystem {
+    /// Builds the subsystem for a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: &MemoryConfig) -> MemorySystem {
+        cfg.validate().expect("invalid memory configuration");
+        let clock = cfg.data_rate.clock_period();
+        let lines_per_clock_bytes = 16 * u64::from(cfg.phys_per_logical);
+        let burst_clocks = (CACHE_LINE_BYTES).div_ceil(lines_per_clock_bytes);
+        let burst = clock * burst_clocks;
+        let close_page = cfg.page_policy == PagePolicy::ClosePage;
+        // Stagger initial refresh deadlines across DIMMs, as real
+        // controllers do, so the whole subsystem never refreshes at once.
+        let refresh_due = |cfg: &MemoryConfig| -> Vec<Time> {
+            if !cfg.refresh.enabled {
+                return Vec::new();
+            }
+            let n = u64::from(cfg.dimms_per_channel);
+            (0..n)
+                .map(|i| Time::ZERO + (cfg.refresh.t_refi / n) * (i + 1))
+                .collect()
+        };
+        let channels: Vec<Channel> = (0..cfg.logical_channels)
+            .map(|_| {
+                let path = match cfg.tech {
+                    MemoryTech::FbDimm { .. } => ChannelPath::Fbd {
+                        link: FbdChannel::new(cfg),
+                        dimms: (0..cfg.dimms_per_channel)
+                            .map(|_| {
+                                AmbDimm::with_ranks(
+                                    cfg.ranks_per_dimm as usize,
+                                    cfg.banks_per_dimm as usize,
+                                    cfg.timings,
+                                    clock,
+                                    burst,
+                                    close_page,
+                                )
+                            })
+                            .collect(),
+                    },
+                    MemoryTech::Ddr2 => ChannelPath::Ddr2 {
+                        cmd: Ddr2CommandBus::new(cfg),
+                        bus: DataBus::new(clock),
+                        dimms: (0..cfg.dimms_per_channel * cfg.ranks_per_dimm)
+                            .map(|_| BankArray::new(cfg.banks_per_dimm as usize, cfg.timings, clock))
+                            .collect(),
+                    },
+                };
+                Channel {
+                    path,
+                    inflight: 0,
+                    refresh_due: refresh_due(cfg),
+                }
+            })
+            .collect();
+        MemorySystem {
+            mapper: AddressMapper::new(cfg),
+            queue: TransactionQueue::new(cfg.queue_capacity as usize),
+            spill: VecDeque::new(),
+            scheds: vec![
+                HitFirstScheduler::new(
+                    cfg.write_drain_threshold as usize,
+                    // Batch-drain writes only on the shared DDR2 bus,
+                    // where every direction change costs tWTR.
+                    cfg.tech == MemoryTech::Ddr2,
+                );
+                cfg.logical_channels as usize
+            ],
+            table: cfg.amb.is_enabled().then(|| PrefetchTable::new(cfg)),
+            channels,
+            stats: MemStats::default(),
+            burst,
+            clock,
+            cfg: *cfg,
+        }
+    }
+
+    /// Submits a request. Returns the instant it becomes schedulable
+    /// (arrival plus the controller's fixed overhead) and its channel, so
+    /// the engine can schedule a decision.
+    pub fn submit(&mut self, req: MemRequest) -> (u32, Time) {
+        let mapped = self.mapper.map(req.line);
+        let ready = req.arrival + self.cfg.controller_overhead;
+        if !self.queue.try_push(req, mapped) {
+            self.spill.push_back((req, mapped));
+        }
+        (mapped.channel, ready)
+    }
+
+    fn drain_spill(&mut self) {
+        while !self.queue.is_full() {
+            match self.spill.pop_front() {
+                Some((req, mapped)) => {
+                    let ok = self.queue.try_push(req, mapped);
+                    debug_assert!(ok, "queue had space");
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// True if any transaction is queued (or spilled) for channel `ch`.
+    pub fn has_work(&self, ch: u32) -> bool {
+        self.queue.iter().any(|e| e.mapped.channel == ch)
+            || self.spill.iter().any(|(_, m)| m.channel == ch)
+    }
+
+    /// A completion was observed on `ch`: release its in-flight slot.
+    pub fn complete(&mut self, ch: u32) {
+        let c = &mut self.channels[ch as usize];
+        c.inflight = c.inflight.saturating_sub(1);
+    }
+
+    /// Issues any refresh whose deadline has passed on channel `ch`.
+    fn run_refreshes(&mut self, ch: u32, now: Time) {
+        let t_refi = self.cfg.refresh.t_refi;
+        let t_rfc = self.cfg.refresh.t_rfc;
+        let channel = &mut self.channels[ch as usize];
+        for (dimm, due) in channel.refresh_due.iter_mut().enumerate() {
+            while *due <= now {
+                match &mut channel.path {
+                    ChannelPath::Fbd { dimms, .. } => {
+                        dimms[dimm].refresh(*due, t_rfc);
+                    }
+                    ChannelPath::Ddr2 { dimms, .. } => {
+                        dimms[dimm].refresh_all(*due, t_rfc);
+                    }
+                }
+                *due += t_refi;
+            }
+        }
+    }
+
+    /// Runs one scheduling decision for channel `ch` at `now`.
+    pub fn decide(&mut self, ch: u32, now: Time) -> DecideResult {
+        if self.cfg.refresh.enabled {
+            self.run_refreshes(ch, now);
+        }
+        if self.channels[ch as usize].inflight >= MAX_INFLIGHT_PER_CHANNEL {
+            return DecideResult::default();
+        }
+        let Some(id) = self.pick_for(ch, now) else {
+            // Nothing ready now; maybe a queued transaction becomes
+            // schedulable later (spilled ones re-enter via the queue).
+            let overhead = self.cfg.controller_overhead;
+            let next = self
+                .queue
+                .iter()
+                .filter(|e| e.mapped.channel == ch)
+                .map(|e| e.req.arrival + overhead)
+                .filter(|t| *t > now)
+                .min();
+            return DecideResult {
+                issued: Vec::new(),
+                next_decision: next,
+            };
+        };
+        let entry = self.queue.remove(id).expect("picked entry exists");
+        self.drain_spill();
+        let first_is_write = entry.req.kind == AccessKind::Write;
+        let mut issued = vec![self.execute(entry, now)];
+        self.channels[ch as usize].inflight += 1;
+        // Burst the write drain on a shared-bus channel: commit the whole
+        // batch in one decision so the next reads' ACT/tRCD pipeline
+        // overlaps the write burst on the data bus (what a real
+        // controller's command scheduler achieves).
+        if first_is_write && self.cfg.tech == MemoryTech::Ddr2 {
+            while self.channels[ch as usize].inflight < MAX_INFLIGHT_PER_CHANNEL {
+                let Some(nid) = self.pick_for(ch, now) else { break };
+                let next_entry = self.queue.remove(nid).expect("picked entry exists");
+                if next_entry.req.kind != AccessKind::Write {
+                    // Put it back; reads resume at the next decision.
+                    self.queue.restore(next_entry);
+                    break;
+                }
+                self.drain_spill();
+                issued.push(self.execute(next_entry, now));
+                self.channels[ch as usize].inflight += 1;
+            }
+        }
+        DecideResult {
+            issued,
+            next_decision: Some(self.next_slot(ch, now)),
+        }
+    }
+
+    /// Applies the hit-first policy to channel `ch`'s ready transactions.
+    fn pick_for(&mut self, ch: u32, now: Time) -> Option<fbd_types::RequestId> {
+        let overhead = self.cfg.controller_overhead;
+        let ready = |e: &QueueEntry| e.mapped.channel == ch && e.req.arrival + overhead <= now;
+        {
+            let table = self.table.as_ref();
+            let channels = &self.channels;
+            // Bank-readiness window: a bank that can accept an ACT soon
+            // keeps the data bus busy; one deep in its tRC/precharge
+            // window would stall it.
+            let slack = self.clock * 2;
+            let classify = |e: &QueueEntry| -> SchedClass {
+                if self.cfg.sched_policy == fbd_types::config::SchedPolicy::Fcfs {
+                    // FCFS ablation: no reordering signal; age decides.
+                    return SchedClass::Ready;
+                }
+                if e.req.kind.is_read() {
+                    if let Some(t) = table {
+                        if t.would_hit(ch, e.mapped.dimm, e.req.line) {
+                            return SchedClass::Hit;
+                        }
+                    }
+                }
+                let ranks = self.cfg.ranks_per_dimm;
+                let (row_open, act_at, wtr_until) = match &channels[ch as usize].path {
+                    ChannelPath::Fbd { dimms, .. } => {
+                        let d = &dimms[e.mapped.dimm as usize];
+                        (
+                            d.is_row_open_at(e.mapped.rank as usize, e.mapped.bank as usize, e.mapped.row),
+                            d.earliest_act_at(e.mapped.rank as usize, e.mapped.bank as usize),
+                            d.read_turnaround_until(e.mapped.rank as usize),
+                        )
+                    }
+                    ChannelPath::Ddr2 { dimms, .. } => {
+                        let d = &dimms[(e.mapped.dimm * ranks + e.mapped.rank) as usize];
+                        (
+                            d.is_row_open(e.mapped.bank as usize, e.mapped.row),
+                            d.earliest_act(e.mapped.bank as usize),
+                            d.read_turnaround_until(),
+                        )
+                    }
+                };
+                // A read into a rank still inside its write-to-read
+                // turnaround would stall; prefer ranks past it.
+                let wtr_blocked = e.req.kind.is_read() && wtr_until > now + slack;
+                if row_open && !wtr_blocked {
+                    SchedClass::Hit
+                } else if act_at <= now + slack && !wtr_blocked {
+                    SchedClass::Ready
+                } else {
+                    SchedClass::NotReady
+                }
+            };
+            self.scheds[ch as usize].pick(self.queue.iter().filter(|e| ready(e)), classify)
+        }
+    }
+
+    /// The earliest instant after `now` at which another command can be
+    /// scheduled on this channel (one command slot later).
+    fn next_slot(&self, _ch: u32, now: Time) -> Time {
+        match self.cfg.tech {
+            MemoryTech::FbDimm { .. } => now + (self.clock * 2) / 3,
+            MemoryTech::Ddr2 => now + self.clock,
+        }
+    }
+
+    fn execute(&mut self, entry: QueueEntry, now: Time) -> Issued {
+        match entry.req.kind {
+            AccessKind::Write => self.execute_write(entry, now),
+            _ => self.execute_read(entry, now),
+        }
+    }
+
+    fn execute_read(&mut self, entry: QueueEntry, now: Time) -> Issued {
+        let m = entry.mapped;
+        let req = entry.req;
+        let demand = req.kind == AccessKind::DemandRead;
+        match req.kind {
+            AccessKind::DemandRead => self.stats.demand_reads += 1,
+            AccessKind::SoftwarePrefetch => self.stats.sw_prefetch_reads += 1,
+            AccessKind::HardwarePrefetch => self.stats.hw_prefetch_reads += 1,
+            AccessKind::Write => unreachable!("writes take the write path"),
+        }
+        self.stats.data_bytes += CACHE_LINE_BYTES;
+
+        let (completion, service) = match &mut self.channels[m.channel as usize].path {
+            ChannelPath::Fbd { link, dimms } => {
+                let cmd_at_amb = link.send_command(now);
+                let dimm = &mut dimms[m.dimm as usize];
+                let rank = m.rank as usize;
+                let hit = self
+                    .table
+                    .as_mut()
+                    .is_some_and(|t| t.lookup_hit(m.channel, m.dimm, req.line));
+                if hit {
+                    let data_ready = match self.cfg.amb.mode {
+                        // FBD-APFL: charge the full DRAM latency without
+                        // touching the bank (Figure 9's ablation).
+                        AmbPrefetchMode::FullLatency => {
+                            cmd_at_amb + self.cfg.timings.t_rcd + self.cfg.timings.t_cl
+                        }
+                        _ => cmd_at_amb,
+                    };
+                    self.stats.amb_hits += 1;
+                    let completion = link.return_read_data(m.dimm, data_ready);
+                    (completion, ServiceKind::AmbCacheHit)
+                } else if let Some(table) = self.table.as_mut() {
+                    // Group fetch: demanded line first, K−1 fills.
+                    let k = self.cfg.amb.region_lines;
+                    let out = dimm.fetch_group_at(rank, m.bank as usize, m.row, k, cmd_at_amb);
+                    let region = req.line.region(u64::from(k));
+                    let fills = region.lines(u64::from(k)).filter(|l| *l != req.line);
+                    let inserted = table.fill(m.channel, m.dimm, fills);
+                    self.stats.lines_prefetched += inserted;
+                    let completion = link.return_read_data(m.dimm, out.demanded_ready);
+                    (completion, ServiceKind::DramAccessWithPrefetch)
+                } else {
+                    let out = dimm.read_line_at(rank, m.bank as usize, m.row, cmd_at_amb);
+                    if out.row_hit {
+                        self.stats.row_hits += 1;
+                    }
+                    let completion = link.return_read_data(m.dimm, out.data_ready);
+                    let service = if out.row_hit {
+                        ServiceKind::RowBufferHit
+                    } else {
+                        ServiceKind::DramAccess
+                    };
+                    (completion, service)
+                }
+            }
+            ChannelPath::Ddr2 { cmd, bus, dimms } => {
+                // Close page needs ACT + CAS on the shared command bus;
+                // an open-page hit needs one; a conflict needs three.
+                let dimm = &mut dimms[(m.dimm * self.cfg.ranks_per_dimm + m.rank) as usize];
+                let n_cmds = if dimm.is_row_open(m.bank as usize, m.row) {
+                    1
+                } else {
+                    2
+                };
+                let slots = cmd.issue_many(now, n_cmds);
+                let op = ColumnOp {
+                    kind: ColKind::Read,
+                    auto_precharge: self.cfg.page_policy == PagePolicy::ClosePage,
+                    burst: self.burst,
+                };
+                let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
+                let row_hit = !plan.is_row_miss();
+                if row_hit {
+                    self.stats.row_hits += 1;
+                }
+                dimm.commit(&plan, bus);
+                let service = if row_hit {
+                    ServiceKind::RowBufferHit
+                } else {
+                    ServiceKind::DramAccess
+                };
+                (plan.data_end, service)
+            }
+        };
+        if demand {
+            self.stats.read_latency.record(completion - req.arrival);
+            self.stats.read_latency_hist.record(completion - req.arrival);
+        }
+        self.stats.bandwidth_series.record(completion, CACHE_LINE_BYTES);
+        Issued::Read {
+            resp: MemResponse {
+                id: req.id,
+                core: req.core,
+                line: req.line,
+                kind: req.kind,
+                completion,
+                service,
+            },
+        }
+    }
+
+    fn execute_write(&mut self, entry: QueueEntry, now: Time) -> Issued {
+        let m = entry.mapped;
+        self.stats.writes += 1;
+        self.stats.data_bytes += CACHE_LINE_BYTES;
+        // A store makes any prefetched copy stale.
+        if let Some(table) = self.table.as_mut() {
+            table.invalidate(m.channel, m.dimm, entry.req.line);
+        }
+        let done = match &mut self.channels[m.channel as usize].path {
+            ChannelPath::Fbd { link, dimms } => {
+                let data_at_amb = link.send_write_data(now);
+                dimms[m.dimm as usize].write_line_at(m.rank as usize, m.bank as usize, m.row, data_at_amb)
+            }
+            ChannelPath::Ddr2 { cmd, bus, dimms } => {
+                let dimm = &mut dimms[(m.dimm * self.cfg.ranks_per_dimm + m.rank) as usize];
+                let n_cmds = if dimm.is_row_open(m.bank as usize, m.row) {
+                    1
+                } else {
+                    2
+                };
+                let slots = cmd.issue_many(now, n_cmds);
+                let op = ColumnOp {
+                    kind: ColKind::Write,
+                    auto_precharge: self.cfg.page_policy == PagePolicy::ClosePage,
+                    burst: self.burst,
+                };
+                let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
+                dimm.commit(&plan, bus);
+                plan.data_end
+            }
+        };
+        self.stats.bandwidth_series.record(done, CACHE_LINE_BYTES);
+        Issued::Write { done }
+    }
+
+    /// Statistics accumulated so far, with DRAM operation counters folded
+    /// in from every DIMM.
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats.clone();
+        for c in &self.channels {
+            match &c.path {
+                ChannelPath::Fbd { dimms, .. } => {
+                    for d in dimms {
+                        s.dram_ops.merge(&d.ops());
+                        s.dram_active_time += d.active_time();
+                    }
+                }
+                ChannelPath::Ddr2 { dimms, .. } => {
+                    for d in dimms {
+                        s.dram_ops.merge(d.ops());
+                        s.dram_active_time += d.active_time();
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// The configuration this subsystem was built from.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+}

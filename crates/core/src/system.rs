@@ -1,0 +1,236 @@
+//! The full-system simulation engine.
+//!
+//! An event-driven loop couples the processor complex (`fbd-cpu`) to the
+//! memory subsystem ([`crate::memsys::MemorySystem`]): cores emit
+//! requests, channel decision events schedule them, completions flow
+//! back and unblock commit. The run ends when any core commits its
+//! instruction budget (the paper's stop condition).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fbd_cpu::{CpuComplex, TraceSource};
+use fbd_types::config::SystemConfig;
+use fbd_types::request::AccessKind;
+use fbd_types::stats::{CoreStats, MemStats};
+use fbd_types::time::{Dur, Time};
+use fbd_types::LineAddr;
+
+use crate::memsys::{Issued, MemorySystem};
+use crate::trace_io::{MemoryTrace, TraceRecord};
+
+/// Safety valve: abort runs that exceed this much simulated time
+/// (indicates a deadlock bug, not a slow workload).
+const MAX_SIM_TIME: Time = Time::from_ns(1_000_000_000); // 1 s
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Run a scheduling decision for a logical channel.
+    Decide(u32),
+    /// A read completed at the controller; deliver to the cores and free
+    /// the channel's in-flight slot.
+    ReadDone(u32, LineAddr),
+    /// A write finished at the devices; free the in-flight slot.
+    WriteDone(u32),
+    /// A core's self-wake (ROB stall expiry or projected finish).
+    CpuWake,
+}
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Simulated time at which the first core finished its budget.
+    pub elapsed: Dur,
+    /// Per-core execution statistics.
+    pub cores: Vec<CoreStats>,
+    /// Memory-subsystem statistics.
+    pub mem: MemStats,
+    /// The captured transaction trace, when capture was enabled.
+    pub trace: Option<MemoryTrace>,
+}
+
+impl RunResult {
+    /// Utilized bandwidth in GB/s over the run.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.mem.utilized_bandwidth_gbps(self.elapsed)
+    }
+
+    /// Average demand-read latency in nanoseconds.
+    pub fn avg_read_latency_ns(&self) -> f64 {
+        self.mem
+            .read_latency
+            .mean()
+            .map_or(0.0, |d| d.as_ns_f64())
+    }
+
+    /// Per-core IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(CoreStats::ipc).collect()
+    }
+
+    /// Demand-read latency percentile in nanoseconds (0 until reads
+    /// complete).
+    pub fn read_latency_percentile_ns(&self, q: f64) -> f64 {
+        self.mem
+            .read_latency_hist
+            .percentile(q)
+            .map_or(0.0, |d| d.as_ns_f64())
+    }
+}
+
+/// A complete simulated system, ready to run.
+#[derive(Debug)]
+pub struct System {
+    cpu: CpuComplex,
+    mem: MemorySystem,
+    events: BinaryHeap<Reverse<(Time, Event)>>,
+    now: Time,
+    capture: Option<MemoryTrace>,
+}
+
+impl System {
+    /// Builds a system from a validated configuration and one trace per
+    /// core; the run ends when a core commits `budget` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the trace count does
+    /// not match the core count.
+    pub fn new(cfg: &SystemConfig, traces: Vec<Box<dyn TraceSource>>, budget: u64) -> System {
+        cfg.validate().expect("invalid system configuration");
+        System {
+            cpu: CpuComplex::new(&cfg.cpu, traces, budget),
+            mem: MemorySystem::new(&cfg.mem),
+            events: BinaryHeap::new(),
+            now: Time::ZERO,
+            capture: None,
+        }
+    }
+
+    /// Records every transaction handed to the memory controller; the
+    /// trace is returned in [`RunResult::trace`].
+    pub fn enable_trace_capture(&mut self) {
+        self.capture = Some(MemoryTrace::new());
+    }
+
+    /// Like [`new`](Self::new), but first fast-forwards each trace
+    /// through the L2 for `warmup_ops` operations per core so capacity
+    /// evictions (writeback traffic) are present from the start.
+    pub fn with_warmup(
+        cfg: &SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        budget: u64,
+        warmup_ops: u64,
+    ) -> System {
+        let mut sys = System::new(cfg, traces, budget);
+        sys.cpu.warm_l2(warmup_ops);
+        sys
+    }
+
+    /// Fast-forwards the traces through the L2 for `ops_per_core`
+    /// operations (see [`Self::with_warmup`]); usable on an already
+    /// constructed system before `run`.
+    pub fn warm(&mut self, ops_per_core: u64) {
+        self.cpu.warm_l2(ops_per_core);
+    }
+
+    fn push(&mut self, at: Time, ev: Event) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.events.push(Reverse((at, ev)));
+    }
+
+    /// Pulls new requests from the cores and schedules the resulting
+    /// channel decisions and CPU wakes.
+    fn pump_cpu(&mut self) {
+        let adv = self.cpu.advance(self.now);
+        for req in adv.requests {
+            if let Some(trace) = self.capture.as_mut() {
+                trace.push(TraceRecord {
+                    arrival: req.arrival,
+                    kind: req.kind,
+                    line: req.line,
+                    core: req.core,
+                });
+            }
+            let (ch, ready) = self.mem.submit(req);
+            self.push(ready.max(self.now), Event::Decide(ch));
+        }
+        if let Some(wake) = adv.next_wake {
+            if wake > self.now {
+                self.push(wake, Event::CpuWake);
+            }
+        }
+    }
+
+    fn run_decision(&mut self, ch: u32) {
+        let result = self.mem.decide(ch, self.now);
+        for issued in result.issued {
+            match issued {
+                Issued::Read { resp } => {
+                    self.push(resp.completion, Event::ReadDone(ch, resp.line));
+                    // Software prefetches and demand reads both fill the
+                    // L2; the complex routes waiters by line.
+                    debug_assert!(resp.kind != AccessKind::Write);
+                }
+                Issued::Write { done } => {
+                    self.push(done.max(self.now), Event::WriteDone(ch));
+                }
+            }
+        }
+        if let Some(next) = result.next_decision {
+            self.push(next.max(self.now), Event::Decide(ch));
+        }
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system deadlocks (no events while no core can
+    /// finish) or exceeds the safety time limit — both indicate bugs,
+    /// not workload properties.
+    pub fn run(mut self) -> RunResult {
+        self.pump_cpu();
+        loop {
+            let Some(Reverse((at, ev))) = self.events.pop() else {
+                panic!("simulation deadlock: no events pending and no core finished");
+            };
+            assert!(at <= MAX_SIM_TIME, "simulation exceeded the safety time limit");
+            self.now = self.now.max(at);
+            match ev {
+                Event::Decide(ch) => {
+                    self.run_decision(ch);
+                }
+                Event::ReadDone(ch, line) => {
+                    self.mem.complete(ch);
+                    let deliver = self.now + self.cpu.fill_latency();
+                    self.cpu.complete(line, deliver);
+                    self.pump_cpu();
+                    if self.mem.has_work(ch) {
+                        self.push(self.now, Event::Decide(ch));
+                    }
+                }
+                Event::WriteDone(ch) => {
+                    self.mem.complete(ch);
+                    if self.mem.has_work(ch) {
+                        self.push(self.now, Event::Decide(ch));
+                    }
+                }
+                Event::CpuWake => {
+                    self.pump_cpu();
+                }
+            }
+            if self.cpu.any_done(self.now) {
+                break;
+            }
+        }
+        let elapsed = self.now - Time::ZERO;
+        let cores = self.cpu.finish(self.now);
+        RunResult {
+            elapsed,
+            cores,
+            mem: self.mem.stats(),
+            trace: self.capture,
+        }
+    }
+}

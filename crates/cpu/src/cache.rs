@@ -1,0 +1,201 @@
+//! The shared L2 cache (Table 1: 4 MB, 4-way, 64 B lines).
+//!
+//! Write-back, write-allocate, true-LRU. The cache filters the cores'
+//! access streams; only misses (and dirty evictions) reach the memory
+//! controller. Fill timing is handled by the CPU complex — this module
+//! is the content/replacement model.
+
+use fbd_types::LineAddr;
+
+/// Result of an L2 access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L2Outcome {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been allocated, evicting a dirty line that
+    /// must be written back if `writeback` is set.
+    Miss {
+        /// Dirty victim that must be written to memory.
+        writeback: Option<LineAddr>,
+    },
+}
+
+impl L2Outcome {
+    /// True for hits.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, L2Outcome::Hit)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct L2Entry {
+    line: LineAddr,
+    dirty: bool,
+    /// Monotonic recency stamp (larger = more recent).
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache.
+#[derive(Clone, Debug)]
+pub struct L2Cache {
+    sets: Vec<Vec<L2Entry>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Cache {
+    /// Creates a cache of `bytes` capacity and `ways` associativity with
+    /// 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible
+    /// into `ways`-way sets of 64-byte lines, or fewer than one set).
+    pub fn new(bytes: u64, ways: usize) -> L2Cache {
+        let line = fbd_types::CACHE_LINE_BYTES;
+        assert!(ways > 0, "associativity must be non-zero");
+        assert!(
+            bytes.is_multiple_of(ways as u64 * line) && bytes >= ways as u64 * line,
+            "capacity must be a positive multiple of ways * line size"
+        );
+        let num_sets = (bytes / line / ways as u64) as usize;
+        L2Cache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.as_u64() % self.sets.len() as u64) as usize
+    }
+
+    /// Accesses `line`, allocating it on a miss. `write` marks the line
+    /// dirty (stores and write-allocate fills).
+    pub fn access(&mut self, line: LineAddr, write: bool) -> L2Outcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+            e.lru = tick;
+            e.dirty |= write;
+            self.hits += 1;
+            return L2Outcome::Hit;
+        }
+        self.misses += 1;
+        let mut writeback = None;
+        if set.len() == ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let evicted = set.swap_remove(victim);
+            if evicted.dirty {
+                writeback = Some(evicted.line);
+            }
+        }
+        set.push(L2Entry {
+            line,
+            dirty: write,
+            lru: tick,
+        });
+        L2Outcome::Miss { writeback }
+    }
+
+    /// Pure presence check (no LRU update).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].iter().any(|e| e.line == line)
+    }
+
+    /// (hits, misses) so far.
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Zeroes the hit/miss counters (content is kept). Called after a
+    /// warm-up phase so statistics cover only the measured region.
+    pub fn reset_counts(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> L2Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        L2Cache::new(512, 2)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(LineAddr::new(1), false), L2Outcome::Miss { writeback: None });
+        assert_eq!(c.access(LineAddr::new(1), false), L2Outcome::Hit);
+        assert_eq!(c.hit_miss_counts(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Lines 0, 4, 8 collide in set 0 of a 4-set cache.
+        c.access(LineAddr::new(0), false);
+        c.access(LineAddr::new(4), false);
+        c.access(LineAddr::new(0), false); // touch 0: now 4 is LRU
+        c.access(LineAddr::new(8), false); // evicts 4
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(!c.contains(LineAddr::new(4)));
+        assert!(c.contains(LineAddr::new(8)));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = small();
+        c.access(LineAddr::new(0), true); // dirty
+        c.access(LineAddr::new(4), false);
+        let out = c.access(LineAddr::new(8), false); // evicts 0 (LRU, dirty)
+        assert_eq!(out, L2Outcome::Miss { writeback: Some(LineAddr::new(0)) });
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = small();
+        c.access(LineAddr::new(0), false);
+        c.access(LineAddr::new(4), false);
+        let out = c.access(LineAddr::new(8), false);
+        assert_eq!(out, L2Outcome::Miss { writeback: None });
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = small();
+        c.access(LineAddr::new(0), false);
+        c.access(LineAddr::new(0), true); // store hit dirties the line
+        c.access(LineAddr::new(4), false);
+        let out = c.access(LineAddr::new(8), false);
+        assert_eq!(out, L2Outcome::Miss { writeback: Some(LineAddr::new(0)) });
+    }
+
+    #[test]
+    fn table1_geometry_constructs() {
+        let c = L2Cache::new(4 << 20, 4);
+        // 4 MB / 64 B / 4 ways = 16384 sets.
+        assert_eq!(c.sets.len(), 16_384);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_rejected() {
+        let _ = L2Cache::new(100, 3);
+    }
+}

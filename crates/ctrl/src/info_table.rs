@@ -1,0 +1,128 @@
+//! The prefetch information table: the controller-resident tag half of
+//! the AMB caches (paper §3.2, Figure 3).
+//!
+//! "The memory controller holds the tag part of the cache and the AMBs
+//! hold the data part." The table mirrors each AMB cache's content so
+//! the controller can decide — before sending any channel command —
+//! whether a read will hit in the target DIMM's prefetch buffer.
+
+use fbd_amb::PrefetchBuffer;
+use fbd_types::config::MemoryConfig;
+use fbd_types::LineAddr;
+
+/// Controller-side tags for every AMB cache in the system, indexed by
+/// (logical channel, DIMM).
+#[derive(Clone, Debug)]
+pub struct PrefetchTable {
+    buffers: Vec<PrefetchBuffer>,
+    dimms_per_channel: u32,
+}
+
+impl PrefetchTable {
+    /// Builds one tag buffer per (channel, DIMM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: &MemoryConfig) -> PrefetchTable {
+        let count = (cfg.logical_channels * cfg.dimms_per_channel) as usize;
+        PrefetchTable {
+            buffers: vec![PrefetchBuffer::new(&cfg.amb); count],
+            dimms_per_channel: cfg.dimms_per_channel,
+        }
+    }
+
+    fn idx(&self, channel: u32, dimm: u32) -> usize {
+        assert!(dimm < self.dimms_per_channel, "dimm {dimm} out of range");
+        (channel * self.dimms_per_channel + dimm) as usize
+    }
+
+    /// Records a demand lookup; returns true on a prefetch hit.
+    pub fn lookup_hit(&mut self, channel: u32, dimm: u32, line: LineAddr) -> bool {
+        let i = self.idx(channel, dimm);
+        self.buffers[i].on_hit(line)
+    }
+
+    /// Pure presence check (for scheduling decisions; no LRU effects).
+    pub fn would_hit(&self, channel: u32, dimm: u32, line: LineAddr) -> bool {
+        self.buffers[self.idx(channel, dimm)].contains(line)
+    }
+
+    /// Records the K−1 prefetched lines of a group fetch landing in the
+    /// AMB cache. Returns the number of lines newly inserted.
+    pub fn fill<I>(&mut self, channel: u32, dimm: u32, lines: I) -> u64
+    where
+        I: IntoIterator<Item = LineAddr>,
+    {
+        let i = self.idx(channel, dimm);
+        let mut inserted = 0;
+        for line in lines {
+            self.buffers[i].insert(line);
+            inserted += 1;
+        }
+        inserted
+    }
+
+    /// Invalidates a line on a processor write (the prefetched copy is
+    /// stale). Returns whether it was present.
+    pub fn invalidate(&mut self, channel: u32, dimm: u32, line: LineAddr) -> bool {
+        let i = self.idx(channel, dimm);
+        self.buffers[i].invalidate(line)
+    }
+
+    /// Total lines currently tracked across all AMB caches.
+    pub fn resident_lines(&self) -> usize {
+        self.buffers.iter().map(PrefetchBuffer::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_types::config::MemoryConfig;
+
+    fn table() -> PrefetchTable {
+        PrefetchTable::new(&MemoryConfig::fbdimm_with_prefetch())
+    }
+
+    #[test]
+    fn fill_then_hit_on_same_dimm_only() {
+        let mut t = table();
+        t.fill(0, 1, [LineAddr::new(100), LineAddr::new(101)]);
+        assert!(t.would_hit(0, 1, LineAddr::new(100)));
+        assert!(!t.would_hit(0, 2, LineAddr::new(100)));
+        assert!(!t.would_hit(1, 1, LineAddr::new(100)));
+        assert!(t.lookup_hit(0, 1, LineAddr::new(100)));
+        assert!(!t.lookup_hit(0, 1, LineAddr::new(999)));
+    }
+
+    #[test]
+    fn invalidate_on_write() {
+        let mut t = table();
+        t.fill(1, 3, [LineAddr::new(7)]);
+        assert!(t.invalidate(1, 3, LineAddr::new(7)));
+        assert!(!t.would_hit(1, 3, LineAddr::new(7)));
+        assert!(!t.invalidate(1, 3, LineAddr::new(7)));
+    }
+
+    #[test]
+    fn resident_lines_counts_across_buffers() {
+        let mut t = table();
+        t.fill(0, 0, [LineAddr::new(1), LineAddr::new(2)]);
+        t.fill(1, 2, [LineAddr::new(3)]);
+        assert_eq!(t.resident_lines(), 3);
+    }
+
+    #[test]
+    fn fill_returns_inserted_count() {
+        let mut t = table();
+        assert_eq!(t.fill(0, 0, [LineAddr::new(1), LineAddr::new(2), LineAddr::new(3)]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dimm_rejected() {
+        let t = table();
+        let _ = t.would_hit(0, 99, LineAddr::new(0));
+    }
+}

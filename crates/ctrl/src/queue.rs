@@ -1,0 +1,190 @@
+//! The memory controller's transaction queue (Table 1: "memory buffer,
+//! 64 entries").
+//!
+//! Requests wait here until the scheduler picks them. The queue is the
+//! back-pressure point of the whole system: when it fills, cores stall on
+//! `try_push` until earlier transactions issue.
+
+use fbd_types::request::{AccessKind, MemRequest};
+use fbd_types::RequestId;
+
+use crate::mapping::MappedAddr;
+
+/// A queued transaction: the request plus its decoded location and an
+/// arrival sequence number for age-based tie-breaking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// The transaction.
+    pub req: MemRequest,
+    /// Decoded {channel, DIMM, bank, row, column}.
+    pub mapped: MappedAddr,
+    /// Arrival order (smaller = older).
+    pub seq: u64,
+}
+
+/// Bounded transaction queue with age ordering.
+#[derive(Clone, Debug)]
+pub struct TransactionQueue {
+    entries: Vec<QueueEntry>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl TransactionQueue {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> TransactionQueue {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        TransactionQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Attempts to enqueue a transaction. Returns `false` (and leaves the
+    /// queue unchanged) when full — the caller must retry later.
+    pub fn try_push(&mut self, req: MemRequest, mapped: MappedAddr) -> bool {
+        if self.entries.len() == self.capacity {
+            return false;
+        }
+        self.entries.push(QueueEntry {
+            req,
+            mapped,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        true
+    }
+
+    /// Removes and returns the entry with the given id.
+    pub fn remove(&mut self, id: RequestId) -> Option<QueueEntry> {
+        let pos = self.entries.iter().position(|e| e.req.id == id)?;
+        Some(self.entries.swap_remove(pos))
+    }
+
+    /// Puts back an entry previously taken with [`remove`](Self::remove),
+    /// keeping its original age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (the slot freed by `remove` must not
+    /// have been reused).
+    pub fn restore(&mut self, entry: QueueEntry) {
+        assert!(self.entries.len() < self.capacity, "restore into a full queue");
+        self.entries.push(entry);
+    }
+
+    /// All queued entries, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of queued transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no more transactions fit.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Pending writes (for the read-priority threshold).
+    pub fn write_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.req.kind == AccessKind::Write)
+            .count()
+    }
+
+    /// Pending reads.
+    pub fn read_count(&self) -> usize {
+        self.entries.len() - self.write_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_types::request::{AccessKind, CoreId};
+    use fbd_types::time::Time;
+    use fbd_types::LineAddr;
+
+    fn req(id: u64, kind: AccessKind) -> MemRequest {
+        MemRequest::new(RequestId(id), CoreId(0), kind, LineAddr::new(id), Time::ZERO)
+    }
+
+    fn mapped() -> MappedAddr {
+        MappedAddr {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+            bank: 0,
+            row: 0,
+            col_line: 0,
+        }
+    }
+
+    #[test]
+    fn push_until_full_then_reject() {
+        let mut q = TransactionQueue::new(2);
+        assert!(q.try_push(req(1, AccessKind::DemandRead), mapped()));
+        assert!(q.try_push(req(2, AccessKind::Write), mapped()));
+        assert!(q.is_full());
+        assert!(!q.try_push(req(3, AccessKind::DemandRead), mapped()));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_space_and_returns_entry() {
+        let mut q = TransactionQueue::new(2);
+        q.try_push(req(1, AccessKind::DemandRead), mapped());
+        q.try_push(req(2, AccessKind::Write), mapped());
+        let e = q.remove(RequestId(1)).unwrap();
+        assert_eq!(e.req.id, RequestId(1));
+        assert!(!q.is_full());
+        assert!(q.remove(RequestId(1)).is_none());
+    }
+
+    #[test]
+    fn sequence_numbers_record_age() {
+        let mut q = TransactionQueue::new(4);
+        q.try_push(req(10, AccessKind::DemandRead), mapped());
+        q.try_push(req(11, AccessKind::DemandRead), mapped());
+        let seqs: Vec<u64> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        // Rejected pushes must not burn sequence numbers.
+        let mut q = TransactionQueue::new(1);
+        q.try_push(req(1, AccessKind::DemandRead), mapped());
+        assert!(!q.try_push(req(2, AccessKind::DemandRead), mapped()));
+        q.remove(RequestId(1));
+        q.try_push(req(3, AccessKind::DemandRead), mapped());
+        assert_eq!(q.iter().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn read_write_counts() {
+        let mut q = TransactionQueue::new(8);
+        q.try_push(req(1, AccessKind::DemandRead), mapped());
+        q.try_push(req(2, AccessKind::Write), mapped());
+        q.try_push(req(3, AccessKind::Write), mapped());
+        q.try_push(req(4, AccessKind::SoftwarePrefetch), mapped());
+        assert_eq!(q.write_count(), 2);
+        assert_eq!(q.read_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = TransactionQueue::new(0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The DDR2 data bus between a set of DRAM chips and whatever drives them
+//! (an AMB in FB-DIMM, or the memory controller in the DDR2 baseline).
+//!
+//! The bus is bidirectional and time-multiplexed: one burst at a time,
+//! with a one-clock turnaround bubble between bursts of different
+//! directions. Burst windows are scheduled *out of order* — a later
+//! request whose data is ready sooner may claim a gap left between two
+//! already-scheduled bursts, which is what a real controller's
+//! column-command scheduling achieves.
+//!
+//! The write-to-read `tWTR` constraint is *not* enforced here — it is a
+//! rank-level rule and lives in [`crate::bank::BankArray`], so that on a
+//! shared channel a read to one DIMM only pays the bus turnaround after
+//! a write to another DIMM.
+//!
+//! In FB-DIMM every DIMM has a private bus (one `DataBus` per DIMM); in
+//! the conventional DDR2 baseline all DIMMs on a channel share one bus
+//! (one `DataBus` per channel). The scope is chosen by the caller, which
+//! is exactly the bandwidth asymmetry the paper's AMB prefetching
+//! exploits.
+
+use std::collections::VecDeque;
+
+use fbd_types::time::{Dur, Time};
+
+use crate::command::ColKind;
+
+/// How far behind the newest burst the bus keeps history; bursts this
+/// old can no longer be displaced by new traffic.
+const PRUNE_WINDOW: Dur = Dur::from_ps(5_000_000); // 5 µs
+
+/// A bidirectional DRAM data bus with gap-filling (out-of-order) burst
+/// scheduling and direction-turnaround modelling.
+#[derive(Clone, Debug)]
+pub struct DataBus {
+    clock: Dur,
+    /// Scheduled bursts `[start, end, dir)`, sorted and disjoint.
+    bursts: VecDeque<(Time, Time, ColKind)>,
+    /// Everything before this instant is permanently unavailable.
+    horizon: Time,
+    busy: Dur,
+}
+
+impl DataBus {
+    /// Creates an idle bus with the given DRAM clock period.
+    pub fn new(clock: Dur) -> DataBus {
+        assert!(!clock.is_zero(), "clock period must be non-zero");
+        DataBus {
+            clock,
+            bursts: VecDeque::new(),
+            horizon: Time::ZERO,
+            busy: Dur::ZERO,
+        }
+    }
+
+    /// Gap the burst `[start, start+len)` of direction `dir` must keep
+    /// from neighbour `n` (one clock when directions differ).
+    fn bubble(&self, dir: ColKind, n: ColKind) -> Dur {
+        if dir == n {
+            Dur::ZERO
+        } else {
+            self.clock
+        }
+    }
+
+    /// Earliest instant at or after `desired` where a burst of `len` in
+    /// direction `dir` fits — possibly in a gap between already
+    /// scheduled bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn earliest_fit(&self, dir: ColKind, desired: Time, len: Dur) -> Time {
+        assert!(!len.is_zero(), "burst length must be non-zero");
+        let mut start = desired.max(self.horizon);
+        for i in 0..self.bursts.len() {
+            let (b_start, b_end, b_dir) = self.bursts[i];
+            // Room before this burst (respecting its turnaround bubble)?
+            if start + len + self.bubble(dir, b_dir) <= b_start {
+                return start;
+            }
+            // Otherwise the candidate moves past this burst.
+            let after = b_end + self.bubble(dir, b_dir);
+            if after > start {
+                start = after;
+            }
+        }
+        start
+    }
+
+    /// Backwards-compatible probe: earliest start of a burst in `dir`
+    /// wanting to start at `desired` (uses the following gap only, so a
+    /// fit is guaranteed for any length at the returned time only if the
+    /// caller re-validates with [`earliest_fit`](Self::earliest_fit)).
+    pub fn earliest_start(&self, dir: ColKind, desired: Time) -> Time {
+        self.earliest_fit(dir, desired, self.clock)
+    }
+
+    /// Records a committed burst occupying `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the burst overlaps another or violates
+    /// a turnaround bubble — committing a plan computed against stale
+    /// bus state is a caller bug.
+    pub fn commit(&mut self, dir: ColKind, start: Time, end: Time) {
+        debug_assert!(end > start, "empty data burst");
+        debug_assert!(
+            self.earliest_fit(dir, start, end - start) == start,
+            "data burst overlaps another or violates turnaround"
+        );
+        let idx = self
+            .bursts
+            .iter()
+            .position(|&(s, _, _)| s > start)
+            .unwrap_or(self.bursts.len());
+        self.bursts.insert(idx, (start, end, dir));
+        self.busy += end - start;
+        // Prune bursts too old to matter.
+        let cutoff = Time::from_ps(start.as_ps().saturating_sub(PRUNE_WINDOW.as_ps()));
+        while let Some(&(_, e, _)) = self.bursts.front() {
+            if e <= cutoff {
+                self.horizon = self.horizon.max(e);
+                self.bursts.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Instant after which the bus is completely free.
+    pub fn free_at(&self) -> Time {
+        self.bursts.back().map_or(self.horizon, |&(_, e, _)| e)
+    }
+
+    /// Total time the bus has carried data (for utilization reporting).
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> DataBus {
+        DataBus::new(Dur::from_ns(3))
+    }
+
+    #[test]
+    fn idle_bus_accepts_any_start() {
+        let b = bus();
+        assert_eq!(
+            b.earliest_fit(ColKind::Read, Time::from_ns(5), Dur::from_ns(6)),
+            Time::from_ns(5)
+        );
+    }
+
+    #[test]
+    fn same_direction_bursts_back_to_back() {
+        let mut b = bus();
+        b.commit(ColKind::Read, Time::from_ns(10), Time::from_ns(16));
+        assert_eq!(
+            b.earliest_fit(ColKind::Read, Time::ZERO, Dur::from_ns(6)),
+            Time::ZERO,
+            "a 6 ns burst fits in the gap before [10,16)"
+        );
+        assert_eq!(
+            b.earliest_fit(ColKind::Read, Time::from_ns(12), Dur::from_ns(6)),
+            Time::from_ns(16)
+        );
+    }
+
+    #[test]
+    fn direction_change_costs_one_clock() {
+        let mut b = bus();
+        b.commit(ColKind::Read, Time::from_ns(10), Time::from_ns(16));
+        // A write wanting to start at 12 must clear [10,16) plus 3 ns.
+        assert_eq!(
+            b.earliest_fit(ColKind::Write, Time::from_ns(12), Dur::from_ns(6)),
+            Time::from_ns(19)
+        );
+        // And a write before it needs to end 3 ns before 10.
+        assert_eq!(
+            b.earliest_fit(ColKind::Write, Time::ZERO, Dur::from_ns(6)),
+            Time::ZERO,
+            "[0,6) + 3 ns bubble + [10,16) read is legal"
+        );
+        assert_eq!(
+            b.earliest_fit(ColKind::Write, Time::from_ns(2), Dur::from_ns(6)),
+            Time::from_ns(19),
+            "[2,8) would leave only 2 ns before the read"
+        );
+    }
+
+    #[test]
+    fn gap_filling_schedules_out_of_order() {
+        let mut b = bus();
+        b.commit(ColKind::Read, Time::from_ns(0), Time::from_ns(6));
+        b.commit(ColKind::Read, Time::from_ns(30), Time::from_ns(36));
+        // A later request claims the hole between them.
+        let at = b.earliest_fit(ColKind::Read, Time::from_ns(6), Dur::from_ns(6));
+        assert_eq!(at, Time::from_ns(6));
+        b.commit(ColKind::Read, at, at + Dur::from_ns(6));
+        // Next fit lands after 12 within the remaining hole.
+        assert_eq!(
+            b.earliest_fit(ColKind::Read, Time::ZERO, Dur::from_ns(6)),
+            Time::from_ns(12)
+        );
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut b = bus();
+        b.commit(ColKind::Read, Time::from_ns(0), Time::from_ns(6));
+        b.commit(ColKind::Read, Time::from_ns(6), Time::from_ns(12));
+        assert_eq!(b.busy_time(), Dur::from_ns(12));
+        assert_eq!(b.free_at(), Time::from_ns(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    #[cfg(debug_assertions)]
+    fn overlapping_commit_panics_in_debug() {
+        let mut b = bus();
+        b.commit(ColKind::Read, Time::from_ns(0), Time::from_ns(6));
+        b.commit(ColKind::Read, Time::from_ns(3), Time::from_ns(9));
+    }
+
+    #[test]
+    fn pruning_keeps_the_burst_list_bounded() {
+        let mut b = bus();
+        for i in 0..10_000u64 {
+            let t = Time::from_ns(i * 10);
+            b.commit(ColKind::Read, t, t + Dur::from_ns(6));
+        }
+        assert!(b.bursts.len() < 1_000, "burst list grew unboundedly");
+    }
+}

@@ -1,0 +1,231 @@
+//! The FB-DIMM channel: southbound and northbound links and the AMB
+//! daisy chain (paper §2).
+//!
+//! Both links are unidirectional and independently scheduled by the
+//! memory controller. Per 6 ns frame (two DRAM clocks at 667 MT/s) a
+//! physical southbound link carries three commands *or* one command plus
+//! 16 bytes of write data; a physical northbound link carries 32 bytes of
+//! read data. Two physical channels ganged into a logical channel move a
+//! whole 64-byte line per frame time northbound, and commands are
+//! broadcast to both members of the gang.
+//!
+//! The daisy chain adds a per-AMB forwarding delay. Without Variable Read
+//! Latency (the paper's default) every access is charged the delay of the
+//! farthest DIMM; with VRL the delay depends on the DIMM's position.
+
+use fbd_types::config::{MemoryConfig, MemoryTech};
+use fbd_types::time::{Dur, Time};
+use fbd_types::CACHE_LINE_BYTES;
+
+use crate::timeline::Timeline;
+
+/// One logical FB-DIMM channel's southbound + northbound links.
+#[derive(Clone, Debug)]
+pub struct FbdChannel {
+    south: Timeline,
+    north: Timeline,
+    /// Time one command occupies the southbound link (a frame carries 3).
+    cmd_slot: Dur,
+    /// Southbound time for a full line of write data.
+    write_slot: Dur,
+    /// Northbound time for a full line of read data.
+    read_slot: Dur,
+    /// Transit latency of a command from controller onto the chain.
+    cmd_transit: Dur,
+    chain: DaisyChain,
+}
+
+/// Per-AMB daisy-chain delay model.
+#[derive(Clone, Copy, Debug)]
+pub struct DaisyChain {
+    hop: Dur,
+    dimms: u32,
+    vrl: bool,
+}
+
+impl DaisyChain {
+    /// Creates a chain of `dimms` AMBs with `hop` forwarding delay each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimms` is zero.
+    pub fn new(hop: Dur, dimms: u32, vrl: bool) -> DaisyChain {
+        assert!(dimms > 0, "a channel must have at least one DIMM");
+        DaisyChain { hop, dimms, vrl }
+    }
+
+    /// Total AMB forwarding delay charged to an access of DIMM `dimm`.
+    ///
+    /// Without VRL this is the farthest DIMM's delay regardless of the
+    /// target (fixed read latency); with VRL it is proportional to the
+    /// target's position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimm` is out of range.
+    pub fn amb_delay(&self, dimm: u32) -> Dur {
+        assert!(dimm < self.dimms, "dimm {dimm} out of range");
+        if self.vrl {
+            self.hop * u64::from(dimm + 1)
+        } else {
+            self.hop * u64::from(self.dimms)
+        }
+    }
+}
+
+impl FbdChannel {
+    /// Builds one logical channel from the memory configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not an FB-DIMM one.
+    pub fn new(cfg: &MemoryConfig) -> FbdChannel {
+        let vrl = match cfg.tech {
+            MemoryTech::FbDimm { vrl } => vrl,
+            MemoryTech::Ddr2 => panic!("FbdChannel requires an FB-DIMM configuration"),
+        };
+        let clock = cfg.data_rate.clock_period();
+        let frame = clock * 2;
+        let gang = u64::from(cfg.phys_per_logical);
+        // Northbound: 32 B per frame per physical link.
+        let frames_per_line_north = (CACHE_LINE_BYTES / 32).div_ceil(gang);
+        // Southbound: 16 B per frame per physical link.
+        let frames_per_line_south = (CACHE_LINE_BYTES / 16).div_ceil(gang);
+        // Southbound slots are command-sized (3 per frame) so that three
+        // commands really fit in one frame; northbound slots are
+        // clock-sized.
+        FbdChannel {
+            south: Timeline::new(frame / 3),
+            north: Timeline::new(clock),
+            cmd_slot: frame / 3,
+            write_slot: frame * frames_per_line_south,
+            read_slot: frame * frames_per_line_north,
+            cmd_transit: clock,
+            chain: DaisyChain::new(cfg.amb_hop_delay, cfg.dimms_per_channel, vrl),
+        }
+    }
+
+    /// Sends a command southbound at or after `not_before`; returns the
+    /// instant the command *arrives at the AMBs* (send slot + transit).
+    pub fn send_command(&mut self, not_before: Time) -> Time {
+        let sent = self.south.reserve(not_before, self.cmd_slot);
+        sent + self.cmd_transit
+    }
+
+    /// Streams a line of write data southbound at or after `not_before`;
+    /// returns the instant the last byte arrives at the AMBs.
+    pub fn send_write_data(&mut self, not_before: Time) -> Time {
+        let start = self.south.reserve(not_before, self.write_slot);
+        start + self.write_slot + self.cmd_transit
+    }
+
+    /// Returns a line of read data northbound from DIMM `dimm`. The AMB
+    /// cuts the data through as it is produced, so the transfer may start
+    /// at `data_ready` (when the first beats exist at the AMB); the
+    /// critical line reaches the controller after the northbound frame
+    /// plus the daisy-chain delay.
+    ///
+    /// Returns the completion instant at the controller.
+    pub fn return_read_data(&mut self, dimm: u32, data_ready: Time) -> Time {
+        let start = self.north.reserve(data_ready, self.read_slot);
+        start + self.read_slot + self.chain.amb_delay(dimm)
+    }
+
+    /// Northbound transfer time for one line (the "6 ns data transfer" of
+    /// the paper's latency decomposition).
+    pub fn read_slot(&self) -> Dur {
+        self.read_slot
+    }
+
+    /// The daisy chain (for latency decomposition in tests).
+    pub fn chain(&self) -> &DaisyChain {
+        &self.chain
+    }
+
+    /// Bytes carried so far (south + north), for utilization reporting.
+    pub fn carried_time(&self) -> (Dur, Dur) {
+        (self.south.carried(), self.north.carried())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_types::config::MemoryConfig;
+
+    fn channel() -> FbdChannel {
+        FbdChannel::new(&MemoryConfig::fbdimm_default())
+    }
+
+    #[test]
+    fn default_slots_match_paper_decomposition() {
+        let ch = channel();
+        // Ganged pair at 667 MT/s: 64 B northbound in one 6 ns frame.
+        assert_eq!(ch.read_slot, Dur::from_ns(6));
+        // Write data: 64 B at 2×16 B per frame = 2 frames = 12 ns.
+        assert_eq!(ch.write_slot, Dur::from_ns(12));
+        // Commands: 3 per 6 ns frame.
+        assert_eq!(ch.cmd_slot, Dur::from_ns(2));
+        assert_eq!(ch.cmd_transit, Dur::from_ns(3));
+    }
+
+    #[test]
+    fn command_arrival_includes_transit() {
+        let mut ch = channel();
+        let arrive = ch.send_command(Time::from_ns(12));
+        assert_eq!(arrive, Time::from_ns(15));
+    }
+
+    #[test]
+    fn no_vrl_charges_farthest_dimm_delay() {
+        let chain = DaisyChain::new(Dur::from_ns(3), 4, false);
+        assert_eq!(chain.amb_delay(0), Dur::from_ns(12));
+        assert_eq!(chain.amb_delay(3), Dur::from_ns(12));
+    }
+
+    #[test]
+    fn vrl_delay_scales_with_position() {
+        let chain = DaisyChain::new(Dur::from_ns(3), 4, true);
+        assert_eq!(chain.amb_delay(0), Dur::from_ns(3));
+        assert_eq!(chain.amb_delay(3), Dur::from_ns(12));
+    }
+
+    #[test]
+    fn read_return_composes_frame_and_chain() {
+        let mut ch = channel();
+        // Data ready at the AMB at 45 ns → 45 + 6 (frame) + 12 (chain).
+        let done = ch.return_read_data(2, Time::from_ns(45));
+        assert_eq!(done, Time::from_ns(63));
+    }
+
+    #[test]
+    fn northbound_serializes_concurrent_returns() {
+        let mut ch = channel();
+        let d1 = ch.return_read_data(0, Time::from_ns(45));
+        let d2 = ch.return_read_data(1, Time::from_ns(45));
+        assert_eq!(d1, Time::from_ns(63));
+        assert_eq!(d2, Time::from_ns(69)); // queued one frame later
+    }
+
+    #[test]
+    fn southbound_interleaves_commands_between_write_data() {
+        let mut ch = channel();
+        let w_done = ch.send_write_data(Time::ZERO); // occupies [0,12)
+        assert_eq!(w_done, Time::from_ns(15));
+        let c = ch.send_command(Time::ZERO);
+        assert_eq!(c, Time::from_ns(15)); // slot [12,14) + 3 transit
+    }
+
+    #[test]
+    #[should_panic(expected = "FB-DIMM configuration")]
+    fn ddr2_config_rejected() {
+        let _ = FbdChannel::new(&MemoryConfig::ddr2_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dimm_rejected() {
+        let chain = DaisyChain::new(Dur::from_ns(3), 4, false);
+        let _ = chain.amb_delay(4);
+    }
+}

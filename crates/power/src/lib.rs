@@ -1,0 +1,303 @@
+//! DRAM power estimation (paper §5.5).
+//!
+//! The paper counts row and column accesses in simulation and feeds them
+//! to the Micron DDR2 system-power calculator, arriving at a ≈4:1 ratio
+//! of energy between one activate/precharge pair and one column access
+//! (DDR2-667, close page, 70 % bandwidth utilization). This crate
+//! reproduces both routes:
+//!
+//! * [`PowerModel::from_params`] computes per-operation energies from
+//!   IDD-style datasheet currents, the same way the Micron calculator
+//!   does;
+//! * [`PowerModel::paper_ratio`] uses the paper's calibrated 4:1 weights
+//!   directly.
+//!
+//! Only the dynamic energy of the memory devices is modelled; static
+//! power (≈17.5 % of total in the paper's configuration) and channel/AMB
+//! power are excluded, as in the paper.
+//!
+//! # Examples
+//!
+//! The defining trade-off of AMB prefetching: fewer activations, more
+//! column accesses. With 4:1 weights, trading one ACT/PRE for up to four
+//! column accesses breaks even:
+//!
+//! ```
+//! use fbd_power::PowerModel;
+//! use fbd_types::stats::DramOpCounts;
+//!
+//! let model = PowerModel::paper_ratio();
+//! let baseline = DramOpCounts { act_pre: 100, col_reads: 100, col_writes: 0, refreshes: 0 };
+//! // K=4 group fetches with 50% coverage: 50 fewer ACTs, 100 extra columns.
+//! let with_ap = DramOpCounts { act_pre: 50, col_reads: 200, col_writes: 0, refreshes: 0 };
+//! let ratio = model.normalized(&with_ap, &baseline);
+//! assert!(ratio < 1.0, "net saving expected, got {ratio}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use fbd_types::stats::DramOpCounts;
+use fbd_types::time::Dur;
+
+/// Datasheet-style current/voltage parameters for one DDR2 device
+/// generation, as consumed by the Micron power calculator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramPowerParams {
+    /// Activate-precharge cycling current (one bank, back-to-back tRC).
+    pub idd0_ma: f64,
+    /// Active standby current (all banks open, no I/O).
+    pub idd3n_ma: f64,
+    /// Burst read current.
+    pub idd4r_ma: f64,
+    /// Burst write current.
+    pub idd4w_ma: f64,
+    /// Refresh burst current.
+    pub idd5_ma: f64,
+    /// Supply voltage.
+    pub vdd_v: f64,
+    /// ACT-to-ACT minimum (energy window of one ACT/PRE pair).
+    pub t_rc: Dur,
+    /// Data-bus time of one column access's burst.
+    pub burst: Dur,
+    /// Refresh cycle time (energy window of one all-bank refresh).
+    pub t_rfc: Dur,
+}
+
+impl DramPowerParams {
+    /// Representative DDR2-667 datasheet values (Micron 1 Gb parts),
+    /// which yield close to the paper's 4:1 ACT-PRE:column ratio.
+    pub fn micron_ddr2_667() -> DramPowerParams {
+        DramPowerParams {
+            idd0_ma: 90.0,
+            idd3n_ma: 35.0,
+            idd4r_ma: 145.0,
+            idd4w_ma: 155.0,
+            idd5_ma: 235.0,
+            vdd_v: 1.8,
+            t_rc: Dur::from_ns(54),
+            burst: Dur::from_ns(6),
+            t_rfc: Dur::from_ns(128),
+        }
+    }
+}
+
+/// Per-operation dynamic-energy weights for the memory devices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    e_act_pre_nj: f64,
+    e_col_read_nj: f64,
+    e_col_write_nj: f64,
+    e_refresh_nj: f64,
+}
+
+/// Static power share of total device power in the paper's configuration
+/// (reported for context; not part of the dynamic normalization).
+pub const STATIC_POWER_FRACTION: f64 = 0.175;
+
+/// Standby powers of one rank's devices, for state-residency static
+/// energy (extension beyond the paper, which models dynamic energy
+/// only).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StandbyPower {
+    /// Active standby (row open / transferring): IDD3N-class.
+    pub active_mw: f64,
+    /// Precharge standby (idle, clock running): IDD2N-class.
+    pub idle_mw: f64,
+    /// Precharge power-down (CKE low): IDD2P-class.
+    pub powerdown_mw: f64,
+}
+
+impl StandbyPower {
+    /// Representative DDR2-667 values per rank (IDD3N 35 mA, IDD2N
+    /// 30 mA, IDD2P 7 mA at 1.8 V).
+    pub fn micron_ddr2_667() -> StandbyPower {
+        StandbyPower {
+            active_mw: 63.0,
+            idle_mw: 54.0,
+            powerdown_mw: 12.6,
+        }
+    }
+
+    /// Static energy (nJ) of one rank that was active for `active` out
+    /// of `elapsed`, with idle periods either in precharge standby or
+    /// (when `powerdown` is set) in precharge power-down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` exceeds `elapsed`.
+    pub fn static_energy(&self, active: Dur, elapsed: Dur, powerdown: bool) -> f64 {
+        assert!(active <= elapsed, "active time cannot exceed elapsed time");
+        let idle = elapsed - active;
+        let idle_mw = if powerdown { self.powerdown_mw } else { self.idle_mw };
+        // mW × ns = pJ; divide by 1000 for nJ.
+        (self.active_mw * active.as_ns_f64() + idle_mw * idle.as_ns_f64()) / 1_000.0
+    }
+}
+
+impl PowerModel {
+    /// Derives per-operation energies from datasheet currents, Micron
+    /// calculator style: the incremental current over active standby,
+    /// integrated over the operation's window.
+    pub fn from_params(p: &DramPowerParams) -> PowerModel {
+        let act_pre = (p.idd0_ma - p.idd3n_ma) * p.vdd_v * p.t_rc.as_ns_f64() * 1e-3;
+        let col_rd = (p.idd4r_ma - p.idd3n_ma) * p.vdd_v * p.burst.as_ns_f64() * 1e-3;
+        let col_wr = (p.idd4w_ma - p.idd3n_ma) * p.vdd_v * p.burst.as_ns_f64() * 1e-3;
+        let refresh = (p.idd5_ma - p.idd3n_ma) * p.vdd_v * p.t_rfc.as_ns_f64() * 1e-3;
+        PowerModel {
+            e_act_pre_nj: act_pre,
+            e_col_read_nj: col_rd,
+            e_col_write_nj: col_wr,
+            e_refresh_nj: refresh,
+        }
+    }
+
+    /// The paper's calibrated weights: one ACT/PRE pair costs four column
+    /// accesses.
+    pub fn paper_ratio() -> PowerModel {
+        PowerModel {
+            e_act_pre_nj: 4.0,
+            e_col_read_nj: 1.0,
+            e_col_write_nj: 1.0,
+            // One all-bank refresh costs roughly two ACT/PRE pairs of a
+            // single bank at the calibrated scale (4 banks refreshed,
+            // amortized window).
+            e_refresh_nj: 8.0,
+        }
+    }
+
+    /// Ratio of ACT/PRE energy to (read) column energy.
+    pub fn act_to_col_ratio(&self) -> f64 {
+        self.e_act_pre_nj / self.e_col_read_nj
+    }
+
+    /// Total dynamic energy for a set of operation counts, in the
+    /// model's energy units (nJ for [`from_params`](Self::from_params)).
+    pub fn dynamic_energy(&self, ops: &DramOpCounts) -> f64 {
+        ops.act_pre as f64 * self.e_act_pre_nj
+            + ops.col_reads as f64 * self.e_col_read_nj
+            + ops.col_writes as f64 * self.e_col_write_nj
+            + ops.refreshes as f64 * self.e_refresh_nj
+    }
+
+    /// Dynamic energy of `ops` normalized to `baseline` (the paper's
+    /// Figure 13 metric). Returns 1.0 when the baseline is empty.
+    pub fn normalized(&self, ops: &DramOpCounts, baseline: &DramOpCounts) -> f64 {
+        let base = self.dynamic_energy(baseline);
+        if base == 0.0 {
+            1.0
+        } else {
+            self.dynamic_energy(ops) / base
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::paper_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micron_params_give_roughly_four_to_one() {
+        let model = PowerModel::from_params(&DramPowerParams::micron_ddr2_667());
+        let ratio = model.act_to_col_ratio();
+        assert!((3.5..5.0).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn paper_ratio_is_exactly_four() {
+        assert_eq!(PowerModel::paper_ratio().act_to_col_ratio(), 4.0);
+    }
+
+    #[test]
+    fn dynamic_energy_weighs_ops() {
+        let m = PowerModel::paper_ratio();
+        let ops = DramOpCounts {
+            act_pre: 10,
+            col_reads: 8,
+            col_writes: 2, refreshes: 0 };
+        assert_eq!(m.dynamic_energy(&ops), 50.0);
+    }
+
+    #[test]
+    fn normalized_against_baseline() {
+        let m = PowerModel::paper_ratio();
+        let base = DramOpCounts {
+            act_pre: 100,
+            col_reads: 100,
+            col_writes: 0, refreshes: 0 };
+        let same = m.normalized(&base, &base);
+        assert!((same - 1.0).abs() < 1e-12);
+        let empty = DramOpCounts::default();
+        assert_eq!(m.normalized(&base, &empty), 1.0);
+    }
+
+    #[test]
+    fn paper_section55_four_core_example_saves_power() {
+        // §5.5: for four-core workloads with 4-line interleaving the
+        // ACT/PRE count drops ~33% while column accesses rise ~41%.
+        let m = PowerModel::paper_ratio();
+        let base = DramOpCounts {
+            act_pre: 1000,
+            col_reads: 1000,
+            col_writes: 0, refreshes: 0 };
+        let ap = DramOpCounts {
+            act_pre: 667,
+            col_reads: 1412,
+            col_writes: 0, refreshes: 0 };
+        let norm = m.normalized(&ap, &base);
+        assert!(norm < 0.90, "expected >10% saving, got {norm:.3}");
+    }
+
+    #[test]
+    fn excessive_column_overhead_can_cost_power() {
+        // §5.5 extreme case: 8-line interleaving on 8 cores *increases*
+        // power when extra columns outweigh saved activations.
+        let m = PowerModel::paper_ratio();
+        let base = DramOpCounts {
+            act_pre: 1000,
+            col_reads: 1000,
+            col_writes: 0, refreshes: 0 };
+        let ap = DramOpCounts {
+            act_pre: 900,
+            col_reads: 2000,
+            col_writes: 0, refreshes: 0 };
+        assert!(m.normalized(&ap, &base) > 1.0);
+    }
+
+    #[test]
+    fn static_energy_accounts_residency_and_powerdown() {
+        use fbd_types::time::Dur;
+        let sp = StandbyPower::micron_ddr2_667();
+        // Fully active for 1 µs: 63 mW × 1000 ns = 63 nJ.
+        let e = sp.static_energy(Dur::from_ns(1_000), Dur::from_ns(1_000), false);
+        assert!((e - 63.0).abs() < 1e-9);
+        // Half active, no power-down: 31.5 + 27 = 58.5 nJ.
+        let e = sp.static_energy(Dur::from_ns(500), Dur::from_ns(1_000), false);
+        assert!((e - 58.5).abs() < 1e-9);
+        // Half active with power-down idle: 31.5 + 6.3 = 37.8 nJ.
+        let e = sp.static_energy(Dur::from_ns(500), Dur::from_ns(1_000), true);
+        assert!((e - 37.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn static_energy_rejects_bad_residency() {
+        use fbd_types::time::Dur;
+        let sp = StandbyPower::micron_ddr2_667();
+        let _ = sp.static_energy(Dur::from_ns(2), Dur::from_ns(1), false);
+    }
+
+    #[test]
+    fn write_energy_slightly_above_read() {
+        let m = PowerModel::from_params(&DramPowerParams::micron_ddr2_667());
+        let rd_only = DramOpCounts { act_pre: 0, col_reads: 1, col_writes: 0, refreshes: 0 };
+        let wr_only = DramOpCounts { act_pre: 0, col_reads: 0, col_writes: 1, refreshes: 0 };
+        assert!(m.dynamic_energy(&wr_only) > m.dynamic_energy(&rd_only));
+    }
+}

@@ -1,0 +1,220 @@
+//! Memory transactions exchanged between the CPU side and the memory
+//! controller.
+//!
+//! A [`MemRequest`] is one cacheline-granular transaction (the L2 cache
+//! has already filtered the access stream, so every request here is an L2
+//! miss or a writeback). The controller answers reads with a
+//! [`MemResponse`] carrying completion timing; writes are posted and do
+//! not generate responses.
+
+use core::fmt;
+
+use crate::address::LineAddr;
+use crate::time::Time;
+
+/// Identifies a processor core in a multi-core configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Unique, monotonically increasing transaction identifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// The kind of memory transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand read caused by an L2 load/store miss. The issuing core
+    /// eventually stalls on the response.
+    DemandRead,
+    /// A read issued on behalf of a software prefetch instruction that
+    /// missed the L2. Non-blocking for the core.
+    SoftwarePrefetch,
+    /// A read issued by the (optional) hardware stream prefetcher at the
+    /// L2. Non-blocking for the core.
+    HardwarePrefetch,
+    /// A dirty-line writeback from the L2 (posted; no response).
+    Write,
+}
+
+impl AccessKind {
+    /// True for the read kinds (they return data on the northbound
+    /// link / data bus; writes only consume command + write bandwidth).
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        !matches!(self, AccessKind::Write)
+    }
+
+    /// True for the non-blocking prefetch reads (software or hardware).
+    #[inline]
+    pub const fn is_prefetch(self) -> bool {
+        matches!(
+            self,
+            AccessKind::SoftwarePrefetch | AccessKind::HardwarePrefetch
+        )
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::DemandRead => "read",
+            AccessKind::SoftwarePrefetch => "swpf",
+            AccessKind::HardwarePrefetch => "hwpf",
+            AccessKind::Write => "write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cacheline-granular memory transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique transaction id.
+    pub id: RequestId,
+    /// Issuing core (writes carry the core whose L2 eviction produced
+    /// them; used only for accounting).
+    pub core: CoreId,
+    /// Transaction kind.
+    pub kind: AccessKind,
+    /// Target cacheline.
+    pub line: LineAddr,
+    /// Instant the request arrived at the memory controller queue.
+    pub arrival: Time,
+}
+
+impl MemRequest {
+    /// Convenience constructor.
+    pub fn new(id: RequestId, core: CoreId, kind: AccessKind, line: LineAddr, arrival: Time) -> Self {
+        MemRequest {
+            id,
+            core,
+            kind,
+            line,
+            arrival,
+        }
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} by {} @{}",
+            self.id, self.kind, self.line, self.core, self.arrival
+        )
+    }
+}
+
+/// How a read was ultimately served (for coverage/efficiency accounting
+/// and the latency-decomposition experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// Served by DRAM bank access (ACT + CAS, close page) — the common
+    /// path without prefetching.
+    DramAccess,
+    /// Served from the AMB prefetch buffer (paper: "prefetch hit").
+    AmbCacheHit,
+    /// Served by DRAM, and the access also triggered a K-line group
+    /// prefetch into the AMB cache.
+    DramAccessWithPrefetch,
+    /// Row-buffer hit under open-page policy (no ACT needed).
+    RowBufferHit,
+}
+
+impl ServiceKind {
+    /// True if the demanded data came from the AMB prefetch buffer.
+    #[inline]
+    pub const fn is_amb_hit(self) -> bool {
+        matches!(self, ServiceKind::AmbCacheHit)
+    }
+}
+
+/// Completion record for a read transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The transaction this answers.
+    pub id: RequestId,
+    /// Issuing core.
+    pub core: CoreId,
+    /// Target cacheline.
+    pub line: LineAddr,
+    /// Kind of the original request.
+    pub kind: AccessKind,
+    /// Instant the critical data reached the memory controller.
+    pub completion: Time,
+    /// How the read was served.
+    pub service: ServiceKind,
+}
+
+impl MemResponse {
+    /// Read latency as observed at the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `completion` precedes `arrival`.
+    pub fn latency(&self, arrival: Time) -> crate::time::Dur {
+        debug_assert!(self.completion >= arrival);
+        self.completion - arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn access_kind_read_classification() {
+        assert!(AccessKind::DemandRead.is_read());
+        assert!(AccessKind::SoftwarePrefetch.is_read());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn response_latency_is_completion_minus_arrival() {
+        let resp = MemResponse {
+            id: RequestId(1),
+            core: CoreId(0),
+            line: LineAddr::new(5),
+            kind: AccessKind::DemandRead,
+            completion: Time::from_ns(100),
+            service: ServiceKind::DramAccess,
+        };
+        assert_eq!(resp.latency(Time::from_ns(37)), Dur::from_ns(63));
+    }
+
+    #[test]
+    fn service_kind_hit_classification() {
+        assert!(ServiceKind::AmbCacheHit.is_amb_hit());
+        assert!(!ServiceKind::DramAccess.is_amb_hit());
+        assert!(!ServiceKind::DramAccessWithPrefetch.is_amb_hit());
+        assert!(!ServiceKind::RowBufferHit.is_amb_hit());
+    }
+
+    #[test]
+    fn request_display_mentions_all_parts() {
+        let req = MemRequest::new(
+            RequestId(7),
+            CoreId(2),
+            AccessKind::Write,
+            LineAddr::new(9),
+            Time::from_ns(1),
+        );
+        let s = format!("{req}");
+        assert!(s.contains("req#7"));
+        assert!(s.contains("write"));
+        assert!(s.contains("core2"));
+    }
+}

@@ -1,0 +1,261 @@
+//! The synthetic trace generator: turns a [`BenchmarkProfile`] into a
+//! deterministic, unbounded stream of memory operations.
+//!
+//! Structure of the generated stream:
+//!
+//! * **stream accesses** walk one of N sequential cursors through the
+//!   working set (wrapping), optionally accompanied by a software
+//!   prefetch of a future iteration — these carry the spatial locality
+//!   the AMB prefetcher exploits;
+//! * **irregular accesses** either re-reference a recently touched line
+//!   (short temporal reuse) or hit a uniformly random line in the
+//!   working set — these produce bank conflicts and defeat both
+//!   prefetchers;
+//! * gaps between operations are uniform around the profile's mean, so
+//!   the instruction stream's memory intensity matches `ops_per_kilo`.
+//!
+//! Everything derives from a seeded [`StdRng`], so runs are exactly
+//! reproducible.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fbd_cpu::{OpKind, TraceOp, TraceSource};
+use fbd_types::time::Dur;
+use fbd_types::LineAddr;
+
+use crate::profile::BenchmarkProfile;
+
+/// How many recently touched lines feed the short-reuse pool.
+const REUSE_WINDOW: usize = 32;
+
+/// A deterministic synthetic access trace for one core.
+#[derive(Clone, Debug)]
+pub struct SyntheticTrace {
+    profile: BenchmarkProfile,
+    rng: StdRng,
+    base_line: u64,
+    cursors: Vec<u64>,
+    recent: VecDeque<u64>,
+    queued: Option<TraceOp>,
+    tpi: Dur,
+}
+
+impl SyntheticTrace {
+    /// Creates the trace for `profile`, placing its working set at
+    /// `base_line` (distinct per core so programs do not share data),
+    /// seeded deterministically from `seed`.
+    pub fn new(profile: &BenchmarkProfile, base_line: u64, seed: u64) -> SyntheticTrace {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(profile.name));
+        let cursors = (0..profile.streams)
+            .map(|_| rng.gen_range(0..profile.footprint_lines))
+            .collect();
+        SyntheticTrace {
+            profile: *profile,
+            rng,
+            base_line,
+            cursors,
+            recent: VecDeque::with_capacity(REUSE_WINDOW),
+            queued: None,
+            tpi: profile.time_per_instr(),
+        }
+    }
+
+    fn remember(&mut self, line: u64) {
+        if self.recent.len() == REUSE_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(line);
+    }
+
+    fn gap(&mut self) -> u64 {
+        let mean = self.profile.mean_gap();
+        self.rng.gen_range(1..=2 * mean)
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, stable across runs (unlike `DefaultHasher`).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        if let Some(op) = self.queued.take() {
+            return Some(op);
+        }
+        let p = self.profile;
+        let gap = self.gap();
+        let is_stream = self.rng.gen_bool(p.stream_fraction);
+        let rel_line = if is_stream {
+            let s = self.rng.gen_range(0..self.cursors.len());
+            let line = self.cursors[s];
+            self.cursors[s] = (line + p.stream_stride) % p.footprint_lines;
+            // Compiler-inserted prefetch for a future iteration of this
+            // stream, emitted alongside the demand access.
+            if self.rng.gen_bool(p.sw_prefetch_coverage) {
+                let target = (line + p.sw_prefetch_distance * p.stream_stride) % p.footprint_lines;
+                self.queued = Some(TraceOp {
+                    gap: 0,
+                    kind: OpKind::Prefetch,
+                    line: LineAddr::new(self.base_line + target),
+                });
+            }
+            line
+        } else if !self.recent.is_empty() && self.rng.gen_bool(p.reuse_fraction) {
+            let i = self.rng.gen_range(0..self.recent.len());
+            self.recent[i]
+        } else {
+            self.rng.gen_range(0..p.footprint_lines)
+        };
+        self.remember(rel_line);
+        let kind = if self.rng.gen_bool(p.store_fraction) {
+            OpKind::Store
+        } else {
+            OpKind::Load
+        };
+        Some(TraceOp {
+            gap,
+            kind,
+            line: LineAddr::new(self.base_line + rel_line),
+        })
+    }
+
+    fn time_per_instr(&self) -> Dur {
+        self.tpi
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::by_name;
+
+    fn take(trace: &mut SyntheticTrace, n: usize) -> Vec<TraceOp> {
+        (0..n).map(|_| trace.next_op().expect("unbounded")).collect()
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let p = by_name("swim").unwrap();
+        let mut a = SyntheticTrace::new(p, 0, 42);
+        let mut b = SyntheticTrace::new(p, 0, 42);
+        assert_eq!(take(&mut a, 500), take(&mut b, 500));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = by_name("swim").unwrap();
+        let mut a = SyntheticTrace::new(p, 0, 1);
+        let mut b = SyntheticTrace::new(p, 0, 2);
+        assert_ne!(take(&mut a, 100), take(&mut b, 100));
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let p = by_name("facerec").unwrap();
+        let base = 1 << 23;
+        let mut t = SyntheticTrace::new(p, base, 7);
+        for op in take(&mut t, 2_000) {
+            let l = op.line.as_u64();
+            assert!(l >= base && l < base + p.footprint_lines, "line {l} outside set");
+        }
+    }
+
+    #[test]
+    fn streaming_profile_emits_mostly_sequential_runs() {
+        let p = by_name("swim").unwrap();
+        let mut t = SyntheticTrace::new(p, 0, 3);
+        let ops: Vec<TraceOp> = take(&mut t, 4_000)
+            .into_iter()
+            .filter(|o| o.kind != OpKind::Prefetch)
+            .collect();
+        // Count accesses adjacent (within the region) to an earlier
+        // access: streams make consecutive lines appear close in time.
+        let lines: Vec<u64> = ops.iter().map(|o| o.line.as_u64()).collect();
+        let mut sequential = 0;
+        for (i, &l) in lines.iter().enumerate() {
+            let lo = i.saturating_sub(16);
+            if lines[lo..i].iter().any(|&prev| l == prev + p.stream_stride) {
+                sequential += 1;
+            }
+        }
+        let frac = sequential as f64 / lines.len() as f64;
+        assert!(frac > 0.6, "swim should look streaming, got {frac:.2}");
+    }
+
+    #[test]
+    fn irregular_profile_emits_few_sequential_runs() {
+        let p = by_name("parser").unwrap();
+        let mut t = SyntheticTrace::new(p, 0, 3);
+        let lines: Vec<u64> = take(&mut t, 4_000)
+            .into_iter()
+            .filter(|o| o.kind != OpKind::Prefetch)
+            .map(|o| o.line.as_u64())
+            .collect();
+        let mut sequential = 0;
+        for (i, &l) in lines.iter().enumerate() {
+            let lo = i.saturating_sub(16);
+            if lines[lo..i].iter().any(|&prev| l == prev + 1) {
+                sequential += 1;
+            }
+        }
+        let frac = sequential as f64 / lines.len() as f64;
+        assert!(frac < 0.4, "parser should look irregular, got {frac:.2}");
+    }
+
+    #[test]
+    fn prefetch_coverage_tracks_profile() {
+        let p = by_name("swim").unwrap();
+        let mut t = SyntheticTrace::new(p, 0, 11);
+        let ops = take(&mut t, 5_000);
+        let prefetches = ops.iter().filter(|o| o.kind == OpKind::Prefetch).count();
+        let demands = ops.len() - prefetches;
+        let ratio = prefetches as f64 / demands as f64;
+        // coverage × stream_fraction ≈ 0.8 × 0.95 ≈ 0.76.
+        assert!((0.6..0.95).contains(&ratio), "ratio {ratio:.2}");
+        // Prefetches point a constant distance ahead.
+        for w in ops.windows(2) {
+            if w[1].kind == OpKind::Prefetch {
+                assert_eq!(w[1].gap, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn store_fraction_roughly_matches() {
+        let p = by_name("swim").unwrap();
+        let mut t = SyntheticTrace::new(p, 0, 13);
+        let ops = take(&mut t, 5_000);
+        let demands: Vec<&TraceOp> = ops.iter().filter(|o| o.kind != OpKind::Prefetch).collect();
+        let stores = demands.iter().filter(|o| o.kind == OpKind::Store).count();
+        let frac = stores as f64 / demands.len() as f64;
+        assert!((frac - p.store_fraction).abs() < 0.05, "store frac {frac:.2}");
+    }
+
+    #[test]
+    fn mean_gap_matches_memory_intensity() {
+        let p = by_name("vortex").unwrap();
+        let mut t = SyntheticTrace::new(p, 0, 17);
+        let ops = take(&mut t, 5_000);
+        let demand_gaps: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind != OpKind::Prefetch)
+            .map(|o| o.gap)
+            .collect();
+        let mean = demand_gaps.iter().sum::<u64>() as f64 / demand_gaps.len() as f64;
+        let expected = (p.mean_gap() as f64 + 1.0) / 2.0 + p.mean_gap() as f64 / 2.0;
+        assert!((mean - expected).abs() / expected < 0.1, "mean {mean:.1} vs {expected:.1}");
+    }
+}

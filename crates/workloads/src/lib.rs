@@ -1,0 +1,37 @@
+//! SPEC2000-like synthetic workloads and the paper's Table 3 mixes.
+//!
+//! The paper drives its simulator with SimPoint samples of twelve
+//! memory-intensive SPEC2000 programs. This crate substitutes
+//! deterministic synthetic equivalents (see DESIGN.md §4): each program
+//! is a parameterized access-pattern generator preserving the properties
+//! the AMB prefetcher interacts with — spatial locality, access-stream
+//! concurrency, memory intensity, store share and software-prefetch
+//! coverage.
+//!
+//! # Examples
+//!
+//! Build the paper's `2C-1` mix (wupwise + swim) and pull a few ops:
+//!
+//! ```
+//! use fbd_workloads::mixes::two_core_workloads;
+//!
+//! let w = &two_core_workloads()[0];
+//! assert_eq!(w.name(), "2C-1");
+//! let mut traces = w.traces(42);
+//! let op = traces[0].next_op().unwrap();
+//! assert!(op.gap >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod mixes;
+pub mod profile;
+
+pub use generator::SyntheticTrace;
+pub use mixes::{
+    eight_core_workloads, four_core_workloads, paper_workloads, single_core_workloads,
+    two_core_workloads, Workload,
+};
+pub use profile::{by_name, BenchmarkProfile, PROFILES};

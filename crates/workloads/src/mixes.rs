@@ -1,0 +1,193 @@
+//! The multiprogrammed workload mixes of the paper's Table 3, plus the
+//! twelve single-program workloads.
+//!
+//! Workload names follow the paper: `2C-1` … `2C-6`, `4C-1` … `4C-6`,
+//! `8C-1` … `8C-3`; single-program workloads are named after their
+//! benchmark (e.g. `1C-swim`).
+
+use fbd_cpu::TraceSource;
+
+use crate::generator::SyntheticTrace;
+use crate::profile::{by_name, BenchmarkProfile};
+
+/// Cores' working sets are spaced this many lines apart (512 MB) so
+/// programs never share data.
+const CORE_SPACING_LINES: u64 = (512 << 20) / 64;
+
+/// One named workload: a set of benchmarks, one per core.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    name: String,
+    benchmarks: Vec<&'static BenchmarkProfile>,
+}
+
+impl Workload {
+    /// Builds a workload from benchmark names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not one of the twelve profiles.
+    pub fn new(name: impl Into<String>, benchmarks: &[&str]) -> Workload {
+        Workload {
+            name: name.into(),
+            benchmarks: benchmarks
+                .iter()
+                .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+                .collect(),
+        }
+    }
+
+    /// Workload name (`2C-1`, `1C-swim`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores this workload occupies.
+    pub fn cores(&self) -> u32 {
+        self.benchmarks.len() as u32
+    }
+
+    /// The benchmark profiles, in core order.
+    pub fn benchmarks(&self) -> &[&'static BenchmarkProfile] {
+        &self.benchmarks
+    }
+
+    /// Builds one deterministic trace per core for run `seed`.
+    pub fn traces(&self, seed: u64) -> Vec<Box<dyn TraceSource>> {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let base = i as u64 * CORE_SPACING_LINES;
+                Box::new(SyntheticTrace::new(p, base, seed.wrapping_add(i as u64 * 0x9e37_79b9)))
+                    as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+}
+
+/// The twelve single-program workloads (`1C-<name>`).
+pub fn single_core_workloads() -> Vec<Workload> {
+    crate::profile::PROFILES
+        .iter()
+        .map(|p| Workload::new(format!("1C-{}", p.name), &[p.name]))
+        .collect()
+}
+
+/// Table 3's two-core mixes.
+pub fn two_core_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new("2C-1", &["wupwise", "swim"]),
+        Workload::new("2C-2", &["mgrid", "applu"]),
+        Workload::new("2C-3", &["vpr", "equake"]),
+        Workload::new("2C-4", &["facerec", "lucas"]),
+        Workload::new("2C-5", &["fma3d", "parser"]),
+        Workload::new("2C-6", &["gap", "vortex"]),
+    ]
+}
+
+/// Table 3's four-core mixes.
+pub fn four_core_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new("4C-1", &["wupwise", "swim", "mgrid", "applu"]),
+        Workload::new("4C-2", &["vpr", "equake", "facerec", "lucas"]),
+        Workload::new("4C-3", &["fma3d", "parser", "gap", "vortex"]),
+        Workload::new("4C-4", &["wupwise", "mgrid", "vpr", "facerec"]),
+        Workload::new("4C-5", &["fma3d", "gap", "swim", "applu"]),
+        Workload::new("4C-6", &["equake", "lucas", "parser", "vortex"]),
+    ]
+}
+
+/// Table 3's eight-core mixes.
+pub fn eight_core_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "8C-1",
+            &["wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas"],
+        ),
+        Workload::new(
+            "8C-2",
+            &["wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex"],
+        ),
+        Workload::new(
+            "8C-3",
+            &["vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex"],
+        ),
+    ]
+}
+
+/// Every workload of the paper's evaluation, grouped as
+/// (single, dual, four, eight).
+pub fn paper_workloads() -> (Vec<Workload>, Vec<Workload>, Vec<Workload>, Vec<Workload>) {
+    (
+        single_core_workloads(),
+        two_core_workloads(),
+        four_core_workloads(),
+        eight_core_workloads(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_mix_composition() {
+        let two = two_core_workloads();
+        assert_eq!(two.len(), 6);
+        assert_eq!(two[0].benchmarks()[0].name, "wupwise");
+        assert_eq!(two[0].benchmarks()[1].name, "swim");
+        assert_eq!(two[5].benchmarks()[1].name, "vortex");
+
+        let four = four_core_workloads();
+        assert_eq!(four.len(), 6);
+        assert_eq!(
+            four[4].benchmarks().iter().map(|b| b.name).collect::<Vec<_>>(),
+            vec!["fma3d", "gap", "swim", "applu"]
+        );
+
+        let eight = eight_core_workloads();
+        assert_eq!(eight.len(), 3);
+        assert!(eight.iter().all(|w| w.cores() == 8));
+    }
+
+    #[test]
+    fn single_core_covers_all_benchmarks() {
+        let singles = single_core_workloads();
+        assert_eq!(singles.len(), 12);
+        assert!(singles.iter().all(|w| w.cores() == 1));
+        assert_eq!(singles[1].name(), "1C-swim");
+    }
+
+    #[test]
+    fn traces_match_core_count_and_are_disjoint() {
+        let w = four_core_workloads().remove(0);
+        let mut traces = w.traces(99);
+        assert_eq!(traces.len(), 4);
+        // Cores' address regions must not overlap.
+        let mut ranges = Vec::new();
+        for (i, t) in traces.iter_mut().enumerate() {
+            let mut lo = u64::MAX;
+            let mut hi = 0;
+            for _ in 0..500 {
+                let op = t.next_op().unwrap();
+                lo = lo.min(op.line.as_u64());
+                hi = hi.max(op.line.as_u64());
+            }
+            ranges.push((i, lo, hi));
+        }
+        for (i, lo1, hi1) in &ranges {
+            for (j, lo2, hi2) in &ranges {
+                if i != j {
+                    assert!(hi1 < lo2 || hi2 < lo1, "cores {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_rejected() {
+        let _ = Workload::new("bad", &["mcf"]);
+    }
+}

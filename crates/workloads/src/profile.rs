@@ -1,0 +1,281 @@
+//! Per-benchmark behavioural profiles.
+//!
+//! The paper runs twelve memory-intensive SPEC2000 programs (Table 3).
+//! We cannot run the Alpha binaries, so each benchmark is modelled by a
+//! parameter set capturing the qualitative character the AMB prefetcher
+//! responds to: memory intensity, spatial locality (streaming vs
+//! irregular), concurrency of access streams, working-set size, store
+//! share, and how well the compiler's software prefetching covers the
+//! access pattern. The values are chosen from the programs' published
+//! characterizations (floating-point streaming codes like *swim*,
+//! *mgrid*, *applu* are bandwidth-hungry and highly spatial; integer
+//! codes like *parser* and *vortex* are irregular and latency-bound).
+
+use fbd_types::time::Dur;
+
+/// Parameters describing one benchmark's memory behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC2000 program).
+    pub name: &'static str,
+    /// Commit IPC when no L2 miss stalls the core (folds in L1 and ILP).
+    pub base_ipc: f64,
+    /// Memory operations reaching the L2 per 1000 committed
+    /// instructions (approximately the L1 miss rate plus prefetches).
+    pub ops_per_kilo: u32,
+    /// Fraction of those operations that are stores.
+    pub store_fraction: f64,
+    /// Concurrent sequential access streams.
+    pub streams: u32,
+    /// Fraction of accesses that follow a stream (the rest are
+    /// irregular: uniform over the working set or short-reuse).
+    pub stream_fraction: f64,
+    /// Stream stride in cachelines (1 = unit stride).
+    pub stream_stride: u64,
+    /// Fraction of irregular accesses that re-reference a recent line
+    /// (temporal locality surviving the L1).
+    pub reuse_fraction: f64,
+    /// Working set in cachelines (64 B each).
+    pub footprint_lines: u64,
+    /// Probability that a stream access carries a compiler-inserted
+    /// software prefetch for a future iteration.
+    pub sw_prefetch_coverage: f64,
+    /// Prefetch distance in future stream iterations.
+    pub sw_prefetch_distance: u64,
+}
+
+impl BenchmarkProfile {
+    /// Base commit time per instruction at a 4 GHz core clock.
+    pub fn time_per_instr(&self) -> Dur {
+        Dur::from_ps((250.0 / self.base_ipc).round() as u64)
+    }
+
+    /// Mean instructions between memory operations.
+    pub fn mean_gap(&self) -> u64 {
+        (1000 / self.ops_per_kilo as u64).max(1)
+    }
+}
+
+const MB: u64 = (1 << 20) / 64; // lines per megabyte
+
+/// The twelve profiles, in the paper's Table 3 order.
+pub const PROFILES: [BenchmarkProfile; 12] = [
+    BenchmarkProfile {
+        name: "wupwise",
+        base_ipc: 2.2,
+        ops_per_kilo: 14,
+        store_fraction: 0.30,
+        streams: 4,
+        stream_fraction: 0.85,
+        stream_stride: 1,
+        reuse_fraction: 0.30,
+        footprint_lines: 176 * MB,
+        sw_prefetch_coverage: 0.80,
+        sw_prefetch_distance: 24,
+    },
+    BenchmarkProfile {
+        name: "swim",
+        base_ipc: 1.8,
+        ops_per_kilo: 30,
+        store_fraction: 0.35,
+        streams: 6,
+        stream_fraction: 0.95,
+        stream_stride: 1,
+        reuse_fraction: 0.20,
+        footprint_lines: 191 * MB,
+        sw_prefetch_coverage: 0.90,
+        sw_prefetch_distance: 24,
+    },
+    BenchmarkProfile {
+        name: "mgrid",
+        base_ipc: 2.0,
+        ops_per_kilo: 24,
+        store_fraction: 0.25,
+        streams: 8,
+        stream_fraction: 0.90,
+        stream_stride: 1,
+        reuse_fraction: 0.30,
+        footprint_lines: 56 * MB,
+        sw_prefetch_coverage: 0.85,
+        sw_prefetch_distance: 24,
+    },
+    BenchmarkProfile {
+        name: "applu",
+        base_ipc: 1.9,
+        ops_per_kilo: 22,
+        store_fraction: 0.30,
+        streams: 6,
+        stream_fraction: 0.90,
+        stream_stride: 1,
+        reuse_fraction: 0.25,
+        footprint_lines: 180 * MB,
+        sw_prefetch_coverage: 0.85,
+        sw_prefetch_distance: 24,
+    },
+    BenchmarkProfile {
+        name: "vpr",
+        base_ipc: 1.6,
+        ops_per_kilo: 12,
+        store_fraction: 0.30,
+        streams: 2,
+        stream_fraction: 0.35,
+        stream_stride: 1,
+        reuse_fraction: 0.45,
+        footprint_lines: 48 * MB,
+        sw_prefetch_coverage: 0.25,
+        sw_prefetch_distance: 8,
+    },
+    BenchmarkProfile {
+        name: "equake",
+        base_ipc: 1.7,
+        ops_per_kilo: 18,
+        store_fraction: 0.25,
+        streams: 3,
+        stream_fraction: 0.60,
+        stream_stride: 1,
+        reuse_fraction: 0.35,
+        footprint_lines: 49 * MB,
+        sw_prefetch_coverage: 0.55,
+        sw_prefetch_distance: 16,
+    },
+    BenchmarkProfile {
+        name: "facerec",
+        base_ipc: 2.0,
+        ops_per_kilo: 16,
+        store_fraction: 0.20,
+        streams: 4,
+        stream_fraction: 0.85,
+        stream_stride: 1,
+        reuse_fraction: 0.30,
+        footprint_lines: 16 * MB,
+        sw_prefetch_coverage: 0.80,
+        sw_prefetch_distance: 24,
+    },
+    BenchmarkProfile {
+        name: "lucas",
+        base_ipc: 1.8,
+        ops_per_kilo: 20,
+        store_fraction: 0.30,
+        streams: 4,
+        stream_fraction: 0.80,
+        stream_stride: 2,
+        reuse_fraction: 0.20,
+        footprint_lines: 142 * MB,
+        sw_prefetch_coverage: 0.70,
+        sw_prefetch_distance: 16,
+    },
+    BenchmarkProfile {
+        name: "fma3d",
+        base_ipc: 1.8,
+        ops_per_kilo: 14,
+        store_fraction: 0.30,
+        streams: 3,
+        stream_fraction: 0.65,
+        stream_stride: 1,
+        reuse_fraction: 0.35,
+        footprint_lines: 103 * MB,
+        sw_prefetch_coverage: 0.60,
+        sw_prefetch_distance: 16,
+    },
+    BenchmarkProfile {
+        name: "parser",
+        base_ipc: 1.4,
+        ops_per_kilo: 10,
+        store_fraction: 0.30,
+        streams: 1,
+        stream_fraction: 0.25,
+        stream_stride: 1,
+        reuse_fraction: 0.50,
+        footprint_lines: 37 * MB,
+        sw_prefetch_coverage: 0.15,
+        sw_prefetch_distance: 8,
+    },
+    BenchmarkProfile {
+        name: "gap",
+        base_ipc: 1.5,
+        ops_per_kilo: 12,
+        store_fraction: 0.25,
+        streams: 2,
+        stream_fraction: 0.45,
+        stream_stride: 1,
+        reuse_fraction: 0.40,
+        footprint_lines: 193 * MB,
+        sw_prefetch_coverage: 0.35,
+        sw_prefetch_distance: 8,
+    },
+    BenchmarkProfile {
+        name: "vortex",
+        base_ipc: 1.7,
+        ops_per_kilo: 9,
+        store_fraction: 0.35,
+        streams: 2,
+        stream_fraction: 0.40,
+        stream_stride: 1,
+        reuse_fraction: 0.45,
+        footprint_lines: 72 * MB,
+        sw_prefetch_coverage: 0.30,
+        sw_prefetch_distance: 8,
+    },
+];
+
+/// Looks up a profile by benchmark name.
+///
+/// # Examples
+///
+/// ```
+/// let p = fbd_workloads::profile::by_name("swim").unwrap();
+/// assert!(p.stream_fraction > 0.9);
+/// ```
+pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_paper_benchmarks_present() {
+        let expected = [
+            "wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas", "fma3d",
+            "parser", "gap", "vortex",
+        ];
+        for name in expected {
+            assert!(by_name(name).is_some(), "missing profile for {name}");
+        }
+        assert_eq!(PROFILES.len(), 12);
+    }
+
+    #[test]
+    fn excluded_benchmarks_absent() {
+        // The paper excludes art and mcf (§4.2).
+        assert!(by_name("art").is_none());
+        assert!(by_name("mcf").is_none());
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in &PROFILES {
+            assert!(p.base_ipc > 0.5 && p.base_ipc <= 8.0, "{}", p.name);
+            assert!(p.ops_per_kilo > 0 && p.ops_per_kilo < 100, "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.store_fraction), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.stream_fraction), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.reuse_fraction), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.sw_prefetch_coverage), "{}", p.name);
+            assert!(p.streams > 0 && p.stream_stride > 0, "{}", p.name);
+            // Working sets far exceed the 4 MB L2 (memory-intensive).
+            assert!(p.footprint_lines * 64 > (4 << 20), "{}", p.name);
+            assert!(!p.time_per_instr().is_zero());
+            assert!(p.mean_gap() >= 1);
+        }
+    }
+
+    #[test]
+    fn streaming_fp_codes_more_spatial_than_integer_codes() {
+        let swim = by_name("swim").unwrap();
+        let parser = by_name("parser").unwrap();
+        assert!(swim.stream_fraction > parser.stream_fraction);
+        assert!(swim.sw_prefetch_coverage > parser.sw_prefetch_coverage);
+        assert!(swim.ops_per_kilo > parser.ops_per_kilo);
+    }
+}

@@ -1,0 +1,65 @@
+//! Multicore consolidation study: how the three memory systems (DDR2,
+//! FB-DIMM, FB-DIMM + AMB prefetching) scale as more cores share the
+//! memory subsystem — the scenario the paper's introduction motivates
+//! (multicore processors multiply off-chip traffic).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fbd-core --example multicore_consolidation
+//! ```
+
+use fbd_core::experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig};
+use fbd_types::config::{MemoryConfig, SystemConfig};
+use fbd_workloads::{eight_core_workloads, four_core_workloads, two_core_workloads, Workload};
+
+fn config(cores: u32, mem: MemoryConfig) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(cores);
+    cfg.mem = mem;
+    cfg
+}
+
+fn main() {
+    let exp = ExperimentConfig {
+        seed: 42,
+        budget: 150_000,
+        ..Default::default()
+    };
+
+    // References: each program alone on single-core DDR2 (the paper's
+    // denominator for SMT speedup).
+    let benchmarks: Vec<&str> = fbd_workloads::PROFILES.iter().map(|p| p.name).collect();
+    let refs = reference_ipcs(&config(1, MemoryConfig::ddr2_default()), &benchmarks, &exp);
+
+    // One representative streaming-heavy mix per core count (the "-1"
+    // mixes of Table 3).
+    let picks: Vec<Workload> = vec![
+        Workload::new("1C-swim", &["swim"]),
+        two_core_workloads().remove(0),
+        four_core_workloads().remove(0),
+        eight_core_workloads().remove(0),
+    ];
+
+    println!("SMT speedup and memory behaviour as cores scale (seed {}):", exp.seed);
+    println!();
+    println!("workload  system   speedup  bandwidth  avg latency");
+    for w in &picks {
+        for (label, mem) in [
+            ("DDR2  ", MemoryConfig::ddr2_default()),
+            ("FBD   ", MemoryConfig::fbdimm_default()),
+            ("FBD-AP", MemoryConfig::fbdimm_with_prefetch()),
+        ] {
+            let r = run_workload(&config(w.cores(), mem), w, &exp);
+            println!(
+                "{:>8}  {label}  {:>7.3}  {:>6.2}GB/s  {:>8.1}ns",
+                w.name(),
+                smt_speedup(w, &r, &refs),
+                r.bandwidth_gbps(),
+                r.avg_read_latency_ns()
+            );
+        }
+        println!();
+    }
+    println!("Watch for: DDR2 competitive at 1-2 cores; FB-DIMM pulling ahead as cores");
+    println!("scale; AMB prefetching compounding the advantage at every core count.");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: simulate one memory-intensive program on FB-DIMM with and
+//! without AMB prefetching and print the headline comparison.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fbd-core --example quickstart
+//! ```
+
+use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_types::config::{MemoryConfig, SystemConfig};
+use fbd_workloads::Workload;
+
+fn main() {
+    // A deterministic run: seed 42, 200k instructions.
+    let exp = ExperimentConfig {
+        seed: 42,
+        budget: 200_000,
+        ..Default::default()
+    };
+
+    // `swim` is the most bandwidth-hungry of the paper's twelve
+    // SPEC2000-like profiles — an ideal showcase for DRAM-level
+    // prefetching.
+    let workload = Workload::new("1C-swim", &["swim"]);
+
+    // Baseline: the paper's default FB-DIMM system (Table 1): 4 GHz core,
+    // 4 MB shared L2, two logical FB-DIMM channels at 667 MT/s, close
+    // page, cacheline interleaving.
+    let baseline_cfg = SystemConfig::paper_default(1);
+    let baseline = run_workload(&baseline_cfg, &workload, &exp);
+
+    // The paper's proposal: region-based AMB prefetching — every demand
+    // miss fetches its 4-line region into the AMB's 4 KB prefetch buffer
+    // with a single DRAM activation (multi-cacheline interleaving).
+    let mut ap_cfg = baseline_cfg;
+    ap_cfg.mem = MemoryConfig::fbdimm_with_prefetch();
+    let with_ap = run_workload(&ap_cfg, &workload, &exp);
+
+    println!("swim on FB-DIMM, {} instructions:", exp.budget);
+    println!();
+    println!("                         FBD     FBD-AP");
+    println!(
+        "  IPC                  {:>6.3}     {:>6.3}",
+        baseline.cores[0].ipc(),
+        with_ap.cores[0].ipc()
+    );
+    println!(
+        "  avg read latency     {:>5.1}ns    {:>5.1}ns",
+        baseline.avg_read_latency_ns(),
+        with_ap.avg_read_latency_ns()
+    );
+    println!(
+        "  utilized bandwidth   {:>5.2}GB/s  {:>5.2}GB/s",
+        baseline.bandwidth_gbps(),
+        with_ap.bandwidth_gbps()
+    );
+    println!(
+        "  DRAM ACT/PRE pairs   {:>7}    {:>7}",
+        baseline.mem.dram_ops.act_pre, with_ap.mem.dram_ops.act_pre
+    );
+    println!();
+    println!(
+        "  prefetch coverage  {:.1}%   efficiency {:.1}%",
+        with_ap.mem.prefetch_coverage() * 100.0,
+        with_ap.mem.prefetch_efficiency() * 100.0
+    );
+    let speedup = with_ap.cores[0].ipc() / baseline.cores[0].ipc();
+    println!("  speedup from AMB prefetching: {:+.1}%", (speedup - 1.0) * 100.0);
+}
