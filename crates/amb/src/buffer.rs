@@ -85,7 +85,11 @@ impl PrefetchBuffer {
             set.push_back(line);
             return None;
         }
-        let evicted = if set.len() == ways { set.pop_front() } else { None };
+        let evicted = if set.len() == ways {
+            set.pop_front()
+        } else {
+            None
+        };
         set.push_back(line);
         evicted
     }

@@ -22,6 +22,10 @@ use fbd_types::stats::DramOpCounts;
 use fbd_types::time::{Dur, Time};
 
 /// Outcome of a single-line read at the DRAM devices.
+///
+/// Beyond the timing-critical `data_ready`, the outcome carries the
+/// command instants and the data window so event tracers can draw the
+/// access (ACT span, column command, burst) without re-planning it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReadOutcome {
     /// Instant the first data beats exist at the AMB (northbound
@@ -29,6 +33,12 @@ pub struct ReadOutcome {
     pub data_ready: Time,
     /// True if the read hit an open row (open-page mode only).
     pub row_hit: bool,
+    /// Activate command time, when the row had to be opened.
+    pub act_at: Option<Time>,
+    /// Column (read) command time.
+    pub cmd_at: Time,
+    /// End of the data burst on the DIMM's DDR2 bus.
+    pub data_end: Time,
 }
 
 /// Outcome of a K-line group fetch.
@@ -41,6 +51,23 @@ pub struct GroupFetchOutcome {
     pub fill_done: Time,
     /// Lines actually fetched (K, or fewer if the region is truncated).
     pub lines_fetched: u32,
+    /// The group's single activate time, when the row had to be opened.
+    pub act_at: Option<Time>,
+    /// The demanded line's column command time.
+    pub first_cmd_at: Time,
+}
+
+/// Outcome of a line write at the DRAM devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Activate command time, when the row had to be opened.
+    pub act_at: Option<Time>,
+    /// Column (write) command time.
+    pub cmd_at: Time,
+    /// First beat of write data on the DIMM's DDR2 bus.
+    pub data_start: Time,
+    /// Instant the write data finishes on the DIMM's DDR2 bus.
+    pub data_end: Time,
 }
 
 /// One logical DIMM: its AMB engine plus the DRAM devices behind it.
@@ -62,7 +89,13 @@ impl AmbDimm {
     /// `burst` is the DDR2-bus time for one 64-byte line on this (ganged)
     /// DIMM; `close_page` selects auto-precharge on the final column
     /// access of every operation.
-    pub fn new(banks: usize, timings: DramTimings, clock: Dur, burst: Dur, close_page: bool) -> AmbDimm {
+    pub fn new(
+        banks: usize,
+        timings: DramTimings,
+        clock: Dur,
+        burst: Dur,
+        close_page: bool,
+    ) -> AmbDimm {
         AmbDimm::with_ranks(1, banks, timings, clock, burst, close_page)
     }
 
@@ -81,7 +114,9 @@ impl AmbDimm {
     ) -> AmbDimm {
         assert!(ranks > 0, "a DIMM must have at least one rank");
         AmbDimm {
-            ranks: (0..ranks).map(|_| BankArray::new(banks, timings, clock)).collect(),
+            ranks: (0..ranks)
+                .map(|_| BankArray::new(banks, timings, clock))
+                .collect(),
             bus: DataBus::new(clock),
             burst,
             close_page,
@@ -121,7 +156,13 @@ impl AmbDimm {
 
     /// Performs a single-line read on `(rank, bank)`; commands may not
     /// issue before `not_before` (the command's arrival at this AMB).
-    pub fn read_line_at(&mut self, rank: usize, bank: usize, row: u32, not_before: Time) -> ReadOutcome {
+    pub fn read_line_at(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        row: u32,
+        not_before: Time,
+    ) -> ReadOutcome {
         let op = ColumnOp {
             kind: ColKind::Read,
             auto_precharge: self.close_page,
@@ -133,6 +174,9 @@ impl AmbDimm {
         ReadOutcome {
             data_ready: plan.data_start,
             row_hit,
+            act_at: plan.act_at,
+            cmd_at: plan.cmd_at,
+            data_end: plan.data_end,
         }
     }
 
@@ -149,7 +193,13 @@ impl AmbDimm {
     /// # Panics
     ///
     /// Panics if `lines` is zero.
-    pub fn fetch_group(&mut self, bank: usize, row: u32, lines: u32, not_before: Time) -> GroupFetchOutcome {
+    pub fn fetch_group(
+        &mut self,
+        bank: usize,
+        row: u32,
+        lines: u32,
+        not_before: Time,
+    ) -> GroupFetchOutcome {
         self.fetch_group_at(0, bank, row, lines, not_before)
     }
 
@@ -169,6 +219,8 @@ impl AmbDimm {
         assert!(lines > 0, "group fetch needs at least one line");
         let mut demanded_ready = Time::ZERO;
         let mut fill_done = Time::ZERO;
+        let mut act_at = None;
+        let mut first_cmd_at = Time::ZERO;
         for i in 0..lines {
             let op = ColumnOp {
                 kind: ColKind::Read,
@@ -179,6 +231,8 @@ impl AmbDimm {
             self.ranks[rank].commit(&plan, &mut self.bus);
             if i == 0 {
                 demanded_ready = plan.data_start;
+                act_at = plan.act_at;
+                first_cmd_at = plan.cmd_at;
             }
             fill_done = plan.data_end;
         }
@@ -186,17 +240,25 @@ impl AmbDimm {
             demanded_ready,
             fill_done,
             lines_fetched: lines,
+            act_at,
+            first_cmd_at,
         }
     }
 
-    /// Performs a line write; returns the instant the write data finishes
-    /// on the DIMM's DDR2 bus.
-    pub fn write_line(&mut self, bank: usize, row: u32, not_before: Time) -> Time {
+    /// Performs a line write; the outcome's `data_end` is the instant
+    /// the write data finishes on the DIMM's DDR2 bus.
+    pub fn write_line(&mut self, bank: usize, row: u32, not_before: Time) -> WriteOutcome {
         self.write_line_at(0, bank, row, not_before)
     }
 
     /// [`write_line`](Self::write_line) on a specific rank.
-    pub fn write_line_at(&mut self, rank: usize, bank: usize, row: u32, not_before: Time) -> Time {
+    pub fn write_line_at(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        row: u32,
+        not_before: Time,
+    ) -> WriteOutcome {
         let op = ColumnOp {
             kind: ColKind::Write,
             auto_precharge: self.close_page,
@@ -204,7 +266,12 @@ impl AmbDimm {
         };
         let plan = self.ranks[rank].plan(bank, row, op, not_before, &self.bus);
         self.ranks[rank].commit(&plan, &mut self.bus);
-        plan.data_end
+        WriteOutcome {
+            act_at: plan.act_at,
+            cmd_at: plan.cmd_at,
+            data_start: plan.data_start,
+            data_end: plan.data_end,
+        }
     }
 
     /// Performs an all-bank auto-refresh of every rank requested at
@@ -256,6 +323,9 @@ mod tests {
         // ACT@15, RD@30, data@45 — the DRAM part of the 63 ns budget.
         assert_eq!(out.data_ready, Time::from_ns(45));
         assert!(!out.row_hit);
+        assert_eq!(out.act_at, Some(Time::from_ns(15)));
+        assert_eq!(out.cmd_at, Time::from_ns(30));
+        assert_eq!(out.data_end, Time::from_ns(51));
         assert_eq!(d.ops().act_pre, 1);
         assert_eq!(d.ops().col_reads, 1);
     }
@@ -265,6 +335,8 @@ mod tests {
         let mut d = dimm();
         let out = d.fetch_group(0, 5, 4, Time::from_ns(15));
         assert_eq!(out.demanded_ready, Time::from_ns(45));
+        assert_eq!(out.act_at, Some(Time::from_ns(15)));
+        assert_eq!(out.first_cmd_at, Time::from_ns(30));
         // Demanded line is not delayed by the prefetch columns.
         let mut d2 = dimm();
         let single = d2.read_line(0, 5, Time::from_ns(15));
@@ -296,14 +368,19 @@ mod tests {
         assert!(d.is_row_open(0, 5));
         let second = d.read_line(0, 5, Time::ZERO);
         assert!(second.row_hit);
+        assert_eq!(second.act_at, None);
         assert_eq!(d.ops().act_pre, 1);
     }
 
     #[test]
     fn write_then_read_separated_by_turnaround() {
         let mut d = dimm();
-        let wr_done = d.write_line(0, 1, Time::ZERO);
-        assert_eq!(wr_done, Time::from_ns(33)); // ACT@0, WR@15, data 27..33
+        let wr = d.write_line(0, 1, Time::ZERO);
+        // ACT@0, WR@15, data 27..33.
+        assert_eq!(wr.act_at, Some(Time::ZERO));
+        assert_eq!(wr.cmd_at, Time::from_ns(15));
+        assert_eq!(wr.data_start, Time::from_ns(27));
+        assert_eq!(wr.data_end, Time::from_ns(33));
         let rd = d.read_line(1, 1, Time::ZERO);
         // RD cmd ≥ 33 + tWTR(9) = 42, data at 57.
         assert_eq!(rd.data_ready, Time::from_ns(57));
@@ -325,8 +402,14 @@ mod tests {
         let b = d.read_line_at(1, 0, 5, Time::ZERO);
         // Rank 1's activate is not held back by rank 0's tRC; only the
         // shared data bus orders the bursts.
-        assert!(b.data_ready < Time::from_ns(54 + 30), "rank 1 delayed by rank 0's tRC");
-        assert!(b.data_ready >= a.data_ready + Dur::from_ns(6), "bus must serialize bursts");
+        assert!(
+            b.data_ready < Time::from_ns(54 + 30),
+            "rank 1 delayed by rank 0's tRC"
+        );
+        assert!(
+            b.data_ready >= a.data_ready + Dur::from_ns(6),
+            "bus must serialize bursts"
+        );
         // Ops are summed over ranks.
         assert_eq!(d.ops().act_pre, 2);
     }
@@ -336,7 +419,10 @@ mod tests {
         let mut d = AmbDimm::with_ranks(2, 4, DramTimings::ddr2_table2(), CLK, BURST, true);
         d.read_line_at(0, 0, 5, Time::ZERO);
         let b = d.read_line_at(0, 0, 6, Time::ZERO);
-        assert!(b.data_ready >= Time::from_ns(54 + 30), "tRC must apply within a rank");
+        assert!(
+            b.data_ready >= Time::from_ns(54 + 30),
+            "tRC must apply within a rank"
+        );
     }
 
     #[test]

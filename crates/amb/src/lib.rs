@@ -30,9 +30,9 @@ pub mod buffer;
 pub mod engine;
 
 pub use buffer::PrefetchBuffer;
-pub use engine::{AmbDimm, GroupFetchOutcome, ReadOutcome};
+pub use engine::{AmbDimm, GroupFetchOutcome, ReadOutcome, WriteOutcome};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use fbd_types::config::{AmbPrefetchConfig, Associativity, Replacement};

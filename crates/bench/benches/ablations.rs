@@ -58,13 +58,17 @@ fn run_pair(
         }
     }
     rows.extend(table.clone());
-    print_table(&rows);
+    emit_table("ablations", &rows);
     println!();
 }
 
 fn main() {
     let exp = ExperimentConfig::from_env();
-    banner("Ablations", "design-choice studies beyond the paper's figures", &exp);
+    banner(
+        "Ablations",
+        "design-choice studies beyond the paper's figures",
+        &exp,
+    );
     let refs = references(Variant::Ddr2, &exp);
 
     // 1. FIFO vs LRU replacement in the AMB cache.
@@ -100,7 +104,10 @@ fn main() {
     fcfs.mem.sched_policy = SchedPolicy::Fcfs;
     run_pair(
         "Controller scheduling: hit-first (paper) vs FCFS",
-        vec![("hit-first".into(), system(Variant::Fbd, 1)), ("FCFS".into(), fcfs)],
+        vec![
+            ("hit-first".into(), system(Variant::Fbd, 1)),
+            ("FCFS".into(), fcfs),
+        ],
         &exp,
         &refs,
     );

@@ -80,7 +80,7 @@ fn main() {
         ]);
         let _ = d2ap;
     }
-    print_table(&rows);
+    emit_table("ext_ddr3", &rows);
     println!();
     println!("question under test: does AMB prefetching's gain survive the DDR3 generation?");
 }

@@ -85,7 +85,7 @@ fn main() {
             f3(both / (ap * hp)),
         ]);
     }
-    print_table(&rows);
+    emit_table("ext_hw_prefetch", &rows);
     println!();
     println!("prediction under test: AP's gain should survive HP roughly the way it survives SP (Figure 12)");
 }

@@ -54,20 +54,18 @@ fn main() {
                 .expect("run")
                 .1;
             dyn_r.push(
-                dynamic.dynamic_energy(&ap.mem.dram_ops) / dynamic.dynamic_energy(&base.mem.dram_ops),
+                dynamic.dynamic_energy(&ap.mem.dram_ops)
+                    / dynamic.dynamic_energy(&base.mem.dram_ops),
             );
             // Static energy: per-rank residency over each run's own
             // elapsed time (AP finishing sooner is the point).
             let static_of = |r: &fbd_core::RunResult, pd: bool| {
                 let per_rank_active = r.mem.dram_active_time / ranks;
-                standby.static_energy(per_rank_active.min(r.elapsed), r.elapsed, pd)
-                    * ranks as f64
+                standby.static_energy(per_rank_active.min(r.elapsed), r.elapsed, pd) * ranks as f64
             };
             st_r.push(static_of(ap, false) / static_of(base, false));
             pd_r.push(static_of(ap, true) / static_of(base, true));
-            resid.push(
-                (ap.mem.dram_active_time / ranks).as_ns_f64() / ap.elapsed.as_ns_f64(),
-            );
+            resid.push((ap.mem.dram_active_time / ranks).as_ns_f64() / ap.elapsed.as_ns_f64());
         }
         rows.push(vec![
             group.to_string(),
@@ -77,7 +75,7 @@ fn main() {
             format!("{:.1}%", mean(&resid) * 100.0),
         ]);
     }
-    print_table(&rows);
+    emit_table("ext_power_breakdown", &rows);
     println!();
     println!("ratios are FBD-AP / FBD; < 1.0 = AP saves energy. Static savings come from");
     println!("shorter runtimes; power-down amplifies them by making idle time cheaper.");

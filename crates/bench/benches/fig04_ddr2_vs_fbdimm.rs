@@ -58,7 +58,7 @@ fn main() {
         ]);
         rows.push(Vec::new());
     }
-    print_table(&rows);
+    emit_table("fig04_ddr2_vs_fbdimm", &rows);
     println!();
     println!("paper: single −1.5%, dual −0.6%, four +1.1%, eight +6.0% (FBD vs DDR2 averages)");
 }

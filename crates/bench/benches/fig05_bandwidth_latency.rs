@@ -60,7 +60,7 @@ fn main() {
         ]);
         rows.push(Vec::new());
     }
-    print_table(&rows);
+    emit_table("fig05_bandwidth_latency", &rows);
     println!();
     println!("paper: 1-core avg 4.2 GB/s @ 60/62 ns; 8-core avg 16.0 GB/s @ 155 ns (DDR2) vs 17.1 GB/s @ 146 ns (FBD)");
 }

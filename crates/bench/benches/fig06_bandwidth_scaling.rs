@@ -12,7 +12,11 @@ use fbd_types::time::DataRate;
 
 fn main() {
     let exp = ExperimentConfig::from_env();
-    banner("Figure 6", "performance vs data rate and channel count", &exp);
+    banner(
+        "Figure 6",
+        "performance vs data rate and channel count",
+        &exp,
+    );
 
     let refs = references(Variant::Ddr2, &exp);
     let rates = [
@@ -61,7 +65,7 @@ fn main() {
                 rows.push(cells);
             }
         }
-        print_table(&rows);
+        emit_table(&format!("fig06_bandwidth_scaling_{group}"), &rows);
         println!();
     }
     println!("paper: FBD 533→667 gains 12.7% (1-core) / 20.5% (4-core); 1→2 channels gains 8.8% (1-core) / 75.1% (8-core)");

@@ -61,12 +61,15 @@ fn main() {
         ]);
         rows.push(Vec::new());
     }
-    print_table(&rows);
+    emit_table("fig07_amb_prefetch", &rows);
     println!();
     println!("paper: average AP gains +16.0% / +19.4% / +16.3% / +15.0% (1/2/4/8 cores); no workload negative");
     if negative.is_empty() {
         println!("reproduced: no workload has negative speedup");
     } else {
-        println!("NOTE: negative speedups observed on: {}", negative.join(", "));
+        println!(
+            "NOTE: negative speedups observed on: {}",
+            negative.join(", ")
+        );
     }
 }

@@ -34,7 +34,9 @@ fn main() {
         let cores = workloads[0].cores();
         let configs: Vec<(String, fbd_types::config::SystemConfig)> = points
             .iter()
-            .map(|(label, k, entries, assoc)| (label.clone(), ap_system(cores, *k, *entries, *assoc)))
+            .map(|(label, k, entries, assoc)| {
+                (label.clone(), ap_system(cores, *k, *entries, *assoc))
+            })
             .collect();
         let results = run_matrix(&configs, &workloads, &exp);
         let mut rows = vec![vec![
@@ -65,7 +67,7 @@ fn main() {
                 .collect();
             rows.push(vec![label.clone(), f3(mean(&covs)), f3(mean(&effs))]);
         }
-        print_table(&rows);
+        emit_table(&format!("fig08_coverage_efficiency_{group}"), &rows);
         println!();
     }
     println!("paper: ~50% coverage at the 4-CL default (bound 75%); larger K raises coverage, lowers efficiency");

@@ -55,7 +55,9 @@ fn main() {
             pct(ap / apfl),
         ]);
     }
-    print_table(&rows);
+    emit_table("fig09_gain_decomposition", &rows);
     println!();
-    println!("paper: bandwidth gains 8.2/10.1/8.5/9.2%, latency gains 7.1/8.5/7.2/5.3% (1/2/4/8 cores)");
+    println!(
+        "paper: bandwidth gains 8.2/10.1/8.5/9.2%, latency gains 7.1/8.5/7.2/5.3% (1/2/4/8 cores)"
+    );
 }

@@ -63,7 +63,7 @@ fn main() {
         ]);
         rows.push(Vec::new());
     }
-    print_table(&rows);
+    emit_table("fig10_ap_bandwidth_latency", &rows);
     println!();
     println!("paper: every workload shows higher utilized bandwidth and shorter latency with AP");
     if !regressions.is_empty() {

@@ -13,7 +13,11 @@ use fbd_types::config::Associativity;
 
 fn main() {
     let exp = ExperimentConfig::from_env();
-    banner("Figure 11", "sensitivity to #CL, buffer size, associativity", &exp);
+    banner(
+        "Figure 11",
+        "sensitivity to #CL, buffer size, associativity",
+        &exp,
+    );
 
     let points: Vec<(String, u32, u32, Associativity)> = vec![
         ("#CL=2".into(), 2, 64, Associativity::Full),
@@ -59,7 +63,7 @@ fn main() {
         }
     }
     rows.extend(table);
-    print_table(&rows);
+    emit_table("fig11_sensitivity", &rows);
     println!();
     println!("paper: all normalized to #CL=4/64-entry/full; direct mapping 95.3/90.5/87.4/87.0%, two-way ≥98%");
 }

@@ -80,7 +80,7 @@ fn main() {
             f3(additivity),
         ]);
     }
-    print_table(&rows);
+    emit_table("fig12_sw_prefetch", &rows);
     println!();
     println!("paper: SP > AP on 1-4 cores, AP > SP at 8 cores; AP+SP close to the sum of the individual gains");
 }

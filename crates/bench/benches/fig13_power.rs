@@ -89,7 +89,7 @@ fn main() {
         }
     }
     rows.extend(table);
-    print_table(&rows);
+    emit_table("fig13_power", &rows);
     println!();
     println!("operation-count shifts vs FBD:");
     for line in op_deltas {

@@ -76,16 +76,35 @@ fn bench_timeline(c: &mut Criterion) {
 fn bench_full_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system");
     group.sample_size(10);
+    let exp = ExperimentConfig {
+        seed: 42,
+        budget: 20_000,
+        ..Default::default()
+    };
+    let w = Workload::new("1C-swim", &["swim"]);
+    let mut cfg = SystemConfig::paper_default(1);
+    cfg.mem = MemoryConfig::fbdimm_with_prefetch();
+    // Telemetry off (the default): the registry/sampler/tracer cost is
+    // one pointer test per transaction. Compare the two series to bound
+    // the off-path overhead.
     group.bench_function("swim_20k_instructions", |b| {
-        let exp = ExperimentConfig {
-            seed: 42,
-            budget: 20_000,
-            ..Default::default()
-        };
-        let w = Workload::new("1C-swim", &["swim"]);
-        let mut cfg = SystemConfig::paper_default(1);
-        cfg.mem = MemoryConfig::fbdimm_with_prefetch();
         b.iter(|| black_box(run_workload(&cfg, &w, &exp).elapsed))
+    });
+    group.bench_function("swim_20k_instructions_telemetry", |b| {
+        let tc = fbd_telemetry::TelemetryConfig {
+            sample_interval: Some(cfg.mem.data_rate.clock_period() * 512),
+            trace: true,
+        };
+        // Same automatic L2 warm-up as `run_workload`, so the two
+        // series differ only in instrumentation.
+        let l2_lines = u64::from(cfg.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
+        let warmup = 2 * l2_lines / u64::from(cfg.cpu.cores);
+        b.iter(|| {
+            let mut sys =
+                fbd_core::System::with_warmup(&cfg, w.traces(exp.seed), exp.budget, warmup);
+            sys.enable_telemetry(&tc);
+            black_box(sys.run().elapsed)
+        })
     });
     group.finish();
 }

@@ -13,7 +13,11 @@ use fbd_workloads::Workload;
 
 fn main() {
     let exp = ExperimentConfig::from_env();
-    banner("Table 3 companion", "workload characterization (FBD, 1 core)", &exp);
+    banner(
+        "Table 3 companion",
+        "workload characterization (FBD, 1 core)",
+        &exp,
+    );
 
     let names = benchmark_names();
     let results = parallel_map(&names, |name| {
@@ -47,7 +51,7 @@ fn main() {
             f2(r.read_latency_percentile_ns(0.99)),
         ]);
     }
-    print_table(&rows);
+    emit_table("table3_characterization", &rows);
     println!();
     println!("FP streaming codes (swim, mgrid, applu) should dominate bandwidth;");
     println!("integer codes (parser, vortex) should be latency-bound at low MPKI.");

@@ -15,6 +15,7 @@
 #![warn(missing_debug_implementations)]
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use fbd_core::experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig};
@@ -68,12 +69,19 @@ pub fn system(variant: Variant, cores: u32) -> SystemConfig {
 
 /// AMB-prefetching system with explicit region size, buffer entries and
 /// associativity (the Figure 8/11/13 sensitivity grid).
-pub fn ap_system(cores: u32, region_lines: u32, entries: u32, assoc: Associativity) -> SystemConfig {
+pub fn ap_system(
+    cores: u32,
+    region_lines: u32,
+    entries: u32,
+    assoc: Associativity,
+) -> SystemConfig {
     let mut cfg = system(Variant::FbdAp, cores);
     cfg.mem.amb.region_lines = region_lines;
     cfg.mem.amb.cache_lines = entries;
     cfg.mem.amb.associativity = assoc;
-    cfg.mem.interleaving = Interleaving::MultiCacheline { lines: region_lines };
+    cfg.mem.interleaving = Interleaving::MultiCacheline {
+        lines: region_lines,
+    };
     cfg
 }
 
@@ -96,7 +104,12 @@ pub fn is_fbd(cfg: &SystemConfig) -> bool {
 /// The paper's workload groups: (label, workloads).
 pub fn workload_groups() -> Vec<(&'static str, Vec<Workload>)> {
     let (c1, c2, c4, c8) = paper_workloads();
-    vec![("1-core", c1), ("2-core", c2), ("4-core", c4), ("8-core", c8)]
+    vec![
+        ("1-core", c1),
+        ("2-core", c2),
+        ("4-core", c4),
+        ("8-core", c8),
+    ]
 }
 
 /// All twelve benchmark names.
@@ -115,9 +128,12 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(n);
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<R>>> = (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -168,11 +184,7 @@ pub fn references(reference: Variant, exp: &ExperimentConfig) -> HashMap<String,
             .remove(*name)
             .expect("reference computed")
     });
-    names
-        .into_iter()
-        .map(String::from)
-        .zip(ipcs)
-        .collect()
+    names.into_iter().map(String::from).zip(ipcs).collect()
 }
 
 /// SMT speedup of a finished run.
@@ -187,7 +199,12 @@ pub fn print_table(rows: &[Vec<String>]) {
     }
     let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
     let widths: Vec<usize> = (0..cols)
-        .map(|c| rows.iter().map(|r| r.get(c).map_or(0, String::len)).max().unwrap_or(0))
+        .map(|c| {
+            rows.iter()
+                .map(|r| r.get(c).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
     for (i, row) in rows.iter().enumerate() {
         let line: Vec<String> = row
@@ -199,6 +216,53 @@ pub fn print_table(rows: &[Vec<String>]) {
         if i == 0 {
             let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
             println!("{}", sep.join("  "));
+        }
+    }
+}
+
+/// Converts a table (first row = header) to CSV. Blank separator rows
+/// are dropped; cells containing commas, quotes, or newlines are quoted
+/// per RFC 4180.
+pub fn table_to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows.iter().filter(|r| !r.is_empty()) {
+        let line: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains([',', '"', '\n']) {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `rows` as `<dir>/<name>.csv`, creating the directory first.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_table_csv(dir: &Path, name: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table_to_csv(rows))?;
+    Ok(path)
+}
+
+/// Prints `rows` as a fixed-width table and, when `FBD_OUT_DIR` is set,
+/// also writes them to `$FBD_OUT_DIR/<name>.csv` so figure data lands
+/// as structured files instead of stdout text only.
+pub fn emit_table(name: &str, rows: &[Vec<String>]) {
+    print_table(rows);
+    if let Ok(dir) = std::env::var("FBD_OUT_DIR") {
+        match write_table_csv(Path::new(&dir), name, rows) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {name}.csv under {dir}: {e}"),
         }
     }
 }
@@ -250,12 +314,19 @@ mod tests {
 
     #[test]
     fn variant_configs_validate() {
-        for v in [Variant::Ddr2, Variant::Fbd, Variant::FbdAp, Variant::FbdApfl] {
+        for v in [
+            Variant::Ddr2,
+            Variant::Fbd,
+            Variant::FbdAp,
+            Variant::FbdApfl,
+        ] {
             for cores in [1, 2, 4, 8] {
                 system(v, cores).validate().unwrap();
             }
         }
-        ap_system(4, 8, 128, Associativity::Ways(4)).validate().unwrap();
+        ap_system(4, 8, 128, Associativity::Ways(4))
+            .validate()
+            .unwrap();
     }
 
     #[test]
@@ -265,6 +336,32 @@ mod tests {
         assert_eq!(pct(0.9), "-10.0%");
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_to_csv_quotes_and_drops_separators() {
+        let rows = vec![
+            vec!["workload".to_string(), "note".to_string()],
+            vec!["4C-1".to_string(), "a,b".to_string()],
+            Vec::new(),
+            vec!["8C-2".to_string(), "say \"hi\"".to_string()],
+        ];
+        assert_eq!(
+            table_to_csv(&rows),
+            "workload,note\n4C-1,\"a,b\"\n8C-2,\"say \"\"hi\"\"\"\n"
+        );
+    }
+
+    #[test]
+    fn write_table_csv_round_trips() {
+        let dir = std::env::temp_dir().join(format!("fbd-bench-test-{}", std::process::id()));
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string(), "2".to_string()],
+        ];
+        let path = write_table_csv(&dir, "fig99", &rows).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

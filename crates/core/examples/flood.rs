@@ -25,7 +25,13 @@ fn run(label: &str, cfg: MemoryConfig, stride: u64, write_every: u64) {
         } else {
             AccessKind::DemandRead
         };
-        let r = MemRequest::new(RequestId(i), CoreId(0), kind, LineAddr::new(i * stride), Time::from_ns(i / 4));
+        let r = MemRequest::new(
+            RequestId(i),
+            CoreId(0),
+            kind,
+            LineAddr::new(i * stride),
+            Time::from_ns(i / 4),
+        );
         let (ch, ready) = mem.submit(r);
         ev.push(Reverse((ready, Ev::Decide(ch))));
     }
@@ -70,7 +76,10 @@ fn main() {
         ("random-ish reads (stride 97)", 97, 0),
         ("reads + 25% writes (stride 97)", 97, 4),
     ] {
-        for rate in [fbd_types::time::DataRate::MTS667, fbd_types::time::DataRate::MTS800] {
+        for rate in [
+            fbd_types::time::DataRate::MTS667,
+            fbd_types::time::DataRate::MTS800,
+        ] {
             let mut d = MemoryConfig::ddr2_default();
             d.logical_channels = 1;
             d.data_rate = rate;

@@ -3,14 +3,28 @@ use fbd_core::experiment::{run_workload, ExperimentConfig};
 use fbd_types::config::{MemoryConfig, SystemConfig};
 
 fn main() {
-    let exp = ExperimentConfig { seed: 42, budget: 100_000, ..Default::default() };
+    let exp = ExperimentConfig {
+        seed: 42,
+        budget: 100_000,
+        ..Default::default()
+    };
     let w8 = fbd_workloads::eight_core_workloads().remove(0);
-    for (name, mem) in [("DDR2", MemoryConfig::ddr2_default()), ("FBD", MemoryConfig::fbdimm_default()), ("FBD-AP", MemoryConfig::fbdimm_with_prefetch())] {
+    for (name, mem) in [
+        ("DDR2", MemoryConfig::ddr2_default()),
+        ("FBD", MemoryConfig::fbdimm_default()),
+        ("FBD-AP", MemoryConfig::fbdimm_with_prefetch()),
+    ] {
         let mut cfg = SystemConfig::paper_default(8);
         cfg.mem = mem;
         let r = run_workload(&cfg, &w8, &exp);
-        println!("{name}: bw={:.2}GB/s lat={:.1}ns reads={} writes={} act={} col={}",
-            r.bandwidth_gbps(), r.avg_read_latency_ns(), r.mem.total_reads(), r.mem.writes,
-            r.mem.dram_ops.act_pre, r.mem.dram_ops.col_total());
+        println!(
+            "{name}: bw={:.2}GB/s lat={:.1}ns reads={} writes={} act={} col={}",
+            r.bandwidth_gbps(),
+            r.avg_read_latency_ns(),
+            r.mem.total_reads(),
+            r.mem.writes,
+            r.mem.dram_ops.act_pre,
+            r.mem.dram_ops.col_total()
+        );
     }
 }

@@ -4,14 +4,24 @@ use fbd_types::config::SystemConfig;
 use fbd_workloads::Workload;
 
 fn main() {
-    let exp = ExperimentConfig { seed: 42, budget: 200_000, ..Default::default() };
+    let exp = ExperimentConfig {
+        seed: 42,
+        budget: 200_000,
+        ..Default::default()
+    };
     let w = Workload::new("1C-swim", &["swim"]);
     for sp in [false, true] {
         let mut cfg = SystemConfig::paper_default(1);
         cfg.cpu.software_prefetch = sp;
         let r = run_workload(&cfg, &w, &exp);
-        println!("SP={sp}: ipc={:.3} demand_reads={} swpf_reads={} writes={} lat={:.1}ns bw={:.2}",
-            r.cores[0].ipc(), r.mem.demand_reads, r.mem.sw_prefetch_reads, r.mem.writes,
-            r.avg_read_latency_ns(), r.bandwidth_gbps());
+        println!(
+            "SP={sp}: ipc={:.3} demand_reads={} swpf_reads={} writes={} lat={:.1}ns bw={:.2}",
+            r.cores[0].ipc(),
+            r.mem.demand_reads,
+            r.mem.sw_prefetch_reads,
+            r.mem.writes,
+            r.avg_read_latency_ns(),
+            r.bandwidth_gbps()
+        );
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! fbdsim list
-//! fbdsim run     --workload 4C-1 --system fbd-ap [--budget N] [--seed N] [--csv]
+//! fbdsim run     --workload 4C-1 --system fbd-ap [--budget N] [--seed N] [--csv] [--json]
+//!                [--stats-json stats.json] [--trace-out trace.json] [--sample-interval 512]
 //! fbdsim compare --workload 1C-swim [--budget N] [--seed N] [--csv]
 //! fbdsim sweep   --workload 1C-mgrid --knob {k|entries|assoc|channels|rate} [--csv]
 //! ```
@@ -16,21 +17,35 @@ use std::process::ExitCode;
 
 use fbd_core::experiment::{run_workload, ExperimentConfig};
 use fbd_core::RunResult;
-use fbd_types::config::{
-    AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, SystemConfig,
-};
+use fbd_telemetry::{Json, TelemetryConfig};
+use fbd_types::config::{AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, SystemConfig};
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload};
 
+fn usage_text() -> String {
+    "usage:\n  fbdsim list\n  fbdsim run --workload <name> --system <ddr2|fbd|fbd-ap|fbd-apfl> \
+     [--budget N] [--seed N] [--csv] [--json] [--timeline]\n             \
+     [--stats-json <file>] [--trace-out <file>] [--sample-interval <cycles>]\n  \
+     fbdsim compare --workload <name> [--budget N] [--seed N] [--csv]\n  \
+     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] [--csv]\n  \
+     fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
+     fbdsim replay --trace <trace.csv> --system <name>\n\n\
+     telemetry options (run):\n  \
+     --stats-json <file>        write machine-readable run statistics as JSON\n  \
+     --json                     print the same statistics JSON to stdout\n  \
+     --trace-out <file>         write a Chrome-trace (Perfetto-loadable) event trace\n  \
+     --sample-interval <cycles> snapshot all metrics every N memory-clock cycles"
+        .to_string()
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  fbdsim list\n  fbdsim run --workload <name> --system <ddr2|fbd|fbd-ap|fbd-apfl> \
-         [--budget N] [--seed N] [--csv] [--timeline]\n  fbdsim compare --workload <name> [--budget N] [--seed N] [--csv]\n  \
-         fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] [--csv]\n  \
-         fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
-         fbdsim replay --trace <trace.csv> --system <name>"
-    );
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
+}
+
+fn help() -> ExitCode {
+    println!("{}", usage_text());
+    ExitCode::SUCCESS
 }
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
@@ -104,7 +119,154 @@ fn experiment(args: &Args) -> ExperimentConfig {
     exp
 }
 
-const CSV_HEADER: &str = "workload,system,ipc_sum,bandwidth_gbps,avg_latency_ns,p50_ns,p95_ns,p99_ns,\
+/// Resolves the run subcommand's telemetry flags. `Ok(None)` means no
+/// telemetry was requested (the run pays zero instrumentation cost);
+/// `Err` is a usage error already reported on stderr.
+fn telemetry_options(args: &Args, cfg: &SystemConfig) -> Result<Option<TelemetryConfig>, ExitCode> {
+    for key in ["stats-json", "trace-out", "sample-interval"] {
+        if args.has_flag(key) {
+            eprintln!("--{key} requires a value");
+            return Err(ExitCode::from(2));
+        }
+    }
+    let sample_interval = match args.get("sample-interval") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(cycles) if cycles > 0 => Some(cfg.mem.data_rate.clock_period() * cycles),
+            _ => {
+                eprintln!("--sample-interval must be a positive cycle count, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        },
+    };
+    let trace = args.get("trace-out").is_some();
+    if sample_interval.is_none() && !trace {
+        return Ok(None);
+    }
+    Ok(Some(TelemetryConfig {
+        sample_interval,
+        trace,
+    }))
+}
+
+/// Like [`run_workload`], but with telemetry enabled on the system
+/// (same automatic L2 warm-up).
+fn run_instrumented(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    exp: &ExperimentConfig,
+    tc: &TelemetryConfig,
+) -> RunResult {
+    let l2_lines = u64::from(cfg.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
+    let warmup = 2 * l2_lines / u64::from(cfg.cpu.cores);
+    let mut sys = fbd_core::System::with_warmup(cfg, workload.traces(exp.seed), exp.budget, warmup);
+    sys.enable_telemetry(tc);
+    sys.run()
+}
+
+/// The machine-readable statistics document written by `--stats-json`
+/// and printed by `--json`: everything the human report shows, plus the
+/// full metric registry and epoch time-series when telemetry ran.
+fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
+    let ipc_sum: f64 = r.ipcs().iter().sum();
+    let bw = r.channel_bandwidth_gbps();
+    let channels: Vec<Json> = r
+        .channels
+        .iter()
+        .zip(&bw)
+        .enumerate()
+        .map(|(c, (counts, gbps))| {
+            Json::Obj(vec![
+                ("channel".into(), Json::from(c)),
+                ("reads".into(), Json::from(counts.reads)),
+                ("writes".into(), Json::from(counts.writes)),
+                ("bytes".into(), Json::from(counts.bytes)),
+                ("amb_hits".into(), Json::from(counts.amb_hits)),
+                ("bandwidth_gbps".into(), Json::from(*gbps)),
+            ])
+        })
+        .collect();
+    let max_ns = r.mem.read_latency.max().map_or(0.0, |d| d.as_ns_f64());
+    let mut fields = vec![
+        ("workload".to_string(), Json::from(workload.name())),
+        ("system".to_string(), Json::from(system)),
+        ("elapsed_ns".to_string(), Json::from(r.elapsed.as_ns_f64())),
+        ("ipc_sum".to_string(), Json::from(ipc_sum)),
+        (
+            "ipc".to_string(),
+            Json::Arr(r.ipcs().into_iter().map(Json::from).collect()),
+        ),
+        ("bandwidth_gbps".to_string(), Json::from(r.bandwidth_gbps())),
+        (
+            "traffic".to_string(),
+            Json::Obj(vec![
+                ("demand_reads".into(), Json::from(r.mem.demand_reads)),
+                (
+                    "sw_prefetch_reads".into(),
+                    Json::from(r.mem.sw_prefetch_reads),
+                ),
+                (
+                    "hw_prefetch_reads".into(),
+                    Json::from(r.mem.hw_prefetch_reads),
+                ),
+                ("writes".into(), Json::from(r.mem.writes)),
+                ("data_bytes".into(), Json::from(r.mem.data_bytes)),
+            ]),
+        ),
+        ("channels".to_string(), Json::Arr(channels)),
+        (
+            "read_latency".to_string(),
+            Json::Obj(vec![
+                ("count".into(), Json::from(r.mem.read_latency.count())),
+                ("mean_ns".into(), Json::from(r.avg_read_latency_ns())),
+                ("max_ns".into(), Json::from(max_ns)),
+                (
+                    "p50_ns".into(),
+                    Json::from(r.read_latency_percentile_ns(0.50)),
+                ),
+                (
+                    "p95_ns".into(),
+                    Json::from(r.read_latency_percentile_ns(0.95)),
+                ),
+                (
+                    "p99_ns".into(),
+                    Json::from(r.read_latency_percentile_ns(0.99)),
+                ),
+            ]),
+        ),
+        (
+            "prefetch".to_string(),
+            Json::Obj(vec![
+                ("amb_hits".into(), Json::from(r.mem.amb_hits)),
+                (
+                    "lines_prefetched".into(),
+                    Json::from(r.mem.lines_prefetched),
+                ),
+                ("coverage".into(), Json::from(r.mem.prefetch_coverage())),
+                ("efficiency".into(), Json::from(r.mem.prefetch_efficiency())),
+            ]),
+        ),
+        (
+            "dram".to_string(),
+            Json::Obj(vec![
+                ("act_pre".into(), Json::from(r.mem.dram_ops.act_pre)),
+                ("col_reads".into(), Json::from(r.mem.dram_ops.col_reads)),
+                ("col_writes".into(), Json::from(r.mem.dram_ops.col_writes)),
+                ("refreshes".into(), Json::from(r.mem.dram_ops.refreshes)),
+            ]),
+        ),
+    ];
+    if let Some(tel) = &r.telemetry {
+        fields.push(("metrics".to_string(), tel.registry.to_json()));
+        if let Some(sampler) = &tel.sampler {
+            fields.push(("series".to_string(), sampler.to_json(&tel.registry)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+const CSV_HEADER: &str =
+    "workload,system,ipc_sum,bandwidth_gbps,avg_latency_ns,p50_ns,p95_ns,p99_ns,\
      demand_reads,prefetch_reads,writes,amb_hits,coverage,efficiency,act_pre,col_accesses";
 
 fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
@@ -169,7 +331,12 @@ fn cmd_list() -> ExitCode {
     println!("workloads:");
     for w in all_workloads() {
         let names: Vec<&str> = w.benchmarks().iter().map(|b| b.name).collect();
-        println!("  {:<12} {} core(s): {}", w.name(), w.cores(), names.join(", "));
+        println!(
+            "  {:<12} {} core(s): {}",
+            w.name(),
+            w.cores(),
+            names.join(", ")
+        );
     }
     ExitCode::SUCCESS
 }
@@ -187,14 +354,48 @@ fn cmd_run(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let exp = experiment(args);
+    let telemetry = match telemetry_options(args, &cfg) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
     let csv = args.has_flag("csv");
-    if csv {
-        println!("{CSV_HEADER}");
+    let json_stdout = args.has_flag("json");
+    let r = match &telemetry {
+        Some(tc) => run_instrumented(&cfg, &workload, &exp, tc),
+        None => run_workload(&cfg, &workload, &exp),
+    };
+    if json_stdout {
+        println!("{}", stats_document(&workload, sname, &r).to_json());
+    } else {
+        if csv {
+            println!("{CSV_HEADER}");
+        }
+        report(&workload, sname, &r, csv);
     }
-    let r = run_workload(&cfg, &workload, &exp);
-    report(&workload, sname, &r, csv);
+    if let Some(path) = args.get("stats-json") {
+        let doc = stats_document(&workload, sname, &r);
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty(2)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = args.get("trace-out") {
+        let tracer = r
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.tracer.as_ref())
+            .expect("--trace-out enables tracing");
+        let doc = tracer.to_chrome_trace().to_json_pretty(1);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if args.has_flag("timeline") {
-        println!("bandwidth over time ({} epochs):", r.mem.bandwidth_series.epoch());
+        println!(
+            "bandwidth over time ({} epochs):",
+            r.mem.bandwidth_series.epoch()
+        );
         for (i, gbps) in r.mem.bandwidth_series.series_gbps().iter().enumerate() {
             let bar = "#".repeat((gbps * 2.0).round() as usize);
             println!("  {:>5} µs  {gbps:>6.2} GB/s  {bar}", i);
@@ -365,7 +566,10 @@ fn cmd_replay(args: &Args) -> ExitCode {
     };
     let result = fbd_core::replay(&cfg.mem, &trace);
     println!("replayed {} transactions on {}:", trace.len(), sname);
-    println!("  finished at        {:.2} µs", result.finished.as_ns_f64() / 1_000.0);
+    println!(
+        "  finished at        {:.2} µs",
+        result.finished.as_ns_f64() / 1_000.0
+    );
     println!("  bandwidth          {:.2} GB/s", result.bandwidth_gbps());
     println!(
         "  read latency       avg {:.1} ns",
@@ -399,6 +603,7 @@ fn main() -> ExitCode {
         return usage();
     };
     match cmd.as_str() {
+        "help" | "--help" | "-h" => help(),
         "list" => cmd_list(),
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
@@ -450,6 +655,105 @@ mod tests {
             cfg.validate().unwrap();
         }
         assert!(system_config("ddr5", 1).is_none());
+    }
+
+    #[test]
+    fn telemetry_flags_resolve() {
+        let cfg = system_config("fbd-ap", 1).unwrap();
+        // No telemetry flags: instrumentation stays off entirely.
+        let args = parse(&["--workload", "1C-swim"]).unwrap();
+        assert!(telemetry_options(&args, &cfg).unwrap().is_none());
+        // `--trace-out` alone turns tracing on without sampling.
+        let args = parse(&["--trace-out", "/tmp/t.json"]).unwrap();
+        let tc = telemetry_options(&args, &cfg).unwrap().unwrap();
+        assert!(tc.trace);
+        assert!(tc.sample_interval.is_none());
+        // `--sample-interval` is in memory-clock cycles.
+        let args = parse(&["--sample-interval", "512"]).unwrap();
+        let tc = telemetry_options(&args, &cfg).unwrap().unwrap();
+        assert!(!tc.trace);
+        assert_eq!(
+            tc.sample_interval,
+            Some(cfg.mem.data_rate.clock_period() * 512)
+        );
+    }
+
+    #[test]
+    fn telemetry_rejects_bad_sample_intervals() {
+        let cfg = system_config("fbd-ap", 1).unwrap();
+        for bad in ["0", "-5", "abc", "1.5"] {
+            let args = parse(&["--sample-interval", bad]).unwrap();
+            assert!(
+                telemetry_options(&args, &cfg).is_err(),
+                "interval `{bad}` must be rejected"
+            );
+        }
+        // A value-taking telemetry flag with no value is a usage error,
+        // not a silent no-op.
+        for flag in ["--stats-json", "--trace-out", "--sample-interval"] {
+            let args = parse(&[flag, "--csv"]).unwrap();
+            assert!(
+                telemetry_options(&args, &cfg).is_err(),
+                "bare {flag} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_document_matches_run_result() {
+        let workload = find_workload("1C-swim").unwrap();
+        let cfg = system_config("fbd-ap", 1).unwrap();
+        let exp = ExperimentConfig {
+            budget: 20_000,
+            ..ExperimentConfig::default()
+        };
+        let tc = TelemetryConfig {
+            sample_interval: Some(cfg.mem.data_rate.clock_period() * 512),
+            trace: true,
+        };
+        let r = run_instrumented(&cfg, &workload, &exp, &tc);
+        let doc = stats_document(&workload, "fbd-ap", &r);
+        // The document round-trips through its own writer and parser.
+        let parsed = fbd_telemetry::json::parse(&doc.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("workload").and_then(Json::as_str),
+            Some("1C-swim")
+        );
+        // Summed channel bandwidth agrees with the scalar headline.
+        let chans = parsed.get("channels").and_then(Json::as_array).unwrap();
+        assert_eq!(chans.len(), cfg.mem.logical_channels as usize);
+        let reads: f64 = chans
+            .iter()
+            .map(|c| c.get("reads").and_then(Json::as_f64).unwrap())
+            .sum();
+        let all_reads = r.mem.demand_reads + r.mem.sw_prefetch_reads + r.mem.hw_prefetch_reads;
+        assert_eq!(reads as u64, all_reads);
+        // Latency, prefetch, and DRAM operation fields mirror MemStats.
+        let lat = parsed.get("read_latency").unwrap();
+        assert_eq!(
+            lat.get("count").and_then(Json::as_f64),
+            Some(r.mem.demand_reads as f64)
+        );
+        let mean = lat.get("mean_ns").and_then(Json::as_f64).unwrap();
+        assert!((mean - r.avg_read_latency_ns()).abs() < 1e-6);
+        let pf = parsed.get("prefetch").unwrap();
+        assert_eq!(
+            pf.get("amb_hits").and_then(Json::as_f64),
+            Some(r.mem.amb_hits as f64)
+        );
+        let dram = parsed.get("dram").unwrap();
+        assert_eq!(
+            dram.get("act_pre").and_then(Json::as_f64),
+            Some(r.mem.dram_ops.act_pre as f64)
+        );
+        // Telemetry ran, so the registry and time-series are attached.
+        assert!(parsed.get("metrics").is_some());
+        assert!(parsed.get("series").is_some());
+        // Without telemetry those sections are absent.
+        let bare = run_workload(&cfg, &workload, &exp);
+        let doc = stats_document(&workload, "fbd-ap", &bare);
+        assert!(doc.get("metrics").is_none());
+        assert!(doc.get("series").is_none());
     }
 
     #[test]

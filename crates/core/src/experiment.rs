@@ -167,17 +167,18 @@ mod tests {
                 })
                 .collect(),
             mem: MemStats::default(),
+            channels: Vec::new(),
             trace: None,
+            telemetry: None,
         }
     }
 
     #[test]
     fn smt_speedup_sums_per_core_ratios() {
         let w = Workload::new("2C-x", &["swim", "parser"]);
-        let refs: HashMap<String, f64> =
-            [("swim".to_string(), 0.5), ("parser".to_string(), 1.0)]
-                .into_iter()
-                .collect();
+        let refs: HashMap<String, f64> = [("swim".to_string(), 0.5), ("parser".to_string(), 1.0)]
+            .into_iter()
+            .collect();
         let r = fake_result(&[1.0, 0.5]);
         // 1.0/0.5 + 0.5/1.0 = 2.5.
         let s = smt_speedup(&w, &r, &refs);

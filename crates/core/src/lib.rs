@@ -42,6 +42,6 @@ pub mod system;
 pub mod trace_io;
 
 pub use experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig, Warmup};
-pub use memsys::{DecideResult, Issued, MemorySystem};
+pub use memsys::{ChannelCounters, DecideResult, Issued, MemorySystem};
 pub use system::{RunResult, System};
 pub use trace_io::{replay, MemoryTrace, ReplayResult, TraceRecord};

@@ -18,10 +18,17 @@
 
 use std::collections::VecDeque;
 
-use fbd_amb::AmbDimm;
-use fbd_ctrl::{AddressMapper, HitFirstScheduler, MappedAddr, PrefetchTable, QueueEntry, SchedClass, TransactionQueue};
-use fbd_dram::{BankArray, ColKind, ColumnOp, DataBus};
-use fbd_link::{Ddr2CommandBus, FbdChannel};
+use fbd_amb::{AmbDimm, GroupFetchOutcome, ReadOutcome, WriteOutcome};
+use fbd_ctrl::{
+    AddressMapper, FillOutcome, HitFirstScheduler, MappedAddr, PrefetchTable, QueueEntry,
+    SchedClass, TransactionQueue,
+};
+use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
+use fbd_link::{Ddr2CommandBus, FbdChannel, LinkSlot};
+use fbd_power::PowerModeTracker;
+use fbd_telemetry::{
+    tid_dimm, tid_power, Json, MetricId, Telemetry, TelemetryConfig, TID_NORTH, TID_SOUTH,
+};
 use fbd_types::config::{AmbPrefetchMode, MemoryConfig, MemoryTech, PagePolicy};
 use fbd_types::request::{AccessKind, MemRequest, MemResponse, ServiceKind};
 use fbd_types::stats::MemStats;
@@ -32,6 +39,11 @@ use fbd_types::CACHE_LINE_BYTES;
 /// issuing and waits for completions. Bounds how far reservations run
 /// ahead of service, keeping hit-first reordering effective.
 const MAX_INFLIGHT_PER_CHANNEL: u32 = 16;
+
+/// Idle timeout of the power-mode residency model: a rank idle longer
+/// than this is assumed to be dropped into precharge power-down by the
+/// controller (CKE low); shorter gaps stay in precharge standby.
+const POWERDOWN_AFTER: Dur = Dur::from_ns(30);
 
 /// An issued transaction, as reported to the simulation engine.
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +94,212 @@ struct Channel {
     refresh_due: Vec<Time>,
 }
 
+/// Always-on per-channel traffic counters. These stay outside the
+/// optional telemetry registry so per-channel bandwidth is available to
+/// exporters even when telemetry was never enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelCounters {
+    /// Read transactions issued on this channel (all read kinds).
+    pub reads: u64,
+    /// Write transactions issued on this channel.
+    pub writes: u64,
+    /// Data moved over this channel, in bytes.
+    pub bytes: u64,
+    /// Reads served from an AMB prefetch cache on this channel.
+    pub amb_hits: u64,
+}
+
+/// Registry handles for one DIMM's metrics.
+#[derive(Clone, Copy)]
+struct DimmIds {
+    acts: MetricId,
+    reads: MetricId,
+    writes: MetricId,
+    power_active_ns: MetricId,
+    power_standby_ns: MetricId,
+    power_powerdown_ns: MetricId,
+}
+
+/// Registry handles for one channel's metrics.
+struct ChanIds {
+    reads: MetricId,
+    writes: MetricId,
+    bytes: MetricId,
+    amb_hits: MetricId,
+    queue_depth: MetricId,
+    inflight: MetricId,
+    dimms: Vec<DimmIds>,
+}
+
+/// Telemetry state attached to a [`MemorySystem`] when enabled: the
+/// registry/sampler/tracer plus the pre-registered metric handles and
+/// per-(channel, DIMM) power-mode trackers. Boxed behind an `Option` so
+/// the telemetry-off hot path pays one pointer test.
+struct MemTel {
+    tel: Telemetry,
+    chans: Vec<ChanIds>,
+    read_latency: MetricId,
+    pf_fills: MetricId,
+    pf_evictions: MetricId,
+    pf_hits: MetricId,
+    /// Indexed `channel * dimms_per_channel + dimm`.
+    power: Vec<PowerModeTracker>,
+    dimms_per_channel: u32,
+}
+
+impl MemTel {
+    fn pidx(&self, ch: u32, dimm: u32) -> usize {
+        (ch * self.dimms_per_channel + dimm) as usize
+    }
+
+    /// A southbound frame slot (command or write data).
+    fn south_frame(&mut self, name: &'static str, ch: u32, slot: LinkSlot) {
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            tr.complete(name, "link", ch, TID_SOUTH, slot.start, slot.dur, vec![]);
+        }
+    }
+
+    /// A northbound data-return slot.
+    fn north_frame(&mut self, ch: u32, slot: LinkSlot) {
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            tr.complete("data", "link", ch, TID_NORTH, slot.start, slot.dur, vec![]);
+        }
+    }
+
+    /// Channel-level read accounting (any read kind).
+    fn count_read(&mut self, ch: u32) {
+        let ids = &self.chans[ch as usize];
+        let (reads, bytes) = (ids.reads, ids.bytes);
+        self.tel.registry.add(reads, 1);
+        self.tel.registry.add(bytes, CACHE_LINE_BYTES);
+    }
+
+    /// Channel-level write accounting.
+    fn count_write(&mut self, ch: u32) {
+        let ids = &self.chans[ch as usize];
+        let (writes, bytes) = (ids.writes, ids.bytes);
+        self.tel.registry.add(writes, 1);
+        self.tel.registry.add(bytes, CACHE_LINE_BYTES);
+    }
+
+    /// A read served from the AMB prefetch cache (no DRAM access).
+    fn amb_hit(&mut self, ch: u32, dimm: u32, at: Time) {
+        let id = self.chans[ch as usize].amb_hits;
+        self.tel.registry.add(id, 1);
+        self.tel.registry.add(self.pf_hits, 1);
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            tr.instant("amb_hit", "amb", ch, tid_dimm(dimm as usize), at, vec![]);
+        }
+    }
+
+    /// A plain single-line DRAM read on an FBD channel.
+    fn dram_read(&mut self, ch: u32, dimm: u32, out: &ReadOutcome) {
+        let ids = self.chans[ch as usize].dimms[dimm as usize];
+        if out.act_at.is_some() {
+            self.tel.registry.add(ids.acts, 1);
+        }
+        self.tel.registry.add(ids.reads, 1);
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            let tid = tid_dimm(dimm as usize);
+            if let Some(act) = out.act_at {
+                tr.complete("ACT", "dram", ch, tid, act, out.cmd_at - act, vec![]);
+            }
+            tr.complete(
+                "RD",
+                "dram",
+                ch,
+                tid,
+                out.cmd_at,
+                out.data_end - out.cmd_at,
+                vec![],
+            );
+        }
+        let i = self.pidx(ch, dimm);
+        self.power[i].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
+    }
+
+    /// A K-line group fetch (one ACT, K pipelined column reads).
+    fn group_fetch(&mut self, ch: u32, dimm: u32, out: &GroupFetchOutcome, fill: &FillOutcome) {
+        let ids = self.chans[ch as usize].dimms[dimm as usize];
+        if out.act_at.is_some() {
+            self.tel.registry.add(ids.acts, 1);
+        }
+        self.tel
+            .registry
+            .add(ids.reads, u64::from(out.lines_fetched));
+        self.tel.registry.add(self.pf_fills, fill.inserted);
+        self.tel.registry.add(self.pf_evictions, fill.evicted);
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            let tid = tid_dimm(dimm as usize);
+            if let Some(act) = out.act_at {
+                tr.complete("ACT", "dram", ch, tid, act, out.first_cmd_at - act, vec![]);
+            }
+            tr.complete(
+                format!("RDx{}", out.lines_fetched),
+                "dram",
+                ch,
+                tid,
+                out.first_cmd_at,
+                out.fill_done - out.first_cmd_at,
+                vec![("prefetched", Json::from(fill.inserted))],
+            );
+        }
+        let i = self.pidx(ch, dimm);
+        self.power[i].note_busy(out.act_at.unwrap_or(out.first_cmd_at), out.fill_done);
+    }
+
+    /// A line write at the DRAM devices of an FBD DIMM.
+    fn dram_write(&mut self, ch: u32, dimm: u32, out: &WriteOutcome) {
+        let ids = self.chans[ch as usize].dimms[dimm as usize];
+        if out.act_at.is_some() {
+            self.tel.registry.add(ids.acts, 1);
+        }
+        self.tel.registry.add(ids.writes, 1);
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            let tid = tid_dimm(dimm as usize);
+            if let Some(act) = out.act_at {
+                tr.complete("ACT", "dram", ch, tid, act, out.cmd_at - act, vec![]);
+            }
+            tr.complete(
+                "WR",
+                "dram",
+                ch,
+                tid,
+                out.cmd_at,
+                out.data_end - out.cmd_at,
+                vec![],
+            );
+        }
+        let i = self.pidx(ch, dimm);
+        self.power[i].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
+    }
+
+    /// A committed access plan on a DDR2 channel; emits one span per
+    /// command (PRE/ACT, then the column command through its burst).
+    fn ddr2_access(&mut self, ch: u32, dimm: u32, plan: &AccessPlan) {
+        let cmds: Vec<(&'static str, Time)> = plan.commands().collect();
+        let ids = self.chans[ch as usize].dimms[dimm as usize];
+        if cmds.iter().any(|(n, _)| *n == "ACT") {
+            self.tel.registry.add(ids.acts, 1);
+        }
+        let (col_name, _) = *cmds.last().expect("a plan always has a column command");
+        if col_name.starts_with("RD") {
+            self.tel.registry.add(ids.reads, 1);
+        } else {
+            self.tel.registry.add(ids.writes, 1);
+        }
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            let tid = tid_dimm(dimm as usize);
+            for (i, (name, at)) in cmds.iter().enumerate() {
+                let end = cmds.get(i + 1).map_or(plan.data_end, |(_, t)| *t);
+                tr.complete(*name, "dram", ch, tid, *at, end - *at, vec![]);
+            }
+        }
+        let i = self.pidx(ch, dimm);
+        self.power[i].note_busy(cmds[0].1, plan.data_end);
+    }
+}
+
 /// The full memory subsystem behind the processor complex.
 pub struct MemorySystem {
     cfg: MemoryConfig,
@@ -94,6 +312,8 @@ pub struct MemorySystem {
     table: Option<PrefetchTable>,
     channels: Vec<Channel>,
     stats: MemStats,
+    chan_counts: Vec<ChannelCounters>,
+    tel: Option<Box<MemTel>>,
     /// DIMM-bus time of one line on a (ganged) DIMM.
     burst: Dur,
     clock: Dur,
@@ -156,7 +376,9 @@ impl MemorySystem {
                         cmd: Ddr2CommandBus::new(cfg),
                         bus: DataBus::new(clock),
                         dimms: (0..cfg.dimms_per_channel * cfg.ranks_per_dimm)
-                            .map(|_| BankArray::new(cfg.banks_per_dimm as usize, cfg.timings, clock))
+                            .map(|_| {
+                                BankArray::new(cfg.banks_per_dimm as usize, cfg.timings, clock)
+                            })
                             .collect(),
                     },
                 };
@@ -183,10 +405,161 @@ impl MemorySystem {
             table: cfg.amb.is_enabled().then(|| PrefetchTable::new(cfg)),
             channels,
             stats: MemStats::default(),
+            chan_counts: vec![ChannelCounters::default(); cfg.logical_channels as usize],
+            tel: None,
             burst,
             clock,
             cfg: *cfg,
         }
+    }
+
+    /// Turns on telemetry collection for the rest of the run: registers
+    /// the per-channel / per-DIMM metrics, names the trace tracks, and
+    /// allocates one power-mode tracker per (channel, DIMM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sample_interval` is `Some(Dur::ZERO)`.
+    pub fn enable_telemetry(&mut self, config: &TelemetryConfig) {
+        let mut tel = Telemetry::new(config);
+        let ndimm = self.cfg.dimms_per_channel;
+        let chans: Vec<ChanIds> = (0..self.cfg.logical_channels)
+            .map(|c| {
+                if let Some(tr) = tel.tracer.as_mut() {
+                    tr.name_process(c, &format!("chan{c}"));
+                    tr.name_track(c, TID_SOUTH, "southbound");
+                    tr.name_track(c, TID_NORTH, "northbound");
+                    for d in 0..ndimm {
+                        tr.name_track(c, tid_dimm(d as usize), &format!("dimm{d} dram"));
+                        tr.name_track(c, tid_power(d as usize), &format!("dimm{d} power"));
+                    }
+                }
+                ChanIds {
+                    reads: tel.registry.counter(&format!("chan{c}.reads")),
+                    writes: tel.registry.counter(&format!("chan{c}.writes")),
+                    bytes: tel.registry.counter(&format!("chan{c}.bytes")),
+                    amb_hits: tel.registry.counter(&format!("chan{c}.amb_hits")),
+                    queue_depth: tel.registry.gauge(&format!("chan{c}.queue_depth")),
+                    inflight: tel.registry.gauge(&format!("chan{c}.inflight")),
+                    dimms: (0..ndimm)
+                        .map(|d| DimmIds {
+                            acts: tel.registry.counter(&format!("chan{c}.dimm{d}.acts")),
+                            reads: tel.registry.counter(&format!("chan{c}.dimm{d}.col_reads")),
+                            writes: tel.registry.counter(&format!("chan{c}.dimm{d}.col_writes")),
+                            power_active_ns: tel
+                                .registry
+                                .gauge(&format!("chan{c}.dimm{d}.power.active_ns")),
+                            power_standby_ns: tel
+                                .registry
+                                .gauge(&format!("chan{c}.dimm{d}.power.standby_ns")),
+                            power_powerdown_ns: tel
+                                .registry
+                                .gauge(&format!("chan{c}.dimm{d}.power.powerdown_ns")),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let read_latency = tel.registry.latency("mem.read_latency");
+        let pf_fills = tel.registry.counter("amb.prefetch.fills");
+        let pf_evictions = tel.registry.counter("amb.prefetch.evictions");
+        let pf_hits = tel.registry.counter("amb.prefetch.hits");
+        let trackers = (self.cfg.logical_channels * ndimm) as usize;
+        self.tel = Some(Box::new(MemTel {
+            tel,
+            chans,
+            read_latency,
+            pf_fills,
+            pf_evictions,
+            pf_hits,
+            power: vec![PowerModeTracker::new(POWERDOWN_AFTER); trackers],
+            dimms_per_channel: ndimm,
+        }));
+    }
+
+    /// The telemetry state, when enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_ref().map(|t| &t.tel)
+    }
+
+    /// Mutable telemetry state, when enabled (e.g. to register extra
+    /// metrics in the shared registry).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.tel.as_mut().map(|t| &mut t.tel)
+    }
+
+    /// Always-on per-channel traffic counters, indexed by channel.
+    pub fn channel_counters(&self) -> &[ChannelCounters] {
+        &self.chan_counts
+    }
+
+    /// When the next telemetry epoch snapshot is due ([`Time::NEVER`]
+    /// when telemetry or sampling is off).
+    pub fn next_sample_due(&self) -> Time {
+        self.tel
+            .as_ref()
+            .map_or(Time::NEVER, |t| t.tel.next_sample_due())
+    }
+
+    /// Takes an epoch snapshot: refreshes the queue-depth / in-flight
+    /// gauges, emits counter trace events, then samples every metric.
+    pub fn sample_telemetry(&mut self, now: Time) {
+        let Some(t) = self.tel.as_deref_mut() else {
+            return;
+        };
+        for ch in 0..self.cfg.logical_channels {
+            let (qd, inf) = {
+                let ids = &t.chans[ch as usize];
+                (ids.queue_depth, ids.inflight)
+            };
+            let depth = self.queue.channel_depth(ch) as f64;
+            let inflight = f64::from(self.channels[ch as usize].inflight);
+            t.tel.registry.set(qd, depth);
+            t.tel.registry.set(inf, inflight);
+            if let Some(tr) = t.tel.tracer.as_mut() {
+                tr.counter("queue_depth", "ctrl", ch, TID_SOUTH, now, depth);
+                tr.counter("inflight", "ctrl", ch, TID_SOUTH, now, inflight);
+            }
+        }
+        t.tel.sample(now);
+    }
+
+    /// Ends telemetry at `end` and takes it out of the subsystem:
+    /// resolves power-mode residencies into the registry (and tracer,
+    /// when tracing), then flushes the final partial epoch.
+    pub fn finish_telemetry(&mut self, end: Time) -> Option<Telemetry> {
+        let mut mt = self.tel.take()?;
+        for ch in 0..self.cfg.logical_channels {
+            for d in 0..self.cfg.dimms_per_channel {
+                let i = mt.pidx(ch, d);
+                let ids = mt.chans[ch as usize].dimms[d as usize];
+                let res = mt.power[i].residency(end);
+                mt.tel
+                    .registry
+                    .set(ids.power_active_ns, res.active.as_ns_f64());
+                mt.tel
+                    .registry
+                    .set(ids.power_standby_ns, res.standby.as_ns_f64());
+                mt.tel
+                    .registry
+                    .set(ids.power_powerdown_ns, res.powerdown.as_ns_f64());
+                if let Some(tr) = mt.tel.tracer.as_mut() {
+                    for span in mt.power[i].spans(end) {
+                        tr.complete(
+                            span.mode.label(),
+                            "power",
+                            ch,
+                            tid_power(d as usize),
+                            span.start,
+                            span.dur(),
+                            vec![],
+                        );
+                    }
+                }
+            }
+        }
+        mt.tel.finish(end);
+        Some(mt.tel)
     }
 
     /// Submits a request. Returns the instant it becomes schedulable
@@ -280,7 +653,9 @@ impl MemorySystem {
         // controller's command scheduler achieves).
         if first_is_write && self.cfg.tech == MemoryTech::Ddr2 {
             while self.channels[ch as usize].inflight < MAX_INFLIGHT_PER_CHANNEL {
-                let Some(nid) = self.pick_for(ch, now) else { break };
+                let Some(nid) = self.pick_for(ch, now) else {
+                    break;
+                };
                 let next_entry = self.queue.remove(nid).expect("picked entry exists");
                 if next_entry.req.kind != AccessKind::Write {
                     // Put it back; reads resume at the next decision.
@@ -326,7 +701,11 @@ impl MemorySystem {
                     ChannelPath::Fbd { dimms, .. } => {
                         let d = &dimms[e.mapped.dimm as usize];
                         (
-                            d.is_row_open_at(e.mapped.rank as usize, e.mapped.bank as usize, e.mapped.row),
+                            d.is_row_open_at(
+                                e.mapped.rank as usize,
+                                e.mapped.bank as usize,
+                                e.mapped.row,
+                            ),
                             d.earliest_act_at(e.mapped.rank as usize, e.mapped.bank as usize),
                             d.read_turnaround_until(e.mapped.rank as usize),
                         )
@@ -382,10 +761,20 @@ impl MemorySystem {
             AccessKind::Write => unreachable!("writes take the write path"),
         }
         self.stats.data_bytes += CACHE_LINE_BYTES;
+        let counts = &mut self.chan_counts[m.channel as usize];
+        counts.reads += 1;
+        counts.bytes += CACHE_LINE_BYTES;
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.count_read(m.channel);
+        }
 
         let (completion, service) = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
-                let cmd_at_amb = link.send_command(now);
+                let slot = link.send_command(now);
+                let cmd_at_amb = slot.done;
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.south_frame("cmd", m.channel, slot);
+                }
                 let dimm = &mut dimms[m.dimm as usize];
                 let rank = m.rank as usize;
                 let hit = self
@@ -402,30 +791,43 @@ impl MemorySystem {
                         _ => cmd_at_amb,
                     };
                     self.stats.amb_hits += 1;
-                    let completion = link.return_read_data(m.dimm, data_ready);
-                    (completion, ServiceKind::AmbCacheHit)
+                    self.chan_counts[m.channel as usize].amb_hits += 1;
+                    let north = link.return_read_data(m.dimm, data_ready);
+                    if let Some(t) = self.tel.as_deref_mut() {
+                        t.amb_hit(m.channel, m.dimm, cmd_at_amb);
+                        t.north_frame(m.channel, north);
+                    }
+                    (north.done, ServiceKind::AmbCacheHit)
                 } else if let Some(table) = self.table.as_mut() {
                     // Group fetch: demanded line first, K−1 fills.
                     let k = self.cfg.amb.region_lines;
                     let out = dimm.fetch_group_at(rank, m.bank as usize, m.row, k, cmd_at_amb);
                     let region = req.line.region(u64::from(k));
                     let fills = region.lines(u64::from(k)).filter(|l| *l != req.line);
-                    let inserted = table.fill(m.channel, m.dimm, fills);
-                    self.stats.lines_prefetched += inserted;
-                    let completion = link.return_read_data(m.dimm, out.demanded_ready);
-                    (completion, ServiceKind::DramAccessWithPrefetch)
+                    let filled = table.fill(m.channel, m.dimm, fills);
+                    self.stats.lines_prefetched += filled.inserted;
+                    let north = link.return_read_data(m.dimm, out.demanded_ready);
+                    if let Some(t) = self.tel.as_deref_mut() {
+                        t.group_fetch(m.channel, m.dimm, &out, &filled);
+                        t.north_frame(m.channel, north);
+                    }
+                    (north.done, ServiceKind::DramAccessWithPrefetch)
                 } else {
                     let out = dimm.read_line_at(rank, m.bank as usize, m.row, cmd_at_amb);
                     if out.row_hit {
                         self.stats.row_hits += 1;
                     }
-                    let completion = link.return_read_data(m.dimm, out.data_ready);
+                    let north = link.return_read_data(m.dimm, out.data_ready);
+                    if let Some(t) = self.tel.as_deref_mut() {
+                        t.dram_read(m.channel, m.dimm, &out);
+                        t.north_frame(m.channel, north);
+                    }
                     let service = if out.row_hit {
                         ServiceKind::RowBufferHit
                     } else {
                         ServiceKind::DramAccess
                     };
-                    (completion, service)
+                    (north.done, service)
                 }
             }
             ChannelPath::Ddr2 { cmd, bus, dimms } => {
@@ -449,6 +851,9 @@ impl MemorySystem {
                     self.stats.row_hits += 1;
                 }
                 dimm.commit(&plan, bus);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.ddr2_access(m.channel, m.dimm, &plan);
+                }
                 let service = if row_hit {
                     ServiceKind::RowBufferHit
                 } else {
@@ -459,9 +864,17 @@ impl MemorySystem {
         };
         if demand {
             self.stats.read_latency.record(completion - req.arrival);
-            self.stats.read_latency_hist.record(completion - req.arrival);
+            self.stats
+                .read_latency_hist
+                .record(completion - req.arrival);
+            if let Some(t) = self.tel.as_deref_mut() {
+                let id = t.read_latency;
+                t.tel.registry.record(id, completion - req.arrival);
+            }
         }
-        self.stats.bandwidth_series.record(completion, CACHE_LINE_BYTES);
+        self.stats
+            .bandwidth_series
+            .record(completion, CACHE_LINE_BYTES);
         Issued::Read {
             resp: MemResponse {
                 id: req.id,
@@ -478,14 +891,30 @@ impl MemorySystem {
         let m = entry.mapped;
         self.stats.writes += 1;
         self.stats.data_bytes += CACHE_LINE_BYTES;
+        let counts = &mut self.chan_counts[m.channel as usize];
+        counts.writes += 1;
+        counts.bytes += CACHE_LINE_BYTES;
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.count_write(m.channel);
+        }
         // A store makes any prefetched copy stale.
         if let Some(table) = self.table.as_mut() {
             table.invalidate(m.channel, m.dimm, entry.req.line);
         }
         let done = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
-                let data_at_amb = link.send_write_data(now);
-                dimms[m.dimm as usize].write_line_at(m.rank as usize, m.bank as usize, m.row, data_at_amb)
+                let slot = link.send_write_data(now);
+                let out = dimms[m.dimm as usize].write_line_at(
+                    m.rank as usize,
+                    m.bank as usize,
+                    m.row,
+                    slot.done,
+                );
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.south_frame("wdata", m.channel, slot);
+                    t.dram_write(m.channel, m.dimm, &out);
+                }
+                out.data_end
             }
             ChannelPath::Ddr2 { cmd, bus, dimms } => {
                 let dimm = &mut dimms[(m.dimm * self.cfg.ranks_per_dimm + m.rank) as usize];
@@ -502,6 +931,9 @@ impl MemorySystem {
                 };
                 let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
                 dimm.commit(&plan, bus);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.ddr2_access(m.channel, m.dimm, &plan);
+                }
                 plan.data_end
             }
         };

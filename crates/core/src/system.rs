@@ -10,13 +10,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use fbd_cpu::{CpuComplex, TraceSource};
+use fbd_telemetry::{MetricId, Telemetry, TelemetryConfig};
 use fbd_types::config::SystemConfig;
 use fbd_types::request::AccessKind;
 use fbd_types::stats::{CoreStats, MemStats};
 use fbd_types::time::{Dur, Time};
 use fbd_types::LineAddr;
 
-use crate::memsys::{Issued, MemorySystem};
+use crate::memsys::{ChannelCounters, Issued, MemorySystem};
 use crate::trace_io::{MemoryTrace, TraceRecord};
 
 /// Safety valve: abort runs that exceed this much simulated time
@@ -34,6 +35,8 @@ enum Event {
     WriteDone(u32),
     /// A core's self-wake (ROB stall expiry or projected finish).
     CpuWake,
+    /// Take a telemetry epoch snapshot.
+    Sample,
 }
 
 /// Results of one simulation run.
@@ -45,8 +48,13 @@ pub struct RunResult {
     pub cores: Vec<CoreStats>,
     /// Memory-subsystem statistics.
     pub mem: MemStats,
+    /// Always-on per-channel traffic counters, indexed by channel.
+    pub channels: Vec<ChannelCounters>,
     /// The captured transaction trace, when capture was enabled.
     pub trace: Option<MemoryTrace>,
+    /// The run's telemetry (registry, epoch time-series, event trace),
+    /// when telemetry was enabled.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunResult {
@@ -57,15 +65,27 @@ impl RunResult {
 
     /// Average demand-read latency in nanoseconds.
     pub fn avg_read_latency_ns(&self) -> f64 {
-        self.mem
-            .read_latency
-            .mean()
-            .map_or(0.0, |d| d.as_ns_f64())
+        self.mem.read_latency.mean().map_or(0.0, |d| d.as_ns_f64())
     }
 
     /// Per-core IPCs.
     pub fn ipcs(&self) -> Vec<f64> {
         self.cores.iter().map(CoreStats::ipc).collect()
+    }
+
+    /// Per-channel utilized bandwidth in GB/s over the run.
+    pub fn channel_bandwidth_gbps(&self) -> Vec<f64> {
+        let secs = self.elapsed.as_ns_f64() * 1e-9;
+        self.channels
+            .iter()
+            .map(|c| {
+                if secs > 0.0 {
+                    c.bytes as f64 * 1e-9 / secs
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 
     /// Demand-read latency percentile in nanoseconds (0 until reads
@@ -86,6 +106,9 @@ pub struct System {
     events: BinaryHeap<Reverse<(Time, Event)>>,
     now: Time,
     capture: Option<MemoryTrace>,
+    /// `(l2_mshr_occupancy, outstanding_misses)` gauge handles, set when
+    /// telemetry is enabled.
+    cpu_gauges: Option<(MetricId, MetricId)>,
 }
 
 impl System {
@@ -104,6 +127,7 @@ impl System {
             events: BinaryHeap::new(),
             now: Time::ZERO,
             capture: None,
+            cpu_gauges: None,
         }
     }
 
@@ -111,6 +135,24 @@ impl System {
     /// trace is returned in [`RunResult::trace`].
     pub fn enable_trace_capture(&mut self) {
         self.capture = Some(MemoryTrace::new());
+    }
+
+    /// Turns on telemetry for the run: the memory subsystem registers
+    /// its metrics and tracks, the processor registers its occupancy
+    /// gauges, and (when sampling is configured) the event loop
+    /// schedules epoch snapshots. The collected [`Telemetry`] is
+    /// returned in [`RunResult::telemetry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sample_interval` is `Some(Dur::ZERO)`.
+    pub fn enable_telemetry(&mut self, config: &TelemetryConfig) {
+        self.mem.enable_telemetry(config);
+        let reg = &mut self.mem.telemetry_mut().expect("just enabled").registry;
+        self.cpu_gauges = Some((
+            reg.gauge("cpu.l2_mshr_occupancy"),
+            reg.gauge("cpu.outstanding_misses"),
+        ));
     }
 
     /// Like [`new`](Self::new), but first fast-forwards each trace
@@ -191,11 +233,18 @@ impl System {
     /// not workload properties.
     pub fn run(mut self) -> RunResult {
         self.pump_cpu();
+        let due = self.mem.next_sample_due();
+        if due != Time::NEVER {
+            self.push(due, Event::Sample);
+        }
         loop {
             let Some(Reverse((at, ev))) = self.events.pop() else {
                 panic!("simulation deadlock: no events pending and no core finished");
             };
-            assert!(at <= MAX_SIM_TIME, "simulation exceeded the safety time limit");
+            assert!(
+                at <= MAX_SIM_TIME,
+                "simulation exceeded the safety time limit"
+            );
             self.now = self.now.max(at);
             match ev {
                 Event::Decide(ch) => {
@@ -219,6 +268,22 @@ impl System {
                 Event::CpuWake => {
                     self.pump_cpu();
                 }
+                Event::Sample => {
+                    if let Some((mshr, outstanding)) = self.cpu_gauges {
+                        let (lines, slots) = self.cpu.occupancy();
+                        if let Some(tel) = self.mem.telemetry_mut() {
+                            tel.registry.set(mshr, lines as f64);
+                            tel.registry.set(outstanding, slots as f64);
+                        }
+                    }
+                    self.mem.sample_telemetry(self.now);
+                    // `sample` advances the next deadline strictly past
+                    // `now`, so this cannot self-schedule a busy loop.
+                    let due = self.mem.next_sample_due();
+                    if due != Time::NEVER {
+                        self.push(due, Event::Sample);
+                    }
+                }
             }
             if self.cpu.any_done(self.now) {
                 break;
@@ -226,11 +291,14 @@ impl System {
         }
         let elapsed = self.now - Time::ZERO;
         let cores = self.cpu.finish(self.now);
+        let telemetry = self.mem.finish_telemetry(self.now);
         RunResult {
             elapsed,
             cores,
             mem: self.mem.stats(),
+            channels: self.mem.channel_counters().to_vec(),
             trace: self.capture,
+            telemetry,
         }
     }
 }

@@ -91,7 +91,9 @@ impl MemoryTrace {
     /// Panics in debug builds if `arrival` goes backwards.
     pub fn push(&mut self, record: TraceRecord) {
         debug_assert!(
-            self.records.last().is_none_or(|r| r.arrival <= record.arrival),
+            self.records
+                .last()
+                .is_none_or(|r| r.arrival <= record.arrival),
             "trace records must be time-ordered"
         );
         self.records.push(record);

@@ -112,7 +112,9 @@ impl L2Cache {
 
     /// Pure presence check (no LRU update).
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].iter().any(|e| e.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|e| e.line == line)
     }
 
     /// (hits, misses) so far.
@@ -140,7 +142,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = small();
-        assert_eq!(c.access(LineAddr::new(1), false), L2Outcome::Miss { writeback: None });
+        assert_eq!(
+            c.access(LineAddr::new(1), false),
+            L2Outcome::Miss { writeback: None }
+        );
         assert_eq!(c.access(LineAddr::new(1), false), L2Outcome::Hit);
         assert_eq!(c.hit_miss_counts(), (1, 1));
     }
@@ -164,7 +169,12 @@ mod tests {
         c.access(LineAddr::new(0), true); // dirty
         c.access(LineAddr::new(4), false);
         let out = c.access(LineAddr::new(8), false); // evicts 0 (LRU, dirty)
-        assert_eq!(out, L2Outcome::Miss { writeback: Some(LineAddr::new(0)) });
+        assert_eq!(
+            out,
+            L2Outcome::Miss {
+                writeback: Some(LineAddr::new(0))
+            }
+        );
     }
 
     #[test]
@@ -183,7 +193,12 @@ mod tests {
         c.access(LineAddr::new(0), true); // store hit dirties the line
         c.access(LineAddr::new(4), false);
         let out = c.access(LineAddr::new(8), false);
-        assert_eq!(out, L2Outcome::Miss { writeback: Some(LineAddr::new(0)) });
+        assert_eq!(
+            out,
+            L2Outcome::Miss {
+                writeback: Some(LineAddr::new(0))
+            }
+        );
     }
 
     #[test]

@@ -270,13 +270,7 @@ impl CpuComplex {
                     OpKind::Prefetch => AccessKind::SoftwarePrefetch,
                 };
                 let id = self.fresh_id();
-                requests.push(MemRequest::new(
-                    id,
-                    CoreId(i as u32),
-                    kind,
-                    op.line,
-                    now,
-                ));
+                requests.push(MemRequest::new(id, CoreId(i as u32), kind, op.line, now));
                 let mut entry = InFlightEntry::default();
                 entry.slots.push(i);
                 if op.kind == OpKind::Load {
@@ -409,6 +403,16 @@ impl CpuComplex {
     /// (hits, misses) observed at the shared L2.
     pub fn l2_counts(&self) -> (u64, u64) {
         self.l2.hit_miss_counts()
+    }
+
+    /// Instantaneous miss-handling occupancy: (distinct in-flight lines
+    /// holding L2 MSHRs, per-core MSHR slots in use summed over cores).
+    /// Telemetry gauges; sampling this has no timing effect.
+    pub fn occupancy(&self) -> (usize, u64) {
+        (
+            self.in_flight.len(),
+            self.cores.iter().map(|r| u64::from(r.outstanding)).sum(),
+        )
     }
 }
 
@@ -614,6 +618,17 @@ mod tests {
             .filter(|r| r.kind == AccessKind::DemandRead)
             .count();
         assert!(demand < 4, "prefetched lines must absorb later demands");
+    }
+
+    #[test]
+    fn occupancy_tracks_in_flight_lines_and_slots() {
+        let mut cpx = CpuComplex::new(&cfg(1), vec![strided(4, 1000, 10)], 1_000_000);
+        assert_eq!(cpx.occupancy(), (0, 0));
+        let adv = cpx.advance(Time::ZERO);
+        assert_eq!(adv.requests.len(), 4);
+        assert_eq!(cpx.occupancy(), (4, 4));
+        cpx.complete(adv.requests[0].line, Time::from_ns(60));
+        assert_eq!(cpx.occupancy(), (3, 3));
     }
 
     #[test]

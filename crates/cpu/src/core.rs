@@ -119,11 +119,7 @@ impl OooCore {
     /// When the core will commit its budget, assuming no *new* blocking
     /// loads appear. `None` while an incomplete load blocks the path.
     pub fn projected_done_time(&self, now: Time) -> Option<Time> {
-        if self
-            .blocking
-            .front()
-            .is_some_and(|l| l.idx < self.budget)
-        {
+        if self.blocking.front().is_some_and(|l| l.idx < self.budget) {
             return None;
         }
         if self.fetch_barrier.is_some_and(|b| b < self.budget) {

@@ -183,7 +183,7 @@ mod tests {
         p.on_demand_miss(LineAddr::new(100));
         p.on_demand_miss(LineAddr::new(200));
         p.on_demand_miss(LineAddr::new(300)); // evicts the 100-stream
-        // The 100-stream is gone: its continuation trains from scratch.
+                                              // The 100-stream is gone: its continuation trains from scratch.
         assert!(p.on_demand_miss(LineAddr::new(101)).is_empty());
     }
 

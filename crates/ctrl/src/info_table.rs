@@ -10,6 +10,17 @@ use fbd_amb::PrefetchBuffer;
 use fbd_types::config::MemoryConfig;
 use fbd_types::LineAddr;
 
+/// What a group-fetch fill did to an AMB cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Lines written into the cache (duplicates refresh LRU and still
+    /// count — they consumed fetch bandwidth).
+    pub inserted: u64,
+    /// Resident lines displaced to make room. Evictions of never-used
+    /// lines are the waste the paper's efficiency metric exposes.
+    pub evicted: u64,
+}
+
 /// Controller-side tags for every AMB cache in the system, indexed by
 /// (logical channel, DIMM).
 #[derive(Clone, Debug)]
@@ -49,18 +60,21 @@ impl PrefetchTable {
     }
 
     /// Records the K−1 prefetched lines of a group fetch landing in the
-    /// AMB cache. Returns the number of lines newly inserted.
-    pub fn fill<I>(&mut self, channel: u32, dimm: u32, lines: I) -> u64
+    /// AMB cache, reporting how many lines went in and how many resident
+    /// lines the fill displaced (prefetch-efficiency inputs).
+    pub fn fill<I>(&mut self, channel: u32, dimm: u32, lines: I) -> FillOutcome
     where
         I: IntoIterator<Item = LineAddr>,
     {
         let i = self.idx(channel, dimm);
-        let mut inserted = 0;
+        let mut out = FillOutcome::default();
         for line in lines {
-            self.buffers[i].insert(line);
-            inserted += 1;
+            if self.buffers[i].insert(line).is_some() {
+                out.evicted += 1;
+            }
+            out.inserted += 1;
         }
-        inserted
+        out
     }
 
     /// Invalidates a line on a processor write (the prefetched copy is
@@ -114,9 +128,27 @@ mod tests {
     }
 
     #[test]
-    fn fill_returns_inserted_count() {
+    fn fill_reports_inserted_and_evicted() {
         let mut t = table();
-        assert_eq!(t.fill(0, 0, [LineAddr::new(1), LineAddr::new(2), LineAddr::new(3)]), 3);
+        let out = t.fill(0, 0, [LineAddr::new(1), LineAddr::new(2), LineAddr::new(3)]);
+        assert_eq!(
+            out,
+            FillOutcome {
+                inserted: 3,
+                evicted: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overfilling_a_buffer_counts_evictions() {
+        let cfg = MemoryConfig::fbdimm_with_prefetch();
+        let capacity = PrefetchBuffer::new(&cfg.amb).capacity() as u64;
+        let mut t = PrefetchTable::new(&cfg);
+        let out = t.fill(0, 0, (0..2 * capacity).map(LineAddr::new));
+        assert_eq!(out.inserted, 2 * capacity);
+        assert_eq!(out.evicted, capacity);
+        assert_eq!(t.resident_lines() as u64, capacity);
     }
 
     #[test]

@@ -33,12 +33,12 @@ pub mod mapping;
 pub mod queue;
 pub mod sched;
 
-pub use info_table::PrefetchTable;
+pub use info_table::{FillOutcome, PrefetchTable};
 pub use mapping::{AddressMapper, MappedAddr};
 pub use queue::{QueueEntry, TransactionQueue};
 pub use sched::{HitFirstScheduler, SchedClass};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use fbd_types::config::{Interleaving, MemoryConfig, PagePolicy};

@@ -125,8 +125,7 @@ impl AddressMapper {
         } else {
             u64::from(m.bank)
         };
-        let group = (((u64::from(m.row) * groups_per_row + slot) * self.banks + bank)
-            * self.ranks
+        let group = (((u64::from(m.row) * groups_per_row + slot) * self.banks + bank) * self.ranks
             + u64::from(m.rank))
             * self.dimms
             * self.channels
@@ -158,7 +157,10 @@ mod tests {
         let six = m.map(LineAddr::new(6));
         for other in [4u64, 5, 7] {
             let o = m.map(LineAddr::new(other));
-            assert_eq!((o.channel, o.dimm, o.bank, o.row), (six.channel, six.dimm, six.bank, six.row));
+            assert_eq!(
+                (o.channel, o.dimm, o.bank, o.row),
+                (six.channel, six.dimm, six.bank, six.row)
+            );
         }
         // The next group lands on a different channel (round-robin).
         let eight = m.map(LineAddr::new(8));
@@ -183,7 +185,10 @@ mod tests {
         let base = m.map(LineAddr::new(0));
         for l in 1..128u64 {
             let x = m.map(LineAddr::new(l));
-            assert_eq!((x.channel, x.dimm, x.bank, x.row), (base.channel, base.dimm, base.bank, base.row));
+            assert_eq!(
+                (x.channel, x.dimm, x.bank, x.row),
+                (base.channel, base.dimm, base.bank, base.row)
+            );
             assert_eq!(x.col_line, l as u32);
         }
         let next = m.map(LineAddr::new(128));
@@ -197,12 +202,18 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for g in 0..32u64 {
             let x = m.map(LineAddr::new(g * 4));
-            assert!(seen.insert((x.channel, x.dimm, x.bank)), "bank reused early at group {g}");
+            assert!(
+                seen.insert((x.channel, x.dimm, x.bank)),
+                "bank reused early at group {g}"
+            );
         }
         // Group 32 returns to the first bank, next row slot.
         let x = m.map(LineAddr::new(32 * 4));
         let first = m.map(LineAddr::new(0));
-        assert_eq!((x.channel, x.dimm, x.bank, x.row), (first.channel, first.dimm, first.bank, first.row));
+        assert_eq!(
+            (x.channel, x.dimm, x.bank, x.row),
+            (first.channel, first.dimm, first.bank, first.row)
+        );
         assert_eq!(x.col_line, 4);
     }
 
@@ -243,15 +254,24 @@ mod tests {
         // Pages that collide on one bank WITHOUT permutation (stride =
         // one full bank rotation) spread across banks WITH it.
         let stride = 32 * 128; // channels*dimms*banks pages of 128 lines
-        let banks: std::collections::HashSet<u32> =
-            (0..8u64).map(|i| m.map(LineAddr::new(i * stride)).bank).collect();
-        assert!(banks.len() > 1, "permutation must spread row-conflict hotspots");
+        let banks: std::collections::HashSet<u32> = (0..8u64)
+            .map(|i| m.map(LineAddr::new(i * stride)).bank)
+            .collect();
+        assert!(
+            banks.len() > 1,
+            "permutation must spread row-conflict hotspots"
+        );
 
         cfg.xor_permutation = false;
         let plain = AddressMapper::new(&cfg);
-        let same: std::collections::HashSet<u32> =
-            (0..8u64).map(|i| plain.map(LineAddr::new(i * stride)).bank).collect();
-        assert_eq!(same.len(), 1, "without permutation the stride hammers one bank");
+        let same: std::collections::HashSet<u32> = (0..8u64)
+            .map(|i| plain.map(LineAddr::new(i * stride)).bank)
+            .collect();
+        assert_eq!(
+            same.len(),
+            1,
+            "without permutation the stride hammers one bank"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl TransactionQueue {
     /// Panics if the queue is full (the slot freed by `remove` must not
     /// have been reused).
     pub fn restore(&mut self, entry: QueueEntry) {
-        assert!(self.entries.len() < self.capacity, "restore into a full queue");
+        assert!(
+            self.entries.len() < self.capacity,
+            "restore into a full queue"
+        );
         self.entries.push(entry);
     }
 
@@ -110,6 +113,15 @@ impl TransactionQueue {
     pub fn read_count(&self) -> usize {
         self.entries.len() - self.write_count()
     }
+
+    /// Transactions queued for logical channel `ch` (a queue-depth gauge
+    /// for telemetry sampling).
+    pub fn channel_depth(&self, ch: u32) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.mapped.channel == ch)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +132,13 @@ mod tests {
     use fbd_types::LineAddr;
 
     fn req(id: u64, kind: AccessKind) -> MemRequest {
-        MemRequest::new(RequestId(id), CoreId(0), kind, LineAddr::new(id), Time::ZERO)
+        MemRequest::new(
+            RequestId(id),
+            CoreId(0),
+            kind,
+            LineAddr::new(id),
+            Time::ZERO,
+        )
     }
 
     fn mapped() -> MappedAddr {
@@ -132,6 +150,21 @@ mod tests {
             row: 0,
             col_line: 0,
         }
+    }
+
+    #[test]
+    fn channel_depth_counts_only_that_channel() {
+        let mut q = TransactionQueue::new(4);
+        let on_ch = |ch: u32| MappedAddr {
+            channel: ch,
+            ..mapped()
+        };
+        q.try_push(req(1, AccessKind::DemandRead), on_ch(0));
+        q.try_push(req(2, AccessKind::Write), on_ch(1));
+        q.try_push(req(3, AccessKind::DemandRead), on_ch(1));
+        assert_eq!(q.channel_depth(0), 1);
+        assert_eq!(q.channel_depth(1), 2);
+        assert_eq!(q.channel_depth(2), 0);
     }
 
     #[test]

@@ -118,7 +118,13 @@ mod tests {
 
     fn entry(id: u64, kind: AccessKind, seq: u64, bank: u32) -> QueueEntry {
         QueueEntry {
-            req: MemRequest::new(RequestId(id), CoreId(0), kind, LineAddr::new(id), Time::ZERO),
+            req: MemRequest::new(
+                RequestId(id),
+                CoreId(0),
+                kind,
+                LineAddr::new(id),
+                Time::ZERO,
+            ),
             mapped: MappedAddr {
                 channel: 0,
                 dimm: 0,
@@ -181,43 +187,59 @@ mod tests {
     #[test]
     fn drain_mode_has_hysteresis() {
         let mut s = sched(); // threshold 4, low watermark 2
-        let mut entries: Vec<QueueEntry> = (0..4)
-            .map(|i| entry(i, AccessKind::Write, i, 0))
-            .collect();
+        let mut entries: Vec<QueueEntry> =
+            (0..4).map(|i| entry(i, AccessKind::Write, i, 0)).collect();
         entries.push(entry(10, AccessKind::DemandRead, 10, 0));
         // 4 writes trigger draining.
-        assert_eq!(s.pick(entries.iter(), |_| SchedClass::Ready), Some(RequestId(0)));
+        assert_eq!(
+            s.pick(entries.iter(), |_| SchedClass::Ready),
+            Some(RequestId(0))
+        );
         entries.remove(0);
         // 3 writes remain: still above the low watermark → keep draining
         // even though a read is available.
-        assert_eq!(s.pick(entries.iter(), |_| SchedClass::Ready), Some(RequestId(1)));
+        assert_eq!(
+            s.pick(entries.iter(), |_| SchedClass::Ready),
+            Some(RequestId(1))
+        );
         entries.remove(0);
         // 2 writes: at the watermark → back to reads.
-        assert_eq!(s.pick(entries.iter(), |_| SchedClass::Ready), Some(RequestId(10)));
+        assert_eq!(
+            s.pick(entries.iter(), |_| SchedClass::Ready),
+            Some(RequestId(10))
+        );
     }
 
     #[test]
     fn without_hysteresis_reads_resume_immediately() {
         let mut s = HitFirstScheduler::new(4, false);
-        let mut entries: Vec<QueueEntry> = (0..4)
-            .map(|i| entry(i, AccessKind::Write, i, 0))
-            .collect();
+        let mut entries: Vec<QueueEntry> =
+            (0..4).map(|i| entry(i, AccessKind::Write, i, 0)).collect();
         entries.push(entry(10, AccessKind::DemandRead, 10, 0));
         // At the threshold a write drains...
-        assert_eq!(s.pick(entries.iter(), |_| SchedClass::Ready), Some(RequestId(0)));
+        assert_eq!(
+            s.pick(entries.iter(), |_| SchedClass::Ready),
+            Some(RequestId(0))
+        );
         entries.remove(0);
         // ...but with hysteresis off the next pick returns to reads.
-        assert_eq!(s.pick(entries.iter(), |_| SchedClass::Ready), Some(RequestId(10)));
+        assert_eq!(
+            s.pick(entries.iter(), |_| SchedClass::Ready),
+            Some(RequestId(10))
+        );
     }
 
     #[test]
     fn write_pressure_flips_to_write_drain() {
-        let mut entries: Vec<QueueEntry> = (0..4)
-            .map(|i| entry(i, AccessKind::Write, i, 0))
-            .collect();
+        let mut entries: Vec<QueueEntry> =
+            (0..4).map(|i| entry(i, AccessKind::Write, i, 0)).collect();
         entries.push(entry(10, AccessKind::DemandRead, 10, 0));
         let picked = sched().pick(entries.iter(), |_| SchedClass::Ready);
-        assert_eq!(picked, Some(RequestId(0)), "4 writes ≥ threshold: drain oldest write");
+        assert_eq!(
+            picked,
+            Some(RequestId(0)),
+            "4 writes ≥ threshold: drain oldest write"
+        );
     }
 
     #[test]

@@ -212,7 +212,14 @@ impl BankArray {
     /// # Panics
     ///
     /// Panics if `bank` is out of range or the burst length is zero.
-    pub fn plan(&self, bank: usize, row: u32, op: ColumnOp, not_before: Time, bus: &DataBus) -> AccessPlan {
+    pub fn plan(
+        &self,
+        bank: usize,
+        row: u32,
+        op: ColumnOp,
+        not_before: Time,
+        bus: &DataBus,
+    ) -> AccessPlan {
         assert!(!op.burst.is_zero(), "burst length must be non-zero");
         let t = &self.timings;
         let clk = self.clock;
@@ -341,7 +348,10 @@ impl BankArray {
     pub fn commit(&mut self, plan: &AccessPlan, bus: &mut DataBus) {
         let t = self.timings;
         if let Some(p) = plan.pre_at {
-            debug_assert!(p >= self.banks[plan.bank].pre_ready, "stale plan: pre too early");
+            debug_assert!(
+                p >= self.banks[plan.bank].pre_ready,
+                "stale plan: pre too early"
+            );
             Self::bump(&mut self.last_pre_any, p);
         }
         if let Some(a) = plan.act_at {
@@ -357,7 +367,10 @@ impl BankArray {
             self.ops.act_pre += 1;
         }
         let b = &mut self.banks[plan.bank];
-        debug_assert!(b.row == Some(plan.row), "stale plan: row not open at commit");
+        debug_assert!(
+            b.row == Some(plan.row),
+            "stale plan: row not open at commit"
+        );
         debug_assert!(plan.cmd_at >= b.col_ready, "stale plan: column too early");
         match plan.op.kind {
             ColKind::Read => {
@@ -378,10 +391,7 @@ impl BankArray {
             Self::bump(&mut self.last_pre_any, pre_at);
             window_end = window_end.max(pre_at + t.t_rp);
         }
-        let window_start = plan
-            .pre_at
-            .or(plan.act_at)
-            .unwrap_or(plan.cmd_at);
+        let window_start = plan.pre_at.or(plan.act_at).unwrap_or(plan.cmd_at);
         self.note_busy(window_start, window_end);
         bus.commit(plan.op.kind, plan.data_start, plan.data_end);
     }
@@ -563,12 +573,19 @@ mod tests {
         // Open the row ahead of time; the later read skips its ACT.
         let act = a.pre_activate(0, 7, Time::ZERO).expect("bank was closed");
         assert_eq!(act, Time::ZERO);
-        let open_read = ColumnOp { auto_precharge: true, ..read_ap() };
+        let open_read = ColumnOp {
+            auto_precharge: true,
+            ..read_ap()
+        };
         let p = a.plan(0, 7, open_read, Time::from_ns(15), &b);
         assert_eq!(p.act_at, None, "pre-activated row serves without a new ACT");
         assert_eq!(p.cmd_at, Time::from_ns(15)); // tRCD already elapsed
         a.commit(&p, &mut b);
-        assert_eq!(a.ops().act_pre, 1, "one ACT total, counted at pre-activation");
+        assert_eq!(
+            a.ops().act_pre,
+            1,
+            "one ACT total, counted at pre-activation"
+        );
         // Pre-activating an already-open bank is a no-op.
         let mut a2 = array();
         a2.pre_activate(1, 3, Time::ZERO).unwrap();
@@ -589,8 +606,11 @@ mod tests {
         // First four ACTs are tRRD-paced: 0, 9, 18, 27 ns.
         assert_eq!(acts[3], Time::from_ns(27));
         // The fifth must wait tFAW (37.5 ns) after the first.
-        assert!(acts[4] >= Time::ZERO + DramTimings::ddr2_table2().t_faw,
-                "fifth ACT at {} violates tFAW", acts[4]);
+        assert!(
+            acts[4] >= Time::ZERO + DramTimings::ddr2_table2().t_faw,
+            "fifth ACT at {} violates tFAW",
+            acts[4]
+        );
     }
 
     #[test]

@@ -69,6 +69,25 @@ impl AccessPlan {
     pub fn is_row_miss(&self) -> bool {
         self.act_at.is_some()
     }
+
+    /// The DRAM commands this plan issues, in time order, as
+    /// `(mnemonic, at)` pairs: an explicit `PRE` and/or `ACT` when the
+    /// access needs them, then the column command — `RD`/`WR`, or
+    /// `RDA`/`WRA` when it carries auto-precharge. Event tracers
+    /// consume this instead of re-deriving command times from fields.
+    pub fn commands(&self) -> impl Iterator<Item = (&'static str, Time)> {
+        let col = match (self.op.kind, self.op.auto_precharge) {
+            (ColKind::Read, false) => "RD",
+            (ColKind::Read, true) => "RDA",
+            (ColKind::Write, false) => "WR",
+            (ColKind::Write, true) => "WRA",
+        };
+        self.pre_at
+            .map(|t| ("PRE", t))
+            .into_iter()
+            .chain(self.act_at.map(|t| ("ACT", t)))
+            .chain(core::iter::once((col, self.cmd_at)))
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +120,40 @@ mod tests {
         assert!(plan.is_row_miss());
         plan.act_at = None;
         assert!(!plan.is_row_miss());
+    }
+
+    #[test]
+    fn commands_list_in_time_order() {
+        let op = ColumnOp {
+            kind: ColKind::Read,
+            auto_precharge: true,
+            burst: Dur::from_ns(6),
+        };
+        let mut plan = AccessPlan {
+            bank: 0,
+            row: 1,
+            pre_at: Some(Time::from_ns(2)),
+            act_at: Some(Time::from_ns(17)),
+            cmd_at: Time::from_ns(32),
+            data_start: Time::from_ns(47),
+            data_end: Time::from_ns(53),
+            op,
+        };
+        let cmds: Vec<_> = plan.commands().collect();
+        assert_eq!(
+            cmds,
+            [
+                ("PRE", Time::from_ns(2)),
+                ("ACT", Time::from_ns(17)),
+                ("RDA", Time::from_ns(32)),
+            ]
+        );
+
+        plan.pre_at = None;
+        plan.act_at = None;
+        plan.op.auto_precharge = false;
+        plan.op.kind = ColKind::Write;
+        let cmds: Vec<_> = plan.commands().collect();
+        assert_eq!(cmds, [("WR", Time::from_ns(32))]);
     }
 }

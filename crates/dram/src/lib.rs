@@ -39,7 +39,7 @@ pub use bank::BankArray;
 pub use bus::DataBus;
 pub use command::{AccessPlan, ColKind, ColumnOp};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use fbd_types::config::DramTimings;

@@ -71,7 +71,10 @@ mod tests {
     fn issue_many_strictly_orders_slots() {
         let mut bus = Ddr2CommandBus::new(&MemoryConfig::ddr2_default());
         let slots = bus.issue_many(Time::from_ns(10), 3);
-        assert_eq!(slots, vec![Time::from_ns(12), Time::from_ns(15), Time::from_ns(18)]);
+        assert_eq!(
+            slots,
+            vec![Time::from_ns(12), Time::from_ns(15), Time::from_ns(18)]
+        );
     }
 
     #[test]

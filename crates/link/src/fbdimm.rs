@@ -19,6 +19,24 @@ use fbd_types::CACHE_LINE_BYTES;
 
 use crate::timeline::Timeline;
 
+/// A granted link reservation: where the transfer sits on the wire and
+/// when its payload is usable at the far end.
+///
+/// `start`/`dur` describe link *occupancy* (what an event tracer draws
+/// on the frame timeline); `done` is the *latency* endpoint — command
+/// arrival at the AMBs southbound, the critical line's arrival at the
+/// controller northbound — which includes transit and daisy-chain
+/// delays that occupy no link time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSlot {
+    /// First instant the transfer occupies the link.
+    pub start: Time,
+    /// Time the transfer occupies the link.
+    pub dur: Dur,
+    /// When the payload is available at the receiver.
+    pub done: Time,
+}
+
 /// One logical FB-DIMM channel's southbound + northbound links.
 #[derive(Clone, Debug)]
 pub struct FbdChannel {
@@ -105,18 +123,28 @@ impl FbdChannel {
         }
     }
 
-    /// Sends a command southbound at or after `not_before`; returns the
-    /// instant the command *arrives at the AMBs* (send slot + transit).
-    pub fn send_command(&mut self, not_before: Time) -> Time {
-        let sent = self.south.reserve(not_before, self.cmd_slot);
-        sent + self.cmd_transit
+    /// Sends a command southbound at or after `not_before`; the slot's
+    /// `done` is the instant the command *arrives at the AMBs* (send
+    /// slot + transit).
+    pub fn send_command(&mut self, not_before: Time) -> LinkSlot {
+        let start = self.south.reserve(not_before, self.cmd_slot);
+        LinkSlot {
+            start,
+            dur: self.cmd_slot,
+            done: start + self.cmd_transit,
+        }
     }
 
     /// Streams a line of write data southbound at or after `not_before`;
-    /// returns the instant the last byte arrives at the AMBs.
-    pub fn send_write_data(&mut self, not_before: Time) -> Time {
+    /// the slot's `done` is the instant the last byte arrives at the
+    /// AMBs.
+    pub fn send_write_data(&mut self, not_before: Time) -> LinkSlot {
         let start = self.south.reserve(not_before, self.write_slot);
-        start + self.write_slot + self.cmd_transit
+        LinkSlot {
+            start,
+            dur: self.write_slot,
+            done: start + self.write_slot + self.cmd_transit,
+        }
     }
 
     /// Returns a line of read data northbound from DIMM `dimm`. The AMB
@@ -125,10 +153,14 @@ impl FbdChannel {
     /// critical line reaches the controller after the northbound frame
     /// plus the daisy-chain delay.
     ///
-    /// Returns the completion instant at the controller.
-    pub fn return_read_data(&mut self, dimm: u32, data_ready: Time) -> Time {
+    /// The slot's `done` is the completion instant at the controller.
+    pub fn return_read_data(&mut self, dimm: u32, data_ready: Time) -> LinkSlot {
         let start = self.north.reserve(data_ready, self.read_slot);
-        start + self.read_slot + self.chain.amb_delay(dimm)
+        LinkSlot {
+            start,
+            dur: self.read_slot,
+            done: start + self.read_slot + self.chain.amb_delay(dimm),
+        }
     }
 
     /// Northbound transfer time for one line (the "6 ns data transfer" of
@@ -172,8 +204,10 @@ mod tests {
     #[test]
     fn command_arrival_includes_transit() {
         let mut ch = channel();
-        let arrive = ch.send_command(Time::from_ns(12));
-        assert_eq!(arrive, Time::from_ns(15));
+        let slot = ch.send_command(Time::from_ns(12));
+        assert_eq!(slot.start, Time::from_ns(12));
+        assert_eq!(slot.dur, Dur::from_ns(2));
+        assert_eq!(slot.done, Time::from_ns(15));
     }
 
     #[test]
@@ -194,8 +228,10 @@ mod tests {
     fn read_return_composes_frame_and_chain() {
         let mut ch = channel();
         // Data ready at the AMB at 45 ns → 45 + 6 (frame) + 12 (chain).
-        let done = ch.return_read_data(2, Time::from_ns(45));
-        assert_eq!(done, Time::from_ns(63));
+        let slot = ch.return_read_data(2, Time::from_ns(45));
+        assert_eq!(slot.start, Time::from_ns(45));
+        assert_eq!(slot.dur, Dur::from_ns(6));
+        assert_eq!(slot.done, Time::from_ns(63));
     }
 
     #[test]
@@ -203,17 +239,21 @@ mod tests {
         let mut ch = channel();
         let d1 = ch.return_read_data(0, Time::from_ns(45));
         let d2 = ch.return_read_data(1, Time::from_ns(45));
-        assert_eq!(d1, Time::from_ns(63));
-        assert_eq!(d2, Time::from_ns(69)); // queued one frame later
+        assert_eq!(d1.done, Time::from_ns(63));
+        assert_eq!(d2.done, Time::from_ns(69)); // queued one frame later
+        assert_eq!(d2.start, d1.start + d1.dur, "frames must be back to back");
     }
 
     #[test]
     fn southbound_interleaves_commands_between_write_data() {
         let mut ch = channel();
-        let w_done = ch.send_write_data(Time::ZERO); // occupies [0,12)
-        assert_eq!(w_done, Time::from_ns(15));
+        let w = ch.send_write_data(Time::ZERO); // occupies [0,12)
+        assert_eq!(w.start, Time::ZERO);
+        assert_eq!(w.dur, Dur::from_ns(12));
+        assert_eq!(w.done, Time::from_ns(15));
         let c = ch.send_command(Time::ZERO);
-        assert_eq!(c, Time::from_ns(15)); // slot [12,14) + 3 transit
+        assert_eq!(c.start, Time::from_ns(12)); // first free slot after data
+        assert_eq!(c.done, Time::from_ns(15)); // slot [12,14) + 3 transit
     }
 
     #[test]

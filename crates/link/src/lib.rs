@@ -17,12 +17,12 @@
 //! use fbd_types::time::Time;
 //!
 //! let mut ch = FbdChannel::new(&MemoryConfig::fbdimm_default());
-//! let cmd_at_amb = ch.send_command(Time::from_ns(12)); // after controller overhead
-//! assert_eq!(cmd_at_amb, Time::from_ns(15));
+//! let cmd = ch.send_command(Time::from_ns(12)); // after controller overhead
+//! assert_eq!(cmd.done, Time::from_ns(15));
 //! // DRAM produces data 30 ns later (tRCD + tCL); the line then needs
 //! // one 6 ns northbound frame plus the 12 ns daisy chain:
-//! let done = ch.return_read_data(0, Time::from_ns(45));
-//! assert_eq!(done, Time::from_ns(63));
+//! let data = ch.return_read_data(0, Time::from_ns(45));
+//! assert_eq!(data.done, Time::from_ns(63));
 //! ```
 
 #![warn(missing_docs)]
@@ -33,10 +33,10 @@ pub mod fbdimm;
 pub mod timeline;
 
 pub use ddr2::Ddr2CommandBus;
-pub use fbdimm::{DaisyChain, FbdChannel};
+pub use fbdimm::{DaisyChain, FbdChannel, LinkSlot};
 pub use timeline::Timeline;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use fbd_types::time::{Dur, Time};
@@ -73,7 +73,7 @@ mod proptests {
             let mut ch = FbdChannel::new(&fbd_types::config::MemoryConfig::fbdimm_default());
             let mut last = Time::ZERO;
             for _ in 0..n {
-                last = ch.return_read_data(0, Time::ZERO);
+                last = ch.return_read_data(0, Time::ZERO).done;
             }
             // Each line: one 6 ns frame; chain delay (12 ns) is latency,
             // not occupancy.

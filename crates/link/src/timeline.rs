@@ -102,7 +102,10 @@ impl Timeline {
     /// Panics if the window is not actually free.
     pub fn reserve_at(&mut self, start: Time, duration: Dur) {
         let got = self.probe(start, duration);
-        assert!(got == start, "window at {start} no longer free (next free {got})");
+        assert!(
+            got == start,
+            "window at {start} no longer free (next free {got})"
+        );
         self.insert(start, start + duration);
         self.carried += duration;
         self.prune(start);
@@ -167,13 +170,19 @@ mod tests {
         let mut t = tl();
         assert_eq!(t.reserve(Time::ZERO, Dur::from_ns(6)), Time::ZERO);
         assert_eq!(t.reserve(Time::ZERO, Dur::from_ns(6)), Time::from_ns(6));
-        assert_eq!(t.reserve(Time::from_ns(30), Dur::from_ns(6)), Time::from_ns(30));
+        assert_eq!(
+            t.reserve(Time::from_ns(30), Dur::from_ns(6)),
+            Time::from_ns(30)
+        );
     }
 
     #[test]
     fn starts_align_to_clock_edges() {
         let mut t = tl();
-        assert_eq!(t.reserve(Time::from_ns(4), Dur::from_ns(6)), Time::from_ns(6));
+        assert_eq!(
+            t.reserve(Time::from_ns(4), Dur::from_ns(6)),
+            Time::from_ns(6)
+        );
     }
 
     #[test]
@@ -181,7 +190,7 @@ mod tests {
         let mut t = tl();
         t.reserve(Time::ZERO, Dur::from_ns(6)); // [0,6)
         t.reserve(Time::from_ns(12), Dur::from_ns(6)); // [12,18)
-        // A 6 ns window fits exactly in [6,12).
+                                                       // A 6 ns window fits exactly in [6,12).
         assert_eq!(t.reserve(Time::ZERO, Dur::from_ns(6)), Time::from_ns(6));
         // Nothing remains before 18.
         assert_eq!(t.reserve(Time::ZERO, Dur::from_ns(3)), Time::from_ns(18));
@@ -192,7 +201,7 @@ mod tests {
         let mut t = tl();
         t.reserve(Time::ZERO, Dur::from_ns(3)); // [0,3)
         t.reserve(Time::from_ns(6), Dur::from_ns(6)); // [6,12)
-        // 6 ns does not fit in [3,6).
+                                                      // 6 ns does not fit in [3,6).
         assert_eq!(t.reserve(Time::ZERO, Dur::from_ns(6)), Time::from_ns(12));
     }
 
@@ -230,7 +239,11 @@ mod tests {
         for i in 0..10_000u64 {
             t.reserve(Time::from_ns(i * 30), Dur::from_ns(6));
         }
-        assert!(t.busy.len() < 1_000, "deque grew unboundedly: {}", t.busy.len());
+        assert!(
+            t.busy.len() < 1_000,
+            "deque grew unboundedly: {}",
+            t.busy.len()
+        );
         // Reservations far in the past get bumped to the horizon, never lost.
         let start = t.reserve(Time::ZERO, Dur::from_ns(3));
         assert!(start >= t.horizon);

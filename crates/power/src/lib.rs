@@ -37,6 +37,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod modes;
+
+pub use modes::{ModeResidency, ModeSpan, PowerMode, PowerModeTracker};
+
 use fbd_types::stats::DramOpCounts;
 use fbd_types::time::Dur;
 
@@ -129,7 +133,11 @@ impl StandbyPower {
     pub fn static_energy(&self, active: Dur, elapsed: Dur, powerdown: bool) -> f64 {
         assert!(active <= elapsed, "active time cannot exceed elapsed time");
         let idle = elapsed - active;
-        let idle_mw = if powerdown { self.powerdown_mw } else { self.idle_mw };
+        let idle_mw = if powerdown {
+            self.powerdown_mw
+        } else {
+            self.idle_mw
+        };
         // mW × ns = pJ; divide by 1000 for nJ.
         (self.active_mw * active.as_ns_f64() + idle_mw * idle.as_ns_f64()) / 1_000.0
     }
@@ -220,7 +228,9 @@ mod tests {
         let ops = DramOpCounts {
             act_pre: 10,
             col_reads: 8,
-            col_writes: 2, refreshes: 0 };
+            col_writes: 2,
+            refreshes: 0,
+        };
         assert_eq!(m.dynamic_energy(&ops), 50.0);
     }
 
@@ -230,7 +240,9 @@ mod tests {
         let base = DramOpCounts {
             act_pre: 100,
             col_reads: 100,
-            col_writes: 0, refreshes: 0 };
+            col_writes: 0,
+            refreshes: 0,
+        };
         let same = m.normalized(&base, &base);
         assert!((same - 1.0).abs() < 1e-12);
         let empty = DramOpCounts::default();
@@ -245,11 +257,15 @@ mod tests {
         let base = DramOpCounts {
             act_pre: 1000,
             col_reads: 1000,
-            col_writes: 0, refreshes: 0 };
+            col_writes: 0,
+            refreshes: 0,
+        };
         let ap = DramOpCounts {
             act_pre: 667,
             col_reads: 1412,
-            col_writes: 0, refreshes: 0 };
+            col_writes: 0,
+            refreshes: 0,
+        };
         let norm = m.normalized(&ap, &base);
         assert!(norm < 0.90, "expected >10% saving, got {norm:.3}");
     }
@@ -262,11 +278,15 @@ mod tests {
         let base = DramOpCounts {
             act_pre: 1000,
             col_reads: 1000,
-            col_writes: 0, refreshes: 0 };
+            col_writes: 0,
+            refreshes: 0,
+        };
         let ap = DramOpCounts {
             act_pre: 900,
             col_reads: 2000,
-            col_writes: 0, refreshes: 0 };
+            col_writes: 0,
+            refreshes: 0,
+        };
         assert!(m.normalized(&ap, &base) > 1.0);
     }
 
@@ -296,8 +316,18 @@ mod tests {
     #[test]
     fn write_energy_slightly_above_read() {
         let m = PowerModel::from_params(&DramPowerParams::micron_ddr2_667());
-        let rd_only = DramOpCounts { act_pre: 0, col_reads: 1, col_writes: 0, refreshes: 0 };
-        let wr_only = DramOpCounts { act_pre: 0, col_reads: 0, col_writes: 1, refreshes: 0 };
+        let rd_only = DramOpCounts {
+            act_pre: 0,
+            col_reads: 1,
+            col_writes: 0,
+            refreshes: 0,
+        };
+        let wr_only = DramOpCounts {
+            act_pre: 0,
+            col_reads: 0,
+            col_writes: 1,
+            refreshes: 0,
+        };
         assert!(m.dynamic_energy(&wr_only) > m.dynamic_energy(&rd_only));
     }
 }

@@ -1,0 +1,315 @@
+//! Power-mode residency tracking (CKE power-down modelling).
+//!
+//! The dynamic-energy model in the crate root counts operations; this
+//! module reconstructs *when* each rank was busy and what low-power
+//! state it occupied in between. The model is the standard DDR idle
+//! timeout: after a rank has been idle for `powerdown_after`, the
+//! controller drops CKE and the rank enters precharge power-down until
+//! the next command. Shorter gaps stay in precharge standby.
+//!
+//! [`PowerModeTracker`] is fed busy windows (`note_busy`) in any order
+//! — the simulator discovers them as accesses are planned, not in time
+//! order — and produces a merged, gap-classified span list plus
+//! per-mode residency totals. The spans feed the telemetry tracer's
+//! power tracks; the residency feeds [`StandbyPower`]-style static
+//! energy accounting.
+//!
+//! [`StandbyPower`]: crate::StandbyPower
+
+use fbd_types::time::{Dur, Time};
+
+/// The power state of one rank over a span of time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PowerMode {
+    /// Executing or holding a row open for an access (IDD3N-class).
+    Active,
+    /// Idle with CKE high, ready to accept a command (IDD2N-class).
+    Standby,
+    /// Idle with CKE low after the idle timeout (IDD2P-class).
+    PowerDown,
+}
+
+impl PowerMode {
+    /// Short stable label for traces and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerMode::Active => "active",
+            PowerMode::Standby => "standby",
+            PowerMode::PowerDown => "powerdown",
+        }
+    }
+}
+
+/// One contiguous interval spent in a single power mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModeSpan {
+    /// Span start (inclusive).
+    pub start: Time,
+    /// Span end (exclusive).
+    pub end: Time,
+    /// Mode held throughout the span.
+    pub mode: PowerMode,
+}
+
+impl ModeSpan {
+    /// Length of the span.
+    pub fn dur(&self) -> Dur {
+        self.end - self.start
+    }
+}
+
+/// Time spent in each power mode over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModeResidency {
+    /// Total active time.
+    pub active: Dur,
+    /// Total precharge-standby time.
+    pub standby: Dur,
+    /// Total precharge-power-down time.
+    pub powerdown: Dur,
+}
+
+impl ModeResidency {
+    /// `active + standby + powerdown` — equals the run length.
+    pub fn total(&self) -> Dur {
+        self.active + self.standby + self.powerdown
+    }
+}
+
+/// Reconstructs one rank's power-mode timeline from its busy windows.
+#[derive(Clone, Debug)]
+pub struct PowerModeTracker {
+    powerdown_after: Dur,
+    /// Busy windows as noted, unsorted and possibly overlapping.
+    busy: Vec<(Time, Time)>,
+}
+
+impl PowerModeTracker {
+    /// Creates a tracker with the given idle timeout: a gap longer than
+    /// `powerdown_after` spends the excess in power-down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is zero (every gap would power down
+    /// instantly, which no controller does — disable tracking instead).
+    pub fn new(powerdown_after: Dur) -> PowerModeTracker {
+        assert!(
+            powerdown_after > Dur::ZERO,
+            "power-down timeout must be non-zero"
+        );
+        PowerModeTracker {
+            powerdown_after,
+            busy: Vec::new(),
+        }
+    }
+
+    /// Records that the rank was busy over `[start, end)`. Windows may
+    /// arrive out of order and may overlap; empty windows are ignored.
+    pub fn note_busy(&mut self, start: Time, end: Time) {
+        if end > start {
+            self.busy.push((start, end));
+        }
+    }
+
+    /// Number of busy windows noted so far (pre-merge).
+    pub fn noted(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Busy windows merged into disjoint, time-ordered intervals.
+    fn merged(&self) -> Vec<(Time, Time)> {
+        let mut windows = self.busy.clone();
+        windows.sort();
+        let mut merged: Vec<(Time, Time)> = Vec::with_capacity(windows.len());
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => *last_end = (*last_end).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        merged
+    }
+
+    /// The full mode timeline from `Time::ZERO` to `run_end`: active
+    /// spans are the merged busy windows; each idle gap is standby for
+    /// up to the timeout, then power-down. Spans are contiguous,
+    /// time-ordered, and never empty. The leading gap before the first
+    /// access is classified like any other idle period.
+    pub fn spans(&self, run_end: Time) -> Vec<ModeSpan> {
+        let mut out = Vec::new();
+        let mut cursor = Time::ZERO;
+        let push_idle = |out: &mut Vec<ModeSpan>, from: Time, to: Time| {
+            if to <= from {
+                return;
+            }
+            let standby_end = to.min(from + self.powerdown_after);
+            out.push(ModeSpan {
+                start: from,
+                end: standby_end,
+                mode: PowerMode::Standby,
+            });
+            if to > standby_end {
+                out.push(ModeSpan {
+                    start: standby_end,
+                    end: to,
+                    mode: PowerMode::PowerDown,
+                });
+            }
+        };
+        for (s, e) in self.merged() {
+            if s >= run_end {
+                break;
+            }
+            push_idle(&mut out, cursor, s);
+            out.push(ModeSpan {
+                start: s,
+                end: e.min(run_end),
+                mode: PowerMode::Active,
+            });
+            cursor = e;
+            if cursor >= run_end {
+                break;
+            }
+        }
+        push_idle(&mut out, cursor, run_end);
+        out
+    }
+
+    /// Per-mode totals over `[0, run_end)`; always sums to `run_end`.
+    pub fn residency(&self, run_end: Time) -> ModeResidency {
+        let mut r = ModeResidency::default();
+        for span in self.spans(run_end) {
+            match span.mode {
+                PowerMode::Active => r.active += span.dur(),
+                PowerMode::Standby => r.standby += span.dur(),
+                PowerMode::PowerDown => r.powerdown += span.dur(),
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_ns(ns)
+    }
+
+    #[test]
+    fn idle_rank_is_standby_then_powerdown() {
+        let tracker = PowerModeTracker::new(Dur::from_ns(30));
+        let spans = tracker.spans(t(100));
+        assert_eq!(
+            spans,
+            vec![
+                ModeSpan {
+                    start: t(0),
+                    end: t(30),
+                    mode: PowerMode::Standby
+                },
+                ModeSpan {
+                    start: t(30),
+                    end: t(100),
+                    mode: PowerMode::PowerDown
+                },
+            ]
+        );
+        let r = tracker.residency(t(100));
+        assert_eq!(r.standby, Dur::from_ns(30));
+        assert_eq!(r.powerdown, Dur::from_ns(70));
+        assert_eq!(r.total(), Dur::from_ns(100));
+    }
+
+    #[test]
+    fn short_gaps_stay_in_standby() {
+        let mut tracker = PowerModeTracker::new(Dur::from_ns(30));
+        tracker.note_busy(t(0), t(10));
+        tracker.note_busy(t(20), t(40)); // 10 ns gap < timeout
+        let spans = tracker.spans(t(40));
+        assert_eq!(
+            spans,
+            vec![
+                ModeSpan {
+                    start: t(0),
+                    end: t(10),
+                    mode: PowerMode::Active
+                },
+                ModeSpan {
+                    start: t(10),
+                    end: t(20),
+                    mode: PowerMode::Standby
+                },
+                ModeSpan {
+                    start: t(20),
+                    end: t(40),
+                    mode: PowerMode::Active
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_out_of_order_windows_merge() {
+        let mut tracker = PowerModeTracker::new(Dur::from_ns(30));
+        tracker.note_busy(t(50), t(70));
+        tracker.note_busy(t(10), t(30));
+        tracker.note_busy(t(25), t(55)); // bridges both
+        tracker.note_busy(t(60), t(60)); // empty: ignored
+        assert_eq!(tracker.noted(), 3);
+        let spans = tracker.spans(t(70));
+        assert_eq!(
+            spans,
+            vec![
+                ModeSpan {
+                    start: t(0),
+                    end: t(10),
+                    mode: PowerMode::Standby
+                },
+                ModeSpan {
+                    start: t(10),
+                    end: t(70),
+                    mode: PowerMode::Active
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn long_gap_splits_at_the_timeout() {
+        let mut tracker = PowerModeTracker::new(Dur::from_ns(30));
+        tracker.note_busy(t(0), t(10));
+        tracker.note_busy(t(100), t(110));
+        let r = tracker.residency(t(110));
+        assert_eq!(r.active, Dur::from_ns(20));
+        assert_eq!(r.standby, Dur::from_ns(30));
+        assert_eq!(r.powerdown, Dur::from_ns(60));
+        // Spans are contiguous and ordered.
+        let spans = tracker.spans(t(110));
+        for pair in spans.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(spans.first().unwrap().start, t(0));
+        assert_eq!(spans.last().unwrap().end, t(110));
+    }
+
+    #[test]
+    fn busy_past_run_end_is_clamped() {
+        let mut tracker = PowerModeTracker::new(Dur::from_ns(30));
+        tracker.note_busy(t(90), t(150));
+        let spans = tracker.spans(t(100));
+        assert_eq!(spans.last().unwrap().end, t(100));
+        assert_eq!(tracker.residency(t(100)).total(), Dur::from_ns(100));
+        // A window entirely past the end contributes nothing.
+        let mut tracker = PowerModeTracker::new(Dur::from_ns(30));
+        tracker.note_busy(t(200), t(250));
+        assert_eq!(tracker.residency(t(100)).active, Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_timeout_rejected() {
+        let _ = PowerModeTracker::new(Dur::ZERO);
+    }
+}

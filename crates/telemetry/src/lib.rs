@@ -1,0 +1,162 @@
+//! Telemetry for the FB-DIMM simulator: metric registry, epoch
+//! time-series sampler, and cycle-level Chrome-trace event tracer.
+//!
+//! The simulator's hot paths keep their plain accumulators; this crate
+//! is the *observability* layer layered on top:
+//!
+//! - [`MetricRegistry`] — named counters / gauges / latency
+//!   accumulators under hierarchical dot paths such as
+//!   `chan0.dimm2.bank5.act_count` or `amb.prefetch.hits`.
+//! - [`EpochSampler`] — snapshots every registered metric each epoch of
+//!   simulated time into an in-memory time-series, exportable as CSV or
+//!   JSON.
+//! - [`Tracer`] — southbound/northbound frame slots, DRAM commands,
+//!   AMB hits, and power-mode transitions as Chrome Trace Event Format
+//!   JSON, loadable in Perfetto (one track per channel / DIMM lane).
+//! - [`json`] — the dependency-free JSON value/writer/parser the
+//!   exporters are built on.
+//!
+//! Everything is opt-in: a [`Telemetry`] built from the default
+//! [`TelemetryConfig`] allocates no sampler and no tracer, and the
+//! simulator's only obligation is an `is_on()` branch at emission
+//! sites.
+//!
+//! # Examples
+//!
+//! ```
+//! use fbd_telemetry::{Telemetry, TelemetryConfig};
+//! use fbd_types::time::{Dur, Time};
+//!
+//! let mut tel = Telemetry::new(&TelemetryConfig {
+//!     sample_interval: Some(Dur::from_ns(1000)),
+//!     trace: true,
+//! });
+//! let acts = tel.registry.counter("chan0.acts");
+//! tel.registry.add(acts, 1);
+//! if let Some(tracer) = tel.tracer.as_mut() {
+//!     tracer.complete("ACT", "dram", 0, 10, Time::from_ns(5), Dur::from_ns(12), vec![]);
+//! }
+//! tel.finish(Time::from_ns(1500));
+//! assert_eq!(tel.sampler.unwrap().rows().len(), 1);
+//! ```
+
+pub mod json;
+pub mod registry;
+pub mod sampler;
+pub mod trace;
+
+pub use json::Json;
+pub use registry::{MetricId, MetricKind, MetricRegistry, MetricValue};
+pub use sampler::{EpochSampler, SampleRow};
+pub use trace::{tid_dimm, tid_power, Tracer, PID_SYSTEM, TID_NORTH, TID_SOUTH};
+
+use fbd_types::time::{Dur, Time};
+
+/// What to collect during a run. The default collects nothing beyond
+/// the (always-on, near-free) metric registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Snapshot all metrics every this much simulated time.
+    pub sample_interval: Option<Dur>,
+    /// Record cycle-level events for Chrome-trace export.
+    pub trace: bool,
+}
+
+impl TelemetryConfig {
+    /// True when any collector beyond the registry is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.sample_interval.is_some() || self.trace
+    }
+}
+
+/// Per-run telemetry state: the registry plus optional collectors.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    pub registry: MetricRegistry,
+    pub sampler: Option<EpochSampler>,
+    pub tracer: Option<Tracer>,
+}
+
+impl Telemetry {
+    /// Builds telemetry for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sample_interval` is `Some(Dur::ZERO)`
+    /// (see [`EpochSampler::new`]).
+    pub fn new(config: &TelemetryConfig) -> Telemetry {
+        Telemetry {
+            registry: MetricRegistry::new(),
+            sampler: config.sample_interval.map(EpochSampler::new),
+            tracer: config.trace.then(Tracer::new),
+        }
+    }
+
+    /// Telemetry that collects nothing beyond the registry.
+    pub fn off() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// True when the event tracer is active — emission sites branch on
+    /// this before doing any formatting work.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// When the next epoch snapshot is due ([`Time::NEVER`] if sampling
+    /// is off) — the event loop uses this to schedule sample events.
+    pub fn next_sample_due(&self) -> Time {
+        self.sampler
+            .as_ref()
+            .map_or(Time::NEVER, EpochSampler::next_due)
+    }
+
+    /// Takes an epoch snapshot if sampling is enabled.
+    pub fn sample(&mut self, now: Time) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.sample(now, &self.registry);
+        }
+    }
+
+    /// Ends the run at `end`: flushes the final partial epoch.
+    pub fn finish(&mut self, end: Time) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.finish(end, &self.registry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_collects_nothing() {
+        let tel = Telemetry::new(&TelemetryConfig::default());
+        assert!(!TelemetryConfig::default().any_enabled());
+        assert!(tel.sampler.is_none());
+        assert!(tel.tracer.is_none());
+        assert!(!tel.tracing());
+        assert_eq!(tel.next_sample_due(), Time::NEVER);
+    }
+
+    #[test]
+    fn sampling_lifecycle() {
+        let mut tel = Telemetry::new(&TelemetryConfig {
+            sample_interval: Some(Dur::from_ns(50)),
+            trace: false,
+        });
+        let c = tel.registry.counter("reads");
+        assert_eq!(tel.next_sample_due(), Time::from_ns(50));
+
+        tel.registry.add(c, 2);
+        tel.sample(Time::from_ns(50));
+        tel.registry.add(c, 1);
+        tel.finish(Time::from_ns(75));
+
+        let rows = tel.sampler.as_ref().unwrap().rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].values, vec![3.0]);
+    }
+}

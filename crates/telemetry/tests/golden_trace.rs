@@ -1,0 +1,129 @@
+//! Golden-file test for the Chrome-trace exporter.
+//!
+//! Builds a fixed event sequence (deliberately emitted out of time
+//! order, across several tracks), exports it, and checks three things:
+//!
+//! 1. the output is byte-identical to the committed golden file, so any
+//!    format change is a conscious diff;
+//! 2. the output parses as valid JSON with the `traceEvents` shape
+//!    Perfetto expects;
+//! 3. within every `(pid, tid)` track, timestamps are monotonically
+//!    non-decreasing — the property the viewer relies on.
+//!
+//! To regenerate after an intentional format change:
+//! `BLESS=1 cargo test -p fbd-telemetry --test golden_trace`.
+
+use fbd_telemetry::json::{self, Json};
+use fbd_telemetry::{tid_dimm, tid_power, Tracer, PID_SYSTEM, TID_NORTH, TID_SOUTH};
+use fbd_types::time::{Dur, Time};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace.json");
+
+fn fixture() -> Tracer {
+    let mut t = Tracer::new();
+    t.name_process(0, "chan0");
+    t.name_process(PID_SYSTEM, "system");
+    t.name_track(0, TID_SOUTH, "southbound");
+    t.name_track(0, TID_NORTH, "northbound");
+    t.name_track(0, tid_dimm(1), "dimm1.cmds");
+    t.name_track(0, tid_power(1), "dimm1.power");
+
+    // Emitted out of order on purpose: the exporter must sort per track.
+    t.complete(
+        "RD",
+        "dram",
+        0,
+        tid_dimm(1),
+        Time::from_ns(45),
+        Dur::from_ns(15),
+        vec![("bank", Json::from(5u32)), ("row_hit", Json::from(false))],
+    );
+    t.complete(
+        "cmd",
+        "link",
+        0,
+        TID_SOUTH,
+        Time::from_ns(12),
+        Dur::from_ns(6),
+        vec![],
+    );
+    t.complete(
+        "ACT",
+        "dram",
+        0,
+        tid_dimm(1),
+        Time::from_ns(30),
+        Dur::from_ns(12),
+        vec![("bank", Json::from(5u32))],
+    );
+    t.complete(
+        "data",
+        "link",
+        0,
+        TID_NORTH,
+        Time::from_ns(72),
+        Dur::from_ns(12),
+        vec![],
+    );
+    t.instant(
+        "amb_hit",
+        "amb",
+        0,
+        TID_SOUTH,
+        Time::from_ns(24),
+        vec![("dimm", Json::from(1u32))],
+    );
+    t.complete(
+        "active",
+        "power",
+        0,
+        tid_power(1),
+        Time::from_ns(30),
+        Dur::from_ns(57),
+        vec![],
+    );
+    t.counter("queue_depth", "ctrl", PID_SYSTEM, 0, Time::from_ns(12), 3.0);
+    t.counter("queue_depth", "ctrl", PID_SYSTEM, 0, Time::from_ns(84), 2.0);
+    t
+}
+
+#[test]
+fn golden_trace_matches_and_is_valid() {
+    let rendered = fixture().to_chrome_trace().to_json_pretty(1);
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file present");
+    assert_eq!(
+        rendered, golden,
+        "exporter output diverged from tests/golden/trace.json; \
+         rerun with BLESS=1 if the change is intentional"
+    );
+
+    let doc = json::parse(&rendered).expect("exporter must emit valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Per-track monotonicity over the non-metadata events.
+    let mut per_track: std::collections::HashMap<(u64, u64), f64> = Default::default();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph field");
+        if ph == "M" {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Json::as_f64).expect("pid") as u64;
+        let tid = e.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        if let Some(prev) = per_track.insert((pid, tid), ts) {
+            assert!(
+                ts >= prev,
+                "track ({pid},{tid}) went backwards: {prev} then {ts}"
+            );
+        }
+    }
+    assert!(per_track.len() >= 5, "expected several distinct tracks");
+}

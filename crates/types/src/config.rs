@@ -105,7 +105,10 @@ impl DramTimings {
         }
         // t_faw may be zero (disabled) but must exceed tRRD when set.
         if !self.t_faw.is_zero() && self.t_faw < self.t_rrd {
-            return Err(ConfigError::new("t_faw", "must be at least t_rrd when enabled"));
+            return Err(ConfigError::new(
+                "t_faw",
+                "must be at least t_rrd when enabled",
+            ));
         }
         if self.t_rc < self.t_ras + self.t_rp {
             return Err(ConfigError::new("t_rc", "must be at least t_ras + t_rp"));
@@ -589,10 +592,16 @@ impl MemoryConfig {
             return Err(ConfigError::new("queue_capacity", "must be non-zero"));
         }
         if self.write_drain_threshold == 0 {
-            return Err(ConfigError::new("write_drain_threshold", "must be non-zero"));
+            return Err(ConfigError::new(
+                "write_drain_threshold",
+                "must be non-zero",
+            ));
         }
         if self.lines_per_page() == 0 {
-            return Err(ConfigError::new("page_bytes", "must hold at least one line"));
+            return Err(ConfigError::new(
+                "page_bytes",
+                "must hold at least one line",
+            ));
         }
         if let Interleaving::MultiCacheline { lines } = self.interleaving {
             if !lines.is_power_of_two() {

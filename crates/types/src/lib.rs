@@ -32,8 +32,7 @@ pub mod time;
 pub use address::{LineAddr, PhysAddr, RegionId, CACHE_LINE_BYTES};
 pub use config::{
     AmbPrefetchConfig, AmbPrefetchMode, Associativity, CpuConfig, DramTimings, HwPrefetchConfig,
-    Interleaving,
-    MemoryConfig, MemoryTech, PagePolicy, Replacement, SchedPolicy, SystemConfig,
+    Interleaving, MemoryConfig, MemoryTech, PagePolicy, Replacement, SchedPolicy, SystemConfig,
 };
 pub use error::ConfigError;
 pub use request::{AccessKind, CoreId, MemRequest, MemResponse, RequestId, ServiceKind};

@@ -96,7 +96,13 @@ pub struct MemRequest {
 
 impl MemRequest {
     /// Convenience constructor.
-    pub fn new(id: RequestId, core: CoreId, kind: AccessKind, line: LineAddr, arrival: Time) -> Self {
+    pub fn new(
+        id: RequestId,
+        core: CoreId,
+        kind: AccessKind,
+        line: LineAddr,
+        arrival: Time,
+    ) -> Self {
         MemRequest {
             id,
             core,

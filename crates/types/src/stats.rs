@@ -466,7 +466,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         let p50 = a.percentile(0.5).unwrap();
-        assert!(p50 <= Dur::from_ns(36), "median of {{33,63}} near 33: {p50}");
+        assert!(
+            p50 <= Dur::from_ns(36),
+            "median of {{33,63}} near 33: {p50}"
+        );
     }
 
     #[test]
@@ -527,6 +530,64 @@ mod tests {
     }
 
     #[test]
+    fn latency_stat_merge_empty_into_empty_stays_empty() {
+        let mut a = LatencyStat::new();
+        a.merge(&LatencyStat::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), None);
+        assert_eq!(a.max(), None);
+        // Merging an empty accumulator into a populated one is a no-op.
+        let mut b = LatencyStat::new();
+        b.record(Dur::from_ns(7));
+        let before = b;
+        b.merge(&LatencyStat::new());
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn latency_stat_extreme_samples_do_not_overflow() {
+        // The per-sample ceiling is u64::MAX picoseconds; the u128 sum
+        // keeps means exact even when several such samples accumulate.
+        let huge = Dur::from_ps(u64::MAX);
+        let mut lat = LatencyStat::new();
+        lat.record(huge);
+        lat.record(huge);
+        lat.record(huge);
+        assert_eq!(lat.count(), 3);
+        assert_eq!(lat.mean(), Some(huge));
+        assert_eq!(lat.max(), Some(huge));
+        // Merging two maxed-out accumulators still cannot overflow.
+        let other = lat;
+        lat.merge(&other);
+        assert_eq!(lat.count(), 6);
+        assert_eq!(lat.mean(), Some(huge));
+        assert_eq!(lat.max(), Some(huge));
+    }
+
+    #[test]
+    fn latency_stat_merge_then_mean_matches_single_accumulator() {
+        // Recording interleaved across two accumulators and merging must
+        // give exactly the mean/max/count of one accumulator that saw
+        // every sample.
+        let samples: Vec<Dur> = (1..=25u64).map(|n| Dur::from_ns(n * 3)).collect();
+        let mut whole = LatencyStat::new();
+        let mut left = LatencyStat::new();
+        let mut right = LatencyStat::new();
+        for (i, s) in samples.iter().enumerate() {
+            whole.record(*s);
+            if i % 2 == 0 {
+                left.record(*s);
+            } else {
+                right.record(*s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.mean(), whole.mean());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
     fn coverage_and_efficiency_definitions() {
         let stats = MemStats {
             demand_reads: 100,
@@ -572,7 +633,9 @@ mod tests {
             dram_ops: DramOpCounts {
                 act_pre: 8,
                 col_reads: 9,
-                col_writes: 10, refreshes: 0 },
+                col_writes: 10,
+                refreshes: 0,
+            },
             ..MemStats::default()
         };
         let b = a.clone();

@@ -143,7 +143,9 @@ mod tests {
     use crate::profile::by_name;
 
     fn take(trace: &mut SyntheticTrace, n: usize) -> Vec<TraceOp> {
-        (0..n).map(|_| trace.next_op().expect("unbounded")).collect()
+        (0..n)
+            .map(|_| trace.next_op().expect("unbounded"))
+            .collect()
     }
 
     #[test]
@@ -169,7 +171,10 @@ mod tests {
         let mut t = SyntheticTrace::new(p, base, 7);
         for op in take(&mut t, 2_000) {
             let l = op.line.as_u64();
-            assert!(l >= base && l < base + p.footprint_lines, "line {l} outside set");
+            assert!(
+                l >= base && l < base + p.footprint_lines,
+                "line {l} outside set"
+            );
         }
     }
 
@@ -241,7 +246,10 @@ mod tests {
         let demands: Vec<&TraceOp> = ops.iter().filter(|o| o.kind != OpKind::Prefetch).collect();
         let stores = demands.iter().filter(|o| o.kind == OpKind::Store).count();
         let frac = stores as f64 / demands.len() as f64;
-        assert!((frac - p.store_fraction).abs() < 0.05, "store frac {frac:.2}");
+        assert!(
+            (frac - p.store_fraction).abs() < 0.05,
+            "store frac {frac:.2}"
+        );
     }
 
     #[test]
@@ -256,6 +264,9 @@ mod tests {
             .collect();
         let mean = demand_gaps.iter().sum::<u64>() as f64 / demand_gaps.len() as f64;
         let expected = (p.mean_gap() as f64 + 1.0) / 2.0 + p.mean_gap() as f64 / 2.0;
-        assert!((mean - expected).abs() / expected < 0.1, "mean {mean:.1} vs {expected:.1}");
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean:.1} vs {expected:.1}"
+        );
     }
 }

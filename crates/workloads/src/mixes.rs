@@ -59,8 +59,11 @@ impl Workload {
             .enumerate()
             .map(|(i, p)| {
                 let base = i as u64 * CORE_SPACING_LINES;
-                Box::new(SyntheticTrace::new(p, base, seed.wrapping_add(i as u64 * 0x9e37_79b9)))
-                    as Box<dyn TraceSource>
+                Box::new(SyntheticTrace::new(
+                    p,
+                    base,
+                    seed.wrapping_add(i as u64 * 0x9e37_79b9),
+                )) as Box<dyn TraceSource>
             })
             .collect()
     }
@@ -103,15 +106,21 @@ pub fn eight_core_workloads() -> Vec<Workload> {
     vec![
         Workload::new(
             "8C-1",
-            &["wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas"],
+            &[
+                "wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas",
+            ],
         ),
         Workload::new(
             "8C-2",
-            &["wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex"],
+            &[
+                "wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex",
+            ],
         ),
         Workload::new(
             "8C-3",
-            &["vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex"],
+            &[
+                "vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex",
+            ],
         ),
     ]
 }
@@ -142,7 +151,11 @@ mod tests {
         let four = four_core_workloads();
         assert_eq!(four.len(), 6);
         assert_eq!(
-            four[4].benchmarks().iter().map(|b| b.name).collect::<Vec<_>>(),
+            four[4]
+                .benchmarks()
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>(),
             vec!["fma3d", "gap", "swim", "applu"]
         );
 

@@ -26,7 +26,10 @@ fn main() {
     };
     let workload = four_core_workloads().remove(0); // 4C-1: four streaming codes
 
-    println!("4-core workload {} across channel provisioning points:", workload.name());
+    println!(
+        "4-core workload {} across channel provisioning points:",
+        workload.name()
+    );
     println!();
     println!("channels  rate      FBD IPC-sum  FBD-AP IPC-sum  AP gain");
     for channels in [1u32, 2, 4] {

@@ -40,7 +40,10 @@ fn main() {
         eight_core_workloads().remove(0),
     ];
 
-    println!("SMT speedup and memory behaviour as cores scale (seed {}):", exp.seed);
+    println!(
+        "SMT speedup and memory behaviour as cores scale (seed {}):",
+        exp.seed
+    );
     println!();
     println!("workload  system   speedup  bandwidth  avg latency");
     for w in &picks {

@@ -28,7 +28,9 @@ fn ap_config(k: u32, entries: u32, assoc: Associativity) -> SystemConfig {
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "mgrid".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mgrid".to_string());
     if fbd_workloads::by_name(&bench).is_none() {
         eprintln!("unknown benchmark `{bench}`; pick one of:");
         for p in &fbd_workloads::PROFILES {

@@ -66,5 +66,8 @@ fn main() {
         with_ap.mem.prefetch_efficiency() * 100.0
     );
     let speedup = with_ap.cores[0].ipc() / baseline.cores[0].ipc();
-    println!("  speedup from AMB prefetching: {:+.1}%", (speedup - 1.0) * 100.0);
+    println!(
+        "  speedup from AMB prefetching: {:+.1}%",
+        (speedup - 1.0) * 100.0
+    );
 }

@@ -15,7 +15,9 @@ use fbd_types::config::{AmbPrefetchMode, MemoryConfig, SystemConfig};
 use fbd_workloads::Workload;
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "applu".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "applu".to_string());
     if fbd_workloads::by_name(&bench).is_none() {
         eprintln!("unknown benchmark `{bench}`");
         std::process::exit(1);

@@ -43,7 +43,11 @@ fn amb_cache_hit_idle_latency_is_exactly_33ns() {
     // Demand miss on line 0 group-fetches lines 0..4; lines 1-3 land in
     // the AMB cache.
     let first = issue_read(&mut mem, read_req(0, 0, Time::ZERO));
-    assert_eq!(first, Time::from_ns(63), "miss path unchanged by prefetching");
+    assert_eq!(
+        first,
+        Time::from_ns(63),
+        "miss path unchanged by prefetching"
+    );
     // A later, isolated read of line 1 hits the AMB cache: 33 ns.
     let arrival = Time::from_ns(300);
     let completion = issue_read(&mut mem, read_req(1, 1, arrival));
@@ -90,7 +94,11 @@ fn second_dimm_same_latency_without_vrl() {
     // Cacheline interleaving: channels cycle first, then DIMMs; line 2
     // sits on channel 0, DIMM 1.
     let completion = issue_read(&mut mem, read_req(0, 2, Time::ZERO));
-    assert_eq!(completion, Time::from_ns(63), "fixed read latency without VRL");
+    assert_eq!(
+        completion,
+        Time::from_ns(63),
+        "fixed read latency without VRL"
+    );
 }
 
 #[test]
@@ -122,7 +130,11 @@ fn ddr2_open_page_row_hit_is_exactly_33ns() {
     let completion = issue_read(&mut mem, read_req(1, 1, arrival));
     assert_eq!(completion - arrival, fbd_types::time::Dur::from_ns(33));
     assert_eq!(mem.stats().row_hits, 1);
-    assert_eq!(mem.stats().dram_ops.act_pre, 1, "one activation serves both");
+    assert_eq!(
+        mem.stats().dram_ops.act_pre,
+        1,
+        "one activation serves both"
+    );
 }
 
 #[test]
@@ -132,8 +144,8 @@ fn ddr2_open_page_row_conflict_pays_precharge() {
     cfg.interleaving = fbd_types::config::Interleaving::Page;
     let mut mem = MemorySystem::new(&cfg);
     issue_read(&mut mem, read_req(0, 0, Time::ZERO)); // opens row 0
-    // A line on the same bank but a different row: page interleaving
-    // revisits a bank every (2 ch × 4 dimms × 4 banks) = 32 pages.
+                                                      // A line on the same bank but a different row: page interleaving
+                                                      // revisits a bank every (2 ch × 4 dimms × 4 banks) = 32 pages.
     let conflict_line = 32 * 128;
     let arrival = Time::from_ns(300);
     let completion = issue_read(&mut mem, read_req(1, conflict_line, arrival));
@@ -159,7 +171,7 @@ fn fbdimm_open_page_row_hit_is_exactly_48ns() {
 fn write_invalidates_prefetched_copy() {
     let mut mem = MemorySystem::new(&MemoryConfig::fbdimm_with_prefetch());
     issue_read(&mut mem, read_req(0, 0, Time::ZERO)); // prefetches 1..4
-    // A writeback of line 1 makes the AMB copy stale.
+                                                      // A writeback of line 1 makes the AMB copy stale.
     let wr = MemRequest::new(
         RequestId(1),
         CoreId(0),

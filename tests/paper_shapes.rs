@@ -60,8 +60,14 @@ fn figure9_shape_apfl_sits_between() {
     apfl_mem.amb.mode = AmbPrefetchMode::FullLatency;
     let apfl = avg_speedup(apfl_mem, &refs);
     let ap = avg_speedup(MemoryConfig::fbdimm_with_prefetch(), &refs);
-    assert!(apfl > fbd * 1.01, "bandwidth-utilization gain missing: {apfl:.3} vs {fbd:.3}");
-    assert!(ap > apfl * 1.005, "latency-reduction gain missing: {ap:.3} vs {apfl:.3}");
+    assert!(
+        apfl > fbd * 1.01,
+        "bandwidth-utilization gain missing: {apfl:.3} vs {fbd:.3}"
+    );
+    assert!(
+        ap > apfl * 1.005,
+        "latency-reduction gain missing: {ap:.3} vs {apfl:.3}"
+    );
 }
 
 #[test]
@@ -76,8 +82,14 @@ fn figure8_shape_k_trades_coverage_for_efficiency() {
         let r = run_workload(&cfg(mem, 1), &w, &exp());
         let cov = r.mem.prefetch_coverage();
         let eff = r.mem.prefetch_efficiency();
-        assert!(cov > prev_cov, "coverage must rise with K (K={k}: {cov:.3})");
-        assert!(eff < prev_eff, "efficiency must fall with K (K={k}: {eff:.3})");
+        assert!(
+            cov > prev_cov,
+            "coverage must rise with K (K={k}: {cov:.3})"
+        );
+        assert!(
+            eff < prev_eff,
+            "efficiency must fall with K (K={k}: {eff:.3})"
+        );
         prev_cov = cov;
         prev_eff = eff;
     }
@@ -116,7 +128,10 @@ fn figure12_shape_ap_and_sp_are_complementary() {
     let both = run(true, true) / none;
     assert!(ap > 1.02, "AP alone must help swim: {ap:.3}");
     assert!(sp > 1.02, "SP alone must help swim: {sp:.3}");
-    assert!(both > ap.max(sp), "AP+SP ({both:.3}) must beat either alone");
+    assert!(
+        both > ap.max(sp),
+        "AP+SP ({both:.3}) must beat either alone"
+    );
 }
 
 #[test]

@@ -86,7 +86,11 @@ fn single_bank_hotspot_is_trc_bound_not_deadlocked() {
     let result = System::new(&cfg, vec![trace], 9_000).run();
     // Every access conflicts: the bank's tRC (54 ns) bounds throughput.
     // 3000 back-to-back conflicting accesses ≥ ~2999 × 54 ns of DRAM time.
-    assert!(result.elapsed >= Dur::from_ns(54) * 2_900, "{:?}", result.elapsed);
+    assert!(
+        result.elapsed >= Dur::from_ns(54) * 2_900,
+        "{:?}",
+        result.elapsed
+    );
     assert_eq!(result.mem.demand_reads, 3_000);
     // And the average latency reflects heavy queueing, bounded by the
     // transaction queue + MSHR depth (not unbounded).
@@ -108,7 +112,11 @@ fn store_flood_generates_writebacks_and_completes() {
     // Stores are non-blocking, so commit finishes at the base rate; the
     // memory system must still have served a stream of write-allocate
     // reads AND pushed dirty victims back out at a comparable rate.
-    assert!(result.mem.demand_reads > 3_000, "{}", result.mem.demand_reads);
+    assert!(
+        result.mem.demand_reads > 3_000,
+        "{}",
+        result.mem.demand_reads
+    );
     assert!(
         result.mem.writes * 2 > result.mem.demand_reads,
         "writebacks missing: {} writes vs {} reads",
@@ -133,7 +141,12 @@ fn request_accounting_is_conserved() {
     // controller can never have served more than were issued, and the
     // gap is bounded by the outstanding window.
     assert!(r.mem.total_reads() <= issued);
-    assert!(issued - r.mem.total_reads() <= 64 + 64, "{} vs {}", issued, r.mem.total_reads());
+    assert!(
+        issued - r.mem.total_reads() <= 64 + 64,
+        "{} vs {}",
+        issued,
+        r.mem.total_reads()
+    );
 }
 
 #[test]
@@ -154,7 +167,10 @@ fn amb_hit_latency_never_below_33ns() {
         .read_latency_hist
         .percentile(0.001)
         .expect("reads completed");
-    assert!(p001 >= Dur::from_ns(32), "fastest read {p001} beats physics");
+    assert!(
+        p001 >= Dur::from_ns(32),
+        "fastest read {p001} beats physics"
+    );
 }
 
 #[test]
@@ -213,13 +229,22 @@ fn refresh_costs_a_little_throughput_and_counts_ops() {
     let base = run_workload(&base_cfg, &w, &exp);
     let with_refresh = run_workload(&refresh_cfg, &w, &exp);
 
-    assert_eq!(base.mem.dram_ops.refreshes, 0, "paper config has no refresh");
-    assert!(with_refresh.mem.dram_ops.refreshes > 0, "refreshes must occur");
+    assert_eq!(
+        base.mem.dram_ops.refreshes, 0,
+        "paper config has no refresh"
+    );
+    assert!(
+        with_refresh.mem.dram_ops.refreshes > 0,
+        "refreshes must occur"
+    );
     // Refresh overhead is tRFC/tREFI ≈ 1.6% of each DIMM's time: a small
     // but strictly non-negative slowdown.
     let ratio = with_refresh.cores[0].ipc() / base.cores[0].ipc();
     assert!(ratio <= 1.001, "refresh cannot speed things up: {ratio:.4}");
-    assert!(ratio > 0.90, "refresh overhead implausibly large: {ratio:.4}");
+    assert!(
+        ratio > 0.90,
+        "refresh overhead implausibly large: {ratio:.4}"
+    );
     // Roughly one refresh per DIMM per tREFI of elapsed time.
     let expected = (with_refresh.elapsed.as_ns_f64() / 7_800.0) * 8.0; // 2 ch × 4 dimms
     let got = with_refresh.mem.dram_ops.refreshes as f64;

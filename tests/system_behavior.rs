@@ -5,7 +5,11 @@ use fbd_types::config::{AmbPrefetchMode, MemoryConfig, SystemConfig};
 use fbd_workloads::{four_core_workloads, Workload};
 
 fn exp(budget: u64) -> ExperimentConfig {
-    ExperimentConfig { seed: 42, budget, ..Default::default() }
+    ExperimentConfig {
+        seed: 42,
+        budget,
+        ..Default::default()
+    }
 }
 
 fn fbd(cores: u32) -> SystemConfig {
@@ -60,8 +64,14 @@ fn coverage_respects_region_upper_bound() {
         let w = Workload::new("1C-swim", &["swim"]);
         let r = run_workload(&cfg, &w, &exp(60_000));
         let cov = r.mem.prefetch_coverage();
-        assert!(cov <= bound + 1e-9, "K={k}: coverage {cov:.3} above bound {bound}");
-        assert!(cov > 0.2, "K={k}: coverage {cov:.3} implausibly low for swim");
+        assert!(
+            cov <= bound + 1e-9,
+            "K={k}: coverage {cov:.3} above bound {bound}"
+        );
+        assert!(
+            cov > 0.2,
+            "K={k}: coverage {cov:.3} implausibly low for swim"
+        );
     }
 }
 
@@ -74,10 +84,16 @@ fn group_fetch_trades_activates_for_columns() {
     let ap = run_workload(&fbd_ap(1), &w, &exp(60_000));
     let per_read_act_base = base.mem.dram_ops.act_pre as f64 / base.mem.total_reads() as f64;
     let per_read_act_ap = ap.mem.dram_ops.act_pre as f64 / ap.mem.total_reads() as f64;
-    assert!(per_read_act_ap < per_read_act_base, "activations per read must drop");
+    assert!(
+        per_read_act_ap < per_read_act_base,
+        "activations per read must drop"
+    );
     let per_read_col_base = base.mem.dram_ops.col_reads as f64 / base.mem.total_reads() as f64;
     let per_read_col_ap = ap.mem.dram_ops.col_reads as f64 / ap.mem.total_reads() as f64;
-    assert!(per_read_col_ap > per_read_col_base, "column reads per read must rise");
+    assert!(
+        per_read_col_ap > per_read_col_base,
+        "column reads per read must rise"
+    );
 }
 
 #[test]
@@ -103,7 +119,11 @@ fn multicore_run_uses_all_cores() {
     assert!(r.cores.iter().all(|c| c.instructions > 10_000));
     assert!(r.cores.iter().any(|c| c.instructions == 40_000));
     // Multiprogramming pushed bandwidth well above single-core levels.
-    assert!(r.bandwidth_gbps() > 8.0, "got {:.2} GB/s", r.bandwidth_gbps());
+    assert!(
+        r.bandwidth_gbps() > 8.0,
+        "got {:.2} GB/s",
+        r.bandwidth_gbps()
+    );
 }
 
 #[test]
@@ -112,7 +132,12 @@ fn bandwidth_saturates_below_peak() {
     let cfg = fbd(4);
     let r = run_workload(&cfg, &w, &exp(40_000));
     let peak = cfg.mem.peak_total_bandwidth_gbps();
-    assert!(r.bandwidth_gbps() < peak, "utilized {:.2} ≥ peak {:.2}", r.bandwidth_gbps(), peak);
+    assert!(
+        r.bandwidth_gbps() < peak,
+        "utilized {:.2} ≥ peak {:.2}",
+        r.bandwidth_gbps(),
+        peak
+    );
 }
 
 #[test]
@@ -134,6 +159,12 @@ fn software_prefetching_helps_streaming_code() {
 fn queueing_raises_latency_above_idle() {
     let w = Workload::new("1C-swim", &["swim"]);
     let r = run_workload(&fbd(1), &w, &exp(60_000));
-    assert!(r.avg_read_latency_ns() > 63.0, "queueing must add to the 63 ns idle latency");
-    assert!(r.avg_read_latency_ns() < 200.0, "single-core latency implausibly high");
+    assert!(
+        r.avg_read_latency_ns() > 63.0,
+        "queueing must add to the 63 ns idle latency"
+    );
+    assert!(
+        r.avg_read_latency_ns() < 200.0,
+        "single-core latency implausibly high"
+    );
 }

@@ -1,0 +1,191 @@
+//! End-to-end telemetry: a full simulated run with the registry, epoch
+//! sampler, and event tracer enabled, cross-checked against the
+//! simulator's own statistics.
+
+use fbd_core::experiment::ExperimentConfig;
+use fbd_core::System;
+use fbd_telemetry::{json, MetricValue, TelemetryConfig};
+use fbd_types::config::{MemoryConfig, SystemConfig};
+use fbd_types::time::Dur;
+use fbd_workloads::Workload;
+
+fn fbd_ap(cores: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(cores);
+    cfg.mem = MemoryConfig::fbdimm_with_prefetch();
+    cfg
+}
+
+fn run_with_telemetry(cfg: &SystemConfig, budget: u64) -> fbd_core::RunResult {
+    let w = Workload::new("1C-swim", &["swim"]);
+    let exp = ExperimentConfig {
+        budget,
+        ..ExperimentConfig::default()
+    };
+    let mut sys = System::new(cfg, w.traces(exp.seed), exp.budget);
+    sys.enable_telemetry(&TelemetryConfig {
+        sample_interval: Some(Dur::from_ns(2_000)),
+        trace: true,
+    });
+    sys.run()
+}
+
+fn counter(r: &fbd_core::RunResult, path: &str) -> u64 {
+    let tel = r.telemetry.as_ref().expect("telemetry enabled");
+    let id = tel
+        .registry
+        .lookup(path)
+        .unwrap_or_else(|| panic!("metric {path} missing"));
+    match tel.registry.value(id) {
+        MetricValue::Counter(n) => n,
+        other => panic!("{path} is not a counter: {other:?}"),
+    }
+}
+
+fn gauge(r: &fbd_core::RunResult, path: &str) -> f64 {
+    let tel = r.telemetry.as_ref().expect("telemetry enabled");
+    let id = tel
+        .registry
+        .lookup(path)
+        .unwrap_or_else(|| panic!("metric {path} missing"));
+    match tel.registry.value(id) {
+        MetricValue::Gauge(v) => v,
+        other => panic!("{path} is not a gauge: {other:?}"),
+    }
+}
+
+#[test]
+fn registry_agrees_with_simulator_statistics() {
+    let cfg = fbd_ap(1);
+    let r = run_with_telemetry(&cfg, 20_000);
+    let tel = r.telemetry.as_ref().expect("telemetry enabled");
+
+    // Channel counters mirror the always-on ones and the global stats.
+    let nch = cfg.mem.logical_channels;
+    let total_reads: u64 = (0..nch)
+        .map(|c| counter(&r, &format!("chan{c}.reads")))
+        .sum();
+    let total_writes: u64 = (0..nch)
+        .map(|c| counter(&r, &format!("chan{c}.writes")))
+        .sum();
+    let total_bytes: u64 = (0..nch)
+        .map(|c| counter(&r, &format!("chan{c}.bytes")))
+        .sum();
+    let all_reads = r.mem.demand_reads + r.mem.sw_prefetch_reads + r.mem.hw_prefetch_reads;
+    assert_eq!(total_reads, all_reads);
+    assert_eq!(total_writes, r.mem.writes);
+    assert_eq!(total_bytes, r.mem.data_bytes);
+    for (c, counts) in r.channels.iter().enumerate() {
+        assert_eq!(counts.reads, counter(&r, &format!("chan{c}.reads")));
+        assert_eq!(counts.bytes, counter(&r, &format!("chan{c}.bytes")));
+        assert_eq!(counts.amb_hits, counter(&r, &format!("chan{c}.amb_hits")));
+    }
+
+    // AMB prefetching observables.
+    assert_eq!(counter(&r, "amb.prefetch.hits"), r.mem.amb_hits);
+    assert!(r.mem.amb_hits > 0, "swim on fbd-ap must hit the AMB cache");
+    assert_eq!(counter(&r, "amb.prefetch.fills"), r.mem.lines_prefetched);
+
+    // The latency accumulator saw exactly the demand reads.
+    let id = tel.registry.lookup("mem.read_latency").expect("registered");
+    let MetricValue::Latency { count, mean, .. } = tel.registry.value(id) else {
+        panic!("mem.read_latency is not a latency metric");
+    };
+    assert_eq!(count, r.mem.demand_reads);
+    let mean_ns = mean.map_or(0.0, |d| d.as_ns_f64());
+    assert!(
+        (mean_ns - r.avg_read_latency_ns()).abs() < 1e-6,
+        "registry mean {mean_ns} vs stats mean {}",
+        r.avg_read_latency_ns()
+    );
+
+    // Power residency gauges tile the whole run on every DIMM.
+    let elapsed_ns = r.elapsed.as_ns_f64();
+    for c in 0..nch {
+        for d in 0..cfg.mem.dimms_per_channel {
+            let total = gauge(&r, &format!("chan{c}.dimm{d}.power.active_ns"))
+                + gauge(&r, &format!("chan{c}.dimm{d}.power.standby_ns"))
+                + gauge(&r, &format!("chan{c}.dimm{d}.power.powerdown_ns"));
+            assert!(
+                (total - elapsed_ns).abs() < 0.5,
+                "chan{c}.dimm{d} residency {total} ns != elapsed {elapsed_ns} ns"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampler_and_tracer_collect_over_the_run() {
+    let r = run_with_telemetry(&fbd_ap(1), 20_000);
+    let tel = r.telemetry.as_ref().expect("telemetry enabled");
+
+    let sampler = tel.sampler.as_ref().expect("sampling enabled");
+    assert!(
+        sampler.rows().len() >= 2,
+        "expected multiple epochs, got {}",
+        sampler.rows().len()
+    );
+    // Rows are time-ordered and the final flush lands at run end.
+    for pair in sampler.rows().windows(2) {
+        assert!(pair[0].at < pair[1].at);
+    }
+    // Counters are cumulative: the last row's chan0.reads matches the final value.
+    let csv = sampler.to_csv(&tel.registry);
+    assert!(
+        csv.starts_with("time_ns,"),
+        "csv header missing: {}",
+        &csv[..40.min(csv.len())]
+    );
+    assert!(csv.lines().count() == sampler.rows().len() + 1);
+
+    let tracer = tel.tracer.as_ref().expect("tracing enabled");
+    assert!(!tracer.is_empty());
+    let doc = tracer.to_chrome_trace();
+    // Round-trip through text to exercise the writer and parser.
+    let parsed = json::parse(&doc.to_json()).expect("trace must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(
+        events.len() > tracer.len(),
+        "metadata events must be present"
+    );
+    // The run produced link, dram, amb and power events.
+    for cat in ["link", "dram", "amb", "power", "ctrl"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cat").and_then(|c| c.as_str()) == Some(cat)),
+            "no {cat} events in trace"
+        );
+    }
+}
+
+#[test]
+fn telemetry_off_costs_nothing_and_returns_none() {
+    let w = Workload::new("1C-swim", &["swim"]);
+    let cfg = fbd_ap(1);
+    let sys = System::new(&cfg, w.traces(42), 20_000);
+    let r = sys.run();
+    assert!(r.telemetry.is_none());
+    // Always-on channel counters still work without telemetry.
+    let bytes: u64 = r.channels.iter().map(|c| c.bytes).sum();
+    assert_eq!(bytes, r.mem.data_bytes);
+    assert!(r.channel_bandwidth_gbps().iter().sum::<f64>() > 0.0);
+}
+
+#[test]
+fn telemetry_runs_are_deterministic() {
+    let a = run_with_telemetry(&fbd_ap(1), 10_000);
+    let b = run_with_telemetry(&fbd_ap(1), 10_000);
+    let ta = a.telemetry.expect("telemetry enabled");
+    let tb = b.telemetry.expect("telemetry enabled");
+    assert_eq!(
+        ta.registry.to_json().to_json(),
+        tb.registry.to_json().to_json()
+    );
+    assert_eq!(
+        ta.tracer.expect("tracing").to_chrome_trace().to_json(),
+        tb.tracer.expect("tracing").to_chrome_trace().to_json()
+    );
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock timing
+//! harness with the same surface as the subset this workspace uses
+//! (`bench_function`, `benchmark_group`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!`).
+//!
+//! Methodology: each benchmark runs a calibration pass to pick an
+//! iteration count targeting ~`measurement_ms` of work, then reports
+//! the mean ns/iter over `sample_size` samples along with the min and
+//! max sample. No statistical analysis, outlier rejection, or HTML
+//! reports. Honors `--bench` (ignored) and a final name filter
+//! argument like the real harness, so `cargo bench <filter>` works.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Skip flags (--bench, --exact, ...); the last bare argument is
+        // a substring filter, matching the real CLI closely enough.
+        let filter = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .next_back();
+        Criterion {
+            filter,
+            sample_size: 20,
+            measurement_ms: 200,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark (unless filtered out).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.filter.as_deref(), self.sample_size, self.measurement_ms, f);
+        self
+    }
+
+    /// Starts a named group; benchmarks in it are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs `f` as `group/name` (unless filtered out).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&full, self.parent.filter.as_deref(), samples, self.parent.measurement_ms, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Timer handle handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, filter: Option<&str>, samples: usize, measurement_ms: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the iteration count until one sample takes ~1/10
+    // of the measurement budget, so short routines are timed in bulk.
+    let mut iters = 1u64;
+    let per_sample = Duration::from_millis(measurement_ms / 10).max(Duration::from_micros(100));
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample || iters >= 1 << 40 {
+            break;
+        }
+        // Aim straight at the budget, with headroom for noise.
+        let scale = per_sample.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+    }
+
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64 * 1e9);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    println!("{name:<40} {mean:>12.1} ns/iter (min {min:.1}, max {max:.1}, {samples} samples x {iters} iters)");
+}
+
+/// Collects benchmark functions into a runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 2,
+            measurement_ms: 1,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            sample_size: 2,
+            measurement_ms: 1,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn group_applies_prefix_and_sample_size() {
+        let mut c = Criterion {
+            filter: Some("grp/inner".into()),
+            sample_size: 2,
+            measurement_ms: 1,
+        };
+        let mut calls = 0u64;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+}
