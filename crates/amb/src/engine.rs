@@ -284,6 +284,21 @@ impl AmbDimm {
             .expect("at least one rank")
     }
 
+    /// Number of ranks on this DIMM.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// DRAM operation counters of one rank (per-rank power-model
+    /// inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rank_ops(&self, rank: usize) -> &DramOpCounts {
+        self.ranks[rank].ops()
+    }
+
     /// DRAM operation counters (power-model inputs), summed over ranks.
     pub fn ops(&self) -> DramOpCounts {
         let mut total = DramOpCounts::default();

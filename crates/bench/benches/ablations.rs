@@ -63,7 +63,7 @@ fn run_pair(
 }
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Ablations",
         "design-choice studies beyond the paper's figures",

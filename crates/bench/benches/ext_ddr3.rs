@@ -9,7 +9,6 @@
 //! still pay.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 use fbd_types::config::{AmbPrefetchConfig, Interleaving, MemoryConfig, SystemConfig};
 
 fn ddr3_fbd(cores: u32) -> SystemConfig {
@@ -26,7 +25,7 @@ fn ddr3_fbd_ap(cores: u32) -> SystemConfig {
 }
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Extension",
         "FB-DIMM with DDR3-1333 devices (paper footnote 1)",

@@ -8,11 +8,10 @@
 //! Figure 12 matrix with HP (hardware prefetch) in place of SP.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 use fbd_types::config::HwPrefetchConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Extension",
         "AMB prefetching × hardware stream prefetching (paper §5.4 prediction)",

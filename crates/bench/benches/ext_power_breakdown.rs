@@ -10,11 +10,10 @@
 //! static energy on top of Figure 13's dynamic savings.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 use fbd_power::{PowerModel, StandbyPower};
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Extension",
         "total DRAM energy: dynamic + static (+ power-down)",

@@ -7,10 +7,9 @@
 //! latency), FB-DIMM ahead for 4–8 cores (more usable bandwidth).
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 4", "SMT speedup, DDR2 vs FB-DIMM", &exp);
 
     let refs = references(Variant::Ddr2, &exp);

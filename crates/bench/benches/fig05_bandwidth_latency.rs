@@ -7,10 +7,9 @@
 //! *lower* latency than DDR2 despite its longer idle latency.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 5", "utilized bandwidth vs average latency", &exp);
 
     let mut rows = vec![vec![

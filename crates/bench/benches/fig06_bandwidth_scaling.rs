@@ -7,11 +7,10 @@
 //! from 1→2 channels on 8 cores vs +8.8% on 1 core).
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 use fbd_types::time::DataRate;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Figure 6",
         "performance vs data rate and channel count",

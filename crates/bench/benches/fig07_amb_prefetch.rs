@@ -8,10 +8,9 @@
 //! single-core workloads (unlike plain FBD).
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 7", "FBD vs FBD-AP SMT speedup", &exp);
 
     let refs = references(Variant::Ddr2, &exp);

@@ -8,11 +8,10 @@
 //! efficiency.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 use fbd_types::config::Associativity;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 8", "prefetch coverage and efficiency", &exp);
 
     // The paper's grid: #CL ∈ {2,4,8} at 64 entries full-assoc;

@@ -9,10 +9,9 @@
 //! 7.1/8.5/7.2/5.3% on 1/2/4/8 cores).
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 9", "gain decomposition via FBD-APFL", &exp);
 
     let refs = references(Variant::Ddr2, &exp);

@@ -6,10 +6,9 @@
 //! significantly shorter latency.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 10", "bandwidth vs latency, FBD vs FBD-AP", &exp);
 
     let mut rows = vec![vec![

@@ -8,11 +8,10 @@
 //! 87–95%.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 use fbd_types::config::Associativity;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Figure 11",
         "sensitivity to #CL, buffer size, associativity",

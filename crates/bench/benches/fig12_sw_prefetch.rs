@@ -7,10 +7,9 @@
 //! two prefetchers are complementary.
 
 use fbd_bench::*;
-use fbd_core::experiment::ExperimentConfig;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner("Figure 12", "AMB prefetching vs software prefetching", &exp);
 
     // References: single-core DDR2 with software prefetching *off*, so

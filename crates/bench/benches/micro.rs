@@ -6,7 +6,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::experiment::ExperimentConfig;
+use fbd_core::RunSpec;
 use fbd_types::config::{MemoryConfig, SystemConfig};
 use fbd_types::time::{Dur, Time};
 use fbd_types::LineAddr;
@@ -87,15 +88,16 @@ fn bench_full_system(c: &mut Criterion) {
     // Telemetry off (the default): the registry/sampler/tracer cost is
     // one pointer test per transaction. Compare the two series to bound
     // the off-path overhead.
+    let spec = RunSpec::new(cfg).with_workload(w.clone()).experiment(exp);
     group.bench_function("swim_20k_instructions", |b| {
-        b.iter(|| black_box(run_workload(&cfg, &w, &exp).elapsed))
+        b.iter(|| black_box(spec.run().elapsed))
     });
     group.bench_function("swim_20k_instructions_telemetry", |b| {
         let tc = fbd_telemetry::TelemetryConfig {
             sample_interval: Some(cfg.mem.data_rate.clock_period() * 512),
             trace: true,
         };
-        // Same automatic L2 warm-up as `run_workload`, so the two
+        // Same automatic L2 warm-up as `RunSpec::run`, so the two
         // series differ only in instrumentation.
         let l2_lines = u64::from(cfg.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
         let warmup = 2 * l2_lines / u64::from(cfg.cpu.cores);

@@ -8,11 +8,11 @@
 //! program's miss sequence is.)
 
 use fbd_bench::*;
-use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::RunSpec;
 use fbd_workloads::Workload;
 
 fn main() {
-    let exp = ExperimentConfig::from_env();
+    let exp = fbd_bench::experiment();
     banner(
         "Table 3 companion",
         "workload characterization (FBD, 1 core)",
@@ -22,7 +22,10 @@ fn main() {
     let names = benchmark_names();
     let results = parallel_map(&names, |name| {
         let w = Workload::new(format!("1C-{name}"), &[name]);
-        run_workload(&system(Variant::Fbd, 1), &w, &exp)
+        RunSpec::new(system(Variant::Fbd, 1))
+            .with_workload(w)
+            .experiment(exp)
+            .run()
     });
 
     let mut rows = vec![vec![

@@ -18,13 +18,23 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use fbd_core::experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig};
-use fbd_core::RunResult;
+use fbd_core::experiment::{default_budget, reference_ipcs, smt_speedup, ExperimentConfig};
+use fbd_core::{RunResult, RunSpec};
 use fbd_types::config::{
     AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, MemoryTech, SystemConfig,
 };
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload, PROFILES};
+
+/// Run-control parameters for benches: seed 42, automatic L2 warm-up,
+/// and the instruction budget from [`default_budget`] (so `FBD_BUDGET`
+/// and `FBD_PAPER_MODE=1` keep working).
+pub fn experiment() -> ExperimentConfig {
+    ExperimentConfig {
+        budget: default_budget(),
+        ..ExperimentConfig::default()
+    }
+}
 
 /// A system variant evaluated in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,7 +177,12 @@ pub fn run_matrix(
                 .map(move |w| (label.clone(), *cfg, w.clone()))
         })
         .collect();
-    let results = parallel_map(&jobs, |(_, cfg, w)| run_workload(cfg, w, exp));
+    let results = parallel_map(&jobs, |(_, cfg, w)| {
+        RunSpec::new(*cfg)
+            .with_workload(w.clone())
+            .experiment(*exp)
+            .run()
+    });
     jobs.into_iter()
         .zip(results)
         .map(|((label, _, w), r)| ((label, w.name().to_string()), r))

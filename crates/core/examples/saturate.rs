@@ -1,22 +1,20 @@
 //! Diagnostic: peak achievable bandwidth per system under a pure miss flood.
-use fbd_core::experiment::{run_workload, ExperimentConfig};
-use fbd_types::config::{MemoryConfig, SystemConfig};
+use fbd_core::RunSpec;
+use fbd_types::config::MemoryConfig;
 
 fn main() {
-    let exp = ExperimentConfig {
-        seed: 42,
-        budget: 100_000,
-        ..Default::default()
-    };
     let w8 = fbd_workloads::eight_core_workloads().remove(0);
     for (name, mem) in [
         ("DDR2", MemoryConfig::ddr2_default()),
         ("FBD", MemoryConfig::fbdimm_default()),
         ("FBD-AP", MemoryConfig::fbdimm_with_prefetch()),
     ] {
-        let mut cfg = SystemConfig::paper_default(8);
-        cfg.mem = mem;
-        let r = run_workload(&cfg, &w8, &exp);
+        let r = RunSpec::paper_default(8)
+            .with_workload(w8.clone())
+            .memory(mem)
+            .seed(42)
+            .budget(100_000)
+            .run();
         println!(
             "{name}: bw={:.2}GB/s lat={:.1}ns reads={} writes={} act={} col={}",
             r.bandwidth_gbps(),

@@ -1,19 +1,18 @@
 //! Diagnostic: how much software prefetching changes swim's miss stream.
-use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::RunSpec;
 use fbd_types::config::SystemConfig;
 use fbd_workloads::Workload;
 
 fn main() {
-    let exp = ExperimentConfig {
-        seed: 42,
-        budget: 200_000,
-        ..Default::default()
-    };
     let w = Workload::new("1C-swim", &["swim"]);
     for sp in [false, true] {
         let mut cfg = SystemConfig::paper_default(1);
         cfg.cpu.software_prefetch = sp;
-        let r = run_workload(&cfg, &w, &exp);
+        let r = RunSpec::new(cfg)
+            .with_workload(w.clone())
+            .seed(42)
+            .budget(200_000)
+            .run();
         println!(
             "SP={sp}: ipc={:.3} demand_reads={} swpf_reads={} writes={} lat={:.1}ns bw={:.2}",
             r.cores[0].ipc(),

@@ -15,10 +15,10 @@
 
 use std::process::ExitCode;
 
-use fbd_core::experiment::{run_workload, ExperimentConfig};
-use fbd_core::RunResult;
+use fbd_core::experiment::{default_budget, ExperimentConfig};
+use fbd_core::{RunResult, RunSpec};
 use fbd_telemetry::{Json, TelemetryConfig};
-use fbd_types::config::{AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, SystemConfig};
+use fbd_types::config::{Associativity, Interleaving, MemoryConfig, SystemConfig};
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload};
 
@@ -26,16 +26,67 @@ fn usage_text() -> String {
     "usage:\n  fbdsim list\n  fbdsim run --workload <name> --system <ddr2|fbd|fbd-ap|fbd-apfl> \
      [--budget N] [--seed N] [--csv] [--json] [--timeline]\n             \
      [--stats-json <file>] [--trace-out <file>] [--sample-interval <cycles>]\n  \
-     fbdsim compare --workload <name> [--budget N] [--seed N] [--csv]\n  \
-     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] [--csv]\n  \
+     fbdsim compare --workload <name> [--budget N] [--seed N] [--csv] [--json] [--stats-json <file>]\n  \
+     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] \
+     [--csv] [--json] [--stats-json <file>]\n  \
      fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
      fbdsim replay --trace <trace.csv> --system <name>\n\n\
+     statistics options:\n  \
+     --stats-json <file>        write machine-readable statistics as JSON (run: one\n                             \
+     document; compare/sweep: one document covering every grid point)\n  \
+     --json                     print the same statistics JSON to stdout\n\n\
      telemetry options (run):\n  \
-     --stats-json <file>        write machine-readable run statistics as JSON\n  \
-     --json                     print the same statistics JSON to stdout\n  \
      --trace-out <file>         write a Chrome-trace (Perfetto-loadable) event trace\n  \
      --sample-interval <cycles> snapshot all metrics every N memory-clock cycles"
         .to_string()
+}
+
+/// Value-taking and boolean options accepted by each subcommand.
+const RUN_KEYS: &[&str] = &[
+    "workload",
+    "system",
+    "budget",
+    "seed",
+    "stats-json",
+    "trace-out",
+    "sample-interval",
+];
+const RUN_FLAGS: &[&str] = &["csv", "json", "timeline"];
+const COMPARE_KEYS: &[&str] = &["workload", "budget", "seed", "stats-json"];
+const COMPARE_FLAGS: &[&str] = &["csv", "json"];
+const SWEEP_KEYS: &[&str] = &["workload", "knob", "budget", "seed", "stats-json"];
+const SWEEP_FLAGS: &[&str] = &["csv", "json"];
+const RECORD_KEYS: &[&str] = &["workload", "system", "out", "budget", "seed"];
+const RECORD_FLAGS: &[&str] = &[];
+const REPLAY_KEYS: &[&str] = &["trace", "system"];
+const REPLAY_FLAGS: &[&str] = &[];
+
+/// Rejects options a subcommand does not understand (usage error 2,
+/// like every other argument mistake), so a typo never silently runs
+/// with defaults. Value-taking options missing their value and boolean
+/// flags given a value are reported specifically.
+fn validate_args(cmd: &str, args: &Args, keys: &[&str], flags: &[&str]) -> Result<(), ExitCode> {
+    for (k, _) in &args.pairs {
+        if flags.contains(&k.as_str()) {
+            eprintln!("--{k} does not take a value");
+            return Err(usage());
+        }
+        if !keys.contains(&k.as_str()) {
+            eprintln!("unknown option `--{k}` for `fbdsim {cmd}`");
+            return Err(usage());
+        }
+    }
+    for f in &args.flags {
+        if keys.contains(&f.as_str()) {
+            eprintln!("--{f} requires a value");
+            return Err(usage());
+        }
+        if !flags.contains(&f.as_str()) {
+            eprintln!("unknown option `--{f}` for `fbdsim {cmd}`");
+            return Err(usage());
+        }
+    }
+    Ok(())
 }
 
 fn usage() -> ExitCode {
@@ -89,27 +140,20 @@ fn all_workloads() -> Vec<Workload> {
 }
 
 fn find_workload(name: &str) -> Option<Workload> {
-    all_workloads().into_iter().find(|w| w.name() == name)
+    fbd_workloads::find(name)
 }
 
 fn system_config(name: &str, cores: u32) -> Option<SystemConfig> {
     let mut cfg = SystemConfig::paper_default(cores);
-    cfg.mem = match name {
-        "ddr2" => MemoryConfig::ddr2_default(),
-        "fbd" => MemoryConfig::fbdimm_default(),
-        "fbd-ap" => MemoryConfig::fbdimm_with_prefetch(),
-        "fbd-apfl" => {
-            let mut m = MemoryConfig::fbdimm_with_prefetch();
-            m.amb.mode = AmbPrefetchMode::FullLatency;
-            m
-        }
-        _ => return None,
-    };
+    cfg.mem = MemoryConfig::by_name(name)?;
     Some(cfg)
 }
 
 fn experiment(args: &Args) -> ExperimentConfig {
-    let mut exp = ExperimentConfig::from_env();
+    let mut exp = ExperimentConfig {
+        budget: default_budget(),
+        ..ExperimentConfig::default()
+    };
     if let Some(b) = args.get("budget").and_then(|v| v.parse().ok()) {
         exp.budget = b;
     }
@@ -117,6 +161,14 @@ fn experiment(args: &Args) -> ExperimentConfig {
         exp.seed = s;
     }
     exp
+}
+
+/// Builds the [`RunSpec`] every subcommand runs through: the resolved
+/// system and workload plus the shared `--budget`/`--seed` run control.
+fn spec_for(cfg: SystemConfig, workload: &Workload, args: &Args) -> RunSpec {
+    RunSpec::new(cfg)
+        .with_workload(workload.clone())
+        .experiment(experiment(args))
 }
 
 /// Resolves the run subcommand's telemetry flags. `Ok(None)` means no
@@ -147,21 +199,6 @@ fn telemetry_options(args: &Args, cfg: &SystemConfig) -> Result<Option<Telemetry
         sample_interval,
         trace,
     }))
-}
-
-/// Like [`run_workload`], but with telemetry enabled on the system
-/// (same automatic L2 warm-up).
-fn run_instrumented(
-    cfg: &SystemConfig,
-    workload: &Workload,
-    exp: &ExperimentConfig,
-    tc: &TelemetryConfig,
-) -> RunResult {
-    let l2_lines = u64::from(cfg.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
-    let warmup = 2 * l2_lines / u64::from(cfg.cpu.cores);
-    let mut sys = fbd_core::System::with_warmup(cfg, workload.traces(exp.seed), exp.budget, warmup);
-    sys.enable_telemetry(tc);
-    sys.run()
 }
 
 /// The machine-readable statistics document written by `--stats-json`
@@ -255,6 +292,23 @@ fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
                 ("refreshes".into(), Json::from(r.mem.dram_ops.refreshes)),
             ]),
         ),
+        (
+            "energy".to_string(),
+            Json::Obj(vec![
+                ("activation_nj".into(), Json::from(r.energy.activation_nj)),
+                ("burst_nj".into(), Json::from(r.energy.burst_nj)),
+                ("refresh_nj".into(), Json::from(r.energy.refresh_nj)),
+                ("background_nj".into(), Json::from(r.energy.background_nj)),
+                ("amb_nj".into(), Json::from(r.energy.amb_nj)),
+                ("total_nj".into(), Json::from(r.energy.total_nj())),
+                ("total_j".into(), Json::from(r.energy.total_j())),
+                ("avg_power_w".into(), Json::from(r.energy.avg_power_w())),
+                (
+                    "background_fraction".into(),
+                    Json::from(r.energy.background_fraction()),
+                ),
+            ]),
+        ),
     ];
     if let Some(tel) = &r.telemetry {
         fields.push(("metrics".to_string(), tel.registry.to_json()));
@@ -267,13 +321,14 @@ fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
 
 const CSV_HEADER: &str =
     "workload,system,ipc_sum,bandwidth_gbps,avg_latency_ns,p50_ns,p95_ns,p99_ns,\
-     demand_reads,prefetch_reads,writes,amb_hits,coverage,efficiency,act_pre,col_accesses";
+     demand_reads,prefetch_reads,writes,amb_hits,coverage,efficiency,act_pre,col_accesses,\
+     energy_total_nj,avg_power_w";
 
 fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
     let ipc_sum: f64 = r.ipcs().iter().sum();
     if csv {
         println!(
-            "{},{},{:.4},{:.3},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{:.4},{:.4},{},{}",
+            "{},{},{:.4},{:.3},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{:.4},{:.4},{},{},{:.1},{:.3}",
             workload.name(),
             system,
             ipc_sum,
@@ -290,6 +345,8 @@ fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
             r.mem.prefetch_efficiency(),
             r.mem.dram_ops.act_pre,
             r.mem.dram_ops.col_total(),
+            r.energy.total_nj(),
+            r.energy.avg_power_w(),
         );
     } else {
         println!("{} on {}:", workload.name(), system);
@@ -321,6 +378,12 @@ fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
             r.mem.dram_ops.act_pre,
             r.mem.dram_ops.col_total()
         );
+        println!(
+            "  energy             {:.2} µJ total ({:.2} W avg), {:.0}% DRAM background",
+            r.energy.total_nj() / 1_000.0,
+            r.energy.avg_power_w(),
+            r.energy.background_fraction() * 100.0
+        );
         println!();
     }
 }
@@ -342,6 +405,9 @@ fn cmd_list() -> ExitCode {
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
+    if let Err(code) = validate_args("run", args, RUN_KEYS, RUN_FLAGS) {
+        return code;
+    }
     let (Some(wname), Some(sname)) = (args.get("workload"), args.get("system")) else {
         return usage();
     };
@@ -353,17 +419,17 @@ fn cmd_run(args: &Args) -> ExitCode {
         eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
         return ExitCode::FAILURE;
     };
-    let exp = experiment(args);
     let telemetry = match telemetry_options(args, &cfg) {
         Ok(t) => t,
         Err(code) => return code,
     };
     let csv = args.has_flag("csv");
     let json_stdout = args.has_flag("json");
-    let r = match &telemetry {
-        Some(tc) => run_instrumented(&cfg, &workload, &exp, tc),
-        None => run_workload(&cfg, &workload, &exp),
-    };
+    let mut spec = spec_for(cfg, &workload, args);
+    if let Some(tc) = &telemetry {
+        spec = spec.telemetry(*tc);
+    }
+    let r = spec.run();
     if json_stdout {
         println!("{}", stats_document(&workload, sname, &r).to_json());
     } else {
@@ -404,7 +470,31 @@ fn cmd_run(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Emits the statistics a grid command (`compare`/`sweep`) collected:
+/// one JSON document whose `points` array holds the full per-run stats
+/// document (including the energy breakdown) for every grid point.
+fn emit_grid(args: &Args, cmd: &str, workload: &Workload, points: Vec<Json>) -> ExitCode {
+    let doc = Json::Obj(vec![
+        ("command".to_string(), Json::from(cmd)),
+        ("workload".to_string(), Json::from(workload.name())),
+        ("points".to_string(), Json::Arr(points)),
+    ]);
+    if args.has_flag("json") {
+        println!("{}", doc.to_json());
+    }
+    if let Some(path) = args.get("stats-json") {
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty(2)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_compare(args: &Args) -> ExitCode {
+    if let Err(code) = validate_args("compare", args, COMPARE_KEYS, COMPARE_FLAGS) {
+        return code;
+    }
     let Some(wname) = args.get("workload") else {
         return usage();
     };
@@ -412,20 +502,30 @@ fn cmd_compare(args: &Args) -> ExitCode {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
         return ExitCode::FAILURE;
     };
-    let exp = experiment(args);
     let csv = args.has_flag("csv");
-    if csv {
+    let want_stats = args.has_flag("json") || args.get("stats-json").is_some();
+    let human = !args.has_flag("json");
+    if csv && human {
         println!("{CSV_HEADER}");
     }
+    let mut points = Vec::new();
     for sname in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
         let cfg = system_config(sname, workload.cores()).expect("known system");
-        let r = run_workload(&cfg, &workload, &exp);
-        report(&workload, sname, &r, csv);
+        let r = spec_for(cfg, &workload, args).run();
+        if human {
+            report(&workload, sname, &r, csv);
+        }
+        if want_stats {
+            points.push(stats_document(&workload, sname, &r));
+        }
     }
-    ExitCode::SUCCESS
+    emit_grid(args, "compare", &workload, points)
 }
 
 fn cmd_sweep(args: &Args) -> ExitCode {
+    if let Err(code) = validate_args("sweep", args, SWEEP_KEYS, SWEEP_FLAGS) {
+        return code;
+    }
     let (Some(wname), Some(knob)) = (args.get("workload"), args.get("knob")) else {
         return usage();
     };
@@ -433,9 +533,10 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
         return ExitCode::FAILURE;
     };
-    let exp = experiment(args);
     let csv = args.has_flag("csv");
-    if csv {
+    let want_stats = args.has_flag("json") || args.get("stats-json").is_some();
+    let human = !args.has_flag("json");
+    if csv && human {
         println!("{CSV_HEADER}");
     }
     let base = system_config("fbd-ap", workload.cores()).expect("known system");
@@ -495,14 +596,23 @@ fn cmd_sweep(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut docs = Vec::new();
     for (label, cfg) in points {
-        let r = run_workload(&cfg, &workload, &exp);
-        report(&workload, &label, &r, csv);
+        let r = spec_for(cfg, &workload, args).run();
+        if human {
+            report(&workload, &label, &r, csv);
+        }
+        if want_stats {
+            docs.push(stats_document(&workload, &label, &r));
+        }
     }
-    ExitCode::SUCCESS
+    emit_grid(args, "sweep", &workload, docs)
 }
 
 fn cmd_record(args: &Args) -> ExitCode {
+    if let Err(code) = validate_args("record", args, RECORD_KEYS, RECORD_FLAGS) {
+        return code;
+    }
     let (Some(wname), Some(sname), Some(out)) =
         (args.get("workload"), args.get("system"), args.get("out"))
     else {
@@ -516,10 +626,15 @@ fn cmd_record(args: &Args) -> ExitCode {
         eprintln!("unknown system `{sname}`");
         return ExitCode::FAILURE;
     };
-    let exp = experiment(args);
-    let mut sys = fbd_core::System::new(&cfg, workload.traces(exp.seed), exp.budget);
-    sys.enable_trace_capture();
-    let result = sys.run();
+    // Record the raw access stream: no L2 warm-up, so the trace starts
+    // at the first transaction (matching the historical behavior of
+    // `System::new`).
+    let mut exp = experiment(args);
+    exp.warmup = fbd_core::Warmup::Ops(0);
+    let result = spec_for(cfg, &workload, args)
+        .experiment(exp)
+        .capture_trace()
+        .run();
     let trace = result.trace.expect("capture enabled");
     let mut file = match std::fs::File::create(out) {
         Ok(f) => std::io::BufWriter::new(f),
@@ -543,6 +658,9 @@ fn cmd_record(args: &Args) -> ExitCode {
 }
 
 fn cmd_replay(args: &Args) -> ExitCode {
+    if let Err(code) = validate_args("replay", args, REPLAY_KEYS, REPLAY_FLAGS) {
+        return code;
+    }
     let (Some(path), Some(sname)) = (args.get("trace"), args.get("system")) else {
         return usage();
     };
@@ -591,6 +709,11 @@ fn cmd_replay(args: &Args) -> ExitCode {
             result.mem.prefetch_coverage() * 100.0
         );
     }
+    println!(
+        "  energy             {:.2} µJ total ({:.2} W avg)",
+        result.energy.total_nj() / 1_000.0,
+        result.energy.avg_power_w()
+    );
     ExitCode::SUCCESS
 }
 
@@ -711,7 +834,11 @@ mod tests {
             sample_interval: Some(cfg.mem.data_rate.clock_period() * 512),
             trace: true,
         };
-        let r = run_instrumented(&cfg, &workload, &exp, &tc);
+        let r = RunSpec::new(cfg)
+            .with_workload(workload.clone())
+            .experiment(exp)
+            .telemetry(tc)
+            .run();
         let doc = stats_document(&workload, "fbd-ap", &r);
         // The document round-trips through its own writer and parser.
         let parsed = fbd_telemetry::json::parse(&doc.to_json()).unwrap();
@@ -746,14 +873,55 @@ mod tests {
             dram.get("act_pre").and_then(Json::as_f64),
             Some(r.mem.dram_ops.act_pre as f64)
         );
+        // The energy object is always present and internally consistent:
+        // the five components sum to the reported total.
+        let energy = parsed.get("energy").unwrap();
+        let component_sum: f64 = [
+            "activation_nj",
+            "burst_nj",
+            "refresh_nj",
+            "background_nj",
+            "amb_nj",
+        ]
+        .iter()
+        .map(|k| energy.get(k).and_then(Json::as_f64).unwrap())
+        .sum();
+        let total = energy.get("total_nj").and_then(Json::as_f64).unwrap();
+        assert!((component_sum - total).abs() < 1e-6 * total.max(1.0));
+        assert!(total > 0.0);
+        assert!(energy.get("avg_power_w").and_then(Json::as_f64).unwrap() > 0.0);
         // Telemetry ran, so the registry and time-series are attached.
         assert!(parsed.get("metrics").is_some());
         assert!(parsed.get("series").is_some());
         // Without telemetry those sections are absent.
-        let bare = run_workload(&cfg, &workload, &exp);
+        let bare = RunSpec::new(cfg)
+            .with_workload(workload.clone())
+            .experiment(exp)
+            .run();
         let doc = stats_document(&workload, "fbd-ap", &bare);
         assert!(doc.get("metrics").is_none());
         assert!(doc.get("series").is_none());
+    }
+
+    #[test]
+    fn unknown_options_are_usage_errors_on_every_subcommand() {
+        let bogus = parse(&["--workload", "1C-swim", "--bogus", "x"]).unwrap();
+        assert!(validate_args("run", &bogus, RUN_KEYS, RUN_FLAGS).is_err());
+        assert!(validate_args("compare", &bogus, COMPARE_KEYS, COMPARE_FLAGS).is_err());
+        assert!(validate_args("sweep", &bogus, SWEEP_KEYS, SWEEP_FLAGS).is_err());
+        assert!(validate_args("record", &bogus, RECORD_KEYS, RECORD_FLAGS).is_err());
+        assert!(validate_args("replay", &bogus, REPLAY_KEYS, REPLAY_FLAGS).is_err());
+        let stray_flag = parse(&["--workload", "1C-swim", "--timeline"]).unwrap();
+        assert!(validate_args("compare", &stray_flag, COMPARE_KEYS, COMPARE_FLAGS).is_err());
+        // A value-taking option with no value, and a boolean flag given
+        // a value, are both rejected.
+        let bare = parse(&["--workload"]).unwrap();
+        assert!(validate_args("compare", &bare, COMPARE_KEYS, COMPARE_FLAGS).is_err());
+        let flag_with_value = parse(&["--csv", "yes"]).unwrap();
+        assert!(validate_args("compare", &flag_with_value, COMPARE_KEYS, COMPARE_FLAGS).is_err());
+        // The happy path stays accepted.
+        let ok = parse(&["--workload", "1C-swim", "--csv", "--stats-json", "s.json"]).unwrap();
+        assert!(validate_args("compare", &ok, COMPARE_KEYS, COMPARE_FLAGS).is_ok());
     }
 
     #[test]

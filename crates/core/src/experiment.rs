@@ -1,5 +1,20 @@
-//! Experiment helpers: running workloads, reference IPCs and the SMT
-//! speedup metric (paper §4.2).
+//! Experiment helpers: the [`RunSpec`] builder, reference IPCs and the
+//! SMT speedup metric (paper §4.2).
+//!
+//! A run is described by one [`RunSpec`] — system configuration,
+//! workload and run-control parameters — built fluently and executed
+//! with [`RunSpec::run`]:
+//!
+//! ```
+//! use fbd_core::RunSpec;
+//!
+//! let result = RunSpec::paper_default(1)
+//!     .workload("1C-swim")
+//!     .budget(20_000)
+//!     .seed(7)
+//!     .run();
+//! assert!(result.elapsed.as_ns_f64() > 0.0);
+//! ```
 //!
 //! `SMT speedup = Σ IPC_cmp[i] / IPC_single[i]`, where the reference
 //! `IPC_single[i]` is the program's IPC alone on a single-core reference
@@ -9,7 +24,8 @@
 
 use std::collections::HashMap;
 
-use fbd_types::config::SystemConfig;
+use fbd_telemetry::TelemetryConfig;
+use fbd_types::config::{AmbPrefetchConfig, Interleaving, MemoryConfig, SystemConfig};
 use fbd_workloads::Workload;
 
 use crate::system::{RunResult, System};
@@ -42,7 +58,18 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Defaults: seed 42, automatic L2 warm-up and the instruction
     /// budget from [`default_budget`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `RunSpec` instead (its constructors pick up the environment budget)"
+    )]
     pub fn from_env() -> ExperimentConfig {
+        ExperimentConfig::env_default()
+    }
+
+    /// Defaults: seed 42, automatic L2 warm-up and the instruction
+    /// budget from [`default_budget`] (internal; [`RunSpec`]'s
+    /// constructors use this).
+    fn env_default() -> ExperimentConfig {
         ExperimentConfig {
             budget: default_budget(),
             ..ExperimentConfig::default()
@@ -78,29 +105,211 @@ pub fn default_budget() -> u64 {
     }
 }
 
+/// Complete specification of one simulation run: the system
+/// configuration, the workload, run-control parameters and optional
+/// instrumentation, built fluently and executed with [`run`](Self::run).
+///
+/// Replaces the ad-hoc `(SystemConfig, Workload, ExperimentConfig)`
+/// triple that used to travel through `run_workload`.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    system: SystemConfig,
+    workload: Option<Workload>,
+    exp: ExperimentConfig,
+    telemetry: Option<TelemetryConfig>,
+    capture_trace: bool,
+}
+
+impl RunSpec {
+    /// A spec for an explicit system configuration, with environment
+    /// defaults for run control (seed 42, [`default_budget`], automatic
+    /// L2 warm-up) and no workload yet.
+    pub fn new(system: SystemConfig) -> RunSpec {
+        RunSpec {
+            system,
+            workload: None,
+            exp: ExperimentConfig::env_default(),
+            telemetry: None,
+            capture_trace: false,
+        }
+    }
+
+    /// The paper's default FB-DIMM system with `cores` cores (see
+    /// [`SystemConfig::paper_default`]), environment-default run
+    /// control.
+    pub fn paper_default(cores: u32) -> RunSpec {
+        RunSpec::new(SystemConfig::paper_default(cores))
+    }
+
+    /// Selects one of the paper's workloads by name (`1C-swim`, `4C-2`,
+    /// …) and adjusts the system's core count to match it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name; use
+    /// [`try_workload`](Self::try_workload) for fallible resolution.
+    pub fn workload(self, name: &str) -> RunSpec {
+        self.try_workload(name)
+            .unwrap_or_else(|e| panic!("{e} (see `fbd_workloads::paper_workloads`)"))
+    }
+
+    /// Like [`workload`](Self::workload), but returns an error message
+    /// instead of panicking on an unknown name (for CLI front-ends).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the unknown name.
+    pub fn try_workload(mut self, name: &str) -> Result<RunSpec, String> {
+        let w = fbd_workloads::find(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+        self.system.cpu.cores = w.cores();
+        self.workload = Some(w);
+        Ok(self)
+    }
+
+    /// Uses an explicit [`Workload`]. Unlike [`workload`](Self::workload)
+    /// this does *not* touch the system's core count; [`run`](Self::run)
+    /// asserts that they match.
+    pub fn with_workload(mut self, workload: Workload) -> RunSpec {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Replaces the system configuration (core count and all).
+    pub fn with_system(mut self, system: SystemConfig) -> RunSpec {
+        self.system = system;
+        self
+    }
+
+    /// Replaces just the memory subsystem, keeping the processor side.
+    pub fn memory(mut self, mem: MemoryConfig) -> RunSpec {
+        self.system.mem = mem;
+        self
+    }
+
+    /// Turns AMB prefetching on (the paper's default prefetcher with
+    /// the matching 4-line interleaving) or off (plain FB-DIMM,
+    /// cacheline interleaving) without touching the rest of the memory
+    /// configuration.
+    pub fn with_prefetch(mut self, enabled: bool) -> RunSpec {
+        if enabled {
+            self.system.mem.amb = AmbPrefetchConfig::paper_default();
+            self.system.mem.interleaving = Interleaving::MultiCacheline { lines: 4 };
+        } else {
+            self.system.mem.amb = AmbPrefetchConfig::off();
+            self.system.mem.interleaving = Interleaving::Cacheline;
+        }
+        self
+    }
+
+    /// Sets the per-core instruction budget.
+    pub fn budget(mut self, budget: u64) -> RunSpec {
+        self.exp.budget = budget;
+        self
+    }
+
+    /// Sets the workload-generator seed.
+    pub fn seed(mut self, seed: u64) -> RunSpec {
+        self.exp.seed = seed;
+        self
+    }
+
+    /// Sets the L2 warm-up policy.
+    pub fn warmup(mut self, warmup: Warmup) -> RunSpec {
+        self.exp.warmup = warmup;
+        self
+    }
+
+    /// Replaces the whole run-control block (budget, seed, warm-up).
+    pub fn experiment(mut self, exp: ExperimentConfig) -> RunSpec {
+        self.exp = exp;
+        self
+    }
+
+    /// Enables telemetry collection (metric registry, optional epoch
+    /// sampling and event tracing) for the run.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> RunSpec {
+        self.telemetry = Some(config);
+        self
+    }
+
+    /// Records every transaction handed to the memory controller; the
+    /// trace comes back in [`RunResult::trace`].
+    pub fn capture_trace(mut self) -> RunSpec {
+        self.capture_trace = true;
+        self
+    }
+
+    /// The system configuration this spec would run.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// Mutable access to the system configuration, for knob sweeps that
+    /// tweak one field between runs.
+    pub fn system_mut(&mut self) -> &mut SystemConfig {
+        &mut self.system
+    }
+
+    /// The run-control parameters this spec would run with.
+    pub fn exp(&self) -> &ExperimentConfig {
+        &self.exp
+    }
+
+    /// The selected workload, if one has been set.
+    pub fn workload_ref(&self) -> Option<&Workload> {
+        self.workload.as_ref()
+    }
+
+    /// Executes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload was selected, if the system's core count
+    /// does not match the workload's, or if the configuration is
+    /// invalid.
+    pub fn run(&self) -> RunResult {
+        let workload = self
+            .workload
+            .as_ref()
+            .expect("RunSpec has no workload; call .workload()/.with_workload() first");
+        assert_eq!(
+            self.system.cpu.cores,
+            workload.cores(),
+            "core count must match workload {}",
+            workload.name()
+        );
+        let traces = workload.traces(self.exp.seed);
+        let warmup_ops = match self.exp.warmup {
+            Warmup::None => 0,
+            Warmup::Auto => {
+                let l2_lines = u64::from(self.system.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
+                2 * l2_lines / u64::from(self.system.cpu.cores)
+            }
+            Warmup::Ops(n) => n,
+        };
+        let mut sys = System::with_warmup(&self.system, traces, self.exp.budget, warmup_ops);
+        if let Some(tc) = &self.telemetry {
+            sys.enable_telemetry(tc);
+        }
+        if self.capture_trace {
+            sys.enable_trace_capture();
+        }
+        sys.run()
+    }
+}
+
 /// Runs `workload` on `cfg`.
 ///
 /// # Panics
 ///
 /// Panics if the configuration's core count does not match the
 /// workload's, or if the configuration is invalid.
+#[deprecated(since = "0.1.0", note = "build a `RunSpec` and call `.run()` instead")]
 pub fn run_workload(cfg: &SystemConfig, workload: &Workload, exp: &ExperimentConfig) -> RunResult {
-    assert_eq!(
-        cfg.cpu.cores,
-        workload.cores(),
-        "core count must match workload {}",
-        workload.name()
-    );
-    let traces = workload.traces(exp.seed);
-    let warmup_ops = match exp.warmup {
-        Warmup::None => 0,
-        Warmup::Auto => {
-            let l2_lines = u64::from(cfg.cpu.l2_bytes) / fbd_types::CACHE_LINE_BYTES;
-            2 * l2_lines / u64::from(cfg.cpu.cores)
-        }
-        Warmup::Ops(n) => n,
-    };
-    System::with_warmup(cfg, traces, exp.budget, warmup_ops).run()
+    RunSpec::new(*cfg)
+        .with_workload(workload.clone())
+        .experiment(*exp)
+        .run()
 }
 
 /// Computes each benchmark's single-core reference IPC on `ref_cfg`
@@ -119,7 +328,10 @@ pub fn reference_ipcs(
         .iter()
         .map(|name| {
             let w = Workload::new(format!("1C-{name}"), &[name]);
-            let result = run_workload(ref_cfg, &w, exp);
+            let result = RunSpec::new(*ref_cfg)
+                .with_workload(w)
+                .experiment(*exp)
+                .run();
             (name.to_string(), result.cores[0].ipc())
         })
         .collect()
@@ -168,6 +380,7 @@ mod tests {
                 .collect(),
             mem: MemStats::default(),
             channels: Vec::new(),
+            energy: fbd_power::EnergyReport::default(),
             trace: None,
             telemetry: None,
         }
@@ -202,10 +415,50 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "core count must match")]
-    fn run_workload_rejects_core_mismatch() {
+    fn run_spec_rejects_core_mismatch() {
         let cfg = fbd_types::config::SystemConfig::paper_default(2);
         let w = Workload::new("1C-swim", &["swim"]);
-        let _ = run_workload(&cfg, &w, &ExperimentConfig::default());
+        let _ = RunSpec::new(cfg).with_workload(w).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload")]
+    fn run_spec_requires_a_workload() {
+        let _ = RunSpec::paper_default(1).run();
+    }
+
+    #[test]
+    fn run_spec_workload_syncs_core_count() {
+        let spec = RunSpec::paper_default(1).workload("4C-1");
+        assert_eq!(spec.system().cpu.cores, 4);
+        assert_eq!(spec.workload_ref().unwrap().name(), "4C-1");
+        assert!(RunSpec::paper_default(1).try_workload("nope").is_err());
+    }
+
+    #[test]
+    fn run_spec_prefetch_toggle_mirrors_presets() {
+        use fbd_types::config::MemoryConfig;
+        let on = RunSpec::paper_default(1).with_prefetch(true);
+        assert_eq!(on.system().mem, MemoryConfig::fbdimm_with_prefetch());
+        let off = on.with_prefetch(false);
+        assert_eq!(off.system().mem, MemoryConfig::fbdimm_default());
+    }
+
+    #[test]
+    fn deprecated_run_workload_still_runs() {
+        // The shim must stay behaviourally identical to RunSpec::run.
+        let cfg = fbd_types::config::SystemConfig::paper_default(1);
+        let w = Workload::new("1C-swim", &["swim"]);
+        let exp = ExperimentConfig {
+            budget: 5_000,
+            ..ExperimentConfig::default()
+        };
+        #[allow(deprecated)]
+        let shim = run_workload(&cfg, &w, &exp);
+        let spec = RunSpec::new(cfg).with_workload(w).experiment(exp).run();
+        assert_eq!(shim.elapsed, spec.elapsed);
+        assert_eq!(shim.mem.demand_reads, spec.mem.demand_reads);
+        assert!((shim.energy.total_nj() - spec.energy.total_nj()).abs() < 1e-6);
     }
 
     #[test]

@@ -13,24 +13,22 @@
 //!
 //! # Examples
 //!
-//! Run the `swim` workload on FB-DIMM with and without AMB prefetching:
+//! Run the `swim` workload on FB-DIMM with and without AMB prefetching,
+//! and compare DRAM energy:
 //!
 //! ```
-//! use fbd_core::experiment::{run_workload, ExperimentConfig};
-//! use fbd_types::config::{MemoryConfig, SystemConfig};
-//! use fbd_workloads::Workload;
+//! use fbd_core::RunSpec;
 //!
-//! let exp = ExperimentConfig { seed: 7, budget: 20_000, ..Default::default() };
-//! let workload = Workload::new("1C-swim", &["swim"]);
-//!
-//! let fbd = SystemConfig::paper_default(1);
-//! let base = run_workload(&fbd, &workload, &exp);
-//!
-//! let mut ap = fbd;
-//! ap.mem = MemoryConfig::fbdimm_with_prefetch();
-//! let with_ap = run_workload(&ap, &workload, &exp);
+//! let base = RunSpec::paper_default(1)
+//!     .workload("1C-swim")
+//!     .budget(20_000)
+//!     .seed(7);
+//! let fbd = base.clone().with_prefetch(false).run();
+//! let with_ap = base.with_prefetch(true).run();
 //!
 //! assert!(with_ap.mem.amb_hits > 0, "streaming workload must hit the AMB cache");
+//! assert!(with_ap.energy.total_nj() > 0.0);
+//! assert!(fbd.energy.total_nj() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -41,7 +39,9 @@ pub mod memsys;
 pub mod system;
 pub mod trace_io;
 
-pub use experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig, Warmup};
+#[allow(deprecated)]
+pub use experiment::run_workload;
+pub use experiment::{reference_ipcs, smt_speedup, ExperimentConfig, RunSpec, Warmup};
 pub use memsys::{ChannelCounters, DecideResult, Issued, MemorySystem};
 pub use system::{RunResult, System};
 pub use trace_io::{replay, MemoryTrace, ReplayResult, TraceRecord};

@@ -25,7 +25,7 @@ use fbd_ctrl::{
 };
 use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
 use fbd_link::{Ddr2CommandBus, FbdChannel, LinkSlot};
-use fbd_power::PowerModeTracker;
+use fbd_power::{EnergyModel, EnergyReport, PowerModeTracker, RankActivity};
 use fbd_telemetry::{
     tid_dimm, tid_power, Json, MetricId, Telemetry, TelemetryConfig, TID_NORTH, TID_SOUTH,
 };
@@ -132,9 +132,11 @@ struct ChanIds {
 }
 
 /// Telemetry state attached to a [`MemorySystem`] when enabled: the
-/// registry/sampler/tracer plus the pre-registered metric handles and
-/// per-(channel, DIMM) power-mode trackers. Boxed behind an `Option` so
-/// the telemetry-off hot path pays one pointer test.
+/// registry/sampler/tracer plus the pre-registered metric handles.
+/// Boxed behind an `Option` so the telemetry-off hot path pays one
+/// pointer test. (Power-mode residency is tracked always-on by the
+/// [`MemorySystem`] itself — the energy report needs it even when
+/// telemetry never ran.)
 struct MemTel {
     tel: Telemetry,
     chans: Vec<ChanIds>,
@@ -142,16 +144,9 @@ struct MemTel {
     pf_fills: MetricId,
     pf_evictions: MetricId,
     pf_hits: MetricId,
-    /// Indexed `channel * dimms_per_channel + dimm`.
-    power: Vec<PowerModeTracker>,
-    dimms_per_channel: u32,
 }
 
 impl MemTel {
-    fn pidx(&self, ch: u32, dimm: u32) -> usize {
-        (ch * self.dimms_per_channel + dimm) as usize
-    }
-
     /// A southbound frame slot (command or write data).
     fn south_frame(&mut self, name: &'static str, ch: u32, slot: LinkSlot) {
         if let Some(tr) = self.tel.tracer.as_mut() {
@@ -214,8 +209,6 @@ impl MemTel {
                 vec![],
             );
         }
-        let i = self.pidx(ch, dimm);
-        self.power[i].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
     }
 
     /// A K-line group fetch (one ACT, K pipelined column reads).
@@ -244,8 +237,6 @@ impl MemTel {
                 vec![("prefetched", Json::from(fill.inserted))],
             );
         }
-        let i = self.pidx(ch, dimm);
-        self.power[i].note_busy(out.act_at.unwrap_or(out.first_cmd_at), out.fill_done);
     }
 
     /// A line write at the DRAM devices of an FBD DIMM.
@@ -270,8 +261,6 @@ impl MemTel {
                 vec![],
             );
         }
-        let i = self.pidx(ch, dimm);
-        self.power[i].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
     }
 
     /// A committed access plan on a DDR2 channel; emits one span per
@@ -295,8 +284,6 @@ impl MemTel {
                 tr.complete(*name, "dram", ch, tid, *at, end - *at, vec![]);
             }
         }
-        let i = self.pidx(ch, dimm);
-        self.power[i].note_busy(cmds[0].1, plan.data_end);
     }
 }
 
@@ -314,6 +301,11 @@ pub struct MemorySystem {
     stats: MemStats,
     chan_counts: Vec<ChannelCounters>,
     tel: Option<Box<MemTel>>,
+    /// Always-on per-rank power-mode trackers, indexed
+    /// `(channel * dimms_per_channel + dimm) * ranks_per_dimm + rank`.
+    /// They feed [`Self::energy_report`] and, when telemetry runs, the
+    /// residency gauges and power trace tracks.
+    power: Vec<PowerModeTracker>,
     /// DIMM-bus time of one line on a (ganged) DIMM.
     burst: Dur,
     clock: Dur,
@@ -407,15 +399,24 @@ impl MemorySystem {
             stats: MemStats::default(),
             chan_counts: vec![ChannelCounters::default(); cfg.logical_channels as usize],
             tel: None,
+            power: vec![
+                PowerModeTracker::new(POWERDOWN_AFTER);
+                (cfg.logical_channels * cfg.dimms_per_channel * cfg.ranks_per_dimm) as usize
+            ],
             burst,
             clock,
             cfg: *cfg,
         }
     }
 
+    /// Index of the power tracker for `(ch, dimm, rank)`.
+    fn pidx(&self, ch: u32, dimm: u32, rank: u32) -> usize {
+        ((ch * self.cfg.dimms_per_channel + dimm) * self.cfg.ranks_per_dimm + rank) as usize
+    }
+
     /// Turns on telemetry collection for the rest of the run: registers
-    /// the per-channel / per-DIMM metrics, names the trace tracks, and
-    /// allocates one power-mode tracker per (channel, DIMM).
+    /// the per-channel / per-DIMM metrics and names the trace tracks
+    /// (one power track per rank).
     ///
     /// # Panics
     ///
@@ -423,6 +424,7 @@ impl MemorySystem {
     pub fn enable_telemetry(&mut self, config: &TelemetryConfig) {
         let mut tel = Telemetry::new(config);
         let ndimm = self.cfg.dimms_per_channel;
+        let ranks = self.cfg.ranks_per_dimm;
         let chans: Vec<ChanIds> = (0..self.cfg.logical_channels)
             .map(|c| {
                 if let Some(tr) = tel.tracer.as_mut() {
@@ -431,7 +433,14 @@ impl MemorySystem {
                     tr.name_track(c, TID_NORTH, "northbound");
                     for d in 0..ndimm {
                         tr.name_track(c, tid_dimm(d as usize), &format!("dimm{d} dram"));
-                        tr.name_track(c, tid_power(d as usize), &format!("dimm{d} power"));
+                        for r in 0..ranks {
+                            let label = if ranks == 1 {
+                                format!("dimm{d} power")
+                            } else {
+                                format!("dimm{d}.rank{r} power")
+                            };
+                            tr.name_track(c, tid_power((d * ranks + r) as usize), &label);
+                        }
                     }
                 }
                 ChanIds {
@@ -464,7 +473,6 @@ impl MemorySystem {
         let pf_fills = tel.registry.counter("amb.prefetch.fills");
         let pf_evictions = tel.registry.counter("amb.prefetch.evictions");
         let pf_hits = tel.registry.counter("amb.prefetch.hits");
-        let trackers = (self.cfg.logical_channels * ndimm) as usize;
         self.tel = Some(Box::new(MemTel {
             tel,
             chans,
@@ -472,8 +480,6 @@ impl MemorySystem {
             pf_fills,
             pf_evictions,
             pf_hits,
-            power: vec![PowerModeTracker::new(POWERDOWN_AFTER); trackers],
-            dimms_per_channel: ndimm,
         }));
     }
 
@@ -525,15 +531,36 @@ impl MemorySystem {
     }
 
     /// Ends telemetry at `end` and takes it out of the subsystem:
-    /// resolves power-mode residencies into the registry (and tracer,
-    /// when tracing), then flushes the final partial epoch.
+    /// resolves power-mode residencies and the energy report into the
+    /// registry (and tracer, when tracing), then flushes the final
+    /// partial epoch.
     pub fn finish_telemetry(&mut self, end: Time) -> Option<Telemetry> {
         let mut mt = self.tel.take()?;
+        let ranks = self.cfg.ranks_per_dimm;
         for ch in 0..self.cfg.logical_channels {
             for d in 0..self.cfg.dimms_per_channel {
-                let i = mt.pidx(ch, d);
                 let ids = mt.chans[ch as usize].dimms[d as usize];
-                let res = mt.power[i].residency(end);
+                let mut res = fbd_power::ModeResidency::default();
+                for r in 0..ranks {
+                    let tracker = &self.power[self.pidx(ch, d, r)];
+                    let rr = tracker.residency(end);
+                    res.active += rr.active;
+                    res.standby += rr.standby;
+                    res.powerdown += rr.powerdown;
+                    if let Some(tr) = mt.tel.tracer.as_mut() {
+                        for span in tracker.spans(end) {
+                            tr.complete(
+                                span.mode.label(),
+                                "power",
+                                ch,
+                                tid_power((d * ranks + r) as usize),
+                                span.start,
+                                span.dur(),
+                                vec![],
+                            );
+                        }
+                    }
+                }
                 mt.tel
                     .registry
                     .set(ids.power_active_ns, res.active.as_ns_f64());
@@ -543,20 +570,20 @@ impl MemorySystem {
                 mt.tel
                     .registry
                     .set(ids.power_powerdown_ns, res.powerdown.as_ns_f64());
-                if let Some(tr) = mt.tel.tracer.as_mut() {
-                    for span in mt.power[i].spans(end) {
-                        tr.complete(
-                            span.mode.label(),
-                            "power",
-                            ch,
-                            tid_power(d as usize),
-                            span.start,
-                            span.dur(),
-                            vec![],
-                        );
-                    }
-                }
             }
+        }
+        let energy = self.energy_report(end);
+        for (path, value) in [
+            ("energy.activation_nj", energy.activation_nj),
+            ("energy.burst_nj", energy.burst_nj),
+            ("energy.refresh_nj", energy.refresh_nj),
+            ("energy.background_nj", energy.background_nj),
+            ("energy.amb_nj", energy.amb_nj),
+            ("energy.total_nj", energy.total_nj()),
+            ("energy.avg_power_w", energy.avg_power_w()),
+        ] {
+            let id = mt.tel.registry.gauge(path);
+            mt.tel.registry.set(id, value);
         }
         mt.tel.finish(end);
         Some(mt.tel)
@@ -599,9 +626,13 @@ impl MemorySystem {
     }
 
     /// Issues any refresh whose deadline has passed on channel `ch`.
+    /// A refresh occupies every rank of the DIMM for `t_rfc`, which
+    /// counts as busy time for the power-mode residency model.
     fn run_refreshes(&mut self, ch: u32, now: Time) {
         let t_refi = self.cfg.refresh.t_refi;
         let t_rfc = self.cfg.refresh.t_rfc;
+        let ranks = self.cfg.ranks_per_dimm;
+        let dimms_per_channel = self.cfg.dimms_per_channel;
         let channel = &mut self.channels[ch as usize];
         for (dimm, due) in channel.refresh_due.iter_mut().enumerate() {
             while *due <= now {
@@ -610,8 +641,16 @@ impl MemorySystem {
                         dimms[dimm].refresh(*due, t_rfc);
                     }
                     ChannelPath::Ddr2 { dimms, .. } => {
-                        dimms[dimm].refresh_all(*due, t_rfc);
+                        // Refresh every rank of this DIMM (the bank
+                        // arrays are laid out `dimm * ranks + rank`).
+                        for r in 0..ranks {
+                            dimms[dimm * ranks as usize + r as usize].refresh_all(*due, t_rfc);
+                        }
                     }
+                }
+                for r in 0..ranks {
+                    let i = ((ch * dimms_per_channel + dimm as u32) * ranks + r) as usize;
+                    self.power[i].note_busy(*due, *due + t_rfc);
                 }
                 *due += t_refi;
             }
@@ -768,6 +807,7 @@ impl MemorySystem {
             t.count_read(m.channel);
         }
 
+        let pi = self.pidx(m.channel, m.dimm, m.rank);
         let (completion, service) = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
                 let slot = link.send_command(now);
@@ -806,6 +846,7 @@ impl MemorySystem {
                     let fills = region.lines(u64::from(k)).filter(|l| *l != req.line);
                     let filled = table.fill(m.channel, m.dimm, fills);
                     self.stats.lines_prefetched += filled.inserted;
+                    self.power[pi].note_busy(out.act_at.unwrap_or(out.first_cmd_at), out.fill_done);
                     let north = link.return_read_data(m.dimm, out.demanded_ready);
                     if let Some(t) = self.tel.as_deref_mut() {
                         t.group_fetch(m.channel, m.dimm, &out, &filled);
@@ -817,6 +858,7 @@ impl MemorySystem {
                     if out.row_hit {
                         self.stats.row_hits += 1;
                     }
+                    self.power[pi].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
                     let north = link.return_read_data(m.dimm, out.data_ready);
                     if let Some(t) = self.tel.as_deref_mut() {
                         t.dram_read(m.channel, m.dimm, &out);
@@ -851,6 +893,8 @@ impl MemorySystem {
                     self.stats.row_hits += 1;
                 }
                 dimm.commit(&plan, bus);
+                let first_cmd = plan.pre_at.or(plan.act_at).unwrap_or(plan.cmd_at);
+                self.power[pi].note_busy(first_cmd, plan.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.ddr2_access(m.channel, m.dimm, &plan);
                 }
@@ -901,6 +945,7 @@ impl MemorySystem {
         if let Some(table) = self.table.as_mut() {
             table.invalidate(m.channel, m.dimm, entry.req.line);
         }
+        let pi = self.pidx(m.channel, m.dimm, m.rank);
         let done = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
                 let slot = link.send_write_data(now);
@@ -910,6 +955,7 @@ impl MemorySystem {
                     m.row,
                     slot.done,
                 );
+                self.power[pi].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.south_frame("wdata", m.channel, slot);
                     t.dram_write(m.channel, m.dimm, &out);
@@ -931,6 +977,8 @@ impl MemorySystem {
                 };
                 let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
                 dimm.commit(&plan, bus);
+                let first_cmd = plan.pre_at.or(plan.act_at).unwrap_or(plan.cmd_at);
+                self.power[pi].note_busy(first_cmd, plan.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.ddr2_access(m.channel, m.dimm, &plan);
                 }
@@ -962,6 +1010,40 @@ impl MemorySystem {
             }
         }
         s
+    }
+
+    /// The end-to-end energy report for the run so far, evaluated at
+    /// `end`: per-rank operation counts and power-mode residencies fed
+    /// through the Micron DDR2-667 [`EnergyModel`], with AMB core/link
+    /// power included on FB-DIMM subsystems.
+    pub fn energy_report(&self, end: Time) -> EnergyReport {
+        let buffered = matches!(self.cfg.tech, MemoryTech::FbDimm { .. });
+        let model = EnergyModel::micron_ddr2_667(buffered);
+        let ranks = self.cfg.ranks_per_dimm;
+        let mut activity = Vec::with_capacity(self.power.len());
+        for (ch, c) in self.channels.iter().enumerate() {
+            for d in 0..self.cfg.dimms_per_channel {
+                for r in 0..ranks {
+                    let ops = match &c.path {
+                        ChannelPath::Fbd { dimms, .. } => *dimms[d as usize].rank_ops(r as usize),
+                        ChannelPath::Ddr2 { dimms, .. } => *dimms[(d * ranks + r) as usize].ops(),
+                    };
+                    activity.push(RankActivity {
+                        channel: ch as u32,
+                        dimm: d,
+                        rank: r,
+                        ops,
+                        residency: self.power[self.pidx(ch as u32, d, r)].residency(end),
+                    });
+                }
+            }
+        }
+        let amb_dimms = if buffered {
+            self.cfg.logical_channels * self.cfg.dimms_per_channel
+        } else {
+            0
+        };
+        model.report(&activity, end - Time::ZERO, amb_dimms)
     }
 
     /// The configuration this subsystem was built from.

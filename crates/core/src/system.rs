@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use fbd_cpu::{CpuComplex, TraceSource};
+use fbd_power::EnergyReport;
 use fbd_telemetry::{MetricId, Telemetry, TelemetryConfig};
 use fbd_types::config::SystemConfig;
 use fbd_types::request::AccessKind;
@@ -50,6 +51,9 @@ pub struct RunResult {
     pub mem: MemStats,
     /// Always-on per-channel traffic counters, indexed by channel.
     pub channels: Vec<ChannelCounters>,
+    /// The run's energy breakdown (activation, burst, refresh,
+    /// background, AMB) from the Micron DDR2-667 energy model.
+    pub energy: EnergyReport,
     /// The captured transaction trace, when capture was enabled.
     pub trace: Option<MemoryTrace>,
     /// The run's telemetry (registry, epoch time-series, event trace),
@@ -297,6 +301,7 @@ impl System {
             cores,
             mem: self.mem.stats(),
             channels: self.mem.channel_counters().to_vec(),
+            energy: self.mem.energy_report(self.now),
             trace: self.capture,
             telemetry,
         }

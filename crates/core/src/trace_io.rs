@@ -190,6 +190,8 @@ impl MemoryTrace {
 pub struct ReplayResult {
     /// Memory statistics of the replay.
     pub mem: MemStats,
+    /// Energy breakdown of the replay (Micron DDR2-667 energy model).
+    pub energy: fbd_power::EnergyReport,
     /// Instant the last transaction completed.
     pub finished: Time,
 }
@@ -248,6 +250,7 @@ pub fn replay(cfg: &MemoryConfig, trace: &MemoryTrace) -> ReplayResult {
     }
     ReplayResult {
         mem: mem.stats(),
+        energy: mem.energy_report(finished),
         finished,
     }
 }

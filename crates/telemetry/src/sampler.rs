@@ -4,7 +4,8 @@
 //! [`EpochSampler::sample`], which appends one row of readings for every
 //! registered metric. Metrics may be registered after sampling has
 //! started; earlier rows are implicitly zero for late-registered
-//! columns, which works because [`MetricId`]s are dense and append-only.
+//! columns, which works because [`MetricId`](crate::MetricId)s are
+//! dense and append-only.
 //! At the end of a run, [`EpochSampler::finish`] flushes one final row
 //! for the partial epoch so no tail activity is lost.
 
@@ -18,7 +19,8 @@ use crate::registry::MetricRegistry;
 pub struct SampleRow {
     /// When the snapshot was taken.
     pub at: Time,
-    /// Readings indexed by [`MetricId`]; shorter than the final metric
+    /// Readings indexed by [`MetricId`](crate::MetricId); shorter than
+    /// the final metric
     /// count when metrics registered after this row was taken.
     pub values: Vec<f64>,
 }

@@ -512,6 +512,24 @@ impl MemoryConfig {
         cfg
     }
 
+    /// Resolves a memory subsystem preset by its stable CLI/bench name:
+    /// `ddr2`, `fbd`, `fbd-ap` (prefetching) or `fbd-apfl` (prefetching
+    /// with the full-latency ablation). Returns `None` for an unknown
+    /// name.
+    pub fn by_name(name: &str) -> Option<MemoryConfig> {
+        match name {
+            "ddr2" => Some(MemoryConfig::ddr2_default()),
+            "fbd" => Some(MemoryConfig::fbdimm_default()),
+            "fbd-ap" => Some(MemoryConfig::fbdimm_with_prefetch()),
+            "fbd-apfl" => {
+                let mut m = MemoryConfig::fbdimm_with_prefetch();
+                m.amb.mode = AmbPrefetchMode::FullLatency;
+                Some(m)
+            }
+            _ => None,
+        }
+    }
+
     /// FB-DIMM carrying DDR3-1333 devices (extension; the paper's
     /// footnote 1 anticipates this generation).
     pub fn fbdimm_ddr3() -> MemoryConfig {

@@ -31,7 +31,7 @@ pub mod profile;
 
 pub use generator::SyntheticTrace;
 pub use mixes::{
-    eight_core_workloads, four_core_workloads, paper_workloads, single_core_workloads,
+    eight_core_workloads, find, four_core_workloads, paper_workloads, single_core_workloads,
     two_core_workloads, Workload,
 };
 pub use profile::{by_name, BenchmarkProfile, PROFILES};

@@ -136,6 +136,17 @@ pub fn paper_workloads() -> (Vec<Workload>, Vec<Workload>, Vec<Workload>, Vec<Wo
     )
 }
 
+/// Resolves one of the paper's workloads by name (`1C-swim`, `4C-2`,
+/// `8C-3`, …). Returns `None` for an unknown name.
+pub fn find(name: &str) -> Option<Workload> {
+    let (c1, c2, c4, c8) = paper_workloads();
+    c1.into_iter()
+        .chain(c2)
+        .chain(c4)
+        .chain(c8)
+        .find(|w| w.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

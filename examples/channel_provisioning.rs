@@ -13,18 +13,17 @@
 //! cargo run --release -p fbd-core --example channel_provisioning
 //! ```
 
-use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::RunSpec;
 use fbd_types::config::{MemoryConfig, SystemConfig};
 use fbd_types::time::DataRate;
 use fbd_workloads::four_core_workloads;
 
 fn main() {
-    let exp = ExperimentConfig {
-        seed: 42,
-        budget: 150_000,
-        ..Default::default()
-    };
     let workload = four_core_workloads().remove(0); // 4C-1: four streaming codes
+    let spec = RunSpec::paper_default(4)
+        .with_workload(workload.clone())
+        .seed(42)
+        .budget(150_000);
 
     println!(
         "4-core workload {} across channel provisioning points:",
@@ -42,8 +41,8 @@ fn main() {
             ap_cfg.mem.logical_channels = channels;
             ap_cfg.mem.data_rate = rate;
 
-            let base = run_workload(&base_cfg, &workload, &exp);
-            let ap = run_workload(&ap_cfg, &workload, &exp);
+            let base = spec.clone().with_system(base_cfg).run();
+            let ap = spec.clone().with_system(ap_cfg).run();
             let sum = |r: &fbd_core::RunResult| r.ipcs().iter().sum::<f64>();
             println!(
                 "{channels:>8}  {rate}  {:>11.3}  {:>14.3}  {:>+6.1}%",

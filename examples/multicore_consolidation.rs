@@ -9,7 +9,8 @@
 //! cargo run --release -p fbd-core --example multicore_consolidation
 //! ```
 
-use fbd_core::experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig};
+use fbd_core::experiment::{reference_ipcs, smt_speedup, ExperimentConfig};
+use fbd_core::RunSpec;
 use fbd_types::config::{MemoryConfig, SystemConfig};
 use fbd_workloads::{eight_core_workloads, four_core_workloads, two_core_workloads, Workload};
 
@@ -52,7 +53,10 @@ fn main() {
             ("FBD   ", MemoryConfig::fbdimm_default()),
             ("FBD-AP", MemoryConfig::fbdimm_with_prefetch()),
         ] {
-            let r = run_workload(&config(w.cores(), mem), w, &exp);
+            let r = RunSpec::new(config(w.cores(), mem))
+                .with_workload(w.clone())
+                .experiment(exp)
+                .run();
             println!(
                 "{:>8}  {label}  {:>7.3}  {:>6.2}GB/s  {:>8.1}ns",
                 w.name(),

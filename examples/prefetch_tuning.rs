@@ -12,7 +12,7 @@
 //!
 //! `workload` is one of the twelve benchmark names (default: `mgrid`).
 
-use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::RunSpec;
 use fbd_power::PowerModel;
 use fbd_types::config::{Associativity, Interleaving, MemoryConfig, SystemConfig};
 use fbd_workloads::Workload;
@@ -38,15 +38,14 @@ fn main() {
         }
         std::process::exit(1);
     }
-    let exp = ExperimentConfig {
-        seed: 42,
-        budget: 150_000,
-        ..Default::default()
-    };
     let workload = Workload::new(format!("1C-{bench}"), &[&bench]);
     let power = PowerModel::paper_ratio();
+    let spec = RunSpec::paper_default(1)
+        .with_workload(workload)
+        .seed(42)
+        .budget(150_000);
 
-    let baseline = run_workload(&SystemConfig::paper_default(1), &workload, &exp);
+    let baseline = spec.clone().run();
     let base_ipc = baseline.cores[0].ipc();
 
     println!("AMB prefetcher design space for `{bench}` (vs plain FB-DIMM):");
@@ -63,7 +62,7 @@ fn main() {
         ("K=4  64e 4-way".into(), 4, 64, Associativity::Ways(4)),
     ];
     for (label, k, entries, assoc) in sweep {
-        let r = run_workload(&ap_config(k, entries, assoc), &workload, &exp);
+        let r = spec.clone().with_system(ap_config(k, entries, assoc)).run();
         println!(
             "{label:<26} {:>6.1}%  {:>7.1}%  {:>9.1}%  {:>10.3}",
             (r.cores[0].ipc() / base_ipc - 1.0) * 100.0,

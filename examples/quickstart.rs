@@ -7,37 +7,29 @@
 //! cargo run --release -p fbd-core --example quickstart
 //! ```
 
-use fbd_core::experiment::{run_workload, ExperimentConfig};
-use fbd_types::config::{MemoryConfig, SystemConfig};
-use fbd_workloads::Workload;
+use fbd_core::RunSpec;
 
 fn main() {
-    // A deterministic run: seed 42, 200k instructions.
-    let exp = ExperimentConfig {
-        seed: 42,
-        budget: 200_000,
-        ..Default::default()
-    };
-
-    // `swim` is the most bandwidth-hungry of the paper's twelve
-    // SPEC2000-like profiles — an ideal showcase for DRAM-level
-    // prefetching.
-    let workload = Workload::new("1C-swim", &["swim"]);
-
-    // Baseline: the paper's default FB-DIMM system (Table 1): 4 GHz core,
+    // A deterministic run: seed 42, 200k instructions. `swim` is the
+    // most bandwidth-hungry of the paper's twelve SPEC2000-like
+    // profiles — an ideal showcase for DRAM-level prefetching. The
+    // base spec is the paper's default system (Table 1): 4 GHz core,
     // 4 MB shared L2, two logical FB-DIMM channels at 667 MT/s, close
-    // page, cacheline interleaving.
-    let baseline_cfg = SystemConfig::paper_default(1);
-    let baseline = run_workload(&baseline_cfg, &workload, &exp);
+    // page.
+    let base = RunSpec::paper_default(1)
+        .workload("1C-swim")
+        .seed(42)
+        .budget(200_000);
+
+    // Baseline: FB-DIMM without prefetching (cacheline interleaving).
+    let baseline = base.clone().with_prefetch(false).run();
 
     // The paper's proposal: region-based AMB prefetching — every demand
     // miss fetches its 4-line region into the AMB's 4 KB prefetch buffer
     // with a single DRAM activation (multi-cacheline interleaving).
-    let mut ap_cfg = baseline_cfg;
-    ap_cfg.mem = MemoryConfig::fbdimm_with_prefetch();
-    let with_ap = run_workload(&ap_cfg, &workload, &exp);
+    let with_ap = base.clone().with_prefetch(true).run();
 
-    println!("swim on FB-DIMM, {} instructions:", exp.budget);
+    println!("swim on FB-DIMM, {} instructions:", base.exp().budget);
     println!();
     println!("                         FBD     FBD-AP");
     println!(
@@ -69,5 +61,12 @@ fn main() {
     println!(
         "  speedup from AMB prefetching: {:+.1}%",
         (speedup - 1.0) * 100.0
+    );
+    println!(
+        "  memory energy        {:>6.1}µJ   {:>6.1}µJ  ({:.2} W vs {:.2} W avg)",
+        baseline.energy.total_nj() / 1_000.0,
+        with_ap.energy.total_nj() / 1_000.0,
+        baseline.energy.avg_power_w(),
+        with_ap.energy.avg_power_w()
     );
 }

@@ -1,0 +1,183 @@
+//! Contract tests for the `fbdsim` binary: exit codes, flag
+//! validation, and the shape of the `--stats-json`/`--json` exporters
+//! on `run`, `compare` and `sweep`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use fbd_telemetry::{json, Json};
+
+fn fbdsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fbdsim"))
+        .args(args)
+        .output()
+        .expect("fbdsim runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fbdsim-cli-{}-{name}", std::process::id()))
+}
+
+/// The energy object every stats document must carry: five components
+/// that sum to the total.
+fn assert_energy_consistent(doc: &Json) {
+    let energy = doc.get("energy").expect("stats carry an energy object");
+    let get = |k: &str| energy.get(k).and_then(Json::as_f64).expect(k);
+    let sum = get("activation_nj")
+        + get("burst_nj")
+        + get("refresh_nj")
+        + get("background_nj")
+        + get("amb_nj");
+    let total = get("total_nj");
+    assert!(
+        (sum - total).abs() < 1e-6 * total.max(1.0),
+        "components {sum} != total {total}"
+    );
+    assert!(total > 0.0);
+    assert!(get("avg_power_w") > 0.0);
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    assert_eq!(exit_code(&fbdsim(&[])), 2);
+    assert_eq!(exit_code(&fbdsim(&["frobnicate"])), 2);
+}
+
+#[test]
+fn unknown_options_exit_2_on_run_compare_and_sweep() {
+    for cmd in [
+        vec![
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--bogus",
+            "x",
+        ],
+        vec!["compare", "--workload", "1C-swim", "--bogus", "x"],
+        vec!["compare", "--workload", "1C-swim", "--timeline"],
+        vec![
+            "sweep",
+            "--workload",
+            "1C-swim",
+            "--knob",
+            "k",
+            "--bogus",
+            "x",
+        ],
+        vec![
+            "record",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--out",
+            "t.csv",
+            "--json",
+        ],
+        vec![
+            "replay", "--trace", "t.csv", "--system", "fbd", "--budget", "1",
+        ],
+    ] {
+        let out = fbdsim(&cmd);
+        assert_eq!(
+            exit_code(&out),
+            2,
+            "`fbdsim {}` must be a usage error, stderr: {}",
+            cmd.join(" "),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The usage error never runs the simulation.
+        assert!(out.stdout.is_empty());
+    }
+}
+
+#[test]
+fn unknown_workload_or_system_fails_cleanly() {
+    let out = fbdsim(&["run", "--workload", "9C-nope", "--system", "fbd"]);
+    assert_eq!(exit_code(&out), 1);
+    let out = fbdsim(&["run", "--workload", "1C-swim", "--system", "ddr5"]);
+    assert_eq!(exit_code(&out), 1);
+}
+
+#[test]
+fn run_stats_json_has_a_consistent_energy_object() {
+    let path = tmp_path("run.json");
+    let out = fbdsim(&[
+        "run",
+        "--workload",
+        "1C-swim",
+        "--system",
+        "fbd-ap",
+        "--budget",
+        "5000",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let text = std::fs::read_to_string(&path).expect("stats file written");
+    std::fs::remove_file(&path).ok();
+    let doc = json::parse(&text).expect("well-formed JSON");
+    assert_eq!(doc.get("workload").and_then(Json::as_str), Some("1C-swim"));
+    assert_eq!(doc.get("system").and_then(Json::as_str), Some("fbd-ap"));
+    assert_energy_consistent(&doc);
+}
+
+#[test]
+fn compare_stats_json_covers_every_system() {
+    let path = tmp_path("compare.json");
+    let out = fbdsim(&[
+        "compare",
+        "--workload",
+        "1C-swim",
+        "--budget",
+        "5000",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let text = std::fs::read_to_string(&path).expect("stats file written");
+    std::fs::remove_file(&path).ok();
+    let doc = json::parse(&text).expect("well-formed JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("compare"));
+    let points = doc.get("points").and_then(Json::as_array).expect("points");
+    let systems: Vec<&str> = points
+        .iter()
+        .map(|p| p.get("system").and_then(Json::as_str).expect("system"))
+        .collect();
+    assert_eq!(systems, ["ddr2", "fbd", "fbd-ap", "fbd-apfl"]);
+    for p in points {
+        assert_energy_consistent(p);
+    }
+}
+
+#[test]
+fn sweep_json_stdout_covers_every_grid_point() {
+    let out = fbdsim(&[
+        "sweep",
+        "--workload",
+        "1C-swim",
+        "--knob",
+        "k",
+        "--budget",
+        "5000",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    // `--json` means the document is the only stdout output.
+    let doc = json::parse(text.trim()).expect("well-formed JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("sweep"));
+    let points = doc.get("points").and_then(Json::as_array).expect("points");
+    assert_eq!(points.len(), 3, "knob k sweeps three region sizes");
+    for p in points {
+        let label = p.get("system").and_then(Json::as_str).unwrap();
+        assert!(label.starts_with("fbd-ap/k="), "unexpected label {label}");
+        assert_energy_consistent(p);
+    }
+}

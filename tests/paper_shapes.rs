@@ -5,7 +5,8 @@
 
 use std::collections::HashMap;
 
-use fbd_core::experiment::{reference_ipcs, run_workload, smt_speedup, ExperimentConfig};
+use fbd_core::experiment::{reference_ipcs, smt_speedup, ExperimentConfig};
+use fbd_core::{RunResult, RunSpec};
 use fbd_types::config::{AmbPrefetchMode, MemoryConfig, SystemConfig};
 use fbd_workloads::Workload;
 
@@ -15,6 +16,13 @@ fn exp() -> ExperimentConfig {
         budget: 80_000,
         ..Default::default()
     }
+}
+
+fn run(cfg: SystemConfig, w: &Workload, exp: ExperimentConfig) -> RunResult {
+    RunSpec::new(cfg)
+        .with_workload(w.clone())
+        .experiment(exp)
+        .run()
 }
 
 fn cfg(mem: MemoryConfig, cores: u32) -> SystemConfig {
@@ -35,7 +43,7 @@ fn avg_speedup(mem: MemoryConfig, refs: &HashMap<String, f64>) -> f64 {
     let mut total = 0.0;
     for name in SAMPLE {
         let w = Workload::new(format!("1C-{name}"), &[name]);
-        let r = run_workload(&cfg(mem, 1), &w, &exp());
+        let r = run(cfg(mem, 1), &w, exp());
         total += smt_speedup(&w, &r, refs);
     }
     total / SAMPLE.len() as f64
@@ -79,7 +87,7 @@ fn figure8_shape_k_trades_coverage_for_efficiency() {
         let mut mem = MemoryConfig::fbdimm_with_prefetch();
         mem.amb.region_lines = k;
         mem.interleaving = fbd_types::config::Interleaving::MultiCacheline { lines: k };
-        let r = run_workload(&cfg(mem, 1), &w, &exp());
+        let r = run(cfg(mem, 1), &w, exp());
         let cov = r.mem.prefetch_coverage();
         let eff = r.mem.prefetch_efficiency();
         assert!(
@@ -99,8 +107,8 @@ fn figure8_shape_k_trades_coverage_for_efficiency() {
 fn figure13_shape_default_k_saves_dynamic_energy() {
     let model = fbd_power::PowerModel::paper_ratio();
     let w = Workload::new("1C-mgrid", &["mgrid"]);
-    let base = run_workload(&cfg(MemoryConfig::fbdimm_default(), 1), &w, &exp());
-    let ap = run_workload(&cfg(MemoryConfig::fbdimm_with_prefetch(), 1), &w, &exp());
+    let base = run(cfg(MemoryConfig::fbdimm_default(), 1), &w, exp());
+    let ap = run(cfg(MemoryConfig::fbdimm_with_prefetch(), 1), &w, exp());
     let norm = model.normalized(&ap.mem.dram_ops, &base.mem.dram_ops);
     // Paper: ~30% single-core saving at K=4; require at least 10%.
     assert!(norm < 0.90, "dynamic-energy saving collapsed: {norm:.3}");
@@ -110,7 +118,7 @@ fn figure13_shape_default_k_saves_dynamic_energy() {
 fn figure12_shape_ap_and_sp_are_complementary() {
     let name = "swim";
     let w = Workload::new(format!("1C-{name}"), &[name]);
-    let run = |ap: bool, sp: bool| {
+    let ipc_of = |ap: bool, sp: bool| {
         let mut c = cfg(
             if ap {
                 MemoryConfig::fbdimm_with_prefetch()
@@ -120,12 +128,12 @@ fn figure12_shape_ap_and_sp_are_complementary() {
             1,
         );
         c.cpu.software_prefetch = sp;
-        run_workload(&c, &w, &exp()).cores[0].ipc()
+        run(c, &w, exp()).cores[0].ipc()
     };
-    let none = run(false, false);
-    let ap = run(true, false) / none;
-    let sp = run(false, true) / none;
-    let both = run(true, true) / none;
+    let none = ipc_of(false, false);
+    let ap = ipc_of(true, false) / none;
+    let sp = ipc_of(false, true) / none;
+    let both = ipc_of(true, true) / none;
     assert!(ap > 1.02, "AP alone must help swim: {ap:.3}");
     assert!(sp > 1.02, "SP alone must help swim: {sp:.3}");
     assert!(
@@ -142,8 +150,8 @@ fn multicore_ap_gain_holds_at_four_cores() {
         &exp(),
     );
     let w = fbd_workloads::four_core_workloads().remove(0); // 4C-1
-    let base = run_workload(&cfg(MemoryConfig::fbdimm_default(), 4), &w, &exp());
-    let ap = run_workload(&cfg(MemoryConfig::fbdimm_with_prefetch(), 4), &w, &exp());
+    let base = run(cfg(MemoryConfig::fbdimm_default(), 4), &w, exp());
+    let ap = run(cfg(MemoryConfig::fbdimm_with_prefetch(), 4), &w, exp());
     let gain = smt_speedup(&w, &ap, &refs) / smt_speedup(&w, &base, &refs) - 1.0;
     assert!(gain > 0.08, "4-core AP gain {gain:.3} collapsed");
 }

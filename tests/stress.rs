@@ -2,13 +2,20 @@
 //! must degrade gracefully (correct accounting, bounded behaviour), not
 //! deadlock or corrupt statistics.
 
-use fbd_core::experiment::{run_workload, ExperimentConfig, Warmup};
-use fbd_core::System;
+use fbd_core::experiment::{ExperimentConfig, Warmup};
+use fbd_core::{RunResult, RunSpec, System};
 use fbd_cpu::{OpKind, TraceOp, TraceSource};
 use fbd_types::config::{MemoryConfig, SystemConfig};
 use fbd_types::time::Dur;
 use fbd_types::LineAddr;
 use fbd_workloads::Workload;
+
+fn run(cfg: SystemConfig, w: &Workload, exp: ExperimentConfig) -> RunResult {
+    RunSpec::new(cfg)
+        .with_workload(w.clone())
+        .experiment(exp)
+        .run()
+}
 
 /// A trace that hammers lines mapping to one single DRAM bank.
 #[derive(Debug)]
@@ -135,7 +142,7 @@ fn request_accounting_is_conserved() {
         warmup: Warmup::None,
     };
     let w = Workload::new("1C-equake", &["equake"]);
-    let r = run_workload(&SystemConfig::paper_default(1), &w, &exp);
+    let r = run(SystemConfig::paper_default(1), &w, exp);
     let issued = r.cores[0].l2_misses;
     // Some requests may still be in flight at the stop instant, but the
     // controller can never have served more than were issued, and the
@@ -159,7 +166,7 @@ fn amb_hit_latency_never_below_33ns() {
     let mut cfg = SystemConfig::paper_default(1);
     cfg.mem = MemoryConfig::fbdimm_with_prefetch();
     let w = Workload::new("1C-swim", &["swim"]);
-    let r = run_workload(&cfg, &w, &exp);
+    let r = run(cfg, &w, exp);
     // The fastest possible read is the 33 ns idle AMB hit; the
     // histogram's lowest occupied bucket must respect it.
     let p001 = r
@@ -184,7 +191,7 @@ fn deep_queue_spill_preserves_all_requests() {
         warmup: Warmup::None,
     };
     let w = fbd_workloads::two_core_workloads().remove(0);
-    let r = run_workload(&cfg, &w, &exp);
+    let r = run(cfg, &w, exp);
     assert!(r.mem.demand_reads > 300);
     assert!(r.cores.iter().any(|c| c.instructions == 40_000));
 }
@@ -226,8 +233,8 @@ fn refresh_costs_a_little_throughput_and_counts_ops() {
     let mut refresh_cfg = base_cfg;
     refresh_cfg.mem.refresh = fbd_types::config::RefreshConfig::ddr2_1gb();
 
-    let base = run_workload(&base_cfg, &w, &exp);
-    let with_refresh = run_workload(&refresh_cfg, &w, &exp);
+    let base = run(base_cfg, &w, exp);
+    let with_refresh = run(refresh_cfg, &w, exp);
 
     assert_eq!(
         base.mem.dram_ops.refreshes, 0,
@@ -265,8 +272,8 @@ fn two_rank_dimms_run_and_add_bank_parallelism() {
     let one = SystemConfig::paper_default(1);
     let mut two = one;
     two.mem.ranks_per_dimm = 2;
-    let r1 = run_workload(&one, &w, &exp);
-    let r2 = run_workload(&two, &w, &exp);
+    let r1 = run(one, &w, exp);
+    let r2 = run(two, &w, exp);
     // More banks behind the same channels: never slower, usually faster
     // (fewer bank conflicts).
     assert!(

@@ -1,6 +1,7 @@
 //! End-to-end behaviour of the simulated systems on real workloads.
 
-use fbd_core::experiment::{run_workload, ExperimentConfig};
+use fbd_core::experiment::ExperimentConfig;
+use fbd_core::{RunResult, RunSpec};
 use fbd_types::config::{AmbPrefetchMode, MemoryConfig, SystemConfig};
 use fbd_workloads::{four_core_workloads, Workload};
 
@@ -10,6 +11,13 @@ fn exp(budget: u64) -> ExperimentConfig {
         budget,
         ..Default::default()
     }
+}
+
+fn run(cfg: SystemConfig, w: &Workload, exp: ExperimentConfig) -> RunResult {
+    RunSpec::new(cfg)
+        .with_workload(w.clone())
+        .experiment(exp)
+        .run()
 }
 
 fn fbd(cores: u32) -> SystemConfig {
@@ -25,8 +33,8 @@ fn fbd_ap(cores: u32) -> SystemConfig {
 #[test]
 fn runs_are_deterministic() {
     let w = Workload::new("1C-equake", &["equake"]);
-    let a = run_workload(&fbd(1), &w, &exp(50_000));
-    let b = run_workload(&fbd(1), &w, &exp(50_000));
+    let a = run(fbd(1), &w, exp(50_000));
+    let b = run(fbd(1), &w, exp(50_000));
     assert_eq!(a.elapsed, b.elapsed);
     assert_eq!(a.cores[0].instructions, b.cores[0].instructions);
     assert_eq!(a.mem.demand_reads, b.mem.demand_reads);
@@ -36,8 +44,8 @@ fn runs_are_deterministic() {
 #[test]
 fn amb_prefetching_speeds_up_streaming_workloads() {
     let w = Workload::new("1C-swim", &["swim"]);
-    let base = run_workload(&fbd(1), &w, &exp(100_000));
-    let ap = run_workload(&fbd_ap(1), &w, &exp(100_000));
+    let base = run(fbd(1), &w, exp(100_000));
+    let ap = run(fbd_ap(1), &w, exp(100_000));
     let speedup = ap.cores[0].ipc() / base.cores[0].ipc();
     assert!(speedup > 1.05, "swim speedup {speedup:.3} too small");
     // The gain comes with shorter average latency and higher bandwidth.
@@ -49,8 +57,8 @@ fn amb_prefetching_speeds_up_streaming_workloads() {
 fn amb_prefetching_never_slows_down_irregular_workloads_much() {
     // The paper reports no workload with negative speedup.
     let w = Workload::new("1C-parser", &["parser"]);
-    let base = run_workload(&fbd(1), &w, &exp(100_000));
-    let ap = run_workload(&fbd_ap(1), &w, &exp(100_000));
+    let base = run(fbd(1), &w, exp(100_000));
+    let ap = run(fbd_ap(1), &w, exp(100_000));
     let speedup = ap.cores[0].ipc() / base.cores[0].ipc();
     assert!(speedup > 0.99, "parser speedup {speedup:.3} went negative");
 }
@@ -62,7 +70,7 @@ fn coverage_respects_region_upper_bound() {
         cfg.mem.amb.region_lines = k;
         cfg.mem.interleaving = fbd_types::config::Interleaving::MultiCacheline { lines: k };
         let w = Workload::new("1C-swim", &["swim"]);
-        let r = run_workload(&cfg, &w, &exp(60_000));
+        let r = run(cfg, &w, exp(60_000));
         let cov = r.mem.prefetch_coverage();
         assert!(
             cov <= bound + 1e-9,
@@ -80,8 +88,8 @@ fn group_fetch_trades_activates_for_columns() {
     // The power-saving mechanism: fewer ACT/PRE pairs, more column
     // accesses, per §5.5.
     let w = Workload::new("1C-mgrid", &["mgrid"]);
-    let base = run_workload(&fbd(1), &w, &exp(60_000));
-    let ap = run_workload(&fbd_ap(1), &w, &exp(60_000));
+    let base = run(fbd(1), &w, exp(60_000));
+    let ap = run(fbd_ap(1), &w, exp(60_000));
     let per_read_act_base = base.mem.dram_ops.act_pre as f64 / base.mem.total_reads() as f64;
     let per_read_act_ap = ap.mem.dram_ops.act_pre as f64 / ap.mem.total_reads() as f64;
     assert!(
@@ -99,11 +107,11 @@ fn group_fetch_trades_activates_for_columns() {
 #[test]
 fn full_latency_ablation_sits_between_base_and_ap() {
     let w = Workload::new("1C-applu", &["applu"]);
-    let base = run_workload(&fbd(1), &w, &exp(80_000));
+    let base = run(fbd(1), &w, exp(80_000));
     let mut apfl_cfg = fbd_ap(1);
     apfl_cfg.mem.amb.mode = AmbPrefetchMode::FullLatency;
-    let apfl = run_workload(&apfl_cfg, &w, &exp(80_000));
-    let ap = run_workload(&fbd_ap(1), &w, &exp(80_000));
+    let apfl = run(apfl_cfg, &w, exp(80_000));
+    let ap = run(fbd_ap(1), &w, exp(80_000));
     let (b, f, a) = (base.cores[0].ipc(), apfl.cores[0].ipc(), ap.cores[0].ipc());
     assert!(f >= b * 0.99, "APFL ({f:.3}) must not lose to FBD ({b:.3})");
     assert!(a >= f * 0.99, "AP ({a:.3}) must not lose to APFL ({f:.3})");
@@ -113,7 +121,7 @@ fn full_latency_ablation_sits_between_base_and_ap() {
 #[test]
 fn multicore_run_uses_all_cores() {
     let w = four_core_workloads().remove(0); // 4C-1: all streaming
-    let r = run_workload(&fbd(4), &w, &exp(40_000));
+    let r = run(fbd(4), &w, exp(40_000));
     assert_eq!(r.cores.len(), 4);
     // All cores made progress; at least one hit the budget.
     assert!(r.cores.iter().all(|c| c.instructions > 10_000));
@@ -130,7 +138,7 @@ fn multicore_run_uses_all_cores() {
 fn bandwidth_saturates_below_peak() {
     let w = four_core_workloads().remove(0);
     let cfg = fbd(4);
-    let r = run_workload(&cfg, &w, &exp(40_000));
+    let r = run(cfg, &w, exp(40_000));
     let peak = cfg.mem.peak_total_bandwidth_gbps();
     assert!(
         r.bandwidth_gbps() < peak,
@@ -145,8 +153,8 @@ fn software_prefetching_helps_streaming_code() {
     let w = Workload::new("1C-swim", &["swim"]);
     let mut no_sp = fbd(1);
     no_sp.cpu.software_prefetch = false;
-    let without = run_workload(&no_sp, &w, &exp(80_000));
-    let with = run_workload(&fbd(1), &w, &exp(80_000));
+    let without = run(no_sp, &w, exp(80_000));
+    let with = run(fbd(1), &w, exp(80_000));
     assert!(
         with.cores[0].ipc() > without.cores[0].ipc() * 1.02,
         "SP must help swim: {:.3} vs {:.3}",
@@ -158,7 +166,7 @@ fn software_prefetching_helps_streaming_code() {
 #[test]
 fn queueing_raises_latency_above_idle() {
     let w = Workload::new("1C-swim", &["swim"]);
-    let r = run_workload(&fbd(1), &w, &exp(60_000));
+    let r = run(fbd(1), &w, exp(60_000));
     assert!(
         r.avg_read_latency_ns() > 63.0,
         "queueing must add to the 63 ns idle latency"
