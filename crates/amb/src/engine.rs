@@ -41,6 +41,16 @@ pub struct ReadOutcome {
     pub data_end: Time,
 }
 
+impl ReadOutcome {
+    /// Instant the bank started serving this access: the activate when
+    /// the row had to be opened, otherwise the column command. Time
+    /// before this is bank-availability wait, attributed to the DRAM
+    /// wait stage by the latency profiler.
+    pub fn service_start(&self) -> Time {
+        self.act_at.unwrap_or(self.cmd_at)
+    }
+}
+
 /// Outcome of a K-line group fetch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GroupFetchOutcome {
@@ -55,6 +65,15 @@ pub struct GroupFetchOutcome {
     pub act_at: Option<Time>,
     /// The demanded line's column command time.
     pub first_cmd_at: Time,
+}
+
+impl GroupFetchOutcome {
+    /// Instant the bank started serving the group: the shared activate
+    /// when the row had to be opened, otherwise the demanded line's
+    /// column command. See [`ReadOutcome::service_start`].
+    pub fn service_start(&self) -> Time {
+        self.act_at.unwrap_or(self.first_cmd_at)
+    }
 }
 
 /// Outcome of a line write at the DRAM devices.

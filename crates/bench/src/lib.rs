@@ -16,9 +16,9 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use fbd_core::experiment::{default_budget, reference_ipcs, smt_speedup, ExperimentConfig};
+pub use fbd_core::parallel_map;
 use fbd_core::{RunResult, RunSpec};
 use fbd_types::config::{
     AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, MemoryTech, SystemConfig,
@@ -125,41 +125,6 @@ pub fn workload_groups() -> Vec<(&'static str, Vec<Workload>)> {
 /// All twelve benchmark names.
 pub fn benchmark_names() -> Vec<&'static str> {
     PROFILES.iter().map(|p| p.name).collect()
-}
-
-/// Runs `f` over `items` on all available cores, preserving order.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(n);
-    let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock() = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("all slots filled"))
-        .collect()
 }
 
 /// Runs `workload` on every (label, config) pair in parallel; returns

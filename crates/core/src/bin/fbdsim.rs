@@ -5,6 +5,7 @@
 //! fbdsim list
 //! fbdsim run     --workload 4C-1 --system fbd-ap [--budget N] [--seed N] [--csv] [--json]
 //!                [--stats-json stats.json] [--trace-out trace.json] [--sample-interval 512]
+//! fbdsim profile --workload 1C-swim [--system fbd-ap] [--folded-out folded.txt]
 //! fbdsim compare --workload 1C-swim [--budget N] [--seed N] [--csv]
 //! fbdsim sweep   --workload 1C-mgrid --knob {k|entries|assoc|channels|rate} [--csv]
 //! ```
@@ -16,9 +17,10 @@
 use std::process::ExitCode;
 
 use fbd_core::experiment::{default_budget, ExperimentConfig};
-use fbd_core::{RunResult, RunSpec};
-use fbd_telemetry::{Json, TelemetryConfig};
+use fbd_core::{parallel_map, RunResult, RunSpec};
+use fbd_telemetry::{Json, LogHistogram, TelemetryConfig};
 use fbd_types::config::{Associativity, Interleaving, MemoryConfig, SystemConfig};
+use fbd_types::request::{REQ_CLASSES, STAGES};
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload};
 
@@ -26,6 +28,8 @@ fn usage_text() -> String {
     "usage:\n  fbdsim list\n  fbdsim run --workload <name> --system <ddr2|fbd|fbd-ap|fbd-apfl> \
      [--budget N] [--seed N] [--csv] [--json] [--timeline]\n             \
      [--stats-json <file>] [--trace-out <file>] [--sample-interval <cycles>]\n  \
+     fbdsim profile --workload <name> [--system <name>] [--budget N] [--seed N] [--json]\n             \
+     [--folded-out <file>] [--stats-json <file>]\n  \
      fbdsim compare --workload <name> [--budget N] [--seed N] [--csv] [--json] [--stats-json <file>]\n  \
      fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] \
      [--csv] [--json] [--stats-json <file>]\n  \
@@ -37,7 +41,9 @@ fn usage_text() -> String {
      --json                     print the same statistics JSON to stdout\n\n\
      telemetry options (run):\n  \
      --trace-out <file>         write a Chrome-trace (Perfetto-loadable) event trace\n  \
-     --sample-interval <cycles> snapshot all metrics every N memory-clock cycles"
+     --sample-interval <cycles> snapshot all metrics every N memory-clock cycles\n\n\
+     profile options:\n  \
+     --folded-out <file>        write folded stacks (flamegraph.pl / speedscope input)"
         .to_string()
 }
 
@@ -52,6 +58,15 @@ const RUN_KEYS: &[&str] = &[
     "sample-interval",
 ];
 const RUN_FLAGS: &[&str] = &["csv", "json", "timeline"];
+const PROFILE_KEYS: &[&str] = &[
+    "workload",
+    "system",
+    "budget",
+    "seed",
+    "folded-out",
+    "stats-json",
+];
+const PROFILE_FLAGS: &[&str] = &["json"];
 const COMPARE_KEYS: &[&str] = &["workload", "budget", "seed", "stats-json"];
 const COMPARE_FLAGS: &[&str] = &["csv", "json"];
 const SWEEP_KEYS: &[&str] = &["workload", "knob", "budget", "seed", "stats-json"];
@@ -310,6 +325,7 @@ fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
             ]),
         ),
     ];
+    fields.push(("latency_stages".to_string(), r.profile.to_json()));
     if let Some(tel) = &r.telemetry {
         fields.push(("metrics".to_string(), tel.registry.to_json()));
         if let Some(sampler) = &tel.sampler {
@@ -470,6 +486,102 @@ fn cmd_run(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One row of the per-stage attribution table.
+fn stage_row(label: &str, h: &LogHistogram, e2e_total_ns: f64) -> String {
+    let share = if e2e_total_ns > 0.0 {
+        100.0 * h.total_ns() / e2e_total_ns
+    } else {
+        0.0
+    };
+    format!(
+        "    {label:<12} {:>12.1} {:>9.2} {:>8.1} {:>8.1} {share:>6.1}%",
+        h.total_ns(),
+        h.mean_ns(),
+        h.percentile(0.50).as_ns_f64(),
+        h.percentile(0.99).as_ns_f64(),
+    )
+}
+
+/// Runs one workload and prints the stage-resolved latency attribution:
+/// per request class, where every nanosecond of read latency went.
+fn cmd_profile(args: &Args) -> ExitCode {
+    if let Err(code) = validate_args("profile", args, PROFILE_KEYS, PROFILE_FLAGS) {
+        return code;
+    }
+    let Some(wname) = args.get("workload") else {
+        return usage();
+    };
+    let sname = args.get("system").unwrap_or("fbd-ap");
+    let Some(workload) = find_workload(wname) else {
+        eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(cfg) = system_config(sname, workload.cores()) else {
+        eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
+        return ExitCode::FAILURE;
+    };
+    let r = spec_for(cfg, &workload, args).run();
+    let p = &r.profile;
+    if args.has_flag("json") {
+        println!("{}", stats_document(&workload, sname, &r).to_json());
+    } else {
+        println!("latency attribution for {} on {}:", workload.name(), sname);
+        let reads = p.reads();
+        let matched = reads - p.mismatches();
+        let pct = if reads > 0 {
+            100.0 * matched as f64 / reads as f64
+        } else {
+            100.0
+        };
+        println!(
+            "  stage sums match end-to-end latency for {pct:.1}% of reads ({matched}/{reads})"
+        );
+        println!();
+        for class in REQ_CLASSES {
+            let e2e = p.end_to_end(class);
+            if e2e.is_empty() {
+                continue;
+            }
+            println!(
+                "  {} ({} reads)  e2e mean {:.1} / p50 {:.0} / p90 {:.0} / p99 {:.0} / max {:.0} ns",
+                class.label(),
+                e2e.count(),
+                e2e.mean_ns(),
+                e2e.percentile(0.50).as_ns_f64(),
+                e2e.percentile(0.90).as_ns_f64(),
+                e2e.percentile(0.99).as_ns_f64(),
+                e2e.max().as_ns_f64(),
+            );
+            println!(
+                "    {:<12} {:>12} {:>9} {:>8} {:>8} {:>7}",
+                "stage", "total ns", "mean ns", "p50 ns", "p99 ns", "share"
+            );
+            for stage in STAGES {
+                let h = p.stage(class, stage);
+                if h.total_ns() == 0.0 {
+                    continue;
+                }
+                println!("{}", stage_row(stage.label(), h, e2e.total_ns()));
+            }
+            println!();
+        }
+    }
+    if let Some(path) = args.get("folded-out") {
+        if let Err(e) = std::fs::write(path, p.to_folded()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = args.get("stats-json") {
+        let doc = stats_document(&workload, sname, &r);
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty(2)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Emits the statistics a grid command (`compare`/`sweep`) collected:
 /// one JSON document whose `points` array holds the full per-run stats
 /// document (including the energy breakdown) for every grid point.
@@ -508,15 +620,21 @@ fn cmd_compare(args: &Args) -> ExitCode {
     if csv && human {
         println!("{CSV_HEADER}");
     }
-    let mut points = Vec::new();
-    for sname in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
+    // Every grid point is an independent simulation: run them across
+    // all cores, then report strictly in grid order so the output stays
+    // byte-for-byte deterministic.
+    let systems = ["ddr2", "fbd", "fbd-ap", "fbd-apfl"];
+    let results = parallel_map(&systems, |sname| {
         let cfg = system_config(sname, workload.cores()).expect("known system");
-        let r = spec_for(cfg, &workload, args).run();
+        spec_for(cfg, &workload, args).run()
+    });
+    let mut points = Vec::new();
+    for (sname, r) in systems.iter().zip(&results) {
         if human {
-            report(&workload, sname, &r, csv);
+            report(&workload, sname, r, csv);
         }
         if want_stats {
-            points.push(stats_document(&workload, sname, &r));
+            points.push(stats_document(&workload, sname, r));
         }
     }
     emit_grid(args, "compare", &workload, points)
@@ -596,14 +714,15 @@ fn cmd_sweep(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // As in `compare`: simulate the grid in parallel, report in order.
+    let results = parallel_map(&points, |(_, cfg)| spec_for(*cfg, &workload, args).run());
     let mut docs = Vec::new();
-    for (label, cfg) in points {
-        let r = spec_for(cfg, &workload, args).run();
+    for ((label, _), r) in points.iter().zip(&results) {
         if human {
-            report(&workload, &label, &r, csv);
+            report(&workload, label, r, csv);
         }
         if want_stats {
-            docs.push(stats_document(&workload, &label, &r));
+            docs.push(stats_document(&workload, label, r));
         }
     }
     emit_grid(args, "sweep", &workload, docs)
@@ -729,6 +848,7 @@ fn main() -> ExitCode {
         "help" | "--help" | "-h" => help(),
         "list" => cmd_list(),
         "run" => cmd_run(&args),
+        "profile" => cmd_profile(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
         "record" => cmd_record(&args),
@@ -890,6 +1010,15 @@ mod tests {
         assert!((component_sum - total).abs() < 1e-6 * total.max(1.0));
         assert!(total > 0.0);
         assert!(energy.get("avg_power_w").and_then(Json::as_f64).unwrap() > 0.0);
+        // The latency attribution is always present: its read count
+        // covers every read class and no read violated the stage-sum
+        // invariant.
+        let stages = parsed.get("latency_stages").unwrap();
+        assert_eq!(
+            stages.get("reads").and_then(Json::as_f64),
+            Some(all_reads as f64)
+        );
+        assert_eq!(stages.get("mismatches").and_then(Json::as_f64), Some(0.0));
         // Telemetry ran, so the registry and time-series are attached.
         assert!(parsed.get("metrics").is_some());
         assert!(parsed.get("series").is_some());
@@ -907,6 +1036,7 @@ mod tests {
     fn unknown_options_are_usage_errors_on_every_subcommand() {
         let bogus = parse(&["--workload", "1C-swim", "--bogus", "x"]).unwrap();
         assert!(validate_args("run", &bogus, RUN_KEYS, RUN_FLAGS).is_err());
+        assert!(validate_args("profile", &bogus, PROFILE_KEYS, PROFILE_FLAGS).is_err());
         assert!(validate_args("compare", &bogus, COMPARE_KEYS, COMPARE_FLAGS).is_err());
         assert!(validate_args("sweep", &bogus, SWEEP_KEYS, SWEEP_FLAGS).is_err());
         assert!(validate_args("record", &bogus, RECORD_KEYS, RECORD_FLAGS).is_err());

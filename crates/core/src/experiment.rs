@@ -381,6 +381,7 @@ mod tests {
             mem: MemStats::default(),
             channels: Vec::new(),
             energy: fbd_power::EnergyReport::default(),
+            profile: Default::default(),
             trace: None,
             telemetry: None,
         }

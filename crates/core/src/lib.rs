@@ -36,6 +36,7 @@
 
 pub mod experiment;
 pub mod memsys;
+pub mod parallel;
 pub mod system;
 pub mod trace_io;
 
@@ -43,5 +44,6 @@ pub mod trace_io;
 pub use experiment::run_workload;
 pub use experiment::{reference_ipcs, smt_speedup, ExperimentConfig, RunSpec, Warmup};
 pub use memsys::{ChannelCounters, DecideResult, Issued, MemorySystem};
+pub use parallel::parallel_map;
 pub use system::{RunResult, System};
 pub use trace_io::{replay, MemoryTrace, ReplayResult, TraceRecord};

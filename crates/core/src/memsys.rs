@@ -27,10 +27,13 @@ use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
 use fbd_link::{Ddr2CommandBus, FbdChannel, LinkSlot};
 use fbd_power::{EnergyModel, EnergyReport, PowerModeTracker, RankActivity};
 use fbd_telemetry::{
-    tid_dimm, tid_power, Json, MetricId, Telemetry, TelemetryConfig, TID_NORTH, TID_SOUTH,
+    tid_bank, tid_dimm, tid_power, Json, MetricId, StageProfile, Telemetry, TelemetryConfig,
+    TID_NORTH, TID_SOUTH,
 };
 use fbd_types::config::{AmbPrefetchMode, MemoryConfig, MemoryTech, PagePolicy};
-use fbd_types::request::{AccessKind, MemRequest, MemResponse, ServiceKind};
+use fbd_types::request::{
+    AccessKind, MemRequest, MemResponse, ReqClass, ServiceKind, Stage, StageBreakdown,
+};
 use fbd_types::stats::MemStats;
 use fbd_types::time::{Dur, Time};
 use fbd_types::CACHE_LINE_BYTES;
@@ -187,15 +190,16 @@ impl MemTel {
         }
     }
 
-    /// A plain single-line DRAM read on an FBD channel.
-    fn dram_read(&mut self, ch: u32, dimm: u32, out: &ReadOutcome) {
+    /// A plain single-line DRAM read on an FBD channel; command spans
+    /// land on the serving bank's track.
+    fn dram_read(&mut self, ch: u32, dimm: u32, bank: u32, out: &ReadOutcome) {
         let ids = self.chans[ch as usize].dimms[dimm as usize];
         if out.act_at.is_some() {
             self.tel.registry.add(ids.acts, 1);
         }
         self.tel.registry.add(ids.reads, 1);
         if let Some(tr) = self.tel.tracer.as_mut() {
-            let tid = tid_dimm(dimm as usize);
+            let tid = tid_bank(dimm as usize, bank as usize);
             if let Some(act) = out.act_at {
                 tr.complete("ACT", "dram", ch, tid, act, out.cmd_at - act, vec![]);
             }
@@ -211,8 +215,16 @@ impl MemTel {
         }
     }
 
-    /// A K-line group fetch (one ACT, K pipelined column reads).
-    fn group_fetch(&mut self, ch: u32, dimm: u32, out: &GroupFetchOutcome, fill: &FillOutcome) {
+    /// A K-line group fetch (one ACT, K pipelined column reads);
+    /// command spans land on the serving bank's track.
+    fn group_fetch(
+        &mut self,
+        ch: u32,
+        dimm: u32,
+        bank: u32,
+        out: &GroupFetchOutcome,
+        fill: &FillOutcome,
+    ) {
         let ids = self.chans[ch as usize].dimms[dimm as usize];
         if out.act_at.is_some() {
             self.tel.registry.add(ids.acts, 1);
@@ -223,7 +235,7 @@ impl MemTel {
         self.tel.registry.add(self.pf_fills, fill.inserted);
         self.tel.registry.add(self.pf_evictions, fill.evicted);
         if let Some(tr) = self.tel.tracer.as_mut() {
-            let tid = tid_dimm(dimm as usize);
+            let tid = tid_bank(dimm as usize, bank as usize);
             if let Some(act) = out.act_at {
                 tr.complete("ACT", "dram", ch, tid, act, out.first_cmd_at - act, vec![]);
             }
@@ -239,15 +251,16 @@ impl MemTel {
         }
     }
 
-    /// A line write at the DRAM devices of an FBD DIMM.
-    fn dram_write(&mut self, ch: u32, dimm: u32, out: &WriteOutcome) {
+    /// A line write at the DRAM devices of an FBD DIMM; command spans
+    /// land on the serving bank's track.
+    fn dram_write(&mut self, ch: u32, dimm: u32, bank: u32, out: &WriteOutcome) {
         let ids = self.chans[ch as usize].dimms[dimm as usize];
         if out.act_at.is_some() {
             self.tel.registry.add(ids.acts, 1);
         }
         self.tel.registry.add(ids.writes, 1);
         if let Some(tr) = self.tel.tracer.as_mut() {
-            let tid = tid_dimm(dimm as usize);
+            let tid = tid_bank(dimm as usize, bank as usize);
             if let Some(act) = out.act_at {
                 tr.complete("ACT", "dram", ch, tid, act, out.cmd_at - act, vec![]);
             }
@@ -264,7 +277,8 @@ impl MemTel {
     }
 
     /// A committed access plan on a DDR2 channel; emits one span per
-    /// command (PRE/ACT, then the column command through its burst).
+    /// command (PRE/ACT, then the column command through its burst) on
+    /// the serving bank's track.
     fn ddr2_access(&mut self, ch: u32, dimm: u32, plan: &AccessPlan) {
         let cmds: Vec<(&'static str, Time)> = plan.commands().collect();
         let ids = self.chans[ch as usize].dimms[dimm as usize];
@@ -278,7 +292,7 @@ impl MemTel {
             self.tel.registry.add(ids.writes, 1);
         }
         if let Some(tr) = self.tel.tracer.as_mut() {
-            let tid = tid_dimm(dimm as usize);
+            let tid = tid_bank(dimm as usize, plan.bank);
             for (i, (name, at)) in cmds.iter().enumerate() {
                 let end = cmds.get(i + 1).map_or(plan.data_end, |(_, t)| *t);
                 tr.complete(*name, "dram", ch, tid, *at, end - *at, vec![]);
@@ -306,6 +320,11 @@ pub struct MemorySystem {
     /// They feed [`Self::energy_report`] and, when telemetry runs, the
     /// residency gauges and power trace tracks.
     power: Vec<PowerModeTracker>,
+    /// Always-on stage × request-class latency attribution over every
+    /// completed read. Cheap (fixed-size histograms, no allocation per
+    /// read), so it needs no telemetry flag; `fbdsim profile` and the
+    /// stats exporter read it back after the run.
+    profile: StageProfile,
     /// DIMM-bus time of one line on a (ganged) DIMM.
     burst: Dur,
     clock: Dur,
@@ -403,6 +422,7 @@ impl MemorySystem {
                 PowerModeTracker::new(POWERDOWN_AFTER);
                 (cfg.logical_channels * cfg.dimms_per_channel * cfg.ranks_per_dimm) as usize
             ],
+            profile: StageProfile::new(),
             burst,
             clock,
             cfg: *cfg,
@@ -425,6 +445,7 @@ impl MemorySystem {
         let mut tel = Telemetry::new(config);
         let ndimm = self.cfg.dimms_per_channel;
         let ranks = self.cfg.ranks_per_dimm;
+        let nbank = self.cfg.banks_per_dimm;
         let chans: Vec<ChanIds> = (0..self.cfg.logical_channels)
             .map(|c| {
                 if let Some(tr) = tel.tracer.as_mut() {
@@ -432,7 +453,14 @@ impl MemorySystem {
                     tr.name_track(c, TID_SOUTH, "southbound");
                     tr.name_track(c, TID_NORTH, "northbound");
                     for d in 0..ndimm {
-                        tr.name_track(c, tid_dimm(d as usize), &format!("dimm{d} dram"));
+                        tr.name_track(c, tid_dimm(d as usize), &format!("dimm{d} amb"));
+                        for b in 0..nbank {
+                            tr.name_track(
+                                c,
+                                tid_bank(d as usize, b as usize),
+                                &format!("dimm{d} bank{b}"),
+                            );
+                        }
                         for r in 0..ranks {
                             let label = if ranks == 1 {
                                 format!("dimm{d} power")
@@ -497,6 +525,12 @@ impl MemorySystem {
     /// Always-on per-channel traffic counters, indexed by channel.
     pub fn channel_counters(&self) -> &[ChannelCounters] {
         &self.chan_counts
+    }
+
+    /// The always-on stage × request-class latency-attribution profile
+    /// over every read completed so far.
+    pub fn latency_profile(&self) -> &StageProfile {
+        &self.profile
     }
 
     /// When the next telemetry epoch snapshot is due ([`Time::NEVER`]
@@ -808,10 +842,17 @@ impl MemorySystem {
         }
 
         let pi = self.pidx(m.channel, m.dimm, m.rank);
+        // Stage-resolved latency attribution: the stamper's cursor walks
+        // the request's lifecycle from arrival to completion, charging
+        // each interval to exactly one stage, so the stage durations sum
+        // to the end-to-end latency by construction.
+        let mut st = StageBreakdown::stamper(req.arrival);
         let (completion, service) = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
+                st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
                 let slot = link.send_command(now);
                 let cmd_at_amb = slot.done;
+                st.to(Stage::SouthLink, cmd_at_amb);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.south_frame("cmd", m.channel, slot);
                 }
@@ -830,9 +871,12 @@ impl MemorySystem {
                         }
                         _ => cmd_at_amb,
                     };
+                    st.to(Stage::AmbProc, data_ready);
                     self.stats.amb_hits += 1;
                     self.chan_counts[m.channel as usize].amb_hits += 1;
                     let north = link.return_read_data(m.dimm, data_ready);
+                    st.to(Stage::NorthQueue, north.start);
+                    st.to(Stage::NorthLink, north.done);
                     if let Some(t) = self.tel.as_deref_mut() {
                         t.amb_hit(m.channel, m.dimm, cmd_at_amb);
                         t.north_frame(m.channel, north);
@@ -842,26 +886,36 @@ impl MemorySystem {
                     // Group fetch: demanded line first, K−1 fills.
                     let k = self.cfg.amb.region_lines;
                     let out = dimm.fetch_group_at(rank, m.bank as usize, m.row, k, cmd_at_amb);
+                    st.to(Stage::DramWait, out.service_start());
+                    st.to(Stage::DramAct, out.first_cmd_at);
+                    st.to(Stage::DramCas, out.demanded_ready);
                     let region = req.line.region(u64::from(k));
                     let fills = region.lines(u64::from(k)).filter(|l| *l != req.line);
                     let filled = table.fill(m.channel, m.dimm, fills);
                     self.stats.lines_prefetched += filled.inserted;
-                    self.power[pi].note_busy(out.act_at.unwrap_or(out.first_cmd_at), out.fill_done);
+                    self.power[pi].note_busy(out.service_start(), out.fill_done);
                     let north = link.return_read_data(m.dimm, out.demanded_ready);
+                    st.to(Stage::NorthQueue, north.start);
+                    st.to(Stage::NorthLink, north.done);
                     if let Some(t) = self.tel.as_deref_mut() {
-                        t.group_fetch(m.channel, m.dimm, &out, &filled);
+                        t.group_fetch(m.channel, m.dimm, m.bank, &out, &filled);
                         t.north_frame(m.channel, north);
                     }
                     (north.done, ServiceKind::DramAccessWithPrefetch)
                 } else {
                     let out = dimm.read_line_at(rank, m.bank as usize, m.row, cmd_at_amb);
+                    st.to(Stage::DramWait, out.service_start());
+                    st.to(Stage::DramAct, out.cmd_at);
+                    st.to(Stage::DramCas, out.data_ready);
                     if out.row_hit {
                         self.stats.row_hits += 1;
                     }
-                    self.power[pi].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
+                    self.power[pi].note_busy(out.service_start(), out.data_end);
                     let north = link.return_read_data(m.dimm, out.data_ready);
+                    st.to(Stage::NorthQueue, north.start);
+                    st.to(Stage::NorthLink, north.done);
                     if let Some(t) = self.tel.as_deref_mut() {
-                        t.dram_read(m.channel, m.dimm, &out);
+                        t.dram_read(m.channel, m.dimm, m.bank, &out);
                         t.north_frame(m.channel, north);
                     }
                     let service = if out.row_hit {
@@ -888,13 +942,21 @@ impl MemorySystem {
                     burst: self.burst,
                 };
                 let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
+                // Command-bus slot wait counts as queueing; the bank's
+                // precharge/turnaround window is DRAM wait; then the
+                // ACT→CAS→burst pipeline maps onto the DRAM stages with
+                // the data burst standing in for the return link.
+                st.to(Stage::CtrlQueue, plan.first_cmd_at());
+                st.to(Stage::DramWait, plan.act_at.unwrap_or(plan.cmd_at));
+                st.to(Stage::DramAct, plan.cmd_at);
+                st.to(Stage::DramCas, plan.data_start);
+                st.to(Stage::NorthLink, plan.data_end);
                 let row_hit = !plan.is_row_miss();
                 if row_hit {
                     self.stats.row_hits += 1;
                 }
                 dimm.commit(&plan, bus);
-                let first_cmd = plan.pre_at.or(plan.act_at).unwrap_or(plan.cmd_at);
-                self.power[pi].note_busy(first_cmd, plan.data_end);
+                self.power[pi].note_busy(plan.first_cmd_at(), plan.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.ddr2_access(m.channel, m.dimm, &plan);
                 }
@@ -919,6 +981,17 @@ impl MemorySystem {
         self.stats
             .bandwidth_series
             .record(completion, CACHE_LINE_BYTES);
+        let stages = st.finish();
+        debug_assert_eq!(
+            stages.total(),
+            completion - req.arrival,
+            "stage stamps must cover the whole read lifecycle"
+        );
+        self.profile.record(
+            ReqClass::of(req.kind, service),
+            &stages,
+            completion - req.arrival,
+        );
         Issued::Read {
             resp: MemResponse {
                 id: req.id,
@@ -927,6 +1000,7 @@ impl MemorySystem {
                 kind: req.kind,
                 completion,
                 service,
+                stages,
             },
         }
     }
@@ -958,7 +1032,7 @@ impl MemorySystem {
                 self.power[pi].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.south_frame("wdata", m.channel, slot);
-                    t.dram_write(m.channel, m.dimm, &out);
+                    t.dram_write(m.channel, m.dimm, m.bank, &out);
                 }
                 out.data_end
             }
@@ -977,8 +1051,7 @@ impl MemorySystem {
                 };
                 let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
                 dimm.commit(&plan, bus);
-                let first_cmd = plan.pre_at.or(plan.act_at).unwrap_or(plan.cmd_at);
-                self.power[pi].note_busy(first_cmd, plan.data_end);
+                self.power[pi].note_busy(plan.first_cmd_at(), plan.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.ddr2_access(m.channel, m.dimm, &plan);
                 }

@@ -11,7 +11,7 @@ use std::collections::BinaryHeap;
 
 use fbd_cpu::{CpuComplex, TraceSource};
 use fbd_power::EnergyReport;
-use fbd_telemetry::{MetricId, Telemetry, TelemetryConfig};
+use fbd_telemetry::{MetricId, StageProfile, Telemetry, TelemetryConfig};
 use fbd_types::config::SystemConfig;
 use fbd_types::request::AccessKind;
 use fbd_types::stats::{CoreStats, MemStats};
@@ -59,6 +59,10 @@ pub struct RunResult {
     /// The run's telemetry (registry, epoch time-series, event trace),
     /// when telemetry was enabled.
     pub telemetry: Option<Telemetry>,
+    /// Stage × request-class latency attribution over every completed
+    /// read (always collected; see
+    /// [`MemorySystem::latency_profile`](crate::MemorySystem::latency_profile)).
+    pub profile: StageProfile,
 }
 
 impl RunResult {
@@ -302,6 +306,7 @@ impl System {
             mem: self.mem.stats(),
             channels: self.mem.channel_counters().to_vec(),
             energy: self.mem.energy_report(self.now),
+            profile: self.mem.latency_profile().clone(),
             trace: self.capture,
             telemetry,
         }

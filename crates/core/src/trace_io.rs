@@ -17,6 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io::{self, BufRead, Write};
 
+use fbd_telemetry::StageProfile;
 use fbd_types::config::MemoryConfig;
 use fbd_types::request::{AccessKind, CoreId, MemRequest};
 use fbd_types::stats::MemStats;
@@ -194,6 +195,9 @@ pub struct ReplayResult {
     pub energy: fbd_power::EnergyReport,
     /// Instant the last transaction completed.
     pub finished: Time,
+    /// Stage × request-class latency attribution over the replayed
+    /// reads.
+    pub profile: StageProfile,
 }
 
 impl ReplayResult {
@@ -252,6 +256,7 @@ pub fn replay(cfg: &MemoryConfig, trace: &MemoryTrace) -> ReplayResult {
         mem: mem.stats(),
         energy: mem.energy_report(finished),
         finished,
+        profile: mem.latency_profile().clone(),
     }
 }
 

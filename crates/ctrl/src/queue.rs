@@ -6,6 +6,7 @@
 //! `try_push` until earlier transactions issue.
 
 use fbd_types::request::{AccessKind, MemRequest};
+use fbd_types::time::{Dur, Time};
 use fbd_types::RequestId;
 
 use crate::mapping::MappedAddr;
@@ -20,6 +21,15 @@ pub struct QueueEntry {
     pub mapped: MappedAddr,
     /// Arrival order (smaller = older).
     pub seq: u64,
+}
+
+impl QueueEntry {
+    /// How long the transaction has been queued as of `at` (zero if
+    /// `at` precedes its arrival) — the controller-queueing stage of
+    /// the latency profile.
+    pub fn queue_wait(&self, at: Time) -> Dur {
+        at.saturating_since(self.req.arrival)
+    }
 }
 
 /// Bounded transaction queue with age ordering.

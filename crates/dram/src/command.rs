@@ -70,6 +70,14 @@ impl AccessPlan {
         self.act_at.is_some()
     }
 
+    /// Instant the first DRAM command of this plan issues: the
+    /// precharge when a conflicting row must close, else the activate,
+    /// else the column command. Time before this is queueing/bank wait,
+    /// not DRAM service.
+    pub fn first_cmd_at(&self) -> Time {
+        self.pre_at.or(self.act_at).unwrap_or(self.cmd_at)
+    }
+
     /// The DRAM commands this plan issues, in time order, as
     /// `(mnemonic, at)` pairs: an explicit `PRE` and/or `ACT` when the
     /// access needs them, then the column command — `RD`/`WR`, or

@@ -37,6 +37,15 @@ pub struct LinkSlot {
     pub done: Time,
 }
 
+impl LinkSlot {
+    /// How long the transfer waited for the wire: the gap between the
+    /// instant its payload was `ready` to send and the granted `start`.
+    /// Zero when the link was free immediately.
+    pub fn queue_wait(&self, ready: Time) -> Dur {
+        self.start.saturating_since(ready)
+    }
+}
+
 /// One logical FB-DIMM channel's southbound + northbound links.
 #[derive(Clone, Debug)]
 pub struct FbdChannel {

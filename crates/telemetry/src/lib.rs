@@ -13,6 +13,10 @@
 //! - [`Tracer`] — southbound/northbound frame slots, DRAM commands,
 //!   AMB hits, and power-mode transitions as Chrome Trace Event Format
 //!   JSON, loadable in Perfetto (one track per channel / DIMM lane).
+//! - [`hist`] — log-bucketed latency histograms and the
+//!   stage × request-class latency-attribution profile behind
+//!   `fbdsim profile`, with folded-stack (flamegraph) and JSON
+//!   exporters.
 //! - [`json`] — the dependency-free JSON value/writer/parser the
 //!   exporters are built on.
 //!
@@ -40,15 +44,17 @@
 //! assert_eq!(tel.sampler.unwrap().rows().len(), 1);
 //! ```
 
+pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod sampler;
 pub mod trace;
 
+pub use hist::{LogHistogram, StageProfile};
 pub use json::Json;
 pub use registry::{MetricId, MetricKind, MetricRegistry, MetricValue};
 pub use sampler::{EpochSampler, SampleRow};
-pub use trace::{tid_dimm, tid_power, Tracer, PID_SYSTEM, TID_NORTH, TID_SOUTH};
+pub use trace::{tid_bank, tid_dimm, tid_power, Tracer, PID_SYSTEM, TID_NORTH, TID_SOUTH};
 
 use fbd_types::time::{Dur, Time};
 

@@ -71,9 +71,16 @@ impl EpochSampler {
 
     /// Flushes the final partial epoch: if simulated time advanced past
     /// the last snapshot, one more row is taken at `end` so the series
-    /// always covers the whole run. Harmless to call twice.
+    /// always covers the whole run. When the last periodic sample landed
+    /// exactly at `end`, that row is re-taken instead of duplicated, so
+    /// metrics registered or updated between the last sample and the end
+    /// of the run (end-of-run `energy.*` and residency gauges) still
+    /// appear in the series. Harmless to call twice.
     pub fn finish(&mut self, end: Time, registry: &MetricRegistry) {
-        if self.last_sample != Some(end) && (self.last_sample.is_some() || end > Time::ZERO) {
+        if self.last_sample == Some(end) {
+            self.rows.pop();
+            self.push_row(end, registry);
+        } else if self.last_sample.is_some() || end > Time::ZERO {
             self.push_row(end, registry);
         }
     }
@@ -197,6 +204,33 @@ mod tests {
 
         // Calling finish again at the same instant adds nothing.
         s.finish(Time::from_ns(130), &reg);
+        assert_eq!(s.rows().len(), 2);
+    }
+
+    #[test]
+    fn finish_refreshes_row_when_sample_landed_at_end() {
+        // Regression: a run whose length is an exact multiple of the
+        // epoch takes its last periodic sample at `end`; gauges set
+        // after that (end-of-run energy totals) must still make the
+        // final row instead of being silently dropped.
+        let mut reg = MetricRegistry::new();
+        let c = reg.counter("c");
+        let mut s = EpochSampler::new(Dur::from_ns(100));
+
+        reg.add(c, 2);
+        s.sample(Time::from_ns(100), &reg);
+        s.sample(Time::from_ns(200), &reg);
+
+        let e = reg.gauge("energy.total_nj");
+        reg.set(e, 42.0);
+        s.finish(Time::from_ns(200), &reg);
+
+        assert_eq!(s.rows().len(), 2, "row replaced, not duplicated");
+        assert_eq!(s.rows()[1].at, Time::from_ns(200));
+        assert_eq!(s.rows()[1].values, vec![2.0, 42.0]);
+
+        // Still idempotent.
+        s.finish(Time::from_ns(200), &reg);
         assert_eq!(s.rows().len(), 2);
     }
 

@@ -31,6 +31,12 @@ pub fn tid_dimm(dimm: usize) -> u32 {
 pub fn tid_power(dimm: usize) -> u32 {
     100 + dimm as u32
 }
+/// `tid` of the DRAM command track for `bank` of DIMM `dimm` within a
+/// channel. Bank tracks start at 10 000 so they sort below the
+/// per-DIMM and power tracks; 100 tids are reserved per DIMM.
+pub fn tid_bank(dimm: usize, bank: usize) -> u32 {
+    10_000 + dimm as u32 * 100 + bank as u32
+}
 
 /// One trace event argument: a key plus a JSON-able value.
 pub type Arg = (&'static str, Json);

@@ -35,6 +35,9 @@ pub use config::{
     Interleaving, MemoryConfig, MemoryTech, PagePolicy, Replacement, SchedPolicy, SystemConfig,
 };
 pub use error::ConfigError;
-pub use request::{AccessKind, CoreId, MemRequest, MemResponse, RequestId, ServiceKind};
+pub use request::{
+    AccessKind, CoreId, MemRequest, MemResponse, ReqClass, RequestId, ServiceKind, Stage,
+    StageBreakdown, StageStamper, REQ_CLASSES, STAGES,
+};
 pub use stats::{CoreStats, DramOpCounts, EpochSeries, LatencyHistogram, LatencyStat, MemStats};
 pub use time::{DataRate, Dur, Time};

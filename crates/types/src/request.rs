@@ -10,7 +10,7 @@
 use core::fmt;
 
 use crate::address::LineAddr;
-use crate::time::Time;
+use crate::time::{Dur, Time};
 
 /// Identifies a processor core in a multi-core configuration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -147,6 +147,256 @@ impl ServiceKind {
     }
 }
 
+/// One lifecycle stage of a read transaction, in pipeline order.
+///
+/// The controller stamps every read at each stage boundary so the
+/// per-stage durations provably sum to the end-to-end latency (see
+/// [`StageBreakdown`]). Stages a particular path does not exercise
+/// (e.g. the DRAM stages of an AMB prefetch-buffer hit, or the link
+/// stages of the DDR2 baseline) simply record zero time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Waiting in the controller's transaction queue (arrival until the
+    /// scheduler issues the transaction; includes the controller's
+    /// fixed overhead).
+    CtrlQueue,
+    /// Southbound FB-DIMM link: waiting for a command slot, the frame
+    /// itself, and transit onto the daisy chain.
+    SouthLink,
+    /// AMB processing. Zero for cut-through DRAM accesses; the
+    /// prefetch-buffer lookup/serve time on AMB hits (non-zero only in
+    /// the FBD-APFL full-latency ablation).
+    AmbProc,
+    /// Waiting for the DRAM bank to accept the first command (tRC /
+    /// precharge recovery, bus turnaround, pending refresh).
+    DramWait,
+    /// Row activation: ACT command until the column command (tRCD).
+    DramAct,
+    /// Column access: CAS until the first data beats exist (tCL).
+    DramCas,
+    /// Data ready at the AMB but waiting for a free northbound frame
+    /// slot (the response-queue drain).
+    NorthQueue,
+    /// Northbound return: the data frame plus daisy-chain forwarding
+    /// delay. On the DDR2 baseline this is the data-bus burst.
+    NorthLink,
+}
+
+/// All stages, in pipeline order (the order folded stacks and JSON
+/// breakdowns are emitted in).
+pub const STAGES: [Stage; Stage::COUNT] = [
+    Stage::CtrlQueue,
+    Stage::SouthLink,
+    Stage::AmbProc,
+    Stage::DramWait,
+    Stage::DramAct,
+    Stage::DramCas,
+    Stage::NorthQueue,
+    Stage::NorthLink,
+];
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 8;
+
+    /// Dense index of this stage (its position in [`STAGES`]).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Stage::CtrlQueue => 0,
+            Stage::SouthLink => 1,
+            Stage::AmbProc => 2,
+            Stage::DramWait => 3,
+            Stage::DramAct => 4,
+            Stage::DramCas => 5,
+            Stage::NorthQueue => 6,
+            Stage::NorthLink => 7,
+        }
+    }
+
+    /// Short machine-readable label (folded-stack frame / JSON key).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Stage::CtrlQueue => "queue",
+            Stage::SouthLink => "south",
+            Stage::AmbProc => "amb",
+            Stage::DramWait => "dram_wait",
+            Stage::DramAct => "dram_act",
+            Stage::DramCas => "dram_cas",
+            Stage::NorthQueue => "north_queue",
+            Stage::NorthLink => "north",
+        }
+    }
+
+    /// True for the three DRAM-bank service stages (wait + ACT + CAS).
+    #[inline]
+    pub const fn is_dram(self) -> bool {
+        matches!(self, Stage::DramWait | Stage::DramAct | Stage::DramCas)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-stage durations of one read; the stages sum to the end-to-end
+/// latency by construction (build one with [`StageBreakdown::stamper`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    durs: [Dur; Stage::COUNT],
+}
+
+impl StageBreakdown {
+    /// A breakdown with every stage at zero.
+    pub const ZERO: StageBreakdown = StageBreakdown {
+        durs: [Dur::ZERO; Stage::COUNT],
+    };
+
+    /// Starts stamping a read that arrived at `start`; advance the
+    /// stamper through each stage boundary in order.
+    pub fn stamper(start: Time) -> StageStamper {
+        StageStamper {
+            cursor: start,
+            breakdown: StageBreakdown::ZERO,
+        }
+    }
+
+    /// Time spent in `stage`.
+    #[inline]
+    pub fn get(&self, stage: Stage) -> Dur {
+        self.durs[stage.index()]
+    }
+
+    /// Adds `dur` to `stage`.
+    #[inline]
+    pub fn add(&mut self, stage: Stage, dur: Dur) {
+        self.durs[stage.index()] += dur;
+    }
+
+    /// Sum over all stages — equals the end-to-end latency when the
+    /// breakdown was stamped through to completion.
+    pub fn total(&self) -> Dur {
+        self.durs.iter().copied().sum()
+    }
+
+    /// Total DRAM-bank service time (wait + ACT + CAS) — the component
+    /// AMB prefetching removes from the read path.
+    pub fn dram_total(&self) -> Dur {
+        STAGES
+            .iter()
+            .filter(|s| s.is_dram())
+            .map(|s| self.get(*s))
+            .sum()
+    }
+
+    /// `(stage, duration)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, Dur)> + '_ {
+        STAGES.iter().map(move |s| (*s, self.get(*s)))
+    }
+}
+
+/// Cursor-based builder for a [`StageBreakdown`]: each call to
+/// [`to`](Self::to) charges the time from the previous boundary to
+/// `at` against one stage. Boundaries are clamped monotone, so the
+/// finished breakdown always sums exactly to `final boundary − start`.
+#[derive(Clone, Copy, Debug)]
+pub struct StageStamper {
+    cursor: Time,
+    breakdown: StageBreakdown,
+}
+
+impl StageStamper {
+    /// Charges `stage` with the time from the previous boundary to
+    /// `at`; out-of-order boundaries charge zero rather than
+    /// underflowing.
+    pub fn to(&mut self, stage: Stage, at: Time) {
+        let at = at.max(self.cursor);
+        self.breakdown.add(stage, at.saturating_since(self.cursor));
+        self.cursor = at;
+    }
+
+    /// The breakdown stamped so far.
+    pub fn finish(self) -> StageBreakdown {
+        self.breakdown
+    }
+
+    /// The last boundary stamped.
+    pub fn cursor(&self) -> Time {
+        self.cursor
+    }
+}
+
+/// Attribution class of a completed read: the request kind, refined by
+/// whether the AMB prefetch buffer served it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReqClass {
+    /// Demand read served by DRAM.
+    Demand,
+    /// Software-prefetch read served by DRAM.
+    SwPrefetch,
+    /// Hardware-prefetch read served by DRAM.
+    HwPrefetch,
+    /// Any read served from the AMB prefetch buffer.
+    AmbHit,
+}
+
+/// All request classes, in display order.
+pub const REQ_CLASSES: [ReqClass; ReqClass::COUNT] = [
+    ReqClass::Demand,
+    ReqClass::SwPrefetch,
+    ReqClass::HwPrefetch,
+    ReqClass::AmbHit,
+];
+
+impl ReqClass {
+    /// Number of classes.
+    pub const COUNT: usize = 4;
+
+    /// Classifies a completed read. AMB hits take precedence over the
+    /// request kind: a demand read served from the prefetch buffer is
+    /// an [`ReqClass::AmbHit`].
+    pub fn of(kind: AccessKind, service: ServiceKind) -> ReqClass {
+        if service.is_amb_hit() {
+            return ReqClass::AmbHit;
+        }
+        match kind {
+            AccessKind::DemandRead => ReqClass::Demand,
+            AccessKind::SoftwarePrefetch => ReqClass::SwPrefetch,
+            AccessKind::HardwarePrefetch => ReqClass::HwPrefetch,
+            AccessKind::Write => unreachable!("writes have no latency class"),
+        }
+    }
+
+    /// Dense index of this class (its position in [`REQ_CLASSES`]).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            ReqClass::Demand => 0,
+            ReqClass::SwPrefetch => 1,
+            ReqClass::HwPrefetch => 2,
+            ReqClass::AmbHit => 3,
+        }
+    }
+
+    /// Short machine-readable label (folded-stack frame / JSON key).
+    pub const fn label(self) -> &'static str {
+        match self {
+            ReqClass::Demand => "demand",
+            ReqClass::SwPrefetch => "swpf",
+            ReqClass::HwPrefetch => "hwpf",
+            ReqClass::AmbHit => "amb_hit",
+        }
+    }
+}
+
+impl fmt::Display for ReqClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Completion record for a read transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemResponse {
@@ -162,6 +412,8 @@ pub struct MemResponse {
     pub completion: Time,
     /// How the read was served.
     pub service: ServiceKind,
+    /// Per-stage latency attribution; sums to `completion − arrival`.
+    pub stages: StageBreakdown,
 }
 
 impl MemResponse {
@@ -197,8 +449,56 @@ mod tests {
             kind: AccessKind::DemandRead,
             completion: Time::from_ns(100),
             service: ServiceKind::DramAccess,
+            stages: StageBreakdown::ZERO,
         };
         assert_eq!(resp.latency(Time::from_ns(37)), Dur::from_ns(63));
+    }
+
+    #[test]
+    fn stage_indices_match_order() {
+        for (i, s) in STAGES.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, c) in REQ_CLASSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn stamper_sums_exactly_to_span() {
+        let mut st = StageBreakdown::stamper(Time::from_ns(10));
+        st.to(Stage::CtrlQueue, Time::from_ns(14));
+        st.to(Stage::SouthLink, Time::from_ns(19));
+        // An out-of-order boundary charges zero instead of underflowing.
+        st.to(Stage::AmbProc, Time::from_ns(15));
+        st.to(Stage::DramCas, Time::from_ns(40));
+        let b = st.finish();
+        assert_eq!(b.get(Stage::CtrlQueue), Dur::from_ns(4));
+        assert_eq!(b.get(Stage::SouthLink), Dur::from_ns(5));
+        assert_eq!(b.get(Stage::AmbProc), Dur::ZERO);
+        assert_eq!(b.get(Stage::DramCas), Dur::from_ns(21));
+        assert_eq!(b.total(), Dur::from_ns(30));
+        assert_eq!(b.dram_total(), Dur::from_ns(21));
+    }
+
+    #[test]
+    fn req_class_amb_hit_takes_precedence() {
+        assert_eq!(
+            ReqClass::of(AccessKind::DemandRead, ServiceKind::AmbCacheHit),
+            ReqClass::AmbHit
+        );
+        assert_eq!(
+            ReqClass::of(AccessKind::DemandRead, ServiceKind::DramAccessWithPrefetch),
+            ReqClass::Demand
+        );
+        assert_eq!(
+            ReqClass::of(AccessKind::SoftwarePrefetch, ServiceKind::DramAccess),
+            ReqClass::SwPrefetch
+        );
+        assert_eq!(
+            ReqClass::of(AccessKind::HardwarePrefetch, ServiceKind::RowBufferHit),
+            ReqClass::HwPrefetch
+        );
     }
 
     #[test]

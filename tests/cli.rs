@@ -129,6 +129,42 @@ fn run_stats_json_has_a_consistent_energy_object() {
 }
 
 #[test]
+fn profile_reports_full_attribution_and_writes_folded_stacks() {
+    let folded_path = tmp_path("profile.folded");
+    let out = fbdsim(&[
+        "profile",
+        "--workload",
+        "1C-swim",
+        "--budget",
+        "5000",
+        "--folded-out",
+        folded_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(
+        text.contains("stage sums match end-to-end latency for 100.0% of reads"),
+        "attribution check line missing:\n{text}"
+    );
+    assert!(text.contains("latency attribution for 1C-swim on fbd-ap"));
+    let folded = std::fs::read_to_string(&folded_path).expect("folded file written");
+    std::fs::remove_file(&folded_path).ok();
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("frame + weight");
+        assert_eq!(stack.split(';').count(), 3, "bad folded line: {line}");
+        assert!(stack.starts_with("reads;"));
+        weight.parse::<u64>().expect("integer weight");
+    }
+    assert!(folded.lines().count() > 0);
+}
+
+#[test]
+fn profile_rejects_unknown_options() {
+    let out = fbdsim(&["profile", "--workload", "1C-swim", "--trace-out", "x.json"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
 fn compare_stats_json_covers_every_system() {
     let path = tmp_path("compare.json");
     let out = fbdsim(&[

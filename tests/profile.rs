@@ -1,0 +1,151 @@
+//! Latency-attribution invariants (ISSUE 3 acceptance criteria).
+//!
+//! For deterministic seeds, every completed read's stage durations must
+//! sum exactly to its end-to-end latency on every system variant,
+//! AMB-hit reads must record zero DRAM-bank time, and enabling AMB
+//! prefetching must visibly shift demand-read time out of the DRAM-bank
+//! stage.
+
+use fbd_core::{RunResult, RunSpec};
+use fbd_telemetry::LogHistogram;
+use fbd_types::config::MemoryConfig;
+use fbd_types::request::{ReqClass, Stage, REQ_CLASSES, STAGES};
+use fbd_types::time::Dur;
+
+const BUDGET: u64 = 40_000;
+const SEED: u64 = 42;
+
+fn run(system: &str, workload: &str) -> RunResult {
+    let mem = MemoryConfig::by_name(system).expect("known system");
+    RunSpec::paper_default(fbd_workloads::find(workload).expect("workload").cores())
+        .workload(workload)
+        .memory(mem)
+        .budget(BUDGET)
+        .seed(SEED)
+        .run()
+}
+
+#[test]
+fn stage_sums_equal_end_to_end_latency_on_every_system() {
+    for system in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
+        let r = run(system, "1C-swim");
+        let p = &r.profile;
+        assert_eq!(
+            p.mismatches(),
+            0,
+            "{system}: some reads' stage durations did not sum to their latency"
+        );
+        let total_reads = r.mem.demand_reads + r.mem.sw_prefetch_reads + r.mem.hw_prefetch_reads;
+        assert_eq!(
+            p.reads(),
+            total_reads,
+            "{system}: profile must cover every completed read"
+        );
+        assert!(p.reads() > 0, "{system}: workload must issue reads");
+        // Per class, every stage histogram carries one sample per read.
+        for class in REQ_CLASSES {
+            let n = p.end_to_end(class).count();
+            for stage in STAGES {
+                assert_eq!(
+                    p.stage(class, stage).count(),
+                    n,
+                    "{system}: {}/{} sample count",
+                    class.label(),
+                    stage.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn amb_hits_record_zero_dram_bank_time() {
+    let r = run("fbd-ap", "1C-swim");
+    let p = &r.profile;
+    assert_eq!(
+        p.end_to_end(ReqClass::AmbHit).count(),
+        r.mem.amb_hits,
+        "every AMB hit lands in the AmbHit class"
+    );
+    assert!(r.mem.amb_hits > 0, "swim must hit the AMB prefetch buffer");
+    for stage in STAGES.iter().filter(|s| s.is_dram()) {
+        let h = p.stage(ReqClass::AmbHit, *stage);
+        assert_eq!(
+            h.max(),
+            Dur::ZERO,
+            "AMB hits must spend zero time in {}",
+            stage.label()
+        );
+    }
+    assert_eq!(p.dram_bank(ReqClass::AmbHit).max(), Dur::ZERO);
+    // The full-latency ablation also bypasses the bank: its charge goes
+    // to AMB processing, not to the DRAM stages.
+    let fl = run("fbd-apfl", "1C-swim");
+    let hits = fl.profile.stage(ReqClass::AmbHit, Stage::AmbProc);
+    assert!(fl.mem.amb_hits > 0);
+    assert!(
+        hits.mean_ns() > 0.0,
+        "FBD-APFL charges tRCD+tCL as AMB processing time"
+    );
+    assert_eq!(fl.profile.dram_bank(ReqClass::AmbHit).max(), Dur::ZERO);
+}
+
+#[test]
+fn amb_prefetch_shifts_demand_p50_out_of_the_dram_stage() {
+    // Paper-default FB-DIMM, 1C-swim: without prefetching the typical
+    // demand read pays the DRAM bank pipeline; with AMB prefetching the
+    // typical demand-class read (demand + AMB hit) pays none of it.
+    let base = run("fbd", "1C-swim");
+    let ap = run("fbd-ap", "1C-swim");
+
+    let base_p50 = base.profile.dram_bank(ReqClass::Demand).percentile(0.50);
+    assert!(
+        base_p50 > Dur::ZERO,
+        "without prefetching the median demand read must touch the bank"
+    );
+
+    let mut ap_demand = LogHistogram::new();
+    ap_demand.merge(ap.profile.dram_bank(ReqClass::Demand));
+    ap_demand.merge(ap.profile.dram_bank(ReqClass::AmbHit));
+    let ap_p50 = ap_demand.percentile(0.50);
+    assert!(
+        ap_p50 < base_p50,
+        "AMB prefetching must shift p50 demand-read DRAM-bank time down \
+         (base {:.1} ns vs ap {:.1} ns)",
+        base_p50.as_ns_f64(),
+        ap_p50.as_ns_f64()
+    );
+    // And the shift shows up end-to-end, not only in the decomposition.
+    assert!(ap.mem.amb_hits > 0);
+    let base_e2e = base.profile.end_to_end(ReqClass::Demand).mean_ns();
+    let mut ap_e2e = LogHistogram::new();
+    ap_e2e.merge(ap.profile.end_to_end(ReqClass::Demand));
+    ap_e2e.merge(ap.profile.end_to_end(ReqClass::AmbHit));
+    assert!(
+        ap_e2e.mean_ns() < base_e2e,
+        "prefetching must lower mean demand latency ({:.1} vs {:.1} ns)",
+        base_e2e,
+        ap_e2e.mean_ns()
+    );
+}
+
+#[test]
+fn profile_is_deterministic_and_folded_export_is_well_formed() {
+    let a = run("fbd-ap", "1C-swim");
+    let b = run("fbd-ap", "1C-swim");
+    assert_eq!(a.profile.to_folded(), b.profile.to_folded());
+    assert_eq!(a.profile.reads(), b.profile.reads());
+
+    let folded = a.profile.to_folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("frame + weight");
+        let frames: Vec<&str> = stack.split(';').collect();
+        assert_eq!(frames.len(), 3, "reads;<class>;<stage>: {line}");
+        assert_eq!(frames[0], "reads");
+        assert!(weight.parse::<u64>().expect("integer weight") > 0);
+    }
+    // AMB hits never produce DRAM frames.
+    assert!(!folded.contains("amb_hit;dram"));
+    assert!(folded.contains("reads;amb_hit;north"));
+}
