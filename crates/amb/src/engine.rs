@@ -89,6 +89,16 @@ pub struct WriteOutcome {
     pub data_end: Time,
 }
 
+impl WriteOutcome {
+    /// First visible drain command at the devices (the ACT, or the
+    /// write command on an open row). Time before this is the AMB
+    /// buffering the posted write until its bank can take the drain,
+    /// attributed to the AMB stage by the latency profiler.
+    pub fn service_start(&self) -> Time {
+        self.act_at.unwrap_or(self.cmd_at)
+    }
+}
+
 /// One logical DIMM: its AMB engine plus the DRAM devices behind it.
 ///
 /// A DIMM may carry multiple ranks; each rank is an independent timing

@@ -310,6 +310,10 @@ fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
         (
             "energy".to_string(),
             Json::Obj(vec![
+                (
+                    "current_set".into(),
+                    Json::from(r.energy.current_set.as_str()),
+                ),
                 ("activation_nj".into(), Json::from(r.energy.activation_nj)),
                 ("burst_nj".into(), Json::from(r.energy.burst_nj)),
                 ("refresh_nj".into(), Json::from(r.energy.refresh_nj)),
@@ -503,7 +507,8 @@ fn stage_row(label: &str, h: &LogHistogram, e2e_total_ns: f64) -> String {
 }
 
 /// Runs one workload and prints the stage-resolved latency attribution:
-/// per request class, where every nanosecond of read latency went.
+/// per request class, where every nanosecond of read and write latency
+/// went.
 fn cmd_profile(args: &Args) -> ExitCode {
     if let Err(code) = validate_args("profile", args, PROFILE_KEYS, PROFILE_FLAGS) {
         return code;
@@ -536,6 +541,16 @@ fn cmd_profile(args: &Args) -> ExitCode {
         println!(
             "  stage sums match end-to-end latency for {pct:.1}% of reads ({matched}/{reads})"
         );
+        let writes = p.writes();
+        let wmatched = writes - p.write_mismatches();
+        let wpct = if writes > 0 {
+            100.0 * wmatched as f64 / writes as f64
+        } else {
+            100.0
+        };
+        println!(
+            "  stage sums match end-to-end latency for {wpct:.1}% of writes ({wmatched}/{writes})"
+        );
         println!();
         for class in REQ_CLASSES {
             let e2e = p.end_to_end(class);
@@ -543,9 +558,10 @@ fn cmd_profile(args: &Args) -> ExitCode {
                 continue;
             }
             println!(
-                "  {} ({} reads)  e2e mean {:.1} / p50 {:.0} / p90 {:.0} / p99 {:.0} / max {:.0} ns",
+                "  {} ({} {})  e2e mean {:.1} / p50 {:.0} / p90 {:.0} / p99 {:.0} / max {:.0} ns",
                 class.label(),
                 e2e.count(),
+                if class.is_write() { "writes" } else { "reads" },
                 e2e.mean_ns(),
                 e2e.percentile(0.50).as_ns_f64(),
                 e2e.percentile(0.90).as_ns_f64(),
@@ -1010,6 +1026,11 @@ mod tests {
         assert!((component_sum - total).abs() < 1e-6 * total.max(1.0));
         assert!(total > 0.0);
         assert!(energy.get("avg_power_w").and_then(Json::as_f64).unwrap() > 0.0);
+        // The active IDD current set is named (fbd-ap runs DDR2-667).
+        assert_eq!(
+            energy.get("current_set").and_then(Json::as_str),
+            Some("micron_ddr2_667")
+        );
         // The latency attribution is always present: its read count
         // covers every read class and no read violated the stage-sum
         // invariant.
@@ -1019,6 +1040,14 @@ mod tests {
             Some(all_reads as f64)
         );
         assert_eq!(stages.get("mismatches").and_then(Json::as_f64), Some(0.0));
+        // The write attribution mirrors the read side: every retired
+        // write is stamped and none violated the stage-sum invariant.
+        let writes = stages.get("writes").expect("writes object present");
+        assert_eq!(
+            writes.get("count").and_then(Json::as_f64),
+            Some(r.mem.writes as f64)
+        );
+        assert_eq!(writes.get("mismatches").and_then(Json::as_f64), Some(0.0));
         // Telemetry ran, so the registry and time-series are attached.
         assert!(parsed.get("metrics").is_some());
         assert!(parsed.get("series").is_some());

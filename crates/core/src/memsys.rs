@@ -35,7 +35,7 @@ use fbd_types::request::{
     AccessKind, MemRequest, MemResponse, ReqClass, ServiceKind, Stage, StageBreakdown,
 };
 use fbd_types::stats::MemStats;
-use fbd_types::time::{Dur, Time};
+use fbd_types::time::{DataRate, Dur, Time};
 use fbd_types::CACHE_LINE_BYTES;
 
 /// Reads in flight per logical channel before the controller stops
@@ -528,7 +528,7 @@ impl MemorySystem {
     }
 
     /// The always-on stage × request-class latency-attribution profile
-    /// over every read completed so far.
+    /// over every read and posted write completed so far.
     pub fn latency_profile(&self) -> &StageProfile {
         &self.profile
     }
@@ -831,7 +831,15 @@ impl MemorySystem {
             AccessKind::DemandRead => self.stats.demand_reads += 1,
             AccessKind::SoftwarePrefetch => self.stats.sw_prefetch_reads += 1,
             AccessKind::HardwarePrefetch => self.stats.hw_prefetch_reads += 1,
-            AccessKind::Write => unreachable!("writes take the write path"),
+            AccessKind::Write => {
+                // A write can only land here through a dispatch bug or a
+                // malformed replay trace. Degrade by re-routing it onto
+                // the write path and counting the violation, so a release
+                // run reports a stat instead of panicking mid-replay.
+                debug_assert!(false, "writes take the write path");
+                self.stats.misrouted_writes += 1;
+                return self.execute_write(entry, now);
+            }
         }
         self.stats.data_bytes += CACHE_LINE_BYTES;
         let counts = &mut self.chan_counts[m.channel as usize];
@@ -1007,6 +1015,7 @@ impl MemorySystem {
 
     fn execute_write(&mut self, entry: QueueEntry, now: Time) -> Issued {
         let m = entry.mapped;
+        let req = entry.req;
         self.stats.writes += 1;
         self.stats.data_bytes += CACHE_LINE_BYTES;
         let counts = &mut self.chan_counts[m.channel as usize];
@@ -1017,19 +1026,33 @@ impl MemorySystem {
         }
         // A store makes any prefetched copy stale.
         if let Some(table) = self.table.as_mut() {
-            table.invalidate(m.channel, m.dimm, entry.req.line);
+            table.invalidate(m.channel, m.dimm, req.line);
         }
         let pi = self.pidx(m.channel, m.dimm, m.rank);
+        // Posted-write attribution, accept-to-drain: the stamper walks
+        // from arrival to the last data beat at the devices, so the
+        // stage durations sum to the recorded write latency exactly as
+        // they do for reads.
+        let mut st = StageBreakdown::stamper(req.arrival);
         let done = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
+                st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
                 let slot = link.send_write_data(now);
+                st.to(Stage::SouthLink, slot.done);
                 let out = dimms[m.dimm as usize].write_line_at(
                     m.rank as usize,
                     m.bank as usize,
                     m.row,
                     slot.done,
                 );
-                self.power[pi].note_busy(out.act_at.unwrap_or(out.cmd_at), out.data_end);
+                // The AMB buffers the posted write until its bank can
+                // take the drain, so bank-availability wait is AMB
+                // buffering here, not DRAM time: the DRAM stages start
+                // at the first drain command.
+                st.to(Stage::AmbProc, out.service_start());
+                st.to(Stage::DramAct, out.cmd_at);
+                st.to(Stage::DramCas, out.data_end);
+                self.power[pi].note_busy(out.service_start(), out.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.south_frame("wdata", m.channel, slot);
                     t.dram_write(m.channel, m.dimm, m.bank, &out);
@@ -1050,6 +1073,15 @@ impl MemorySystem {
                     burst: self.burst,
                 };
                 let plan = dimm.plan(m.bank as usize, m.row, op, slots[0], bus);
+                // Same mapping as DDR2 reads: command-bus slot wait is
+                // queueing, the bank's precharge/turnaround window is
+                // DRAM wait, and the write burst on the shared data bus
+                // stands in for the return link.
+                st.to(Stage::CtrlQueue, plan.first_cmd_at());
+                st.to(Stage::DramWait, plan.act_at.unwrap_or(plan.cmd_at));
+                st.to(Stage::DramAct, plan.cmd_at);
+                st.to(Stage::DramCas, plan.data_start);
+                st.to(Stage::NorthLink, plan.data_end);
                 dimm.commit(&plan, bus);
                 self.power[pi].note_busy(plan.first_cmd_at(), plan.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
@@ -1059,6 +1091,14 @@ impl MemorySystem {
             }
         };
         self.stats.bandwidth_series.record(done, CACHE_LINE_BYTES);
+        let stages = st.finish();
+        debug_assert_eq!(
+            stages.total(),
+            done - req.arrival,
+            "stage stamps must cover the whole write lifecycle"
+        );
+        self.profile
+            .record(ReqClass::Write, &stages, done - req.arrival);
         Issued::Write { done }
     }
 
@@ -1087,11 +1127,17 @@ impl MemorySystem {
 
     /// The end-to-end energy report for the run so far, evaluated at
     /// `end`: per-rank operation counts and power-mode residencies fed
-    /// through the Micron DDR2-667 [`EnergyModel`], with AMB core/link
-    /// power included on FB-DIMM subsystems.
+    /// through the Micron [`EnergyModel`] matching the substrate's data
+    /// rate (DDR3-1333 currents for the `fbdimm_ddr3` substrate,
+    /// DDR2-667 otherwise), with AMB core/link power included on
+    /// FB-DIMM subsystems. The report names the current set it used.
     pub fn energy_report(&self, end: Time) -> EnergyReport {
         let buffered = matches!(self.cfg.tech, MemoryTech::FbDimm { .. });
-        let model = EnergyModel::micron_ddr2_667(buffered);
+        let model = if self.cfg.data_rate == DataRate::MTS1333 {
+            EnergyModel::micron_ddr3_1333(buffered)
+        } else {
+            EnergyModel::micron_ddr2_667(buffered)
+        };
         let ranks = self.cfg.ranks_per_dimm;
         let mut activity = Vec::with_capacity(self.power.len());
         for (ch, c) in self.channels.iter().enumerate() {

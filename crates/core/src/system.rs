@@ -52,7 +52,9 @@ pub struct RunResult {
     /// Always-on per-channel traffic counters, indexed by channel.
     pub channels: Vec<ChannelCounters>,
     /// The run's energy breakdown (activation, burst, refresh,
-    /// background, AMB) from the Micron DDR2-667 energy model.
+    /// background, AMB) from the Micron energy model matching the
+    /// substrate's data rate; the report names the IDD current set it
+    /// used.
     pub energy: EnergyReport,
     /// The captured transaction trace, when capture was enabled.
     pub trace: Option<MemoryTrace>,
@@ -60,7 +62,7 @@ pub struct RunResult {
     /// when telemetry was enabled.
     pub telemetry: Option<Telemetry>,
     /// Stage × request-class latency attribution over every completed
-    /// read (always collected; see
+    /// read and posted write (always collected; see
     /// [`MemorySystem::latency_profile`](crate::MemorySystem::latency_profile)).
     pub profile: StageProfile,
 }

@@ -24,7 +24,7 @@ use fbd_types::stats::MemStats;
 use fbd_types::time::{Dur, Time};
 use fbd_types::{LineAddr, RequestId};
 
-use crate::memsys::{Issued, MemorySystem};
+use crate::memsys::{ChannelCounters, Issued, MemorySystem};
 
 /// One recorded memory transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -191,13 +191,16 @@ impl MemoryTrace {
 pub struct ReplayResult {
     /// Memory statistics of the replay.
     pub mem: MemStats,
-    /// Energy breakdown of the replay (Micron DDR2-667 energy model).
+    /// Energy breakdown of the replay (the report names the IDD
+    /// current set matching the substrate).
     pub energy: fbd_power::EnergyReport,
     /// Instant the last transaction completed.
     pub finished: Time,
     /// Stage × request-class latency attribution over the replayed
-    /// reads.
+    /// reads and writes.
     pub profile: StageProfile,
+    /// Always-on per-channel traffic counters, indexed by channel.
+    pub channels: Vec<ChannelCounters>,
 }
 
 impl ReplayResult {
@@ -257,6 +260,7 @@ pub fn replay(cfg: &MemoryConfig, trace: &MemoryTrace) -> ReplayResult {
         energy: mem.energy_report(finished),
         finished,
         profile: mem.latency_profile().clone(),
+        channels: mem.channel_counters().to_vec(),
     }
 }
 

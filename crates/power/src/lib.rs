@@ -86,6 +86,24 @@ impl DramPowerParams {
             t_rfc: Dur::from_ns(128),
         }
     }
+
+    /// Representative DDR3-1333 datasheet values (Micron 1 Gb parts,
+    /// 1.5 V): higher currents over a shorter tRC, with the burst
+    /// window halved by the doubled data rate. Matches the
+    /// `fbdimm_ddr3` substrate's DDR3-1333 timing set.
+    pub fn micron_ddr3_1333() -> DramPowerParams {
+        DramPowerParams {
+            idd0_ma: 95.0,
+            idd3n_ma: 45.0,
+            idd4r_ma: 180.0,
+            idd4w_ma: 185.0,
+            idd5_ma: 215.0,
+            vdd_v: 1.5,
+            t_rc: Dur::from_ps(49_500),
+            burst: Dur::from_ns(3),
+            t_rfc: Dur::from_ns(110),
+        }
+    }
 }
 
 /// Per-operation dynamic-energy weights for the memory devices.
@@ -122,6 +140,16 @@ impl StandbyPower {
             active_mw: 63.0,
             idle_mw: 54.0,
             powerdown_mw: 12.6,
+        }
+    }
+
+    /// Representative DDR3-1333 values per rank (IDD3N 45 mA, IDD2N
+    /// 42 mA, IDD2P 12 mA at 1.5 V).
+    pub fn micron_ddr3_1333() -> StandbyPower {
+        StandbyPower {
+            active_mw: 67.5,
+            idle_mw: 63.0,
+            powerdown_mw: 18.0,
         }
     }
 
@@ -323,6 +351,11 @@ impl RankEnergy {
 /// telemetry registry.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct EnergyReport {
+    /// Name of the IDD current set that produced the report (e.g.
+    /// `"micron_ddr2_667"`), so a mismatched substrate/current-set
+    /// pairing is visible in the stats instead of silent. Empty on a
+    /// default-constructed report.
+    pub current_set: String,
     /// Run length the report covers.
     pub elapsed: Dur,
     /// Activate/precharge energy of all ranks, nJ.
@@ -393,6 +426,9 @@ pub struct EnergyModel {
     pub background: StandbyPower,
     /// AMB power per buffered DIMM (mW).
     pub amb: AmbPowerParams,
+    /// Name of the IDD current set behind `dynamic`/`background`,
+    /// propagated into every [`EnergyReport`] this model produces.
+    pub current_set: &'static str,
 }
 
 impl EnergyModel {
@@ -407,6 +443,23 @@ impl EnergyModel {
             } else {
                 AmbPowerParams::none()
             },
+            current_set: "micron_ddr2_667",
+        }
+    }
+
+    /// Micron DDR3-1333 datasheet model, for the `fbdimm_ddr3`
+    /// substrate. `buffered` selects whether the DIMMs carry AMBs
+    /// (FB-DIMM) or not.
+    pub fn micron_ddr3_1333(buffered: bool) -> EnergyModel {
+        EnergyModel {
+            dynamic: PowerModel::from_params(&DramPowerParams::micron_ddr3_1333()),
+            background: StandbyPower::micron_ddr3_1333(),
+            amb: if buffered {
+                AmbPowerParams::fbdimm_typical()
+            } else {
+                AmbPowerParams::none()
+            },
+            current_set: "micron_ddr3_1333",
         }
     }
 
@@ -415,6 +468,7 @@ impl EnergyModel {
     /// (their core + link power burns for the whole run).
     pub fn report(&self, ranks: &[RankActivity], elapsed: Dur, amb_dimms: u32) -> EnergyReport {
         let mut out = EnergyReport {
+            current_set: self.current_set.to_string(),
             elapsed,
             amb_nj: self.amb.total_mw() * elapsed.as_ns_f64() * f64::from(amb_dimms) / 1_000.0,
             ranks: Vec::with_capacity(ranks.len()),
@@ -695,6 +749,51 @@ mod tests {
         // Average power is total energy over the 10 µs run.
         let expect_w = report.total_j() / 10e-6;
         assert!((report.avg_power_w() - expect_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr3_1333_current_set_is_distinct_and_named() {
+        use fbd_types::time::Dur;
+        let ddr2 = EnergyModel::micron_ddr2_667(true);
+        let ddr3 = EnergyModel::micron_ddr3_1333(true);
+        assert_eq!(ddr2.current_set, "micron_ddr2_667");
+        assert_eq!(ddr3.current_set, "micron_ddr3_1333");
+        assert_ne!(
+            ddr3.dynamic, ddr2.dynamic,
+            "DDR3 must not reuse DDR2 weights"
+        );
+        assert_ne!(ddr3.background, ddr2.background);
+        // The report names the current set that produced it.
+        let ranks = [RankActivity {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+            ops: DramOpCounts {
+                act_pre: 10,
+                col_reads: 20,
+                col_writes: 10,
+                refreshes: 1,
+            },
+            residency: ModeResidency {
+                active: Dur::from_ns(500),
+                standby: Dur::from_ns(300),
+                powerdown: Dur::from_ns(200),
+            },
+        }];
+        let report = ddr3.report(&ranks, Dur::from_ns(1_000), 1);
+        assert_eq!(report.current_set, "micron_ddr3_1333");
+        // Components still sum to the total under the new set.
+        let sum = report.activation_nj
+            + report.burst_nj
+            + report.refresh_nj
+            + report.background_nj
+            + report.amb_nj;
+        assert!((sum - report.total_nj()).abs() < 1e-9);
+        // Same activity costs different dynamic energy under each set
+        // (shorter tRC/burst windows at 1.5 V vs 1.8 V).
+        let ddr2_report = ddr2.report(&ranks, Dur::from_ns(1_000), 1);
+        assert_eq!(ddr2_report.current_set, "micron_ddr2_667");
+        assert_ne!(report.dynamic_nj(), ddr2_report.dynamic_nj());
     }
 
     #[test]

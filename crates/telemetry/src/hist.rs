@@ -169,18 +169,22 @@ impl LogHistogram {
 
 /// Latency-attribution aggregate over a run: one [`LogHistogram`] per
 /// stage × request class, plus per-class end-to-end and DRAM-bank-time
-/// histograms, and a mismatch counter proving the attribution
+/// histograms, and mismatch counters proving the attribution
 /// invariant (stage durations sum to the observed end-to-end latency).
+/// Read classes and the posted-write class share the same stage grid
+/// but are counted and surfaced separately.
 #[derive(Clone, Debug, Default)]
 pub struct StageProfile {
     /// `[class][stage]`, dense by `ReqClass::index` / `Stage::index`.
     stages: Vec<LogHistogram>,
     /// Per-class end-to-end latency.
     e2e: Vec<LogHistogram>,
-    /// Per-class total DRAM-bank time (wait + ACT + CAS) per read.
+    /// Per-class total DRAM-bank time (wait + ACT + CAS) per request.
     dram: Vec<LogHistogram>,
     /// Reads whose stage sum did not equal the end-to-end latency.
     mismatches: u64,
+    /// Writes whose stage sum did not equal the end-to-end latency.
+    write_mismatches: u64,
 }
 
 impl StageProfile {
@@ -191,6 +195,7 @@ impl StageProfile {
             e2e: vec![LogHistogram::new(); ReqClass::COUNT],
             dram: vec![LogHistogram::new(); ReqClass::COUNT],
             mismatches: 0,
+            write_mismatches: 0,
         }
     }
 
@@ -198,16 +203,21 @@ impl StageProfile {
         class.index() * Stage::COUNT + stage.index()
     }
 
-    /// Records one completed read: its class, stamped stage breakdown,
-    /// and end-to-end latency. A breakdown whose stages do not sum to
-    /// `end_to_end` counts as a mismatch (the attribution invariant the
-    /// profile exists to prove).
+    /// Records one completed request: its class, stamped stage
+    /// breakdown, and end-to-end latency. A breakdown whose stages do
+    /// not sum to `end_to_end` counts as a mismatch (the attribution
+    /// invariant the profile exists to prove); read and write
+    /// mismatches are tallied separately.
     pub fn record(&mut self, class: ReqClass, stages: &StageBreakdown, end_to_end: Dur) {
         if self.stages.is_empty() {
             *self = StageProfile::new();
         }
         if stages.total() != end_to_end {
-            self.mismatches += 1;
+            if class.is_write() {
+                self.write_mismatches += 1;
+            } else {
+                self.mismatches += 1;
+            }
         }
         for (stage, dur) in stages.iter() {
             let i = self.slot(class, stage);
@@ -245,18 +255,30 @@ impl StageProfile {
         &self.dram[class.index()]
     }
 
-    /// Total reads recorded, over all classes.
+    /// Total reads recorded, over all read classes.
     pub fn reads(&self) -> u64 {
         REQ_CLASSES
             .iter()
+            .filter(|c| !c.is_write())
             .map(|c| self.end_to_end(*c).count())
             .sum()
+    }
+
+    /// Total posted writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.end_to_end(ReqClass::Write).count()
     }
 
     /// Reads whose stage durations did not sum to the end-to-end
     /// latency (0 proves the attribution invariant for the whole run).
     pub fn mismatches(&self) -> u64 {
         self.mismatches
+    }
+
+    /// Writes whose stage durations did not sum to the end-to-end
+    /// latency (the same invariant, proven for the write path).
+    pub fn write_mismatches(&self) -> u64 {
+        self.write_mismatches
     }
 
     /// Folds another profile into this one (for merging epochs or
@@ -278,18 +300,21 @@ impl StageProfile {
             a.merge(b);
         }
         self.mismatches += other.mismatches;
+        self.write_mismatches += other.write_mismatches;
     }
 
     /// Folded-stack (flamegraph-compatible) text: one
-    /// `reads;<class>;<stage> <nanoseconds>` line per non-empty
-    /// class × stage cell, weighted by total time spent in the stage.
-    /// Feed to `flamegraph.pl` or import into speedscope.
+    /// `read;<class>;<stage> <nanoseconds>` (or `write;…` for the
+    /// posted-write class) line per non-empty class × stage cell,
+    /// weighted by total time spent in the stage. Feed to
+    /// `flamegraph.pl` or import into speedscope.
     pub fn to_folded(&self) -> String {
         let mut out = String::new();
         for class in REQ_CLASSES {
             if self.end_to_end(class).is_empty() {
                 continue;
             }
+            let root = if class.is_write() { "write" } else { "read" };
             for stage in STAGES {
                 let h = self.stage(class, stage);
                 let ns = h.total_ns().round() as u64;
@@ -297,7 +322,8 @@ impl StageProfile {
                     continue;
                 }
                 out.push_str(&format!(
-                    "reads;{};{} {}\n",
+                    "{};{};{} {}\n",
+                    root,
                     class.label(),
                     stage.label(),
                     ns
@@ -307,33 +333,46 @@ impl StageProfile {
         out
     }
 
+    /// The histogram-summary object of one class: `count`,
+    /// `end_to_end`, `dram_bank`, and per-stage summaries.
+    fn class_json(&self, class: ReqClass) -> Json {
+        let stages: Vec<(String, Json)> = STAGES
+            .iter()
+            .map(|s| (s.label().to_string(), self.stage(class, *s).to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::from(self.end_to_end(class).count())),
+            ("end_to_end".into(), self.end_to_end(class).to_json()),
+            ("dram_bank".into(), self.dram_bank(class).to_json()),
+            ("stages".into(), Json::Obj(stages)),
+        ])
+    }
+
     /// The per-stage breakdown object embedded in the stats JSON:
-    /// `reads`, `mismatches`, and per non-empty class the end-to-end,
-    /// DRAM-bank and per-stage histogram summaries.
+    /// `reads`, `mismatches`, and per non-empty read class the
+    /// end-to-end, DRAM-bank and per-stage histogram summaries under
+    /// `classes` — plus a `writes` object carrying the same summaries
+    /// for the posted-write class.
     pub fn to_json(&self) -> Json {
         let mut classes = Vec::new();
         for class in REQ_CLASSES {
-            if self.end_to_end(class).is_empty() {
+            if class.is_write() || self.end_to_end(class).is_empty() {
                 continue;
             }
-            let stages: Vec<(String, Json)> = STAGES
-                .iter()
-                .map(|s| (s.label().to_string(), self.stage(class, *s).to_json()))
-                .collect();
-            classes.push((
-                class.label().to_string(),
-                Json::Obj(vec![
-                    ("count".into(), Json::from(self.end_to_end(class).count())),
-                    ("end_to_end".into(), self.end_to_end(class).to_json()),
-                    ("dram_bank".into(), self.dram_bank(class).to_json()),
-                    ("stages".into(), Json::Obj(stages)),
-                ]),
-            ));
+            classes.push((class.label().to_string(), self.class_json(class)));
         }
+        let writes = match self.class_json(ReqClass::Write) {
+            Json::Obj(mut fields) => {
+                fields.insert(1, ("mismatches".into(), Json::from(self.write_mismatches)));
+                Json::Obj(fields)
+            }
+            other => other,
+        };
         Json::Obj(vec![
             ("reads".into(), Json::from(self.reads())),
             ("mismatches".into(), Json::from(self.mismatches)),
             ("classes".into(), Json::Obj(classes)),
+            ("writes".into(), writes),
         ])
     }
 }
@@ -460,19 +499,25 @@ mod tests {
         let mut p = StageProfile::new();
         p.record(ReqClass::Demand, &breakdown(10, 30), Dur::from_ns(40));
         p.record(ReqClass::AmbHit, &breakdown(7, 0), Dur::from_ns(7));
+        p.record(ReqClass::Write, &breakdown(4, 20), Dur::from_ns(24));
         let folded = p.to_folded();
         assert!(!folded.is_empty());
         for line in folded.lines() {
             let (stack, weight) = line.rsplit_once(' ').expect("frame + weight");
             let frames: Vec<&str> = stack.split(';').collect();
-            assert_eq!(frames[0], "reads");
+            assert!(
+                frames[0] == "read" || frames[0] == "write",
+                "bad root frame in {line}"
+            );
             assert_eq!(frames.len(), 3);
             let w: u64 = weight.parse().expect("integer weight");
             assert!(w > 0, "zero-weight line {line}");
         }
-        assert!(folded.contains("reads;demand;queue 10\n"));
-        assert!(folded.contains("reads;demand;dram_cas 30\n"));
-        assert!(folded.contains("reads;amb_hit;queue 7\n"));
+        assert!(folded.contains("read;demand;queue 10\n"));
+        assert!(folded.contains("read;demand;dram_cas 30\n"));
+        assert!(folded.contains("read;amb_hit;queue 7\n"));
+        assert!(folded.contains("write;write;queue 4\n"));
+        assert!(folded.contains("write;write;dram_cas 20\n"));
         // AMB hits spent no DRAM time, so no dram frame for that class.
         assert!(!folded.contains("amb_hit;dram"));
     }
@@ -487,6 +532,10 @@ mod tests {
         let classes = doc.get("classes").unwrap();
         let demand = classes.get("demand").expect("demand present");
         assert!(classes.get("swpf").is_none(), "empty class omitted");
+        assert!(
+            classes.get("write").is_none(),
+            "write class lives under `writes`, not `classes`"
+        );
         let e2e = demand.get("end_to_end").unwrap();
         assert_eq!(e2e.get("count").and_then(Json::as_f64), Some(1.0));
         let stages = demand.get("stages").unwrap();
@@ -495,5 +544,43 @@ mod tests {
         // Round-trips through the writer/parser.
         let back = crate::json::parse(&doc.to_json()).unwrap();
         assert_eq!(back.get("reads").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn json_writes_object_tracks_the_write_class() {
+        let mut p = StageProfile::new();
+        p.record(ReqClass::Demand, &breakdown(10, 30), Dur::from_ns(40));
+        // The writes object is always present, even with zero writes,
+        // so consumers can rely on its shape.
+        let doc = p.to_json();
+        let writes = doc.get("writes").expect("writes object present");
+        assert_eq!(writes.get("count").and_then(Json::as_f64), Some(0.0));
+
+        p.record(ReqClass::Write, &breakdown(5, 25), Dur::from_ns(30));
+        // Deliberately inconsistent write: stages sum 30, e2e says 31.
+        p.record(ReqClass::Write, &breakdown(5, 25), Dur::from_ns(31));
+        assert_eq!(p.writes(), 2);
+        assert_eq!(p.write_mismatches(), 1);
+        assert_eq!(p.mismatches(), 0, "write mismatch must not count as read");
+        assert_eq!(p.reads(), 1, "write records must not count as reads");
+        let doc = p.to_json();
+        let writes = doc.get("writes").expect("writes object present");
+        assert_eq!(writes.get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(writes.get("mismatches").and_then(Json::as_f64), Some(1.0));
+        assert!(writes.get("end_to_end").is_some());
+        assert!(writes.get("dram_bank").is_some());
+        let stages = writes.get("stages").expect("per-stage summaries");
+        assert_eq!(
+            stages
+                .get("dram_cas")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        // Merging carries the write mismatch counter along.
+        let mut q = StageProfile::default();
+        q.merge(&p);
+        assert_eq!(q.writes(), 2);
+        assert_eq!(q.write_mismatches(), 1);
     }
 }

@@ -328,8 +328,9 @@ impl StageStamper {
     }
 }
 
-/// Attribution class of a completed read: the request kind, refined by
-/// whether the AMB prefetch buffer served it.
+/// Attribution class of a completed transaction: the request kind,
+/// refined by whether the AMB prefetch buffer served it. Reads split
+/// into four classes; posted writes form one class of their own.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReqClass {
     /// Demand read served by DRAM.
@@ -340,24 +341,32 @@ pub enum ReqClass {
     HwPrefetch,
     /// Any read served from the AMB prefetch buffer.
     AmbHit,
+    /// Posted write, measured accept-to-drain (arrival to the moment
+    /// its data finishes at the devices).
+    Write,
 }
 
-/// All request classes, in display order.
+/// All request classes, in display order (read classes first).
 pub const REQ_CLASSES: [ReqClass; ReqClass::COUNT] = [
     ReqClass::Demand,
     ReqClass::SwPrefetch,
     ReqClass::HwPrefetch,
     ReqClass::AmbHit,
+    ReqClass::Write,
 ];
 
 impl ReqClass {
     /// Number of classes.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
-    /// Classifies a completed read. AMB hits take precedence over the
-    /// request kind: a demand read served from the prefetch buffer is
-    /// an [`ReqClass::AmbHit`].
+    /// Classifies a completed transaction. Writes are always
+    /// [`ReqClass::Write`]; for reads, AMB hits take precedence over
+    /// the request kind: a demand read served from the prefetch buffer
+    /// is an [`ReqClass::AmbHit`].
     pub fn of(kind: AccessKind, service: ServiceKind) -> ReqClass {
+        if kind == AccessKind::Write {
+            return ReqClass::Write;
+        }
         if service.is_amb_hit() {
             return ReqClass::AmbHit;
         }
@@ -365,7 +374,7 @@ impl ReqClass {
             AccessKind::DemandRead => ReqClass::Demand,
             AccessKind::SoftwarePrefetch => ReqClass::SwPrefetch,
             AccessKind::HardwarePrefetch => ReqClass::HwPrefetch,
-            AccessKind::Write => unreachable!("writes have no latency class"),
+            AccessKind::Write => unreachable!("handled above"),
         }
     }
 
@@ -377,7 +386,14 @@ impl ReqClass {
             ReqClass::SwPrefetch => 1,
             ReqClass::HwPrefetch => 2,
             ReqClass::AmbHit => 3,
+            ReqClass::Write => 4,
         }
+    }
+
+    /// True for the posted-write class.
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, ReqClass::Write)
     }
 
     /// Short machine-readable label (folded-stack frame / JSON key).
@@ -387,6 +403,7 @@ impl ReqClass {
             ReqClass::SwPrefetch => "swpf",
             ReqClass::HwPrefetch => "hwpf",
             ReqClass::AmbHit => "amb_hit",
+            ReqClass::Write => "write",
         }
     }
 }
@@ -499,6 +516,23 @@ mod tests {
             ReqClass::of(AccessKind::HardwarePrefetch, ServiceKind::RowBufferHit),
             ReqClass::HwPrefetch
         );
+    }
+
+    #[test]
+    fn req_class_writes_have_their_own_class() {
+        for service in [
+            ServiceKind::DramAccess,
+            ServiceKind::RowBufferHit,
+            ServiceKind::AmbCacheHit,
+        ] {
+            assert_eq!(ReqClass::of(AccessKind::Write, service), ReqClass::Write);
+        }
+        assert!(ReqClass::Write.is_write());
+        assert_eq!(ReqClass::Write.index(), ReqClass::COUNT - 1);
+        assert_eq!(ReqClass::Write.label(), "write");
+        for class in REQ_CLASSES {
+            assert_eq!(class.is_write(), class == ReqClass::Write);
+        }
     }
 
     #[test]

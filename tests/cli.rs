@@ -144,18 +144,35 @@ fn profile_reports_full_attribution_and_writes_folded_stacks() {
     let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
     assert!(
         text.contains("stage sums match end-to-end latency for 100.0% of reads"),
-        "attribution check line missing:\n{text}"
+        "read attribution check line missing:\n{text}"
+    );
+    assert!(
+        text.contains("stage sums match end-to-end latency for 100.0% of writes"),
+        "write attribution check line missing:\n{text}"
     );
     assert!(text.contains("latency attribution for 1C-swim on fbd-ap"));
+    // The per-class tables cover both directions: at least one read
+    // class and the posted-write class must print attribution rows.
+    assert!(
+        text.contains("writes)"),
+        "write attribution table missing:\n{text}"
+    );
     let folded = std::fs::read_to_string(&folded_path).expect("folded file written");
     std::fs::remove_file(&folded_path).ok();
     for line in folded.lines() {
         let (stack, weight) = line.rsplit_once(' ').expect("frame + weight");
         assert_eq!(stack.split(';').count(), 3, "bad folded line: {line}");
-        assert!(stack.starts_with("reads;"));
+        assert!(
+            stack.starts_with("read;") || stack.starts_with("write;"),
+            "bad root frame: {line}"
+        );
         weight.parse::<u64>().expect("integer weight");
     }
-    assert!(folded.lines().count() > 0);
+    assert!(folded.lines().any(|l| l.starts_with("read;")));
+    assert!(
+        folded.lines().any(|l| l.starts_with("write;")),
+        "folded export must carry write frames:\n{folded}"
+    );
 }
 
 #[test]
