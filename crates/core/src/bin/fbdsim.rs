@@ -19,7 +19,9 @@ use std::process::ExitCode;
 use fbd_core::experiment::{default_budget, ExperimentConfig};
 use fbd_core::{parallel_map, RunResult, RunSpec};
 use fbd_telemetry::{Json, LogHistogram, TelemetryConfig};
-use fbd_types::config::{Associativity, Interleaving, MemoryConfig, SystemConfig};
+use fbd_types::config::{
+    Associativity, FaultConfig, FaultMode, Interleaving, MemoryConfig, SystemConfig,
+};
 use fbd_types::request::{REQ_CLASSES, STAGES};
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload};
@@ -42,6 +44,10 @@ fn usage_text() -> String {
      telemetry options (run):\n  \
      --trace-out <file>         write a Chrome-trace (Perfetto-loadable) event trace\n  \
      --sample-interval <cycles> snapshot all metrics every N memory-clock cycles\n\n\
+     fault-injection options (run/profile/compare/sweep):\n  \
+     --fault-ber <rate>         channel bit-error rate in [0,1] (0 = injection off)\n  \
+     --fault-seed <n>           error-process seed (default 1)\n  \
+     --fault-mode <mode>        ber|burst|stuck-lane (default ber)\n\n\
      profile options:\n  \
      --folded-out <file>        write folded stacks (flamegraph.pl / speedscope input)"
         .to_string()
@@ -56,6 +62,9 @@ const RUN_KEYS: &[&str] = &[
     "stats-json",
     "trace-out",
     "sample-interval",
+    "fault-ber",
+    "fault-seed",
+    "fault-mode",
 ];
 const RUN_FLAGS: &[&str] = &["csv", "json", "timeline"];
 const PROFILE_KEYS: &[&str] = &[
@@ -65,11 +74,31 @@ const PROFILE_KEYS: &[&str] = &[
     "seed",
     "folded-out",
     "stats-json",
+    "fault-ber",
+    "fault-seed",
+    "fault-mode",
 ];
 const PROFILE_FLAGS: &[&str] = &["json"];
-const COMPARE_KEYS: &[&str] = &["workload", "budget", "seed", "stats-json"];
+const COMPARE_KEYS: &[&str] = &[
+    "workload",
+    "budget",
+    "seed",
+    "stats-json",
+    "fault-ber",
+    "fault-seed",
+    "fault-mode",
+];
 const COMPARE_FLAGS: &[&str] = &["csv", "json"];
-const SWEEP_KEYS: &[&str] = &["workload", "knob", "budget", "seed", "stats-json"];
+const SWEEP_KEYS: &[&str] = &[
+    "workload",
+    "knob",
+    "budget",
+    "seed",
+    "stats-json",
+    "fault-ber",
+    "fault-seed",
+    "fault-mode",
+];
 const SWEEP_FLAGS: &[&str] = &["csv", "json"];
 const RECORD_KEYS: &[&str] = &["workload", "system", "out", "budget", "seed"];
 const RECORD_FLAGS: &[&str] = &[];
@@ -127,11 +156,12 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             let key = a.strip_prefix("--")?;
-            match it.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    pairs.push((key.to_string(), it.next().expect("peeked").clone()));
+            if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                if let Some(v) = it.next() {
+                    pairs.push((key.to_string(), v.clone()));
                 }
-                _ => flags.push(key.to_string()),
+            } else {
+                flags.push(key.to_string());
             }
         }
         Some(Args { pairs, flags })
@@ -164,26 +194,86 @@ fn system_config(name: &str, cores: u32) -> Option<SystemConfig> {
     Some(cfg)
 }
 
-fn experiment(args: &Args) -> ExperimentConfig {
+fn experiment(args: &Args) -> Result<ExperimentConfig, ExitCode> {
     let mut exp = ExperimentConfig {
         budget: default_budget(),
         ..ExperimentConfig::default()
     };
-    if let Some(b) = args.get("budget").and_then(|v| v.parse().ok()) {
-        exp.budget = b;
+    if let Some(v) = args.get("budget") {
+        match v.parse::<u64>() {
+            Ok(b) if b > 0 => exp.budget = b,
+            _ => {
+                eprintln!("--budget must be a positive instruction count, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
     }
-    if let Some(s) = args.get("seed").and_then(|v| v.parse().ok()) {
-        exp.seed = s;
+    if let Some(v) = args.get("seed") {
+        match v.parse::<u64>() {
+            Ok(s) => exp.seed = s,
+            Err(_) => {
+                eprintln!("--seed must be an unsigned integer, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
     }
-    exp
+    Ok(exp)
+}
+
+/// Resolves the fault-injection flags shared by `run`/`profile`/
+/// `compare`/`sweep`. `Ok(None)` means no injection was requested (the
+/// channel models stay on the zero-cost no-fault path); `Err` is a
+/// usage error already reported on stderr.
+fn fault_options(args: &Args) -> Result<Option<FaultConfig>, ExitCode> {
+    for key in ["fault-ber", "fault-seed", "fault-mode"] {
+        if args.has_flag(key) {
+            eprintln!("--{key} requires a value");
+            return Err(ExitCode::from(2));
+        }
+    }
+    let Some(ber_s) = args.get("fault-ber") else {
+        if args.get("fault-seed").is_some() || args.get("fault-mode").is_some() {
+            eprintln!("--fault-seed/--fault-mode require --fault-ber");
+            return Err(ExitCode::from(2));
+        }
+        return Ok(None);
+    };
+    let ber = match ber_s.parse::<f64>() {
+        Ok(b) if b.is_finite() && (0.0..=1.0).contains(&b) => b,
+        _ => {
+            eprintln!("--fault-ber must be a bit-error rate in [0, 1], got `{ber_s}`");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let mut fc = FaultConfig::off();
+    fc.ber = ber;
+    if let Some(v) = args.get("fault-seed") {
+        match v.parse::<u64>() {
+            Ok(s) => fc.seed = s,
+            Err(_) => {
+                eprintln!("--fault-seed must be an unsigned integer, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(v) = args.get("fault-mode") {
+        match FaultMode::by_name(v) {
+            Some(m) => fc.mode = m,
+            None => {
+                eprintln!("--fault-mode must be ber, burst or stuck-lane, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(Some(fc))
 }
 
 /// Builds the [`RunSpec`] every subcommand runs through: the resolved
 /// system and workload plus the shared `--budget`/`--seed` run control.
-fn spec_for(cfg: SystemConfig, workload: &Workload, args: &Args) -> RunSpec {
+fn spec_for(cfg: SystemConfig, workload: &Workload, exp: ExperimentConfig) -> RunSpec {
     RunSpec::new(cfg)
         .with_workload(workload.clone())
-        .experiment(experiment(args))
+        .experiment(exp)
 }
 
 /// Resolves the run subcommand's telemetry flags. `Ok(None)` means no
@@ -329,6 +419,29 @@ fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
             ]),
         ),
     ];
+    // Present only when fault injection ran, so a no-fault run's
+    // document stays byte-identical to one from a build without the
+    // fault flags.
+    if let Some(fr) = &r.faults {
+        fields.push((
+            "errors".to_string(),
+            Json::Obj(vec![
+                ("injected".into(), Json::from(fr.counters.injected)),
+                ("detected".into(), Json::from(fr.counters.detected)),
+                ("retried".into(), Json::from(fr.counters.retried)),
+                (
+                    "retry_exhausted".into(),
+                    Json::from(fr.counters.retry_exhausted),
+                ),
+                ("failovers".into(), Json::from(fr.counters.failovers)),
+                (
+                    "dropped_prefetch".into(),
+                    Json::from(fr.counters.dropped_prefetch),
+                ),
+                ("degraded_ns".into(), Json::from(fr.degraded.as_ns_f64())),
+            ]),
+        ));
+    }
     fields.push(("latency_stages".to_string(), r.profile.to_json()));
     if let Some(tel) = &r.telemetry {
         fields.push(("metrics".to_string(), tel.registry.to_json()));
@@ -404,6 +517,23 @@ fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
             r.energy.avg_power_w(),
             r.energy.background_fraction() * 100.0
         );
+        if let Some(fr) = &r.faults {
+            println!(
+                "  channel faults     {} injected, {} retried, {} exhausted, {} failovers, \
+                 {} prefetch drops",
+                fr.counters.injected,
+                fr.counters.retried,
+                fr.counters.retry_exhausted,
+                fr.counters.failovers,
+                fr.counters.dropped_prefetch
+            );
+            if fr.counters.failovers > 0 {
+                println!(
+                    "                     degraded-width residency {:.1} µs",
+                    fr.degraded.as_ns_f64() / 1_000.0
+                );
+            }
+        }
         println!();
     }
 }
@@ -433,23 +563,36 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     let Some(workload) = find_workload(wname) else {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let Some(cfg) = system_config(sname, workload.cores()) else {
+    let Some(mut cfg) = system_config(sname, workload.cores()) else {
         eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
+    let (exp, faults) = match (experiment(args), fault_options(args)) {
+        (Ok(e), Ok(f)) => (e, f),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    if let Some(fc) = faults {
+        cfg.mem.faults = fc;
+    }
     let telemetry = match telemetry_options(args, &cfg) {
         Ok(t) => t,
         Err(code) => return code,
     };
     let csv = args.has_flag("csv");
     let json_stdout = args.has_flag("json");
-    let mut spec = spec_for(cfg, &workload, args);
+    let mut spec = spec_for(cfg, &workload, exp);
     if let Some(tc) = &telemetry {
         spec = spec.telemetry(*tc);
     }
-    let r = spec.run();
+    let r = match spec.try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if json_stdout {
         println!("{}", stats_document(&workload, sname, &r).to_json());
     } else {
@@ -466,11 +609,10 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     }
     if let Some(path) = args.get("trace-out") {
-        let tracer = r
-            .telemetry
-            .as_ref()
-            .and_then(|t| t.tracer.as_ref())
-            .expect("--trace-out enables tracing");
+        let Some(tracer) = r.telemetry.as_ref().and_then(|t| t.tracer.as_ref()) else {
+            eprintln!("internal error: --trace-out ran without a tracer");
+            return ExitCode::FAILURE;
+        };
         let doc = tracer.to_chrome_trace().to_json_pretty(1);
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("cannot write {path}: {e}");
@@ -519,13 +661,26 @@ fn cmd_profile(args: &Args) -> ExitCode {
     let sname = args.get("system").unwrap_or("fbd-ap");
     let Some(workload) = find_workload(wname) else {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let Some(cfg) = system_config(sname, workload.cores()) else {
+    let Some(mut cfg) = system_config(sname, workload.cores()) else {
         eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let r = spec_for(cfg, &workload, args).run();
+    let (exp, faults) = match (experiment(args), fault_options(args)) {
+        (Ok(e), Ok(f)) => (e, f),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    if let Some(fc) = faults {
+        cfg.mem.faults = fc;
+    }
+    let r = match spec_for(cfg, &workload, exp).try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let p = &r.profile;
     if args.has_flag("json") {
         println!("{}", stats_document(&workload, sname, &r).to_json());
@@ -628,7 +783,11 @@ fn cmd_compare(args: &Args) -> ExitCode {
     };
     let Some(workload) = find_workload(wname) else {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
+    };
+    let (exp, faults) = match (experiment(args), fault_options(args)) {
+        (Ok(e), Ok(f)) => (e, f),
+        (Err(code), _) | (_, Err(code)) => return code,
     };
     let csv = args.has_flag("csv");
     let want_stats = args.has_flag("json") || args.get("stats-json").is_some();
@@ -640,12 +799,20 @@ fn cmd_compare(args: &Args) -> ExitCode {
     // all cores, then report strictly in grid order so the output stays
     // byte-for-byte deterministic.
     let systems = ["ddr2", "fbd", "fbd-ap", "fbd-apfl"];
-    let results = parallel_map(&systems, |sname| {
-        let cfg = system_config(sname, workload.cores()).expect("known system");
-        spec_for(cfg, &workload, args).run()
-    });
+    let mut grid = Vec::new();
+    for sname in systems {
+        let Some(mut cfg) = system_config(sname, workload.cores()) else {
+            eprintln!("internal error: unknown system `{sname}`");
+            return ExitCode::FAILURE;
+        };
+        if let Some(fc) = faults {
+            cfg.mem.faults = fc;
+        }
+        grid.push((sname, cfg));
+    }
+    let results = parallel_map(&grid, |(_, cfg)| spec_for(*cfg, &workload, exp).run());
     let mut points = Vec::new();
-    for (sname, r) in systems.iter().zip(&results) {
+    for ((sname, _), r) in grid.iter().zip(&results) {
         if human {
             report(&workload, sname, r, csv);
         }
@@ -665,7 +832,11 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     };
     let Some(workload) = find_workload(wname) else {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
+    };
+    let (exp, faults) = match (experiment(args), fault_options(args)) {
+        (Ok(e), Ok(f)) => (e, f),
+        (Err(code), _) | (_, Err(code)) => return code,
     };
     let csv = args.has_flag("csv");
     let want_stats = args.has_flag("json") || args.get("stats-json").is_some();
@@ -673,7 +844,13 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     if csv && human {
         println!("{CSV_HEADER}");
     }
-    let base = system_config("fbd-ap", workload.cores()).expect("known system");
+    let Some(mut base) = system_config("fbd-ap", workload.cores()) else {
+        eprintln!("internal error: unknown system `fbd-ap`");
+        return ExitCode::FAILURE;
+    };
+    if let Some(fc) = faults {
+        base.mem.faults = fc;
+    }
     let points: Vec<(String, SystemConfig)> = match knob {
         "k" => [2u32, 4, 8]
             .iter()
@@ -727,11 +904,11 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         .collect(),
         _ => {
             eprintln!("unknown knob `{knob}` (k|entries|assoc|channels|rate)");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     // As in `compare`: simulate the grid in parallel, report in order.
-    let results = parallel_map(&points, |(_, cfg)| spec_for(*cfg, &workload, args).run());
+    let results = parallel_map(&points, |(_, cfg)| spec_for(*cfg, &workload, exp).run());
     let mut docs = Vec::new();
     for ((label, _), r) in points.iter().zip(&results) {
         if human {
@@ -755,22 +932,31 @@ fn cmd_record(args: &Args) -> ExitCode {
     };
     let Some(workload) = find_workload(wname) else {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let Some(cfg) = system_config(sname, workload.cores()) else {
         eprintln!("unknown system `{sname}`");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     // Record the raw access stream: no L2 warm-up, so the trace starts
     // at the first transaction (matching the historical behavior of
     // `System::new`).
-    let mut exp = experiment(args);
+    let mut exp = match experiment(args) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
     exp.warmup = fbd_core::Warmup::Ops(0);
-    let result = spec_for(cfg, &workload, args)
-        .experiment(exp)
-        .capture_trace()
-        .run();
-    let trace = result.trace.expect("capture enabled");
+    let result = match spec_for(cfg, &workload, exp).capture_trace().try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(trace) = result.trace else {
+        eprintln!("internal error: record ran without trace capture");
+        return ExitCode::FAILURE;
+    };
     let mut file = match std::fs::File::create(out) {
         Ok(f) => std::io::BufWriter::new(f),
         Err(e) => {
@@ -801,7 +987,7 @@ fn cmd_replay(args: &Args) -> ExitCode {
     };
     let Some(cfg) = system_config(sname, 1) else {
         eprintln!("unknown system `{sname}`");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let file = match std::fs::File::open(path) {
         Ok(f) => std::io::BufReader::new(f),
@@ -810,11 +996,13 @@ fn cmd_replay(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Malformed input is the user's to fix, like any other bad
+    // argument: report the offending line and exit 2.
     let trace = match fbd_core::MemoryTrace::from_csv(file) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = fbd_core::replay(&cfg.mem, &trace);
@@ -1086,12 +1274,70 @@ mod tests {
     #[test]
     fn experiment_flags_override_defaults() {
         let args = parse(&["--budget", "123", "--seed", "9"]).unwrap();
-        let exp = experiment(&args);
+        let exp = experiment(&args).unwrap();
         assert_eq!(exp.budget, 123);
         assert_eq!(exp.seed, 9);
-        // Bad numbers fall back to defaults rather than erroring.
-        let args = parse(&["--budget", "abc"]).unwrap();
-        let exp2 = experiment(&args);
-        assert!(exp2.budget > 0);
+        // Bad numbers are usage errors, not silent defaults.
+        for bad in [
+            &["--budget", "abc"][..],
+            &["--budget", "0"],
+            &["--budget", "-5"],
+            &["--seed", "x"],
+        ] {
+            assert!(experiment(&parse(bad).unwrap()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn fault_flags_resolve() {
+        // No fault flags: injection stays off entirely.
+        let args = parse(&["--workload", "1C-swim"]).unwrap();
+        assert!(fault_options(&args).unwrap().is_none());
+        // --fault-ber alone uses the seed/mode defaults.
+        let args = parse(&["--fault-ber", "1e-6"]).unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!(fc.ber, 1e-6);
+        assert_eq!(fc.seed, FaultConfig::off().seed);
+        assert_eq!(fc.mode, FaultMode::Ber);
+        assert!(fc.is_active());
+        // All three spelled out.
+        let args = parse(&[
+            "--fault-ber",
+            "0.001",
+            "--fault-seed",
+            "7",
+            "--fault-mode",
+            "stuck-lane",
+        ])
+        .unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!((fc.ber, fc.seed, fc.mode), (0.001, 7, FaultMode::StuckLane));
+        // `--fault-ber 0` explicitly disables injection (still Some so
+        // it overrides a preset, but inactive).
+        let args = parse(&["--fault-ber", "0"]).unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert!(!fc.is_active());
+    }
+
+    #[test]
+    fn fault_flags_reject_bad_values() {
+        for bad in [
+            &["--fault-ber", "nope"][..],
+            &["--fault-ber", "-0.1"],
+            &["--fault-ber", "1.5"],
+            &["--fault-ber", "inf"],
+            &["--fault-ber", "nan"],
+            &["--fault-ber", "1e-6", "--fault-seed", "x"],
+            &["--fault-ber", "1e-6", "--fault-mode", "cosmic"],
+            // Dependent flags without the rate are a usage error.
+            &["--fault-seed", "7"],
+            &["--fault-mode", "burst"],
+        ] {
+            let args = parse(bad).unwrap();
+            assert!(fault_options(&args).is_err(), "{bad:?} must be rejected");
+        }
+        // A bare value-taking fault flag is a usage error.
+        let args = parse(&["--fault-ber"]).unwrap();
+        assert!(fault_options(&args).is_err());
     }
 }

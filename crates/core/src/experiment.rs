@@ -26,6 +26,7 @@ use std::collections::HashMap;
 
 use fbd_telemetry::TelemetryConfig;
 use fbd_types::config::{AmbPrefetchConfig, Interleaving, MemoryConfig, SystemConfig};
+use fbd_types::ConfigError;
 use fbd_workloads::Workload;
 
 use crate::system::{RunResult, System};
@@ -260,6 +261,40 @@ impl RunSpec {
         self.workload.as_ref()
     }
 
+    /// Validates the spec's system configuration (timings, geometry,
+    /// prefetch parameters, fault-injection parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration trips.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.system.validate()
+    }
+
+    /// Like [`run`](Self::run), but returns a diagnostic instead of
+    /// panicking on a missing workload, a core-count mismatch or an
+    /// invalid configuration — the form CLI front-ends consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn try_run(&self) -> Result<RunResult, String> {
+        self.validate().map_err(|e| e.to_string())?;
+        let workload = self
+            .workload
+            .as_ref()
+            .ok_or("no workload selected; call .workload()/.with_workload() first")?;
+        if self.system.cpu.cores != workload.cores() {
+            return Err(format!(
+                "system has {} cores but workload {} needs {}",
+                self.system.cpu.cores,
+                workload.name(),
+                workload.cores()
+            ));
+        }
+        Ok(self.run())
+    }
+
     /// Executes the run.
     ///
     /// # Panics
@@ -382,6 +417,7 @@ mod tests {
             channels: Vec::new(),
             energy: fbd_power::EnergyReport::default(),
             profile: Default::default(),
+            faults: None,
             trace: None,
             telemetry: None,
         }
@@ -460,6 +496,21 @@ mod tests {
         assert_eq!(shim.elapsed, spec.elapsed);
         assert_eq!(shim.mem.demand_reads, spec.mem.demand_reads);
         assert!((shim.energy.total_nj() - spec.energy.total_nj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_run_reports_problems_instead_of_panicking() {
+        let err = RunSpec::paper_default(1).try_run().unwrap_err();
+        assert!(err.contains("no workload"), "{err}");
+        let cfg = fbd_types::config::SystemConfig::paper_default(2);
+        let w = Workload::new("1C-swim", &["swim"]);
+        let err = RunSpec::new(cfg).with_workload(w).try_run().unwrap_err();
+        assert!(err.contains("cores"), "{err}");
+        let mut spec = RunSpec::paper_default(1).workload("1C-swim");
+        spec.system_mut().mem.faults.ber = 2.0;
+        let err = spec.try_run().unwrap_err();
+        assert!(err.contains("faults.ber"), "{err}");
+        assert!(spec.validate().is_err());
     }
 
     #[test]

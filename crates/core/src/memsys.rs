@@ -24,6 +24,7 @@ use fbd_ctrl::{
     SchedClass, TransactionQueue,
 };
 use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
+use fbd_faults::FaultReport;
 use fbd_link::{Ddr2CommandBus, FbdChannel, LinkSlot};
 use fbd_power::{EnergyModel, EnergyReport, PowerModeTracker, RankActivity};
 use fbd_telemetry::{
@@ -161,6 +162,16 @@ impl MemTel {
     fn north_frame(&mut self, ch: u32, slot: LinkSlot) {
         if let Some(tr) = self.tel.tracer.as_mut() {
             tr.complete("data", "link", ch, TID_NORTH, slot.start, slot.dur, vec![]);
+        }
+    }
+
+    /// Corrupted link slots consumed by replay attempts (or a dropped
+    /// transfer), shown on the link track under fault injection.
+    fn retry_frames(&mut self, ch: u32, tid: u32, failed: &[LinkSlot]) {
+        if let Some(tr) = self.tel.tracer.as_mut() {
+            for f in failed {
+                tr.complete("retry", "link", ch, tid, f.start, f.dur, vec![]);
+            }
         }
     }
 
@@ -366,10 +377,10 @@ impl MemorySystem {
                 .collect()
         };
         let channels: Vec<Channel> = (0..cfg.logical_channels)
-            .map(|_| {
+            .map(|ch| {
                 let path = match cfg.tech {
                     MemoryTech::FbDimm { .. } => ChannelPath::Fbd {
-                        link: FbdChannel::new(cfg),
+                        link: FbdChannel::for_channel(cfg, ch),
                         dimms: (0..cfg.dimms_per_channel)
                             .map(|_| {
                                 AmbDimm::with_ranks(
@@ -533,6 +544,25 @@ impl MemorySystem {
         &self.profile
     }
 
+    /// The fault-injection summary for the run so far, evaluated at
+    /// `end` (degraded-width residency accrues until then), merged over
+    /// every channel. `None` when fault injection is off — the stats
+    /// schema stays byte-identical to a no-fault run.
+    pub fn fault_report(&self, end: Time) -> Option<FaultReport> {
+        let mut out: Option<FaultReport> = None;
+        for c in &self.channels {
+            if let ChannelPath::Fbd { link, .. } = &c.path {
+                if let Some(r) = link.fault_report(end) {
+                    match out.as_mut() {
+                        Some(acc) => acc.merge(&r),
+                        None => out = Some(r),
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// When the next telemetry epoch snapshot is due ([`Time::NEVER`]
     /// when telemetry or sampling is off).
     pub fn next_sample_due(&self) -> Time {
@@ -618,6 +648,25 @@ impl MemorySystem {
         ] {
             let id = mt.tel.registry.gauge(path);
             mt.tel.registry.set(id, value);
+        }
+        // Error/recovery gauges exist only when fault injection ran, so
+        // a zero-BER run exports a byte-identical registry.
+        if let Some(fr) = self.fault_report(end) {
+            for (path, value) in [
+                ("errors.injected", fr.counters.injected as f64),
+                ("errors.detected", fr.counters.detected as f64),
+                ("errors.retried", fr.counters.retried as f64),
+                ("errors.retry_exhausted", fr.counters.retry_exhausted as f64),
+                ("errors.failovers", fr.counters.failovers as f64),
+                (
+                    "errors.dropped_prefetch",
+                    fr.counters.dropped_prefetch as f64,
+                ),
+                ("errors.degraded_ns", fr.degraded.as_ns_f64()),
+            ] {
+                let id = mt.tel.registry.gauge(path);
+                mt.tel.registry.set(id, value);
+            }
         }
         mt.tel.finish(end);
         Some(mt.tel)
@@ -850,19 +899,26 @@ impl MemorySystem {
         }
 
         let pi = self.pidx(m.channel, m.dimm, m.rank);
+        // Under the controller's recovery policy a corrupted northbound
+        // transfer for a prefetch read is dropped instead of replayed.
+        let droppable = fbd_ctrl::droppable(req.kind);
         // Stage-resolved latency attribution: the stamper's cursor walks
         // the request's lifecycle from arrival to completion, charging
         // each interval to exactly one stage, so the stage durations sum
-        // to the end-to-end latency by construction.
+        // to the end-to-end latency by construction. Retry time (replay
+        // backoff and corrupted slots under fault injection) is charged
+        // to its own stage at each link crossing.
         let mut st = StageBreakdown::stamper(req.arrival);
-        let (completion, service) = match &mut self.channels[m.channel as usize].path {
+        let (completion, service, dropped) = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
                 st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
-                let slot = link.send_command(now);
-                let cmd_at_amb = slot.done;
-                st.to(Stage::SouthLink, cmd_at_amb);
+                let cmd = link.send_command_checked(now);
+                st.to(Stage::SouthLink, cmd.first_done);
+                st.to(Stage::Retry, cmd.slot.done);
+                let cmd_at_amb = cmd.slot.done;
                 if let Some(t) = self.tel.as_deref_mut() {
-                    t.south_frame("cmd", m.channel, slot);
+                    t.retry_frames(m.channel, TID_SOUTH, &cmd.failed);
+                    t.south_frame("cmd", m.channel, cmd.slot);
                 }
                 let dimm = &mut dimms[m.dimm as usize];
                 let rank = m.rank as usize;
@@ -882,14 +938,16 @@ impl MemorySystem {
                     st.to(Stage::AmbProc, data_ready);
                     self.stats.amb_hits += 1;
                     self.chan_counts[m.channel as usize].amb_hits += 1;
-                    let north = link.return_read_data(m.dimm, data_ready);
-                    st.to(Stage::NorthQueue, north.start);
-                    st.to(Stage::NorthLink, north.done);
+                    let north = link.return_read_data_checked(m.dimm, data_ready, droppable);
+                    st.to(Stage::NorthQueue, north.first_start);
+                    st.to(Stage::NorthLink, north.first_done);
+                    st.to(Stage::Retry, north.slot.done);
                     if let Some(t) = self.tel.as_deref_mut() {
                         t.amb_hit(m.channel, m.dimm, cmd_at_amb);
-                        t.north_frame(m.channel, north);
+                        t.retry_frames(m.channel, TID_NORTH, &north.failed);
+                        t.north_frame(m.channel, north.slot);
                     }
-                    (north.done, ServiceKind::AmbCacheHit)
+                    (north.slot.done, ServiceKind::AmbCacheHit, north.dropped)
                 } else if let Some(table) = self.table.as_mut() {
                     // Group fetch: demanded line first, K−1 fills.
                     let k = self.cfg.amb.region_lines;
@@ -902,14 +960,21 @@ impl MemorySystem {
                     let filled = table.fill(m.channel, m.dimm, fills);
                     self.stats.lines_prefetched += filled.inserted;
                     self.power[pi].note_busy(out.service_start(), out.fill_done);
-                    let north = link.return_read_data(m.dimm, out.demanded_ready);
-                    st.to(Stage::NorthQueue, north.start);
-                    st.to(Stage::NorthLink, north.done);
+                    let north =
+                        link.return_read_data_checked(m.dimm, out.demanded_ready, droppable);
+                    st.to(Stage::NorthQueue, north.first_start);
+                    st.to(Stage::NorthLink, north.first_done);
+                    st.to(Stage::Retry, north.slot.done);
                     if let Some(t) = self.tel.as_deref_mut() {
                         t.group_fetch(m.channel, m.dimm, m.bank, &out, &filled);
-                        t.north_frame(m.channel, north);
+                        t.retry_frames(m.channel, TID_NORTH, &north.failed);
+                        t.north_frame(m.channel, north.slot);
                     }
-                    (north.done, ServiceKind::DramAccessWithPrefetch)
+                    (
+                        north.slot.done,
+                        ServiceKind::DramAccessWithPrefetch,
+                        north.dropped,
+                    )
                 } else {
                     let out = dimm.read_line_at(rank, m.bank as usize, m.row, cmd_at_amb);
                     st.to(Stage::DramWait, out.service_start());
@@ -919,19 +984,21 @@ impl MemorySystem {
                         self.stats.row_hits += 1;
                     }
                     self.power[pi].note_busy(out.service_start(), out.data_end);
-                    let north = link.return_read_data(m.dimm, out.data_ready);
-                    st.to(Stage::NorthQueue, north.start);
-                    st.to(Stage::NorthLink, north.done);
+                    let north = link.return_read_data_checked(m.dimm, out.data_ready, droppable);
+                    st.to(Stage::NorthQueue, north.first_start);
+                    st.to(Stage::NorthLink, north.first_done);
+                    st.to(Stage::Retry, north.slot.done);
                     if let Some(t) = self.tel.as_deref_mut() {
                         t.dram_read(m.channel, m.dimm, m.bank, &out);
-                        t.north_frame(m.channel, north);
+                        t.retry_frames(m.channel, TID_NORTH, &north.failed);
+                        t.north_frame(m.channel, north.slot);
                     }
                     let service = if out.row_hit {
                         ServiceKind::RowBufferHit
                     } else {
                         ServiceKind::DramAccess
                     };
-                    (north.done, service)
+                    (north.slot.done, service, north.dropped)
                 }
             }
             ChannelPath::Ddr2 { cmd, bus, dimms } => {
@@ -973,7 +1040,7 @@ impl MemorySystem {
                 } else {
                     ServiceKind::DramAccess
                 };
-                (plan.data_end, service)
+                (plan.data_end, service, false)
             }
         };
         if demand {
@@ -1009,6 +1076,7 @@ impl MemorySystem {
                 completion,
                 service,
                 stages,
+                dropped,
             },
         }
     }
@@ -1037,13 +1105,14 @@ impl MemorySystem {
         let done = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
                 st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
-                let slot = link.send_write_data(now);
-                st.to(Stage::SouthLink, slot.done);
+                let wdata = link.send_write_data_checked(now);
+                st.to(Stage::SouthLink, wdata.first_done);
+                st.to(Stage::Retry, wdata.slot.done);
                 let out = dimms[m.dimm as usize].write_line_at(
                     m.rank as usize,
                     m.bank as usize,
                     m.row,
-                    slot.done,
+                    wdata.slot.done,
                 );
                 // The AMB buffers the posted write until its bank can
                 // take the drain, so bank-availability wait is AMB
@@ -1054,7 +1123,8 @@ impl MemorySystem {
                 st.to(Stage::DramCas, out.data_end);
                 self.power[pi].note_busy(out.service_start(), out.data_end);
                 if let Some(t) = self.tel.as_deref_mut() {
-                    t.south_frame("wdata", m.channel, slot);
+                    t.retry_frames(m.channel, TID_SOUTH, &wdata.failed);
+                    t.south_frame("wdata", m.channel, wdata.slot);
                     t.dram_write(m.channel, m.dimm, m.bank, &out);
                 }
                 out.data_end

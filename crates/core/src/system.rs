@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use fbd_cpu::{CpuComplex, TraceSource};
+use fbd_faults::FaultReport;
 use fbd_power::EnergyReport;
 use fbd_telemetry::{MetricId, StageProfile, Telemetry, TelemetryConfig};
 use fbd_types::config::SystemConfig;
@@ -30,8 +31,10 @@ enum Event {
     /// Run a scheduling decision for a logical channel.
     Decide(u32),
     /// A read completed at the controller; deliver to the cores and free
-    /// the channel's in-flight slot.
-    ReadDone(u32, LineAddr),
+    /// the channel's in-flight slot. The flag marks a transfer whose
+    /// northbound data was dropped under fault injection (the line is
+    /// not cached).
+    ReadDone(u32, LineAddr, bool),
     /// A write finished at the devices; free the in-flight slot.
     WriteDone(u32),
     /// A core's self-wake (ROB stall expiry or projected finish).
@@ -65,6 +68,9 @@ pub struct RunResult {
     /// read and posted write (always collected; see
     /// [`MemorySystem::latency_profile`](crate::MemorySystem::latency_profile)).
     pub profile: StageProfile,
+    /// Error/recovery summary when fault injection was configured
+    /// (`None` on a no-fault run, so downstream exports stay identical).
+    pub faults: Option<FaultReport>,
 }
 
 impl RunResult {
@@ -219,7 +225,10 @@ impl System {
         for issued in result.issued {
             match issued {
                 Issued::Read { resp } => {
-                    self.push(resp.completion, Event::ReadDone(ch, resp.line));
+                    self.push(
+                        resp.completion,
+                        Event::ReadDone(ch, resp.line, resp.dropped),
+                    );
                     // Software prefetches and demand reads both fill the
                     // L2; the complex routes waiters by line.
                     debug_assert!(resp.kind != AccessKind::Write);
@@ -260,10 +269,14 @@ impl System {
                 Event::Decide(ch) => {
                     self.run_decision(ch);
                 }
-                Event::ReadDone(ch, line) => {
+                Event::ReadDone(ch, line, dropped) => {
                     self.mem.complete(ch);
                     let deliver = self.now + self.cpu.fill_latency();
-                    self.cpu.complete(line, deliver);
+                    if dropped {
+                        self.cpu.complete_dropped(line, deliver);
+                    } else {
+                        self.cpu.complete(line, deliver);
+                    }
                     self.pump_cpu();
                     if self.mem.has_work(ch) {
                         self.push(self.now, Event::Decide(ch));
@@ -309,6 +322,7 @@ impl System {
             channels: self.mem.channel_counters().to_vec(),
             energy: self.mem.energy_report(self.now),
             profile: self.mem.latency_profile().clone(),
+            faults: self.mem.fault_report(self.now),
             trace: self.capture,
             telemetry,
         }

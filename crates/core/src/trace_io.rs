@@ -17,6 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io::{self, BufRead, Write};
 
+use fbd_faults::FaultReport;
 use fbd_telemetry::StageProfile;
 use fbd_types::config::MemoryConfig;
 use fbd_types::request::{AccessKind, CoreId, MemRequest};
@@ -201,6 +202,9 @@ pub struct ReplayResult {
     pub profile: StageProfile,
     /// Always-on per-channel traffic counters, indexed by channel.
     pub channels: Vec<ChannelCounters>,
+    /// Error/recovery summary when the configuration enabled fault
+    /// injection (`None` on a no-fault replay).
+    pub faults: Option<FaultReport>,
 }
 
 impl ReplayResult {
@@ -261,6 +265,7 @@ pub fn replay(cfg: &MemoryConfig, trace: &MemoryTrace) -> ReplayResult {
         finished,
         profile: mem.latency_profile().clone(),
         channels: mem.channel_counters().to_vec(),
+        faults: mem.fault_report(finished),
     }
 }
 
@@ -305,6 +310,39 @@ mod tests {
         let err = MemoryTrace::from_csv(bad.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 2"));
         assert!(err.to_string().contains("bad kind"));
+    }
+
+    #[test]
+    fn truncated_row_reports_line_not_panics() {
+        // A row cut off mid-record (e.g. a truncated download) must
+        // surface as a parse error naming the offset, never a panic.
+        let bad = "arrival_ps,kind,line,core\n100,R,7,0\n200,W";
+        let err = MemoryTrace::from_csv(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("bad line"), "{err}");
+        // Missing only the core field.
+        let bad = "arrival_ps,kind,line,core\n100,R,7\n";
+        let err = MemoryTrace::from_csv(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("bad core"), "{err}");
+        // Binary garbage on the first data row.
+        let mut bytes = b"arrival_ps,kind,line,core\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, 0x00, b'\n']);
+        let err = MemoryTrace::from_csv(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn replay_reports_faults_only_when_injecting() {
+        let t = sample();
+        let clean = replay(&MemoryConfig::fbdimm_default(), &t);
+        assert!(clean.faults.is_none());
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.faults.ber = 1e-4;
+        let faulted = replay(&cfg, &t);
+        let report = faulted.faults.expect("fault injection was on");
+        assert!(report.counters.injected > 0, "{report:?}");
+        assert_eq!(report.counters.detected, report.counters.injected);
     }
 
     #[test]

@@ -117,6 +117,21 @@ impl L2Cache {
             .any(|e| e.line == line)
     }
 
+    /// Removes `line` if present *and clean*; returns whether it was
+    /// removed. Used when a fill is dropped after allocation (corrupted
+    /// prefetch data under fault injection): the allocated frame holds
+    /// no valid data, but a line dirtied by an intervening store must
+    /// not lose its data and stays.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|e| e.line == line && !e.dirty) {
+            set.swap_remove(pos);
+            return true;
+        }
+        false
+    }
+
     /// (hits, misses) so far.
     pub fn hit_miss_counts(&self) -> (u64, u64) {
         (self.hits, self.misses)
@@ -199,6 +214,19 @@ mod tests {
                 writeback: Some(LineAddr::new(0))
             }
         );
+    }
+
+    #[test]
+    fn invalidate_removes_clean_lines_only() {
+        let mut c = small();
+        c.access(LineAddr::new(0), false); // clean
+        c.access(LineAddr::new(4), true); // dirty
+        assert!(c.invalidate(LineAddr::new(0)));
+        assert!(!c.contains(LineAddr::new(0)));
+        // Dirty lines keep their data; absent lines are a no-op.
+        assert!(!c.invalidate(LineAddr::new(4)));
+        assert!(c.contains(LineAddr::new(4)));
+        assert!(!c.invalidate(LineAddr::new(8)));
     }
 
     #[test]

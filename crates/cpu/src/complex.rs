@@ -360,6 +360,18 @@ impl CpuComplex {
         }
     }
 
+    /// Retires a fill whose data never arrived (a corrupted prefetch
+    /// transfer dropped under fault injection). MSHR slots are freed
+    /// and waiters woken exactly like [`complete`](Self::complete) —
+    /// a real controller would re-issue demand accesses that merged
+    /// into the dead prefetch; waking them at drop time is the modeling
+    /// grace for that — but the L2 frame allocated at issue is
+    /// invalidated, so the next access to the line misses again.
+    pub fn complete_dropped(&mut self, line: LineAddr, now: Time) {
+        self.complete(line, now);
+        self.l2.invalidate(line);
+    }
+
     fn next_wake(&self, now: Time) -> Option<Time> {
         let mut wake: Option<Time> = None;
         let mut push = |t: Time| {
@@ -455,6 +467,41 @@ mod tests {
         assert!(adv2.requests.is_empty());
         let (hits, misses) = cpx.l2_counts();
         assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn dropped_fill_uncaches_the_line_but_frees_the_mshr() {
+        // Two accesses to the same line, far enough apart in the
+        // instruction stream that the second only reaches the L2 after
+        // the first's fill resolves (ROB-blocked, like
+        // `rob_limits_outstanding_run_ahead`).
+        let requests_after = |dropped: bool| -> Vec<LineAddr> {
+            let mut cpx = CpuComplex::new(&cfg(1), vec![strided(2, 0, 100)], 1_000_000);
+            let adv = cpx.advance(Time::ZERO);
+            assert_eq!(adv.requests.len(), 1);
+            let line = adv.requests[0].line;
+            if dropped {
+                cpx.complete_dropped(line, Time::from_ns(60));
+            } else {
+                cpx.complete(line, Time::from_ns(60));
+            }
+            // Either way the MSHR is free and the stalled core resumed.
+            assert_eq!(cpx.occupancy(), (0, 0));
+            let mut out = Vec::new();
+            let mut at = Time::from_ns(60);
+            for _ in 0..5 {
+                let adv = cpx.advance(at);
+                out.extend(adv.requests.iter().map(|r| r.line));
+                let Some(wake) = adv.next_wake else { break };
+                at = wake;
+            }
+            out
+        };
+        // A delivered fill leaves the line cached: the second access hits.
+        assert!(requests_after(false).is_empty());
+        // A dropped fill leaves it uncached: the second access misses
+        // and re-requests it (the fault-injection hit-rate shift).
+        assert_eq!(requests_after(true), [LineAddr::new(0)]);
     }
 
     #[test]

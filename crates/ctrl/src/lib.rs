@@ -31,11 +31,13 @@
 pub mod info_table;
 pub mod mapping;
 pub mod queue;
+pub mod recovery;
 pub mod sched;
 
 pub use info_table::{FillOutcome, PrefetchTable};
 pub use mapping::{AddressMapper, MappedAddr};
 pub use queue::{QueueEntry, TransactionQueue};
+pub use recovery::{droppable, northbound_action, CrcAction};
 pub use sched::{HitFirstScheduler, SchedClass};
 
 #[cfg(all(test, feature = "proptest"))]

@@ -1,0 +1,65 @@
+//! Frame-recovery policy under link fault injection.
+//!
+//! The FB-DIMM frame CRC tells the controller *that* a frame was
+//! corrupted; what to do about it is controller policy. Command and
+//! write-data frames are protocol state and must be delivered, so they
+//! are always replayed. Northbound read data splits by what the read
+//! was for: demand data is on a core's critical path and is replayed,
+//! while *prefetch* data is speculative — replaying it would spend
+//! northbound slots (exactly the resource AMB prefetching is trying to
+//! exploit) on data nobody has asked for yet, so the controller simply
+//! drops the transfer and leaves the line uncached. A later demand
+//! access misses and fetches it again, which is how channel faults
+//! shift the hit-rate/traffic curves the paper measures.
+
+use fbd_types::request::AccessKind;
+
+/// What the controller does with a northbound transfer whose CRC check
+/// failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrcAction {
+    /// Replay the transfer (bounded retries with backoff, then lane
+    /// fail-over) — demand data and all southbound frames.
+    Retry,
+    /// Discard the transfer; the line is not cached and no replay
+    /// occupies the link — speculative prefetch data.
+    Drop,
+}
+
+/// Recovery policy for a northbound data transfer serving `kind`.
+pub fn northbound_action(kind: AccessKind) -> CrcAction {
+    if kind.is_prefetch() {
+        CrcAction::Drop
+    } else {
+        CrcAction::Retry
+    }
+}
+
+/// True when a corrupted northbound transfer for `kind` is dropped
+/// rather than replayed (the form the link layer consumes).
+pub fn droppable(kind: AccessKind) -> bool {
+    northbound_action(kind) == CrcAction::Drop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_data_retries_prefetch_data_drops() {
+        assert_eq!(northbound_action(AccessKind::DemandRead), CrcAction::Retry);
+        assert_eq!(
+            northbound_action(AccessKind::SoftwarePrefetch),
+            CrcAction::Drop
+        );
+        assert_eq!(
+            northbound_action(AccessKind::HardwarePrefetch),
+            CrcAction::Drop
+        );
+        assert!(droppable(AccessKind::HardwarePrefetch));
+        assert!(!droppable(AccessKind::DemandRead));
+        // Writes never traverse the northbound link, but the policy is
+        // total: protocol frames are never droppable.
+        assert!(!droppable(AccessKind::Write));
+    }
+}

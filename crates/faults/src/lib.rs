@@ -1,0 +1,384 @@
+//! Deterministic link fault injection for the FB-DIMM channel.
+//!
+//! Real FB-DIMM links protect every southbound/northbound frame with a
+//! CRC; the controller replays corrupted frames and, on persistent
+//! failure, degrades the channel to a reduced-width lane map. This
+//! crate provides the *error process* side of that protocol: a seeded,
+//! reproducible per-link bit-error stream ([`FaultProcess`]), the retry
+//! backoff schedule ([`backoff_slots`]), and the counter/report types
+//! ([`FaultCounters`], [`FaultReport`]) the recovery machinery in
+//! `fbd-link`/`fbd-core` aggregates.
+//!
+//! Determinism contract: a process draws one pseudo-random number per
+//! frame from a [SplitMix64] stream derived from `(seed, channel,
+//! direction)` only. Two runs with the same configuration therefore
+//! corrupt exactly the same frames, regardless of host, thread
+//! scheduling or sweep ordering — the property the
+//! `--fault-seed` CLI contract and the determinism tests rely on.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use fbd_types::config::{FaultConfig, FaultMode};
+use fbd_types::time::Dur;
+
+/// Direction of an FB-DIMM link (each logical channel has one of each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    /// Controller → DIMMs: command and write-data frames.
+    South,
+    /// DIMMs → controller: read-data frames.
+    North,
+}
+
+impl LinkDir {
+    /// Dense index (south first).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            LinkDir::South => 0,
+            LinkDir::North => 1,
+        }
+    }
+
+    /// Short machine-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            LinkDir::South => "south",
+            LinkDir::North => "north",
+        }
+    }
+}
+
+/// Sebastiano Vigna's SplitMix64: tiny, full-period, and statistically
+/// solid for simulation use — and dependency-free, which keeps the
+/// fault layer out of the vendored-`rand` surface.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Folds `v` into the stream position (domain separation between
+    /// per-channel / per-direction streams sharing one user seed).
+    fn absorb(&mut self, v: u64) {
+        self.state ^= v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        self.next_u64();
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The seeded bit-error process of one link direction.
+///
+/// One process exists per `(channel, direction)` pair; each transferred
+/// frame consumes exactly one draw, so the corruption pattern is a pure
+/// function of the configuration — see the crate docs for the
+/// determinism contract.
+#[derive(Clone, Debug)]
+pub struct FaultProcess {
+    /// Per-frame corruption probability derived from the BER and the
+    /// frame payload width.
+    p_frame: f64,
+    mode: FaultMode,
+    burst_frames: u32,
+    rng: SplitMix64,
+    /// Remaining frames of a running burst (includes none of the
+    /// trigger frame; decremented per subsequent frame).
+    burst_left: u32,
+    /// Set once a stuck-lane defect has triggered: every later frame is
+    /// corrupt until the controller fails the lane over.
+    stuck: bool,
+    frames_drawn: u64,
+}
+
+impl FaultProcess {
+    /// Builds the error process for one link direction.
+    ///
+    /// `bits_per_frame` is the number of payload bits a frame carries on
+    /// this direction (wider frames are proportionally more exposed):
+    /// the per-frame corruption probability is
+    /// `1 − (1 − ber)^bits_per_frame`.
+    pub fn new(cfg: &FaultConfig, channel: u32, dir: LinkDir, bits_per_frame: u32) -> FaultProcess {
+        let mut rng = SplitMix64::new(cfg.seed);
+        rng.absorb(u64::from(channel).wrapping_add(1));
+        rng.absorb(dir.index() as u64 + 1);
+        let p_frame = 1.0 - (1.0 - cfg.ber).powi(bits_per_frame as i32);
+        FaultProcess {
+            p_frame,
+            mode: cfg.mode,
+            burst_frames: cfg.burst_frames,
+            rng,
+            burst_left: 0,
+            stuck: false,
+            frames_drawn: 0,
+        }
+    }
+
+    /// Per-frame corruption probability of this process.
+    pub fn p_frame(&self) -> f64 {
+        self.p_frame
+    }
+
+    /// Number of frames drawn so far.
+    pub fn frames_drawn(&self) -> u64 {
+        self.frames_drawn
+    }
+
+    /// Subjects one frame to the error process; true means the frame
+    /// arrives with a CRC error.
+    pub fn corrupt_frame(&mut self) -> bool {
+        self.frames_drawn += 1;
+        if self.stuck {
+            // Defect persists; keep the stream position moving so the
+            // post-fail-over draws stay aligned across configurations.
+            self.rng.next_f64();
+            return true;
+        }
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.rng.next_f64();
+            return true;
+        }
+        let hit = self.rng.next_f64() < self.p_frame;
+        if hit {
+            match self.mode {
+                FaultMode::Ber => {}
+                FaultMode::Burst => self.burst_left = self.burst_frames.saturating_sub(1),
+                FaultMode::StuckLane => self.stuck = true,
+            }
+        }
+        hit
+    }
+
+    /// Subjects a multi-frame transfer to the error process; true means
+    /// at least one of its `frames` arrived corrupted (the CRC check
+    /// fails the transfer as a whole and the controller replays it).
+    pub fn corrupt_transfer(&mut self, frames: u64) -> bool {
+        let mut any = false;
+        for _ in 0..frames {
+            // No short-circuit: every frame consumes its draw so the
+            // stream position is independent of earlier outcomes.
+            any |= self.corrupt_frame();
+        }
+        any
+    }
+
+    /// True once a stuck-lane defect has latched.
+    pub fn is_stuck(&self) -> bool {
+        self.stuck
+    }
+}
+
+/// Exponential backoff before replaying a corrupted frame: the
+/// controller waits `2^attempt` frame slots (capped at [`MAX_BACKOFF_SLOTS`])
+/// before retry `attempt` (0-based).
+pub fn backoff_slots(attempt: u32) -> u64 {
+    (1u64 << attempt.min(MAX_BACKOFF_CAP)).min(MAX_BACKOFF_SLOTS)
+}
+
+/// Cap on the backoff exponent (2^6 = 64 frame slots ≈ 384 ns at the
+/// paper's 6 ns frame time).
+const MAX_BACKOFF_CAP: u32 = 6;
+
+/// Longest backoff in frame slots.
+pub const MAX_BACKOFF_SLOTS: u64 = 64;
+
+/// Running error/recovery counters of one link (or an aggregate of
+/// several — see [`FaultCounters::merge`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transfers that arrived with at least one corrupted frame.
+    pub injected: u64,
+    /// Corrupted transfers the CRC check caught (the model's CRC is
+    /// ideal, so this always equals `injected`; kept separate so a
+    /// future aliasing-CRC model slots in without a schema change).
+    pub detected: u64,
+    /// Replay attempts issued (one transfer may retry several times).
+    pub retried: u64,
+    /// Transfers whose retry budget ran out (each escalates fail-over).
+    pub retry_exhausted: u64,
+    /// Lane fail-overs performed (at most one per link direction).
+    pub failovers: u64,
+    /// Corrupted northbound *prefetch* transfers dropped instead of
+    /// retried (the AMB interplay rule: the line is simply not cached).
+    pub dropped_prefetch: u64,
+}
+
+impl FaultCounters {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.injected += other.injected;
+        self.detected += other.detected;
+        self.retried += other.retried;
+        self.retry_exhausted += other.retry_exhausted;
+        self.failovers += other.failovers;
+        self.dropped_prefetch += other.dropped_prefetch;
+    }
+
+    /// True when any error was injected.
+    pub fn any(&self) -> bool {
+        self.injected > 0
+    }
+}
+
+/// End-of-run fault summary: the aggregated counters plus how long the
+/// run spent on degraded (half-width) lane maps, summed over link
+/// directions — two directions degraded for the same second contribute
+/// two seconds of residency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Aggregated error/recovery counters over every link.
+    pub counters: FaultCounters,
+    /// Summed degraded-width residency across link directions.
+    pub degraded: Dur,
+}
+
+impl FaultReport {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.counters.merge(&other.counters);
+        self.degraded += other.degraded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ber: f64, mode: FaultMode) -> FaultConfig {
+        FaultConfig {
+            ber,
+            seed: 42,
+            mode,
+            ..FaultConfig::off()
+        }
+    }
+
+    #[test]
+    fn same_stream_is_bit_identical() {
+        let c = cfg(1e-4, FaultMode::Ber);
+        let mut a = FaultProcess::new(&c, 0, LinkDir::North, 168);
+        let mut b = FaultProcess::new(&c, 0, LinkDir::North, 168);
+        let pa: Vec<bool> = (0..10_000).map(|_| a.corrupt_frame()).collect();
+        let pb: Vec<bool> = (0..10_000).map(|_| b.corrupt_frame()).collect();
+        assert_eq!(pa, pb);
+        assert!(pa.iter().any(|&x| x), "1e-4 over 168-bit frames must hit");
+    }
+
+    #[test]
+    fn streams_differ_by_channel_and_direction() {
+        let c = cfg(1e-3, FaultMode::Ber);
+        let take = |ch, dir| -> Vec<bool> {
+            let mut p = FaultProcess::new(&c, ch, dir, 168);
+            (0..4_000).map(|_| p.corrupt_frame()).collect()
+        };
+        let base = take(0, LinkDir::North);
+        assert_ne!(base, take(1, LinkDir::North));
+        assert_ne!(base, take(0, LinkDir::South));
+    }
+
+    #[test]
+    fn extreme_rates_behave() {
+        let mut never = FaultProcess::new(&cfg(0.0, FaultMode::Ber), 0, LinkDir::South, 120);
+        assert!((0..1_000).all(|_| !never.corrupt_frame()));
+        assert_eq!(never.p_frame(), 0.0);
+        let mut always = FaultProcess::new(&cfg(1.0, FaultMode::Ber), 0, LinkDir::South, 120);
+        assert!((0..100).all(|_| always.corrupt_frame()));
+    }
+
+    #[test]
+    fn frame_probability_grows_with_width() {
+        let c = cfg(1e-5, FaultMode::Ber);
+        let narrow = FaultProcess::new(&c, 0, LinkDir::South, 120);
+        let wide = FaultProcess::new(&c, 0, LinkDir::North, 336);
+        assert!(wide.p_frame() > narrow.p_frame());
+        // First-order check: p ≈ bits · ber at small rates.
+        assert!((narrow.p_frame() - 120.0 * 1e-5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn burst_corrupts_a_run_of_frames() {
+        let mut c = cfg(0.02, FaultMode::Burst);
+        c.burst_frames = 4;
+        let mut p = FaultProcess::new(&c, 0, LinkDir::North, 168);
+        let pattern: Vec<bool> = (0..50_000).map(|_| p.corrupt_frame()).collect();
+        let first = pattern.iter().position(|&x| x).expect("some trigger");
+        // The trigger plus the next three frames form the burst.
+        assert!(pattern[first..first + 4].iter().all(|&x| x));
+    }
+
+    #[test]
+    fn stuck_lane_latches_forever() {
+        let mut p = FaultProcess::new(&cfg(0.05, FaultMode::StuckLane), 0, LinkDir::South, 120);
+        let mut seen = false;
+        for _ in 0..100_000 {
+            let hit = p.corrupt_frame();
+            if seen {
+                assert!(hit, "stuck lane must stay corrupt");
+            }
+            seen |= hit;
+        }
+        assert!(seen && p.is_stuck());
+    }
+
+    #[test]
+    fn transfer_draw_count_is_outcome_independent() {
+        // All frames draw even after an early corruption, keeping the
+        // stream aligned for later transfers.
+        let mut p = FaultProcess::new(&cfg(1.0, FaultMode::Ber), 0, LinkDir::North, 168);
+        assert!(p.corrupt_transfer(12));
+        assert_eq!(p.frames_drawn(), 12);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        assert_eq!(backoff_slots(0), 1);
+        assert_eq!(backoff_slots(1), 2);
+        assert_eq!(backoff_slots(2), 4);
+        assert_eq!(backoff_slots(6), MAX_BACKOFF_SLOTS);
+        assert_eq!(backoff_slots(40), MAX_BACKOFF_SLOTS);
+    }
+
+    #[test]
+    fn counters_and_reports_merge() {
+        let a = FaultCounters {
+            injected: 3,
+            detected: 3,
+            retried: 5,
+            retry_exhausted: 1,
+            failovers: 1,
+            dropped_prefetch: 2,
+        };
+        let mut total = FaultReport {
+            counters: a,
+            degraded: Dur::from_ns(10),
+        };
+        total.merge(&FaultReport {
+            counters: a,
+            degraded: Dur::from_ns(5),
+        });
+        assert_eq!(total.counters.injected, 6);
+        assert_eq!(total.counters.retried, 10);
+        assert_eq!(total.degraded, Dur::from_ns(15));
+        assert!(total.counters.any());
+        assert!(!FaultCounters::default().any());
+    }
+}

@@ -13,11 +13,20 @@
 //! Latency (the paper's default) every access is charged the delay of the
 //! farthest DIMM; with VRL the delay depends on the DIMM's position.
 
+use fbd_faults::{backoff_slots, FaultCounters, FaultProcess, FaultReport, LinkDir};
 use fbd_types::config::{MemoryConfig, MemoryTech};
 use fbd_types::time::{Dur, Time};
 use fbd_types::CACHE_LINE_BYTES;
 
 use crate::timeline::Timeline;
+
+/// Payload bits per southbound frame per physical link: 10 lanes × 12
+/// transfers (the FB-DIMM frame format; CRC exposure scales with it).
+const SOUTH_BITS_PER_FRAME: u32 = 120;
+
+/// Payload bits per northbound frame per physical link: 14 lanes × 12
+/// transfers.
+const NORTH_BITS_PER_FRAME: u32 = 168;
 
 /// A granted link reservation: where the transfer sits on the wire and
 /// when its payload is usable at the far end.
@@ -46,6 +55,89 @@ impl LinkSlot {
     }
 }
 
+/// A link transfer after CRC checking and recovery: the final granted
+/// slot plus everything the recovery machinery did to get there.
+///
+/// When fault injection is off (or the transfer sailed through clean)
+/// this is just the plain [`LinkSlot`] with no retry history.
+#[derive(Clone, Debug)]
+pub struct LinkXfer {
+    /// The delivering reservation — the successful replay, or the
+    /// corrupted original for a dropped prefetch transfer.
+    pub slot: LinkSlot,
+    /// Start of the *first* attempt (the queue-wait boundary; replays
+    /// never start earlier than this).
+    pub first_start: Time,
+    /// `done` of the *first* attempt: the stage boundary up to which
+    /// time is charged to the link stage; everything between this and
+    /// `slot.done` is retry time.
+    pub first_done: Time,
+    /// Corrupted attempts that occupied the wire before the delivering
+    /// one, in issue order (for the trace's retry track).
+    pub failed: Vec<LinkSlot>,
+    /// Replay attempts performed.
+    pub retries: u32,
+    /// True when the corrupted transfer was dropped instead of replayed
+    /// (northbound prefetch data under the AMB drop rule).
+    pub dropped: bool,
+    /// True when this transfer exhausted its retry budget and forced
+    /// the lane fail-over.
+    pub failover: bool,
+}
+
+impl LinkXfer {
+    /// A transfer that needed no recovery.
+    fn clean(slot: LinkSlot) -> LinkXfer {
+        LinkXfer {
+            slot,
+            first_start: slot.start,
+            first_done: slot.done,
+            failed: Vec::new(),
+            retries: 0,
+            dropped: false,
+            failover: false,
+        }
+    }
+
+    /// Time between the first attempt's completion boundary and the
+    /// delivering one — what the controller charges to the `retry`
+    /// stage.
+    pub fn retry_time(&self) -> Dur {
+        self.slot.done.saturating_since(self.first_done)
+    }
+}
+
+/// The kind of transfer being recovered (which primitive to replay).
+#[derive(Clone, Copy, Debug)]
+enum XferKind {
+    Command,
+    WriteData,
+    ReadData { dimm: u32 },
+}
+
+impl XferKind {
+    fn dir(self) -> LinkDir {
+        match self {
+            XferKind::Command | XferKind::WriteData => LinkDir::South,
+            XferKind::ReadData { .. } => LinkDir::North,
+        }
+    }
+}
+
+/// Per-channel fault state: one error process per link direction plus
+/// the recovery bookkeeping.
+#[derive(Clone, Debug)]
+struct ChannelFaults {
+    processes: [FaultProcess; 2],
+    /// Injection live per direction; cleared by fail-over (the bad lane
+    /// is mapped out, the surviving lanes are assumed healthy).
+    live: [bool; 2],
+    /// When each direction dropped to the degraded lane map.
+    degraded_since: [Option<Time>; 2],
+    max_retries: u32,
+    counters: FaultCounters,
+}
+
 /// One logical FB-DIMM channel's southbound + northbound links.
 #[derive(Clone, Debug)]
 pub struct FbdChannel {
@@ -59,7 +151,12 @@ pub struct FbdChannel {
     read_slot: Dur,
     /// Transit latency of a command from controller onto the chain.
     cmd_transit: Dur,
+    /// Frame time (backoff and error-process draws are frame-granular).
+    frame: Dur,
     chain: DaisyChain,
+    /// Fault injection state; `None` keeps the fault-free path
+    /// bit-identical to a build without the fault layer.
+    faults: Option<Box<ChannelFaults>>,
 }
 
 /// Per-AMB daisy-chain delay model.
@@ -101,12 +198,25 @@ impl DaisyChain {
 }
 
 impl FbdChannel {
-    /// Builds one logical channel from the memory configuration.
+    /// Builds one logical channel from the memory configuration
+    /// (channel index 0 for fault-stream derivation; multi-channel
+    /// subsystems should use [`for_channel`](Self::for_channel)).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is not an FB-DIMM one.
     pub fn new(cfg: &MemoryConfig) -> FbdChannel {
+        FbdChannel::for_channel(cfg, 0)
+    }
+
+    /// Builds logical channel `channel` from the memory configuration.
+    /// The index seeds the per-channel fault streams, so different
+    /// channels see independent (but reproducible) error patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not an FB-DIMM one.
+    pub fn for_channel(cfg: &MemoryConfig, channel: u32) -> FbdChannel {
         let vrl = match cfg.tech {
             MemoryTech::FbDimm { vrl } => vrl,
             MemoryTech::Ddr2 => panic!("FbdChannel requires an FB-DIMM configuration"),
@@ -118,6 +228,29 @@ impl FbdChannel {
         let frames_per_line_north = (CACHE_LINE_BYTES / 32).div_ceil(gang);
         // Southbound: 16 B per frame per physical link.
         let frames_per_line_south = (CACHE_LINE_BYTES / 16).div_ceil(gang);
+        let faults = cfg.faults.is_active().then(|| {
+            let bits = |per_link: u32| per_link * cfg.phys_per_logical;
+            Box::new(ChannelFaults {
+                processes: [
+                    FaultProcess::new(
+                        &cfg.faults,
+                        channel,
+                        LinkDir::South,
+                        bits(SOUTH_BITS_PER_FRAME),
+                    ),
+                    FaultProcess::new(
+                        &cfg.faults,
+                        channel,
+                        LinkDir::North,
+                        bits(NORTH_BITS_PER_FRAME),
+                    ),
+                ],
+                live: [true; 2],
+                degraded_since: [None; 2],
+                max_retries: cfg.faults.max_retries,
+                counters: FaultCounters::default(),
+            })
+        });
         // Southbound slots are command-sized (3 per frame) so that three
         // commands really fit in one frame; northbound slots are
         // clock-sized.
@@ -128,7 +261,9 @@ impl FbdChannel {
             write_slot: frame * frames_per_line_south,
             read_slot: frame * frames_per_line_north,
             cmd_transit: clock,
+            frame,
             chain: DaisyChain::new(cfg.amb_hop_delay, cfg.dimms_per_channel, vrl),
+            faults,
         }
     }
 
@@ -170,6 +305,171 @@ impl FbdChannel {
             dur: self.read_slot,
             done: start + self.read_slot + self.chain.amb_delay(dimm),
         }
+    }
+
+    /// Like [`send_command`](Self::send_command), but subject to the
+    /// channel's fault process: a corrupted command frame is replayed
+    /// with bounded retries and exponential backoff. Identical to the
+    /// unchecked call when fault injection is off.
+    pub fn send_command_checked(&mut self, not_before: Time) -> LinkXfer {
+        self.transfer(XferKind::Command, not_before, false)
+    }
+
+    /// Like [`send_write_data`](Self::send_write_data), but subject to
+    /// the fault process (write data must be delivered, so corrupted
+    /// frames always replay).
+    pub fn send_write_data_checked(&mut self, not_before: Time) -> LinkXfer {
+        self.transfer(XferKind::WriteData, not_before, false)
+    }
+
+    /// Like [`return_read_data`](Self::return_read_data), but subject to
+    /// the fault process. `droppable` marks prefetch data: a corrupted
+    /// droppable transfer is *not* replayed — the AMB/controller just
+    /// discards it (the line is not cached) and the returned transfer
+    /// has [`LinkXfer::dropped`] set. Demand data always replays.
+    pub fn return_read_data_checked(
+        &mut self,
+        dimm: u32,
+        data_ready: Time,
+        droppable: bool,
+    ) -> LinkXfer {
+        self.transfer(XferKind::ReadData { dimm }, data_ready, droppable)
+    }
+
+    /// Issues one wire occupancy of `kind` (shared by the first attempt
+    /// and every replay; replays pick up degraded slot widths
+    /// automatically because the slot fields themselves are degraded).
+    fn issue(&mut self, kind: XferKind, not_before: Time) -> LinkSlot {
+        match kind {
+            XferKind::Command => self.send_command(not_before),
+            XferKind::WriteData => self.send_write_data(not_before),
+            XferKind::ReadData { dimm } => self.return_read_data(dimm, not_before),
+        }
+    }
+
+    /// Frames a transfer of `kind` currently occupies (error-process
+    /// draws are per frame; a command rides in one frame).
+    fn frames_of(&self, kind: XferKind) -> u64 {
+        let dur = match kind {
+            XferKind::Command => return 1,
+            XferKind::WriteData => self.write_slot,
+            XferKind::ReadData { .. } => self.read_slot,
+        };
+        dur.as_ps().div_ceil(self.frame.as_ps()).max(1)
+    }
+
+    /// Draws the fault process for one attempt of `kind`; false when
+    /// injection is off or the direction already failed over.
+    fn draw(&mut self, kind: XferKind) -> bool {
+        let frames = self.frames_of(kind);
+        let dir = kind.dir();
+        match self.faults.as_mut() {
+            Some(f) if f.live[dir.index()] => f.processes[dir.index()].corrupt_transfer(frames),
+            _ => false,
+        }
+    }
+
+    /// Maps out the failed lane on `dir` at `at`: injection stops (the
+    /// defective lane is gone), and the direction's transfers widen to
+    /// twice their slot time — the half-width lane map carries half the
+    /// bandwidth for the rest of the run.
+    fn fail_over(&mut self, dir: LinkDir, at: Time) {
+        let f = self.faults.as_mut().expect("fail-over without faults");
+        f.counters.failovers += 1;
+        f.live[dir.index()] = false;
+        f.degraded_since[dir.index()].get_or_insert(at);
+        match dir {
+            LinkDir::South => {
+                self.cmd_slot = self.cmd_slot * 2;
+                self.write_slot = self.write_slot * 2;
+            }
+            LinkDir::North => self.read_slot = self.read_slot * 2,
+        }
+    }
+
+    /// The CRC/retry state machine around one wire transfer: detect a
+    /// corrupted attempt, replay it after exponential backoff, and
+    /// escalate to lane fail-over when the retry budget runs out.
+    fn transfer(&mut self, kind: XferKind, not_before: Time, droppable: bool) -> LinkXfer {
+        let first = self.issue(kind, not_before);
+        if self.faults.is_none() {
+            return LinkXfer::clean(first);
+        }
+        let mut xfer = LinkXfer::clean(first);
+        if !self.draw(kind) {
+            return xfer;
+        }
+        let f = self.faults.as_mut().expect("checked above");
+        f.counters.injected += 1;
+        // The model's frame CRC is ideal: every corruption is caught.
+        f.counters.detected += 1;
+        if droppable {
+            f.counters.dropped_prefetch += 1;
+            xfer.dropped = true;
+            return xfer;
+        }
+        let mut attempt = 0u32;
+        let mut prev = first;
+        loop {
+            if attempt >= self.faults.as_ref().expect("checked above").max_retries {
+                // Retry budget exhausted: declare the lane dead, fail
+                // over to the degraded map, and force-deliver on it
+                // (injection is off for this direction from here on).
+                let f = self.faults.as_mut().expect("checked above");
+                f.counters.retry_exhausted += 1;
+                let dir = kind.dir();
+                self.fail_over(dir, prev.start + prev.dur);
+                let slot = self.issue(kind, prev.start + prev.dur);
+                xfer.failed.push(prev);
+                xfer.retries = attempt + 1;
+                xfer.failover = true;
+                xfer.slot = slot;
+                self.faults
+                    .as_mut()
+                    .expect("checked above")
+                    .counters
+                    .retried += 1;
+                return xfer;
+            }
+            // Back off 2^attempt frame slots from the end of the failed
+            // occupancy, then replay.
+            let backoff = self.frame * backoff_slots(attempt);
+            let slot = self.issue(kind, prev.start + prev.dur + backoff);
+            let f = self.faults.as_mut().expect("checked above");
+            f.counters.retried += 1;
+            xfer.failed.push(prev);
+            attempt += 1;
+            if !self.draw(kind) {
+                xfer.retries = attempt;
+                xfer.slot = slot;
+                return xfer;
+            }
+            let f = self.faults.as_mut().expect("checked above");
+            f.counters.injected += 1;
+            f.counters.detected += 1;
+            prev = slot;
+        }
+    }
+
+    /// The channel's error/recovery counters, when fault injection is
+    /// active.
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_deref().map(|f| &f.counters)
+    }
+
+    /// End-of-run fault summary: counters plus the degraded-width
+    /// residency of both directions up to `end`. `None` when fault
+    /// injection is off.
+    pub fn fault_report(&self, end: Time) -> Option<FaultReport> {
+        self.faults.as_deref().map(|f| FaultReport {
+            counters: f.counters,
+            degraded: f
+                .degraded_since
+                .iter()
+                .flatten()
+                .map(|&since| end.saturating_since(since))
+                .sum(),
+        })
     }
 
     /// Northbound transfer time for one line (the "6 ns data transfer" of
@@ -276,5 +576,98 @@ mod tests {
     fn out_of_range_dimm_rejected() {
         let chain = DaisyChain::new(Dur::from_ns(3), 4, false);
         let _ = chain.amb_delay(4);
+    }
+
+    fn faulty_channel(ber: f64, max_retries: u32) -> FbdChannel {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.faults.ber = ber;
+        cfg.faults.max_retries = max_retries;
+        FbdChannel::for_channel(&cfg, 0)
+    }
+
+    #[test]
+    fn checked_calls_match_unchecked_when_faults_off() {
+        let mut plain = channel();
+        let mut checked = channel();
+        assert!(checked.fault_counters().is_none());
+        assert!(checked.fault_report(Time::from_ns(100)).is_none());
+        for t in [0u64, 0, 7, 30] {
+            let a = plain.send_command(Time::from_ns(t));
+            let b = checked.send_command_checked(Time::from_ns(t));
+            assert_eq!(a, b.slot);
+            assert_eq!(b.retry_time(), Dur::ZERO);
+            assert!(!b.dropped && b.failed.is_empty());
+        }
+        let a = plain.return_read_data(1, Time::from_ns(50));
+        let b = checked.return_read_data_checked(1, Time::from_ns(50), true);
+        assert_eq!(a, b.slot);
+    }
+
+    #[test]
+    fn certain_corruption_retries_with_backoff_then_fails_over() {
+        // BER 1 corrupts every frame, so the first command exhausts its
+        // retry budget and forces the southbound fail-over.
+        let mut ch = faulty_channel(1.0, 2);
+        let xfer = ch.send_command_checked(Time::ZERO);
+        assert!(xfer.failover);
+        assert_eq!(xfer.retries, 3); // 2 replays + the forced delivery
+        assert_eq!(xfer.failed.len(), 3); // original + 2 corrupted replays
+        assert!(xfer.retry_time() > Dur::ZERO);
+        // Backoff: replay 1 waits 1 frame (6 ns) after the 2 ns slot,
+        // replay 2 waits 2 frames after that.
+        assert_eq!(xfer.failed[1].start, Time::from_ns(8));
+        assert_eq!(xfer.failed[2].start, Time::from_ns(22));
+        let c = ch.fault_counters().unwrap();
+        assert_eq!(c.failovers, 1);
+        assert_eq!(c.retry_exhausted, 1);
+        assert_eq!(c.injected, 3);
+        assert_eq!(c.detected, c.injected);
+        // Post-fail-over the southbound lane map is half width: command
+        // slots doubled, and injection on that direction is over.
+        assert_eq!(ch.cmd_slot, Dur::from_ns(4));
+        assert_eq!(ch.write_slot, Dur::from_ns(24));
+        let clean = ch.send_command_checked(Time::from_ns(100));
+        assert!(clean.failed.is_empty());
+        assert!(ch.fault_report(Time::from_ns(100)).unwrap().degraded > Dur::ZERO);
+    }
+
+    #[test]
+    fn corrupted_prefetch_data_is_dropped_not_retried() {
+        let mut ch = faulty_channel(1.0, 4);
+        let xfer = ch.return_read_data_checked(0, Time::from_ns(45), true);
+        assert!(xfer.dropped);
+        assert_eq!(xfer.retries, 0);
+        assert_eq!(xfer.retry_time(), Dur::ZERO);
+        // The wire was still occupied by the corrupted frame.
+        assert_eq!(xfer.slot.start, Time::from_ns(45));
+        let c = ch.fault_counters().unwrap();
+        assert_eq!(c.dropped_prefetch, 1);
+        assert_eq!(c.retried, 0);
+        // Demand data on the same channel replays instead.
+        let demand = ch.return_read_data_checked(0, Time::from_ns(100), false);
+        assert!(!demand.dropped);
+        assert!(demand.retries > 0);
+    }
+
+    #[test]
+    fn fault_recovery_is_deterministic_per_seed() {
+        let run = || {
+            let mut ch = faulty_channel(0.01, 4);
+            let mut dones = Vec::new();
+            for i in 0..200u64 {
+                dones.push(ch.send_command_checked(Time::from_ns(i * 40)).slot.done);
+                dones.push(
+                    ch.return_read_data_checked(0, Time::from_ns(i * 40 + 10), false)
+                        .slot
+                        .done,
+                );
+            }
+            (dones, ch.fault_counters().copied().unwrap())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(ca.any(), "1% frame corruption over 400 transfers must hit");
     }
 }

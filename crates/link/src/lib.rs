@@ -33,7 +33,7 @@ pub mod fbdimm;
 pub mod timeline;
 
 pub use ddr2::Ddr2CommandBus;
-pub use fbdimm::{DaisyChain, FbdChannel, LinkSlot};
+pub use fbdimm::{DaisyChain, FbdChannel, LinkSlot, LinkXfer};
 pub use timeline::Timeline;
 
 #[cfg(all(test, feature = "proptest"))]

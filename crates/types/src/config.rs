@@ -116,6 +116,16 @@ impl DramTimings {
         if self.t_ras < self.t_rcd {
             return Err(ConfigError::new("t_ras", "must be at least t_rcd"));
         }
+        if self.t_cl > self.t_rc {
+            return Err(ConfigError::new("t_cl", "must not exceed t_rc"));
+        }
+        if self.t_rc < self.t_rcd + self.t_cl {
+            return Err(ConfigError::new(
+                "t_rc",
+                "must be at least t_rcd + t_cl (the read pipeline must fit \
+                 in one row cycle)",
+            ));
+        }
         Ok(())
     }
 }
@@ -363,6 +373,128 @@ impl Default for RefreshConfig {
     }
 }
 
+/// Shape of the injected bit-error process on the FB-DIMM links.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FaultMode {
+    /// Independent per-frame corruption at the configured bit-error
+    /// rate (the memoryless baseline model).
+    #[default]
+    Ber,
+    /// Correlated errors: each triggered corruption also corrupts the
+    /// next few frames on the same link direction (electrical transients
+    /// spanning several frame times).
+    Burst,
+    /// A persistent lane defect: the first triggered corruption leaves
+    /// the link direction corrupting *every* frame until the controller
+    /// escalates to lane fail-over.
+    StuckLane,
+}
+
+impl FaultMode {
+    /// Resolves a fault mode by its stable CLI name: `ber`, `burst` or
+    /// `stuck-lane`. Returns `None` for an unknown name.
+    pub fn by_name(name: &str) -> Option<FaultMode> {
+        match name {
+            "ber" => Some(FaultMode::Ber),
+            "burst" => Some(FaultMode::Burst),
+            "stuck-lane" => Some(FaultMode::StuckLane),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI name of this mode.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultMode::Ber => "ber",
+            FaultMode::Burst => "burst",
+            FaultMode::StuckLane => "stuck-lane",
+        }
+    }
+}
+
+/// Fault-injection configuration for the FB-DIMM channel links.
+///
+/// When active (`ber > 0`), every southbound/northbound frame is
+/// subjected to a deterministic seeded bit-error process; the
+/// controller detects corrupted frames via the frame CRC and recovers
+/// by bounded replay with exponential backoff, escalating to per-lane
+/// fail-over (degraded frame width) when retries are exhausted.
+/// Ignored by the DDR2 baseline, which has no frame CRC.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Raw bit-error rate per transferred bit (0 disables injection;
+    /// real FB-DIMM channels target < 1e-12, interesting simulation
+    /// regimes are 1e-8 .. 1e-4).
+    pub ber: f64,
+    /// Seed of the deterministic error process. Streams are derived per
+    /// (seed, channel, link direction), so runs are bit-reproducible
+    /// regardless of sweep ordering.
+    pub seed: u64,
+    /// Shape of the error process.
+    pub mode: FaultMode,
+    /// Replay attempts per frame before the controller declares the
+    /// lane dead and fails over to degraded width.
+    pub max_retries: u32,
+    /// Frames corrupted per trigger in [`FaultMode::Burst`] (including
+    /// the triggering frame).
+    pub burst_frames: u32,
+}
+
+impl FaultConfig {
+    /// Injection disabled (the default; matches the paper's perfect
+    /// channel).
+    pub const fn off() -> FaultConfig {
+        FaultConfig {
+            ber: 0.0,
+            seed: 1,
+            mode: FaultMode::Ber,
+            max_retries: 4,
+            burst_frames: 4,
+        }
+    }
+
+    /// True when the error process is live (non-zero BER).
+    pub fn is_active(&self) -> bool {
+        self.ber > 0.0
+    }
+
+    /// Checks the fault parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the BER is not a probability, or if the
+    /// retry/burst bounds are zero while injection is active.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.ber.is_finite() || !(0.0..=1.0).contains(&self.ber) {
+            return Err(ConfigError::new(
+                "faults.ber",
+                "must be a probability in [0, 1]",
+            ));
+        }
+        if self.is_active() {
+            if self.max_retries == 0 {
+                return Err(ConfigError::new(
+                    "faults.max_retries",
+                    "must be non-zero when injection is active",
+                ));
+            }
+            if self.burst_frames == 0 {
+                return Err(ConfigError::new(
+                    "faults.burst_frames",
+                    "must be non-zero when injection is active",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::off()
+    }
+}
+
 /// Request-reordering policy at the memory controller.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {
@@ -462,6 +594,8 @@ pub struct MemoryConfig {
     pub sched_policy: SchedPolicy,
     /// DRAM refresh (off to match the paper).
     pub refresh: RefreshConfig,
+    /// Link fault injection (off by default; FB-DIMM only).
+    pub faults: FaultConfig,
 }
 
 impl MemoryConfig {
@@ -491,6 +625,7 @@ impl MemoryConfig {
             write_drain_threshold: 16,
             sched_policy: SchedPolicy::HitFirst,
             refresh: RefreshConfig::off(),
+            faults: FaultConfig::off(),
         }
     }
 
@@ -592,6 +727,7 @@ impl MemoryConfig {
         self.timings.validate()?;
         self.amb.validate()?;
         self.refresh.validate()?;
+        self.faults.validate()?;
         let pow2_fields = [
             ("logical_channels", self.logical_channels),
             ("phys_per_logical", self.phys_per_logical),
@@ -879,6 +1015,65 @@ mod tests {
         let mut t = DramTimings::ddr2_table2();
         t.t_cl = Dur::ZERO;
         assert_eq!(t.validate().unwrap_err().field(), "t_cl");
+        // CAS latency exceeding the whole row cycle is nonsense.
+        let mut t = DramTimings::ddr2_table2();
+        t.t_cl = Dur::from_ns(60);
+        assert_eq!(t.validate().unwrap_err().field(), "t_cl");
+        // The read pipeline (ACT→RD→data) must fit in one row cycle.
+        let mut t = DramTimings::ddr2_table2();
+        t.t_rcd = Dur::from_ns(15);
+        t.t_cl = Dur::from_ns(45);
+        t.t_rc = Dur::from_ns(54);
+        assert_eq!(t.validate().unwrap_err().field(), "t_rc");
+        let mut t = DramTimings::ddr2_table2();
+        t.t_faw = Dur::from_ns(1);
+        assert_eq!(t.validate().unwrap_err().field(), "t_faw");
+    }
+
+    #[test]
+    fn fault_config_validation() {
+        let off = FaultConfig::off();
+        assert!(!off.is_active());
+        off.validate().unwrap();
+
+        let mut f = FaultConfig::off();
+        f.ber = 1e-6;
+        assert!(f.is_active());
+        f.validate().unwrap();
+
+        f.ber = 1.5;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.ber");
+        f.ber = f64::NAN;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.ber");
+        f.ber = -0.1;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.ber");
+
+        let mut f = FaultConfig::off();
+        f.ber = 1e-6;
+        f.max_retries = 0;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.max_retries");
+
+        let mut f = FaultConfig::off();
+        f.ber = 1e-6;
+        f.mode = FaultMode::Burst;
+        f.burst_frames = 0;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.burst_frames");
+        // The same zero bound is harmless while injection is off.
+        f.ber = 0.0;
+        f.validate().unwrap();
+
+        // A bad fault block fails the whole memory config.
+        let mut m = MemoryConfig::fbdimm_default();
+        m.faults.ber = 2.0;
+        assert_eq!(m.validate().unwrap_err().field(), "faults.ber");
+    }
+
+    #[test]
+    fn fault_mode_names_round_trip() {
+        for mode in [FaultMode::Ber, FaultMode::Burst, FaultMode::StuckLane] {
+            assert_eq!(FaultMode::by_name(mode.name()), Some(mode));
+        }
+        assert_eq!(FaultMode::by_name("bogus"), None);
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub mod time;
 
 pub use address::{LineAddr, PhysAddr, RegionId, CACHE_LINE_BYTES};
 pub use config::{
-    AmbPrefetchConfig, AmbPrefetchMode, Associativity, CpuConfig, DramTimings, HwPrefetchConfig,
-    Interleaving, MemoryConfig, MemoryTech, PagePolicy, Replacement, SchedPolicy, SystemConfig,
+    AmbPrefetchConfig, AmbPrefetchMode, Associativity, CpuConfig, DramTimings, FaultConfig,
+    FaultMode, HwPrefetchConfig, Interleaving, MemoryConfig, MemoryTech, PagePolicy, Replacement,
+    SchedPolicy, SystemConfig,
 };
 pub use error::ConfigError;
 pub use request::{

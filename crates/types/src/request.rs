@@ -180,6 +180,11 @@ pub enum Stage {
     /// Northbound return: the data frame plus daisy-chain forwarding
     /// delay. On the DDR2 baseline this is the data-bus burst.
     NorthLink,
+    /// Link-level recovery: time spent replaying CRC-corrupted frames
+    /// (bounded retries with exponential backoff, plus the fail-over
+    /// escalation). Zero unless fault injection is active; may
+    /// accumulate on both directions of one transaction.
+    Retry,
 }
 
 /// All stages, in pipeline order (the order folded stacks and JSON
@@ -193,11 +198,12 @@ pub const STAGES: [Stage; Stage::COUNT] = [
     Stage::DramCas,
     Stage::NorthQueue,
     Stage::NorthLink,
+    Stage::Retry,
 ];
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Dense index of this stage (its position in [`STAGES`]).
     #[inline]
@@ -211,6 +217,7 @@ impl Stage {
             Stage::DramCas => 5,
             Stage::NorthQueue => 6,
             Stage::NorthLink => 7,
+            Stage::Retry => 8,
         }
     }
 
@@ -225,6 +232,7 @@ impl Stage {
             Stage::DramCas => "dram_cas",
             Stage::NorthQueue => "north_queue",
             Stage::NorthLink => "north",
+            Stage::Retry => "retry",
         }
     }
 
@@ -429,6 +437,10 @@ pub struct MemResponse {
     pub completion: Time,
     /// How the read was served.
     pub service: ServiceKind,
+    /// True when the northbound data frame was corrupted and the
+    /// transfer was dropped instead of retried (prefetch frames under
+    /// fault injection): the line must not be cached.
+    pub dropped: bool,
     /// Per-stage latency attribution; sums to `completion − arrival`.
     pub stages: StageBreakdown,
 }
@@ -466,6 +478,7 @@ mod tests {
             kind: AccessKind::DemandRead,
             completion: Time::from_ns(100),
             service: ServiceKind::DramAccess,
+            dropped: false,
             stages: StageBreakdown::ZERO,
         };
         assert_eq!(resp.latency(Time::from_ns(37)), Dur::from_ns(63));

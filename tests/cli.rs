@@ -99,10 +99,109 @@ fn unknown_options_exit_2_on_run_compare_and_sweep() {
 
 #[test]
 fn unknown_workload_or_system_fails_cleanly() {
+    // Bad names are usage errors (exit 2) with a diagnostic, never a
+    // partial run or a panic.
     let out = fbdsim(&["run", "--workload", "9C-nope", "--system", "fbd"]);
-    assert_eq!(exit_code(&out), 1);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
     let out = fbdsim(&["run", "--workload", "1C-swim", "--system", "ddr5"]);
-    assert_eq!(exit_code(&out), 1);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown system"));
+    let out = fbdsim(&["profile", "--workload", "9C-nope"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn bad_numeric_arguments_are_usage_errors() {
+    for cmd in [
+        &[
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--budget",
+            "abc",
+        ][..],
+        &[
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--budget",
+            "0",
+        ],
+        &[
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--seed",
+            "x",
+        ],
+        &[
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--fault-ber",
+            "2",
+        ],
+        &[
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--fault-ber",
+            "oops",
+        ],
+        &[
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd",
+            "--fault-ber",
+            "1e-6",
+            "--fault-mode",
+            "cosmic",
+        ],
+        &["compare", "--workload", "1C-swim", "--fault-seed", "7"],
+    ] {
+        let out = fbdsim(cmd);
+        assert_eq!(
+            exit_code(&out),
+            2,
+            "`fbdsim {}` must be a usage error, stderr: {}",
+            cmd.join(" "),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "usage errors carry a diagnostic: {cmd:?}"
+        );
+    }
+}
+
+#[test]
+fn replay_rejects_malformed_traces_with_a_diagnostic() {
+    let path = tmp_path("corrupt.csv");
+    std::fs::write(&path, "arrival_ps,kind,line,core\n100,R,7,0\n200,W\n").unwrap();
+    let out = fbdsim(&[
+        "replay",
+        "--trace",
+        path.to_str().unwrap(),
+        "--system",
+        "fbd",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(exit_code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 3"), "diagnostic names the line: {err}");
 }
 
 #[test]
