@@ -32,17 +32,20 @@ fn run_pair(
         h
     }];
     let mut table: Vec<Vec<String>> = configs.iter().map(|(l, _)| vec![l.clone()]).collect();
-    for (_, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let sized: Vec<(String, SystemConfig)> = configs
-            .iter()
-            .map(|(l, c)| {
-                let mut c = *c;
-                c.cpu.cores = cores;
-                (l.clone(), c)
-            })
-            .collect();
-        let results = run_matrix(&sized, &workloads, exp);
+    let grouped = run_grouped(
+        |cores| {
+            configs
+                .iter()
+                .map(|(l, c)| {
+                    let mut c = *c;
+                    c.cpu.cores = cores;
+                    (l.clone(), c)
+                })
+                .collect()
+        },
+        exp,
+    );
+    for (_, workloads, results) in grouped {
         for (i, (label, _)) in configs.iter().enumerate() {
             let v: Vec<f64> = workloads
                 .iter()

@@ -41,15 +41,18 @@ fn main() {
         "DDR3 FBD-AP".to_string(),
         "AP gain on DDR3".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("DDR2 FBD".to_string(), system(Variant::Fbd, cores)),
-            ("DDR2 FBD-AP".to_string(), system(Variant::FbdAp, cores)),
-            ("DDR3 FBD".to_string(), ddr3_fbd(cores)),
-            ("DDR3 FBD-AP".to_string(), ddr3_fbd_ap(cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("DDR2 FBD".to_string(), system(Variant::Fbd, cores)),
+                ("DDR2 FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+                ("DDR3 FBD".to_string(), ddr3_fbd(cores)),
+                ("DDR3 FBD-AP".to_string(), ddr3_fbd_ap(cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let avg = |label: &str| {
             let v: Vec<f64> = workloads
                 .iter()

@@ -43,23 +43,26 @@ fn main() {
         "AP+HP".to_string(),
         "AP+HP vs AP·HP".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let mk = |ap: bool, hp: bool| {
-            let mut cfg = system(if ap { Variant::FbdAp } else { Variant::Fbd }, cores);
-            cfg.cpu.software_prefetch = false; // isolate HP from SP
-            if hp {
-                cfg.cpu.hw_prefetch = HwPrefetchConfig::typical();
-            }
-            cfg
-        };
-        let configs = vec![
-            ("none".to_string(), mk(false, false)),
-            ("AP".to_string(), mk(true, false)),
-            ("HP".to_string(), mk(false, true)),
-            ("AP+HP".to_string(), mk(true, true)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            let mk = |ap: bool, hp: bool| {
+                let mut cfg = system(if ap { Variant::FbdAp } else { Variant::Fbd }, cores);
+                cfg.cpu.software_prefetch = false; // isolate HP from SP
+                if hp {
+                    cfg.cpu.hw_prefetch = HwPrefetchConfig::typical();
+                }
+                cfg
+            };
+            vec![
+                ("none".to_string(), mk(false, false)),
+                ("AP".to_string(), mk(true, false)),
+                ("HP".to_string(), mk(false, true)),
+                ("AP+HP".to_string(), mk(true, true)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let avg = |label: &str| {
             let v: Vec<f64> = workloads
                 .iter()

@@ -29,15 +29,18 @@ fn main() {
         "static+PD ratio".to_string(),
         "active residency".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("FBD".to_string(), system(Variant::Fbd, cores)),
-            ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("FBD".to_string(), system(Variant::Fbd, cores)),
+                ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let ranks = {
-            let m = configs[0].1.mem;
+            let m = system(Variant::Fbd, workloads[0].cores()).mem;
             u64::from(m.logical_channels * m.dimms_per_channel * m.ranks_per_dimm)
         };
         let (mut dyn_r, mut st_r, mut pd_r, mut resid) = (vec![], vec![], vec![], vec![]);

@@ -20,13 +20,16 @@ fn main() {
         "FBD".to_string(),
         "FBD vs DDR2".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("DDR2".to_string(), system(Variant::Ddr2, cores)),
-            ("FBD".to_string(), system(Variant::Fbd, cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("DDR2".to_string(), system(Variant::Ddr2, cores)),
+                ("FBD".to_string(), system(Variant::Fbd, cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let mut ddr2 = Vec::new();
         let mut fbd = Vec::new();
         for w in &workloads {

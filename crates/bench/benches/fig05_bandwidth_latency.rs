@@ -19,13 +19,16 @@ fn main() {
         "FBD GB/s".to_string(),
         "FBD lat ns".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("DDR2".to_string(), system(Variant::Ddr2, cores)),
-            ("FBD".to_string(), system(Variant::Fbd, cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("DDR2".to_string(), system(Variant::Ddr2, cores)),
+                ("FBD".to_string(), system(Variant::Fbd, cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let (mut bw_d, mut lat_d, mut bw_f, mut lat_f) = (vec![], vec![], vec![], vec![]);
         for w in &workloads {
             let d = &results

@@ -25,18 +25,22 @@ fn main() {
     ];
     let channel_counts = [1u32, 2, 4];
 
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let mut configs = Vec::new();
-        for variant in [Variant::Ddr2, Variant::Fbd] {
-            for (rate_label, rate) in rates {
-                for ch in channel_counts {
-                    let cfg = with_channels_and_rate(system(variant, cores), ch, rate);
-                    configs.push((format!("{}/{}/{}ch", variant.label(), rate_label, ch), cfg));
+    let grouped = run_grouped(
+        |cores| {
+            let mut configs = Vec::new();
+            for variant in [Variant::Ddr2, Variant::Fbd] {
+                for (rate_label, rate) in rates {
+                    for ch in channel_counts {
+                        let cfg = with_channels_and_rate(system(variant, cores), ch, rate);
+                        configs.push((format!("{}/{}/{}ch", variant.label(), rate_label, ch), cfg));
+                    }
                 }
             }
-        }
-        let results = run_matrix(&configs, &workloads, &exp);
+            configs
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let mut rows = vec![vec![
             group.to_string(),
             "1ch".to_string(),

@@ -21,13 +21,16 @@ fn main() {
         "AP gain".to_string(),
     ]];
     let mut negative = Vec::new();
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("FBD".to_string(), system(Variant::Fbd, cores)),
-            ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("FBD".to_string(), system(Variant::Fbd, cores)),
+                ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let (mut base, mut ap) = (vec![], vec![]);
         for w in &workloads {
             let s_base = results

@@ -29,15 +29,18 @@ fn main() {
         ("Set=Full".into(), 4, 64, Associativity::Full),
     ];
 
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs: Vec<(String, fbd_types::config::SystemConfig)> = points
-            .iter()
-            .map(|(label, k, entries, assoc)| {
-                (label.clone(), ap_system(cores, *k, *entries, *assoc))
-            })
-            .collect();
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            points
+                .iter()
+                .map(|(label, k, entries, assoc)| {
+                    (label.clone(), ap_system(cores, *k, *entries, *assoc))
+                })
+                .collect()
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let mut rows = vec![vec![
             group.to_string(),
             "coverage".to_string(),

@@ -23,14 +23,17 @@ fn main() {
         "bandwidth gain".to_string(),
         "latency gain".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("FBD".to_string(), system(Variant::Fbd, cores)),
-            ("FBD-APFL".to_string(), system(Variant::FbdApfl, cores)),
-            ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("FBD".to_string(), system(Variant::Fbd, cores)),
+                ("FBD-APFL".to_string(), system(Variant::FbdApfl, cores)),
+                ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let avg = |label: &str| {
             let v: Vec<f64> = workloads
                 .iter()

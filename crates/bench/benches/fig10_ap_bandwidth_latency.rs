@@ -19,13 +19,16 @@ fn main() {
         "AP lat ns".to_string(),
     ]];
     let mut regressions = Vec::new();
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs = vec![
-            ("FBD".to_string(), system(Variant::Fbd, cores)),
-            ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            vec![
+                ("FBD".to_string(), system(Variant::Fbd, cores)),
+                ("FBD-AP".to_string(), system(Variant::FbdAp, cores)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let (mut bw_b, mut lat_b, mut bw_a, mut lat_a) = (vec![], vec![], vec![], vec![]);
         for w in &workloads {
             let b = &results

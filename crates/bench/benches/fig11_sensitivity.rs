@@ -36,13 +36,16 @@ fn main() {
         h
     }];
     let mut table: Vec<Vec<String>> = points.iter().map(|(l, _, _, _)| vec![l.clone()]).collect();
-    for (_, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let configs: Vec<(String, fbd_types::config::SystemConfig)> = points
-            .iter()
-            .map(|(label, k, e, a)| (label.clone(), ap_system(cores, *k, *e, *a)))
-            .collect();
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            points
+                .iter()
+                .map(|(label, k, e, a)| (label.clone(), ap_system(cores, *k, *e, *a)))
+                .collect()
+        },
+        &exp,
+    );
+    for (_, workloads, results) in grouped {
         let avg = |label: &str| {
             let v: Vec<f64> = workloads
                 .iter()

@@ -38,20 +38,23 @@ fn main() {
         "AP+SP".to_string(),
         "AP+SP vs AP·SP".to_string(),
     ]];
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let mk = |ap: bool, sp: bool| {
-            let mut cfg = system(if ap { Variant::FbdAp } else { Variant::Fbd }, cores);
-            cfg.cpu.software_prefetch = sp;
-            cfg
-        };
-        let configs = vec![
-            ("none".to_string(), mk(false, false)),
-            ("AP".to_string(), mk(true, false)),
-            ("SP".to_string(), mk(false, true)),
-            ("AP+SP".to_string(), mk(true, true)),
-        ];
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            let mk = |ap: bool, sp: bool| {
+                let mut cfg = system(if ap { Variant::FbdAp } else { Variant::Fbd }, cores);
+                cfg.cpu.software_prefetch = sp;
+                cfg
+            };
+            vec![
+                ("none".to_string(), mk(false, false)),
+                ("AP".to_string(), mk(true, false)),
+                ("SP".to_string(), mk(false, true)),
+                ("AP+SP".to_string(), mk(true, true)),
+            ]
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let avg = |label: &str| {
             let v: Vec<f64> = workloads
                 .iter()

@@ -61,15 +61,19 @@ fn main() {
         "vs FBD".to_string(),
     ]];
 
-    for (group, workloads) in workload_groups() {
-        let cores = workloads[0].cores();
-        let mut configs = vec![("FBD".to_string(), system(Variant::Fbd, cores))];
-        configs.extend(
-            points
-                .iter()
-                .map(|(label, k, e, a)| (label.clone(), ap_system(cores, *k, *e, *a))),
-        );
-        let results = run_matrix(&configs, &workloads, &exp);
+    let grouped = run_grouped(
+        |cores| {
+            let mut configs = vec![("FBD".to_string(), system(Variant::Fbd, cores))];
+            configs.extend(
+                points
+                    .iter()
+                    .map(|(label, k, e, a)| (label.clone(), ap_system(cores, *k, *e, *a))),
+            );
+            configs
+        },
+        &exp,
+    );
+    for (group, workloads, results) in grouped {
         let find = |label: &str, w: &fbd_workloads::Workload| {
             results
                 .iter()

@@ -1,0 +1,154 @@
+//! Two-fidelity evidence bench: measures the calibrated analytic model's
+//! wall-clock advantage over the cycle-accurate simulator on a large
+//! design-space sweep, and records the calibration's held-out error
+//! bounds next to it.
+//!
+//! Method: calibrate once (accurate fit + holdout runs, timed), predict
+//! a 1000-point Latin-hypercube grid with the fast model (timed), then
+//! run a deterministic 16-point sample of the same grid through the
+//! cycle simulator with `parallel_map` and extrapolate the accurate
+//! total from the sample. Both sides use every core, so the speedup is
+//! a wall-clock-to-wall-clock comparison. The extrapolation is explicit
+//! in the emitted JSON (`accurate_sample_points`, `est_accurate_total_s`).
+//!
+//! Output: `BENCH_fidelity.json` in `$FBD_OUT_DIR` (or the working
+//! directory), carrying the speedup evidence (DESIGN.md §13 targets
+//! ≥50× including calibration) and the held-out IPC error bound
+//! (target ≤10% at the 200k-instruction calibration budget).
+
+use std::time::Instant;
+
+use fbd_bench::*;
+use fbd_core::{calibrate, RunSpec};
+use fbd_model::{calibration_configs, MetricError};
+use fbd_telemetry::Json;
+use fbd_types::config::SystemConfig;
+
+/// Size of the fast-model grid. Matches the acceptance bar: "a
+/// 1000-point sweep".
+const GRID_POINTS: usize = 1000;
+/// Cycle-accurate sample size the accurate total is extrapolated from.
+const ACCURATE_SAMPLE: usize = 16;
+/// Workload the grid is swept under (also the calibration workload).
+const WORKLOAD: &str = "1C-swim";
+
+fn metric_json(e: &MetricError) -> Json {
+    Json::Obj(vec![
+        ("mean_rel".into(), Json::from(e.mean_rel)),
+        ("max_rel".into(), Json::from(e.max_rel)),
+    ])
+}
+
+fn main() {
+    let exp = fbd_bench::experiment();
+    banner(
+        "Fidelity",
+        "fast-model speedup and held-out accuracy evidence",
+        &exp,
+    );
+
+    let base = SystemConfig::paper_default(1);
+    let spec = RunSpec::new(base).workload(WORKLOAD).experiment(exp);
+
+    // 1. Calibration: the fast path's only accurate-simulation cost.
+    let t0 = Instant::now();
+    let cal = calibrate(&spec).expect("calibration");
+    let calibrate_s = t0.elapsed().as_secs_f64();
+    let rep = &cal.report;
+    println!(
+        "calibrated in {calibrate_s:.1}s ({} fit + {} holdout runs); holdout IPC error mean {:.1}% max {:.1}%",
+        rep.fit_points,
+        rep.holdout_points,
+        rep.ipc.mean_rel * 100.0,
+        rep.ipc.max_rel * 100.0
+    );
+
+    // 2. Fast sweep over the full grid.
+    let grid = calibration_configs(&base, 0xf1de_11a5, GRID_POINTS);
+    let t1 = Instant::now();
+    let fast: Vec<f64> = grid
+        .iter()
+        .map(|cfg| {
+            let r = spec.clone().with_system(*cfg).run_fast(&cal);
+            r.ipcs().iter().sum::<f64>()
+        })
+        .collect();
+    let fast_total_s = t1.elapsed().as_secs_f64();
+    println!(
+        "fast model: {GRID_POINTS} points in {:.3}s (mean IPC {:.3})",
+        fast_total_s,
+        mean(&fast)
+    );
+
+    // 3. Accurate sample: every (n/16)-th grid point, run in parallel,
+    //    then extrapolated to the full grid. Extrapolating from a
+    //    parallel sample keeps the comparison wall-clock vs wall-clock.
+    let stride = GRID_POINTS / ACCURATE_SAMPLE;
+    let sample: Vec<SystemConfig> = grid
+        .iter()
+        .step_by(stride)
+        .take(ACCURATE_SAMPLE)
+        .copied()
+        .collect();
+    let t2 = Instant::now();
+    let accurate = parallel_map(&sample, |cfg| spec.clone().with_system(*cfg).run());
+    let accurate_sample_s = t2.elapsed().as_secs_f64();
+    let est_accurate_total_s = accurate_sample_s * GRID_POINTS as f64 / ACCURATE_SAMPLE as f64;
+    let acc_ipc: Vec<f64> = accurate
+        .iter()
+        .map(|r| r.ipcs().iter().sum::<f64>())
+        .collect();
+    println!(
+        "accurate sample: {ACCURATE_SAMPLE} points in {accurate_sample_s:.1}s \
+         => est. {est_accurate_total_s:.0}s for all {GRID_POINTS} (mean IPC {:.3})",
+        mean(&acc_ipc)
+    );
+
+    let speedup_model_only = est_accurate_total_s / fast_total_s;
+    let speedup_with_calibration = est_accurate_total_s / (calibrate_s + fast_total_s);
+    println!(
+        "speedup: {speedup_model_only:.0}x model-only, {speedup_with_calibration:.0}x including one-time calibration"
+    );
+
+    let doc = Json::Obj(vec![
+        ("workload".into(), Json::from(WORKLOAD)),
+        ("budget".into(), Json::from(exp.budget)),
+        ("grid_points".into(), Json::from(GRID_POINTS)),
+        ("calibrate_s".into(), Json::from(calibrate_s)),
+        ("fast_total_s".into(), Json::from(fast_total_s)),
+        ("accurate_sample_points".into(), Json::from(ACCURATE_SAMPLE)),
+        ("accurate_sample_s".into(), Json::from(accurate_sample_s)),
+        (
+            // Extrapolated: accurate_sample_s * grid_points / sample.
+            "est_accurate_total_s".into(),
+            Json::from(est_accurate_total_s),
+        ),
+        ("speedup_model_only".into(), Json::from(speedup_model_only)),
+        (
+            "speedup_with_calibration".into(),
+            Json::from(speedup_with_calibration),
+        ),
+        (
+            "calibration".into(),
+            Json::Obj(vec![
+                ("fit_points".into(), Json::from(rep.fit_points)),
+                ("holdout_points".into(), Json::from(rep.holdout_points)),
+                ("ipc".into(), metric_json(&rep.ipc)),
+                ("latency".into(), metric_json(&rep.latency)),
+                ("bandwidth".into(), metric_json(&rep.bandwidth)),
+                ("energy".into(), metric_json(&rep.energy)),
+            ]),
+        ),
+        (
+            "note".into(),
+            Json::from(
+                "accurate total is extrapolated from the parallel sample; \
+                 both fidelities use all cores",
+            ),
+        ),
+    ]);
+    let dir = std::env::var("FBD_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_fidelity.json");
+    std::fs::write(&path, doc.to_json_pretty(2)).expect("write BENCH_fidelity.json");
+    println!("wrote {}", path.display());
+}

@@ -154,6 +154,51 @@ pub fn run_matrix(
         .collect()
 }
 
+/// One workload group's finished runs: the group label, its workloads,
+/// and the `(config label, workload name) → result` pairs in the same
+/// order [`run_matrix`] would produce.
+pub type GroupResults = (
+    &'static str,
+    Vec<Workload>,
+    Vec<((String, String), RunResult)>,
+);
+
+/// Runs every workload group's (config × workload) matrix as one flat
+/// parallel batch instead of one barrier per group, so a slow 8-core
+/// run can overlap the 1-core tail. `configs_for` builds the per-group
+/// configuration list from the group's core count. Output order is
+/// deterministic: groups in [`workload_groups`] order, each group's
+/// results in the same order a per-group [`run_matrix`] call returns.
+pub fn run_grouped(
+    configs_for: impl Fn(u32) -> Vec<(String, SystemConfig)>,
+    exp: &ExperimentConfig,
+) -> Vec<GroupResults> {
+    let groups = workload_groups();
+    let mut jobs: Vec<(usize, String, SystemConfig, Workload)> = Vec::new();
+    for (gi, (_, workloads)) in groups.iter().enumerate() {
+        let cores = workloads[0].cores();
+        for (label, cfg) in configs_for(cores) {
+            for w in workloads {
+                jobs.push((gi, label.clone(), cfg, w.clone()));
+            }
+        }
+    }
+    let results = parallel_map(&jobs, |(_, _, cfg, w)| {
+        RunSpec::new(*cfg)
+            .with_workload(w.clone())
+            .experiment(*exp)
+            .run()
+    });
+    let mut out: Vec<GroupResults> = groups
+        .into_iter()
+        .map(|(g, ws)| (g, ws, Vec::new()))
+        .collect();
+    for ((gi, label, _, w), r) in jobs.into_iter().zip(results) {
+        out[gi].2.push(((label, w.name().to_string()), r));
+    }
+    out
+}
+
 /// Computes per-benchmark reference IPCs on the single-core variant of
 /// `reference` (the denominator of the SMT-speedup metric), in parallel.
 pub fn references(reference: Variant, exp: &ExperimentConfig) -> HashMap<String, f64> {

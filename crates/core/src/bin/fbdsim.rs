@@ -6,18 +6,23 @@
 //! fbdsim run     --workload 4C-1 --system fbd-ap [--budget N] [--seed N] [--csv] [--json]
 //!                [--stats-json stats.json] [--trace-out trace.json] [--sample-interval 512]
 //! fbdsim profile --workload 1C-swim [--system fbd-ap] [--folded-out folded.txt]
-//! fbdsim compare --workload 1C-swim [--budget N] [--seed N] [--csv]
-//! fbdsim sweep   --workload 1C-mgrid --knob {k|entries|assoc|channels|rate} [--csv]
+//! fbdsim compare --workload 1C-swim [--budget N] [--seed N] [--csv] [--fidelity auto]
+//! fbdsim sweep   --workload 1C-mgrid --knob {k|entries|assoc|channels|rate|grid} [--csv]
 //! ```
 //!
 //! Systems: `ddr2`, `fbd`, `fbd-ap`, `fbd-apfl`.
 //! Workloads: the paper's Table 3 mixes (`2C-1` … `8C-3`) and the
 //! single-program workloads (`1C-<benchmark>`).
 
+use std::io::{IsTerminal, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use fbd_core::experiment::{default_budget, ExperimentConfig};
-use fbd_core::{parallel_map, RunResult, RunSpec};
+use fbd_core::{calibrate, parallel_map, pareto_frontier, Calibration, Fidelity};
+use fbd_core::{RunResult, RunSpec};
 use fbd_telemetry::{Json, LogHistogram, TelemetryConfig};
 use fbd_types::config::{
     Associativity, FaultConfig, FaultMode, Interleaving, MemoryConfig, SystemConfig,
@@ -33,7 +38,7 @@ fn usage_text() -> String {
      fbdsim profile --workload <name> [--system <name>] [--budget N] [--seed N] [--json]\n             \
      [--folded-out <file>] [--stats-json <file>]\n  \
      fbdsim compare --workload <name> [--budget N] [--seed N] [--csv] [--json] [--stats-json <file>]\n  \
-     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate> [--budget N] [--seed N] \
+     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate|grid> [--budget N] [--seed N] \
      [--csv] [--json] [--stats-json <file>]\n  \
      fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
      fbdsim replay --trace <trace.csv> --system <name>\n\n\
@@ -48,6 +53,12 @@ fn usage_text() -> String {
      --fault-ber <rate>         channel bit-error rate in [0,1] (0 = injection off)\n  \
      --fault-seed <n>           error-process seed (default 1)\n  \
      --fault-mode <mode>        ber|burst|stuck-lane (default ber)\n\n\
+     fidelity options (run/compare/sweep):\n  \
+     --fidelity <mode>          accurate: cycle-stepped simulator (default)\n                             \
+     fast: calibrated analytic queue model; output embeds the\n                             \
+     calibration's held-out error bounds\n                             \
+     auto (compare/sweep): fast for the whole grid, then accurate\n                             \
+     re-runs of the IPC/energy Pareto frontier, points tagged\n\n\
      profile options:\n  \
      --folded-out <file>        write folded stacks (flamegraph.pl / speedscope input)"
         .to_string()
@@ -65,6 +76,7 @@ const RUN_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "fidelity",
 ];
 const RUN_FLAGS: &[&str] = &["csv", "json", "timeline"];
 const PROFILE_KEYS: &[&str] = &[
@@ -87,6 +99,7 @@ const COMPARE_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "fidelity",
 ];
 const COMPARE_FLAGS: &[&str] = &["csv", "json"];
 const SWEEP_KEYS: &[&str] = &[
@@ -98,6 +111,7 @@ const SWEEP_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "fidelity",
 ];
 const SWEEP_FLAGS: &[&str] = &["csv", "json"];
 const RECORD_KEYS: &[&str] = &["workload", "system", "out", "budget", "seed"];
@@ -266,6 +280,184 @@ fn fault_options(args: &Args) -> Result<Option<FaultConfig>, ExitCode> {
         }
     }
     Ok(Some(fc))
+}
+
+/// Resolves the `--fidelity` flag shared by `run`/`compare`/`sweep`.
+/// Absent means accurate (the cycle simulator); `Err` is a usage error
+/// already reported on stderr.
+fn fidelity_options(args: &Args) -> Result<Fidelity, ExitCode> {
+    if args.has_flag("fidelity") {
+        eprintln!("--fidelity requires a value");
+        return Err(ExitCode::from(2));
+    }
+    match args.get("fidelity") {
+        None => Ok(Fidelity::Accurate),
+        Some(v) => match Fidelity::by_name(v) {
+            Some(f) => Ok(f),
+            None => {
+                eprintln!("--fidelity must be accurate, fast or auto, got `{v}`");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
+/// Throttled `done/total/ETA` progress meter for grid commands,
+/// printed to stderr only when stderr is a terminal so piped and CI
+/// output stays byte-identical.
+struct Progress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    last: Mutex<Option<Instant>>,
+}
+
+impl Progress {
+    const THROTTLE_MS: u128 = 100;
+
+    fn new(total: usize) -> Progress {
+        Progress {
+            enabled: std::io::stderr().is_terminal(),
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            last: Mutex::new(None),
+        }
+    }
+
+    /// Records one finished grid point; safe to call from worker
+    /// threads. The final point always prints (then clears the line).
+    fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        {
+            let mut last = self.last.lock().unwrap();
+            let due = last.is_none_or(|t| now.duration_since(t).as_millis() >= Self::THROTTLE_MS);
+            if !due && done != self.total {
+                return;
+            }
+            *last = Some(now);
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = elapsed / done as f64 * (self.total - done) as f64;
+        let mut err = std::io::stderr();
+        if done == self.total {
+            // Clear the meter so the report that follows starts clean.
+            let _ = write!(err, "\r{:64}\r", "");
+        } else {
+            let _ = write!(
+                err,
+                "\r  {done}/{} points, {elapsed:.0}s elapsed, ETA {eta:.0}s ",
+                self.total
+            );
+        }
+        let _ = err.flush();
+    }
+}
+
+/// The `calibration` object embedded in every fast-fidelity stats
+/// document: the fitted parameters plus the held-out error bounds.
+fn calibration_json(cal: &Calibration) -> Json {
+    let rep = &cal.report;
+    let err = |e: &fbd_model::MetricError| {
+        Json::Obj(vec![
+            ("mean_rel".into(), Json::from(e.mean_rel)),
+            ("max_rel".into(), Json::from(e.max_rel)),
+        ])
+    };
+    Json::Obj(vec![
+        (
+            "params".into(),
+            Json::Obj(vec![
+                (
+                    "service_inflation".into(),
+                    Json::from(rep.params.service_inflation),
+                ),
+                ("hit_scaling".into(), Json::from(rep.params.hit_scaling)),
+                ("contention".into(), Json::from(rep.params.contention)),
+                ("demand_scale".into(), Json::from(rep.params.demand_scale)),
+                ("swpf_scale".into(), Json::from(rep.params.swpf_scale)),
+                ("write_scale".into(), Json::from(rep.params.write_scale)),
+            ]),
+        ),
+        ("fit_points".into(), Json::from(rep.fit_points)),
+        ("holdout_points".into(), Json::from(rep.holdout_points)),
+        ("ipc".into(), err(&rep.ipc)),
+        ("latency".into(), err(&rep.latency)),
+        ("bandwidth".into(), err(&rep.bandwidth)),
+        ("energy".into(), err(&rep.energy)),
+    ])
+}
+
+/// Runs a labeled grid at the requested fidelity. Returns the per-point
+/// results in grid order, the fidelity tag each point actually ran at,
+/// and the calibration when the fast model was involved. `Err` carries
+/// an exit code already reported on stderr.
+#[allow(clippy::type_complexity)]
+fn run_grid(
+    grid: &[(String, SystemConfig)],
+    workload: &Workload,
+    exp: ExperimentConfig,
+    fidelity: Fidelity,
+) -> Result<(Vec<RunResult>, Vec<Fidelity>, Option<Arc<Calibration>>), ExitCode> {
+    if fidelity == Fidelity::Accurate {
+        let progress = Progress::new(grid.len());
+        let results = parallel_map(grid, |(_, cfg)| {
+            let r = spec_for(*cfg, workload, exp).run();
+            progress.tick();
+            r
+        });
+        return Ok((results, vec![Fidelity::Accurate; grid.len()], None));
+    }
+    let Some((_, first)) = grid.first() else {
+        return Ok((Vec::new(), Vec::new(), None));
+    };
+    if std::io::stderr().is_terminal() {
+        eprintln!("calibrating the fast model (accurate fit + holdout runs)...");
+    }
+    let cal = match calibrate(&spec_for(*first, workload, exp)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let mut results = Vec::with_capacity(grid.len());
+    for (label, cfg) in grid {
+        match spec_for(*cfg, workload, exp).try_run_fast(&cal) {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    let mut tags = vec![Fidelity::Fast; grid.len()];
+    if fidelity == Fidelity::Auto {
+        // Re-run only the model's IPC/energy Pareto frontier through
+        // the cycle simulator; dominated points keep their fast result.
+        let points: Vec<(f64, f64)> = results
+            .iter()
+            .map(|r| (r.ipcs().iter().sum::<f64>(), r.energy.total_nj()))
+            .collect();
+        let frontier = pareto_frontier(&points);
+        let subset: Vec<SystemConfig> = frontier.iter().map(|&i| grid[i].1).collect();
+        let progress = Progress::new(subset.len());
+        let accurate = parallel_map(&subset, |cfg| {
+            let r = spec_for(*cfg, workload, exp).run();
+            progress.tick();
+            r
+        });
+        for (&i, r) in frontier.iter().zip(accurate) {
+            results[i] = r;
+            tags[i] = Fidelity::Accurate;
+        }
+    }
+    Ok((results, tags, Some(cal)))
 }
 
 /// Builds the [`RunSpec`] every subcommand runs through: the resolved
@@ -573,6 +765,21 @@ fn cmd_run(args: &Args) -> ExitCode {
         (Ok(e), Ok(f)) => (e, f),
         (Err(code), _) | (_, Err(code)) => return code,
     };
+    let fidelity = match fidelity_options(args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    // `auto` degenerates to accurate for a single point: the point is
+    // its own Pareto frontier, so it would be re-run accurately anyway.
+    let fast = fidelity == Fidelity::Fast;
+    if fast && faults.is_some() {
+        eprintln!("--fault-* options require --fidelity accurate");
+        return ExitCode::from(2);
+    }
+    if fast && args.get("trace-out").is_some() {
+        eprintln!("--trace-out requires --fidelity accurate");
+        return ExitCode::from(2);
+    }
     if let Some(fc) = faults {
         cfg.mem.faults = fc;
     }
@@ -586,24 +793,59 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Some(tc) = &telemetry {
         spec = spec.telemetry(*tc);
     }
-    let r = match spec.try_run() {
+    let calibration = if fast {
+        match calibrate(&spec) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let run = match &calibration {
+        Some(cal) => spec.try_run_fast(cal),
+        None => spec.try_run(),
+    };
+    let r = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    // The fast document carries its provenance: the fidelity tag and
+    // the calibration's held-out error bounds. An accurate run's
+    // document stays byte-identical to previous releases.
+    let doc = || {
+        let Json::Obj(mut fields) = stats_document(&workload, sname, &r) else {
+            unreachable!("stats_document always returns an object");
+        };
+        if let Some(cal) = &calibration {
+            fields.push(("fidelity".into(), Json::from(Fidelity::Fast.label())));
+            fields.push(("calibration".into(), calibration_json(cal)));
+        }
+        Json::Obj(fields)
+    };
     if json_stdout {
-        println!("{}", stats_document(&workload, sname, &r).to_json());
+        println!("{}", doc().to_json());
     } else {
         if csv {
             println!("{CSV_HEADER}");
         }
+        if let Some(cal) = &calibration {
+            println!(
+                "fast fidelity: calibrated analytic model, held-out mean IPC error {:.1}% \
+                 (max {:.1}%)",
+                cal.report.ipc.mean_rel * 100.0,
+                cal.report.ipc.max_rel * 100.0
+            );
+        }
         report(&workload, sname, &r, csv);
     }
     if let Some(path) = args.get("stats-json") {
-        let doc = stats_document(&workload, sname, &r);
-        if let Err(e) = std::fs::write(path, doc.to_json_pretty(2)) {
+        if let Err(e) = std::fs::write(path, doc().to_json_pretty(2)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -756,12 +998,24 @@ fn cmd_profile(args: &Args) -> ExitCode {
 /// Emits the statistics a grid command (`compare`/`sweep`) collected:
 /// one JSON document whose `points` array holds the full per-run stats
 /// document (including the energy breakdown) for every grid point.
-fn emit_grid(args: &Args, cmd: &str, workload: &Workload, points: Vec<Json>) -> ExitCode {
-    let doc = Json::Obj(vec![
+/// When the fast model ran, the top-level `calibration` object records
+/// the fitted parameters and held-out error bounds.
+fn emit_grid(
+    args: &Args,
+    cmd: &str,
+    workload: &Workload,
+    points: Vec<Json>,
+    calibration: Option<&Calibration>,
+) -> ExitCode {
+    let mut fields = vec![
         ("command".to_string(), Json::from(cmd)),
         ("workload".to_string(), Json::from(workload.name())),
-        ("points".to_string(), Json::Arr(points)),
-    ]);
+    ];
+    if let Some(cal) = calibration {
+        fields.push(("calibration".to_string(), calibration_json(cal)));
+    }
+    fields.push(("points".to_string(), Json::Arr(points)));
+    let doc = Json::Obj(fields);
     if args.has_flag("json") {
         println!("{}", doc.to_json());
     }
@@ -789,6 +1043,14 @@ fn cmd_compare(args: &Args) -> ExitCode {
         (Ok(e), Ok(f)) => (e, f),
         (Err(code), _) | (_, Err(code)) => return code,
     };
+    let fidelity = match fidelity_options(args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    if faults.is_some() && fidelity != Fidelity::Accurate {
+        eprintln!("--fault-* options require --fidelity accurate");
+        return ExitCode::from(2);
+    }
     let csv = args.has_flag("csv");
     let want_stats = args.has_flag("json") || args.get("stats-json").is_some();
     let human = !args.has_flag("json");
@@ -808,19 +1070,50 @@ fn cmd_compare(args: &Args) -> ExitCode {
         if let Some(fc) = faults {
             cfg.mem.faults = fc;
         }
-        grid.push((sname, cfg));
+        grid.push((sname.to_string(), cfg));
     }
-    let results = parallel_map(&grid, |(_, cfg)| spec_for(*cfg, &workload, exp).run());
+    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let points = grid_points(
+        &grid, &results, &tags, fidelity, &workload, human, csv, want_stats,
+    );
+    emit_grid(args, "compare", &workload, points, calibration.as_deref())
+}
+
+/// Reports every grid point in order and collects the per-point stats
+/// documents (when requested). Points are tagged with the fidelity they
+/// ran at whenever the fast model was involved; a plain accurate grid
+/// stays byte-identical to previous releases.
+#[allow(clippy::too_many_arguments)]
+fn grid_points(
+    grid: &[(String, SystemConfig)],
+    results: &[RunResult],
+    tags: &[Fidelity],
+    fidelity: Fidelity,
+    workload: &Workload,
+    human: bool,
+    csv: bool,
+    want_stats: bool,
+) -> Vec<Json> {
     let mut points = Vec::new();
-    for ((sname, _), r) in grid.iter().zip(&results) {
+    for (((label, _), r), tag) in grid.iter().zip(results).zip(tags) {
         if human {
-            report(&workload, sname, r, csv);
+            report(workload, label, r, csv);
         }
-        if want_stats {
-            points.push(stats_document(&workload, sname, r));
+        if !want_stats {
+            continue;
         }
+        let Json::Obj(mut fields) = stats_document(workload, label, r) else {
+            unreachable!("stats_document always returns an object");
+        };
+        if fidelity != Fidelity::Accurate {
+            fields.push(("fidelity".into(), Json::from(tag.label())));
+        }
+        points.push(Json::Obj(fields));
     }
-    emit_grid(args, "compare", &workload, points)
+    points
 }
 
 fn cmd_sweep(args: &Args) -> ExitCode {
@@ -838,6 +1131,14 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         (Ok(e), Ok(f)) => (e, f),
         (Err(code), _) | (_, Err(code)) => return code,
     };
+    let fidelity = match fidelity_options(args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    if faults.is_some() && fidelity != Fidelity::Accurate {
+        eprintln!("--fault-* options require --fidelity accurate");
+        return ExitCode::from(2);
+    }
     let csv = args.has_flag("csv");
     let want_stats = args.has_flag("json") || args.get("stats-json").is_some();
     let human = !args.has_flag("json");
@@ -851,6 +1152,25 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     if let Some(fc) = faults {
         base.mem.faults = fc;
     }
+    let Some(grid) = sweep_points(knob, base) else {
+        eprintln!("unknown knob `{knob}` (k|entries|assoc|channels|rate|grid)");
+        return ExitCode::from(2);
+    };
+    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let docs = grid_points(
+        &grid, &results, &tags, fidelity, &workload, human, csv, want_stats,
+    );
+    emit_grid(args, "sweep", &workload, docs, calibration.as_deref())
+}
+
+/// The labeled configuration grid a `sweep` knob expands to, or `None`
+/// for an unknown knob. The `grid` knob is the 64-point cross product
+/// (entries × channels × k × rate) the auto-fidelity Pareto search is
+/// built for.
+fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemConfig)>> {
     let points: Vec<(String, SystemConfig)> = match knob {
         "k" => [2u32, 4, 8]
             .iter()
@@ -902,23 +1222,30 @@ fn cmd_sweep(args: &Args) -> ExitCode {
             (format!("fbd-ap/{l}MT"), c)
         })
         .collect(),
-        _ => {
-            eprintln!("unknown knob `{knob}` (k|entries|assoc|channels|rate)");
-            return ExitCode::from(2);
+        "grid" => {
+            let mut pts = Vec::new();
+            for &entries in &[32u32, 64, 128, 256] {
+                for &channels in &[1u32, 2, 4, 8] {
+                    for &k in &[2u32, 4] {
+                        for &(label, rate) in
+                            &[("667", DataRate::MTS667), ("800", DataRate::MTS800)]
+                        {
+                            let mut c = base;
+                            c.mem.amb.cache_lines = entries;
+                            c.mem.amb.region_lines = k;
+                            c.mem.interleaving = Interleaving::MultiCacheline { lines: k };
+                            c.mem.logical_channels = channels;
+                            c.mem.data_rate = rate;
+                            pts.push((format!("fbd-ap/e{entries}-{channels}ch-k{k}-{label}MT"), c));
+                        }
+                    }
+                }
+            }
+            pts
         }
+        _ => return None,
     };
-    // As in `compare`: simulate the grid in parallel, report in order.
-    let results = parallel_map(&points, |(_, cfg)| spec_for(*cfg, &workload, exp).run());
-    let mut docs = Vec::new();
-    for ((label, _), r) in points.iter().zip(&results) {
-        if human {
-            report(&workload, label, r, csv);
-        }
-        if want_stats {
-            docs.push(stats_document(&workload, label, r));
-        }
-    }
-    emit_grid(args, "sweep", &workload, docs)
+    Some(points)
 }
 
 fn cmd_record(args: &Args) -> ExitCode {
@@ -1317,6 +1644,42 @@ mod tests {
         let args = parse(&["--fault-ber", "0"]).unwrap();
         let fc = fault_options(&args).unwrap().unwrap();
         assert!(!fc.is_active());
+    }
+
+    #[test]
+    fn fidelity_flags_resolve() {
+        // Absent means the cycle-accurate default.
+        let args = parse(&["--workload", "1C-swim"]).unwrap();
+        assert_eq!(fidelity_options(&args).unwrap(), Fidelity::Accurate);
+        for (v, f) in [
+            ("accurate", Fidelity::Accurate),
+            ("fast", Fidelity::Fast),
+            ("auto", Fidelity::Auto),
+        ] {
+            let args = parse(&["--fidelity", v]).unwrap();
+            assert_eq!(fidelity_options(&args).unwrap(), f, "{v}");
+        }
+        // Unknown modes and a bare flag are usage errors.
+        let args = parse(&["--fidelity", "quick"]).unwrap();
+        assert!(fidelity_options(&args).is_err());
+        let args = parse(&["--fidelity"]).unwrap();
+        assert!(fidelity_options(&args).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_knob_expands_to_64_valid_points() {
+        let base = system_config("fbd-ap", 1).unwrap();
+        let points = sweep_points("grid", base).unwrap();
+        assert_eq!(points.len(), 64);
+        let labels: std::collections::HashSet<&str> =
+            points.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels.len(), 64, "labels must be unique");
+        for (label, cfg) in &points {
+            cfg.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+        // The single-knob sweeps still expand, and typos stay rejected.
+        assert_eq!(sweep_points("k", base).unwrap().len(), 3);
+        assert!(sweep_points("voltage", base).is_none());
     }
 
     #[test]

@@ -58,16 +58,6 @@ pub struct ExperimentConfig {
 
 impl ExperimentConfig {
     /// Defaults: seed 42, automatic L2 warm-up and the instruction
-    /// budget from [`default_budget`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `RunSpec` instead (its constructors pick up the environment budget)"
-    )]
-    pub fn from_env() -> ExperimentConfig {
-        ExperimentConfig::env_default()
-    }
-
-    /// Defaults: seed 42, automatic L2 warm-up and the instruction
     /// budget from [`default_budget`] (internal; [`RunSpec`]'s
     /// constructors use this).
     fn env_default() -> ExperimentConfig {
@@ -261,6 +251,53 @@ impl RunSpec {
         self.workload.as_ref()
     }
 
+    /// The instrumentation this spec would run with (crate-internal;
+    /// the fast fidelity mirrors it onto synthesized results).
+    pub(crate) fn telemetry_config(&self) -> Option<&TelemetryConfig> {
+        self.telemetry.as_ref()
+    }
+
+    /// Canonical text serialization of the spec's *semantic* fields —
+    /// the system configuration, workload and run control that
+    /// determine the simulation result. Instrumentation (telemetry,
+    /// trace capture) is excluded: it observes a run without changing
+    /// it. Field order is fixed by the type definitions, so two specs
+    /// describing the same run serialize identically no matter in
+    /// which order their builders were called.
+    pub fn canonical_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::with_capacity(1024);
+        let _ = write!(key, "system={:?};", self.system);
+        match &self.workload {
+            Some(w) => {
+                let names: Vec<&str> = w.benchmarks().iter().map(|b| b.name).collect();
+                let _ = write!(key, "workload={}[{}];", w.name(), names.join(","));
+            }
+            None => key.push_str("workload=none;"),
+        }
+        let _ = write!(
+            key,
+            "seed={};budget={};warmup={:?}",
+            self.exp.seed, self.exp.budget, self.exp.warmup
+        );
+        key
+    }
+
+    /// FNV-1a hash of [`canonical_key`](Self::canonical_key) — keys
+    /// the calibration cache (and the future result cache): any
+    /// semantic field change produces a different hash, while
+    /// builder-call order and instrumentation do not.
+    pub fn canonical_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.canonical_key().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Validates the spec's system configuration (timings, geometry,
     /// prefetch parameters, fault-injection parameters).
     ///
@@ -331,20 +368,6 @@ impl RunSpec {
         }
         sys.run()
     }
-}
-
-/// Runs `workload` on `cfg`.
-///
-/// # Panics
-///
-/// Panics if the configuration's core count does not match the
-/// workload's, or if the configuration is invalid.
-#[deprecated(since = "0.1.0", note = "build a `RunSpec` and call `.run()` instead")]
-pub fn run_workload(cfg: &SystemConfig, workload: &Workload, exp: &ExperimentConfig) -> RunResult {
-    RunSpec::new(*cfg)
-        .with_workload(workload.clone())
-        .experiment(*exp)
-        .run()
 }
 
 /// Computes each benchmark's single-core reference IPC on `ref_cfg`
@@ -479,23 +502,6 @@ mod tests {
         assert_eq!(on.system().mem, MemoryConfig::fbdimm_with_prefetch());
         let off = on.with_prefetch(false);
         assert_eq!(off.system().mem, MemoryConfig::fbdimm_default());
-    }
-
-    #[test]
-    fn deprecated_run_workload_still_runs() {
-        // The shim must stay behaviourally identical to RunSpec::run.
-        let cfg = fbd_types::config::SystemConfig::paper_default(1);
-        let w = Workload::new("1C-swim", &["swim"]);
-        let exp = ExperimentConfig {
-            budget: 5_000,
-            ..ExperimentConfig::default()
-        };
-        #[allow(deprecated)]
-        let shim = run_workload(&cfg, &w, &exp);
-        let spec = RunSpec::new(cfg).with_workload(w).experiment(exp).run();
-        assert_eq!(shim.elapsed, spec.elapsed);
-        assert_eq!(shim.mem.demand_reads, spec.mem.demand_reads);
-        assert!((shim.energy.total_nj() - spec.energy.total_nj()).abs() < 1e-6);
     }
 
     #[test]

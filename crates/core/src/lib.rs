@@ -35,14 +35,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiment;
+pub mod fidelity;
 pub mod memsys;
 pub mod parallel;
 pub mod system;
 pub mod trace_io;
 
-#[allow(deprecated)]
-pub use experiment::run_workload;
 pub use experiment::{reference_ipcs, smt_speedup, ExperimentConfig, RunSpec, Warmup};
+pub use fidelity::{
+    calibrate, pareto_frontier, Calibration, Fidelity, CALIBRATION_FIT_POINTS,
+    CALIBRATION_HOLDOUT_POINTS,
+};
 pub use memsys::{ChannelCounters, DecideResult, Issued, MemorySystem};
 pub use parallel::parallel_map;
 pub use system::{RunResult, System};

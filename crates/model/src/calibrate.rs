@@ -1,0 +1,460 @@
+//! Calibration of the analytic model against the cycle-accurate core.
+//!
+//! A seeded Latin-hypercube sample of configurations
+//! ([`calibration_configs`]) is run through the reference simulator;
+//! [`Calibrator::fit`] then searches the three-parameter space of
+//! [`ModelParams`] (coarse-to-fine grid, least squares on relative
+//! errors — fully deterministic) and [`Calibrator::report`] measures
+//! the fitted model on *held-out* points, producing the per-metric
+//! mean/max relative errors that accompany every fast-fidelity output.
+
+use fbd_types::config::{AmbPrefetchConfig, Interleaving, MemoryConfig, SystemConfig};
+use fbd_types::time::DataRate;
+use fbd_workloads::mixes::Workload;
+
+use crate::predict::{predict, ModelParams, Prediction};
+
+/// The reference metrics one cycle-accurate run yields.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Observation {
+    /// Sum of per-core IPCs.
+    pub ipc_sum: f64,
+    /// Mean demand-read latency in ns.
+    pub read_latency_ns: f64,
+    /// Utilized bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Total energy in nJ.
+    pub energy_nj: f64,
+    /// Demand reads per committed instruction.
+    pub demand_per_instr: f64,
+    /// Software-prefetch reads per committed instruction.
+    pub swpf_per_instr: f64,
+    /// Writebacks per committed instruction.
+    pub write_per_instr: f64,
+}
+
+impl Observation {
+    fn from_prediction(p: &Prediction) -> Observation {
+        let instr: u64 = p.cores.iter().map(|c| c.instructions).sum();
+        let per = |n: u64| {
+            if instr == 0 {
+                0.0
+            } else {
+                n as f64 / instr as f64
+            }
+        };
+        Observation {
+            ipc_sum: p.ipc_sum(),
+            read_latency_ns: p.demand_latency.as_ns_f64(),
+            bandwidth_gbps: p.bandwidth_gbps(),
+            energy_nj: p.energy.total_nj(),
+            demand_per_instr: per(p.demand_reads),
+            swpf_per_instr: per(p.sw_prefetch_reads),
+            write_per_instr: per(p.writes),
+        }
+    }
+}
+
+/// A configuration paired with its cycle-accurate observation.
+#[derive(Clone, Debug)]
+pub struct ObservedPoint {
+    /// The sampled system configuration.
+    pub system: SystemConfig,
+    /// What the reference simulator measured for it.
+    pub observation: Observation,
+}
+
+/// Mean and max relative error of one metric over the holdout set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricError {
+    /// Mean of `|model − reference| / reference`.
+    pub mean_rel: f64,
+    /// Maximum of the same.
+    pub max_rel: f64,
+}
+
+impl MetricError {
+    fn from_errors(errs: &[f64]) -> MetricError {
+        if errs.is_empty() {
+            return MetricError::default();
+        }
+        MetricError {
+            mean_rel: errs.iter().sum::<f64>() / errs.len() as f64,
+            max_rel: errs.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+
+    fn is_finite(&self) -> bool {
+        self.mean_rel.is_finite() && self.max_rel.is_finite()
+    }
+}
+
+/// The error bound that travels with every fast-fidelity result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CalibrationReport {
+    /// The fitted parameters.
+    pub params: ModelParams,
+    /// Number of configurations used for fitting.
+    pub fit_points: usize,
+    /// Number of held-out configurations used for the error bounds.
+    pub holdout_points: usize,
+    /// IPC-sum error over the holdout set.
+    pub ipc: MetricError,
+    /// Mean-read-latency error over the holdout set.
+    pub latency: MetricError,
+    /// Bandwidth error over the holdout set.
+    pub bandwidth: MetricError,
+    /// Total-energy error over the holdout set.
+    pub energy: MetricError,
+}
+
+impl CalibrationReport {
+    /// True when every error bound is a finite number — the condition
+    /// CI asserts before trusting fast-fidelity output.
+    pub fn all_finite(&self) -> bool {
+        self.ipc.is_finite()
+            && self.latency.is_finite()
+            && self.bandwidth.is_finite()
+            && self.energy.is_finite()
+            && self.params.service_inflation.is_finite()
+            && self.params.hit_scaling.is_finite()
+            && self.params.contention.is_finite()
+    }
+}
+
+/// Deterministic SplitMix64 — the same tiny generator the fault model
+/// uses; keeps this crate free of external dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded Latin-hypercube sample: `n` points in `[0,1)^dims` where
+/// every dimension is stratified into `n` equal slices, each hit
+/// exactly once.
+///
+/// # Examples
+///
+/// ```
+/// let pts = fbd_model::latin_hypercube(42, 8, 3);
+/// assert_eq!(pts.len(), 8);
+/// assert!(pts.iter().all(|p| p.len() == 3));
+/// // Stratification: dimension 0 hits every 1/8-wide slice once.
+/// let mut hit = vec![false; 8];
+/// for p in &pts {
+///     hit[(p[0] * 8.0) as usize] = true;
+/// }
+/// assert!(hit.iter().all(|&h| h));
+/// ```
+pub fn latin_hypercube(seed: u64, n: usize, dims: usize) -> Vec<Vec<f64>> {
+    let mut state = seed ^ 0x5851_f42d_4c95_7f2d;
+    let mut points = vec![vec![0.0; dims]; n];
+    for d in 0..dims {
+        // Fisher–Yates over the strata of this dimension.
+        let mut strata: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            strata.swap(i, j);
+        }
+        for (i, point) in points.iter_mut().enumerate() {
+            let jitter = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            point[d] = (strata[i] as f64 + jitter) / n as f64;
+        }
+    }
+    points
+}
+
+fn pick<T: Copy>(choices: &[T], u: f64) -> T {
+    let idx = ((u * choices.len() as f64) as usize).min(choices.len() - 1);
+    choices[idx]
+}
+
+/// Samples `n` valid system configurations around `base` by Latin
+/// hypercube over the design axes the paper sweeps: memory variant
+/// (DDR2 / FBD / FBD-AP with region 2–8), logical channel count, data
+/// rate, AMB buffer capacity, and DIMMs per channel.
+///
+/// Every returned configuration keeps `base`'s CPU side and validates.
+pub fn calibration_configs(base: &SystemConfig, seed: u64, n: usize) -> Vec<SystemConfig> {
+    #[derive(Clone, Copy)]
+    enum Variant {
+        Ddr2,
+        FbdOff,
+        FbdAp(u32),
+    }
+    const VARIANTS: [Variant; 5] = [
+        Variant::Ddr2,
+        Variant::FbdOff,
+        Variant::FbdAp(2),
+        Variant::FbdAp(4),
+        Variant::FbdAp(8),
+    ];
+    const CHANNELS: [u32; 3] = [1, 2, 4];
+    const RATES: [DataRate; 3] = [DataRate::MTS533, DataRate::MTS667, DataRate::MTS800];
+    const ENTRIES: [u32; 3] = [32, 64, 128];
+    const DIMMS: [u32; 3] = [2, 4, 8];
+
+    latin_hypercube(seed, n, 5)
+        .into_iter()
+        .map(|u| {
+            let mut mem = match pick(&VARIANTS, u[0]) {
+                Variant::Ddr2 => MemoryConfig::ddr2_default(),
+                Variant::FbdOff => MemoryConfig::fbdimm_default(),
+                Variant::FbdAp(k) => {
+                    let mut m = MemoryConfig::fbdimm_with_prefetch();
+                    m.amb = AmbPrefetchConfig {
+                        region_lines: k,
+                        cache_lines: pick(&ENTRIES, u[3]).max(k),
+                        ..AmbPrefetchConfig::paper_default()
+                    };
+                    m.interleaving = Interleaving::MultiCacheline { lines: k };
+                    m
+                }
+            };
+            mem.logical_channels = pick(&CHANNELS, u[1]);
+            mem.data_rate = pick(&RATES, u[2]);
+            mem.dimms_per_channel = pick(&DIMMS, u[4]);
+            let mut sys = *base;
+            sys.mem = mem;
+            sys.validate().expect("sampled configuration must validate");
+            sys
+        })
+        .collect()
+}
+
+/// Fits [`ModelParams`] to observed points and reports held-out errors.
+#[derive(Clone, Debug)]
+pub struct Calibrator<'a> {
+    workload: &'a Workload,
+    budget: u64,
+}
+
+/// Parameter search ranges (log-uniform): α, β, γ.
+const RANGES: [(f64, f64); 3] = [(0.5, 2.5), (0.8, 1.15), (0.1, 8.0)];
+const GRID_STEPS: usize = 9;
+const REFINEMENTS: usize = 5;
+
+impl<'a> Calibrator<'a> {
+    /// A calibrator for `workload` at `budget` instructions per core —
+    /// the same workload and budget the fast-path queries will use.
+    pub fn new(workload: &'a Workload, budget: u64) -> Calibrator<'a> {
+        Calibrator { workload, budget }
+    }
+
+    fn rel(model: f64, reference: f64) -> f64 {
+        if reference.abs() < 1e-12 {
+            if model.abs() < 1e-12 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (model - reference).abs() / reference.abs()
+        }
+    }
+
+    /// Mean observed/structural ratio per traffic class over `points`.
+    fn traffic_scales(&self, points: &[ObservedPoint]) -> (f64, f64, f64) {
+        let Some(first) = points.first() else {
+            return (1.0, 1.0, 1.0);
+        };
+        let (d0, s0, w0) = crate::predict::structural_traffic(&first.system, self.workload);
+        let mean = |obs: &dyn Fn(&Observation) -> f64, structural: f64| -> f64 {
+            if structural <= 0.0 {
+                return 1.0;
+            }
+            let sum: f64 = points.iter().map(|p| obs(&p.observation)).sum();
+            (sum / points.len() as f64 / structural).max(0.0)
+        };
+        (
+            mean(&|o| o.demand_per_instr, d0),
+            mean(&|o| o.swpf_per_instr, s0),
+            mean(&|o| o.write_per_instr, w0),
+        )
+    }
+
+    fn objective(&self, params: &ModelParams, points: &[ObservedPoint]) -> f64 {
+        let mut sum = 0.0;
+        for p in points {
+            let pred = predict(&p.system, self.workload, self.budget, params);
+            let m = Observation::from_prediction(&pred);
+            let o = &p.observation;
+            let e_ipc = Self::rel(m.ipc_sum, o.ipc_sum);
+            let e_lat = Self::rel(m.read_latency_ns, o.read_latency_ns);
+            let e_bw = Self::rel(m.bandwidth_gbps, o.bandwidth_gbps);
+            // IPC is the headline metric the fast fidelity is judged
+            // on; latency and bandwidth enter lightly as regularizers
+            // so the fit cannot trade a grossly wrong latency for a
+            // marginal IPC gain.
+            sum += e_ipc * e_ipc + 0.1 * e_lat * e_lat + 0.1 * e_bw * e_bw;
+        }
+        sum / points.len().max(1) as f64
+    }
+
+    /// Least-squares fit by deterministic coarse-to-fine grid search
+    /// over the three parameters (log-spaced axes, three refinement
+    /// passes around the incumbent).
+    pub fn fit(&self, points: &[ObservedPoint]) -> ModelParams {
+        // Traffic scales are measured, not searched: the mean ratio of
+        // observed to structural per-instruction rates. They are a
+        // property of the trace (config-independent), so one average
+        // over the fit set pins them exactly.
+        let (demand_scale, swpf_scale, write_scale) = self.traffic_scales(points);
+        let mut center: [f64; 3] = [1.0, 1.0, 1.0];
+        let mut spans: [f64; 3] = RANGES.map(|(lo, hi)| (hi / lo).sqrt());
+        // First pass covers the full range around its geometric mean.
+        for (c, (lo, hi)) in center.iter_mut().zip(RANGES) {
+            *c = (lo * hi).sqrt();
+        }
+        let mut best = ModelParams::default();
+        let mut best_obj = f64::INFINITY;
+        for _ in 0..REFINEMENTS {
+            for ia in 0..GRID_STEPS {
+                for ib in 0..GRID_STEPS {
+                    for ig in 0..GRID_STEPS {
+                        let axis = |c: f64, span: f64, i: usize, (lo, hi): (f64, f64)| -> f64 {
+                            let frac = i as f64 / (GRID_STEPS - 1) as f64 * 2.0 - 1.0;
+                            (c * span.powf(frac)).clamp(lo, hi)
+                        };
+                        let p = ModelParams {
+                            service_inflation: axis(center[0], spans[0], ia, RANGES[0]),
+                            hit_scaling: axis(center[1], spans[1], ib, RANGES[1]),
+                            contention: axis(center[2], spans[2], ig, RANGES[2]),
+                            demand_scale,
+                            swpf_scale,
+                            write_scale,
+                        };
+                        let obj = self.objective(&p, points);
+                        if obj < best_obj {
+                            best_obj = obj;
+                            best = p;
+                        }
+                    }
+                }
+            }
+            center = [best.service_inflation, best.hit_scaling, best.contention];
+            for s in &mut spans {
+                *s = s.powf(0.5);
+            }
+        }
+        best
+    }
+
+    /// Measures `params` on held-out points and packages the error
+    /// bounds with the parameters.
+    pub fn report(
+        &self,
+        params: ModelParams,
+        fit_points: usize,
+        holdout: &[ObservedPoint],
+    ) -> CalibrationReport {
+        let mut e_ipc = Vec::new();
+        let mut e_lat = Vec::new();
+        let mut e_bw = Vec::new();
+        let mut e_en = Vec::new();
+        for p in holdout {
+            let pred = predict(&p.system, self.workload, self.budget, &params);
+            let m = Observation::from_prediction(&pred);
+            let o = &p.observation;
+            e_ipc.push(Self::rel(m.ipc_sum, o.ipc_sum));
+            e_lat.push(Self::rel(m.read_latency_ns, o.read_latency_ns));
+            e_bw.push(Self::rel(m.bandwidth_gbps, o.bandwidth_gbps));
+            e_en.push(Self::rel(m.energy_nj, o.energy_nj));
+        }
+        CalibrationReport {
+            params,
+            fit_points,
+            holdout_points: holdout.len(),
+            ipc: MetricError::from_errors(&e_ipc),
+            latency: MetricError::from_errors(&e_lat),
+            bandwidth: MetricError::from_errors(&e_bw),
+            energy: MetricError::from_errors(&e_en),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_workloads::mixes::find;
+
+    #[test]
+    fn hypercube_is_seeded_and_stratified() {
+        let a = latin_hypercube(7, 10, 4);
+        let b = latin_hypercube(7, 10, 4);
+        let c = latin_hypercube(8, 10, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for d in 0..4 {
+            let mut hit = [false; 10];
+            for p in &a {
+                assert!((0.0..1.0).contains(&p[d]));
+                hit[(p[d] * 10.0) as usize] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "dimension {d} not stratified");
+        }
+    }
+
+    #[test]
+    fn sampled_configs_validate_and_vary() {
+        let base = SystemConfig::paper_default(2);
+        let configs = calibration_configs(&base, 42, 12);
+        assert_eq!(configs.len(), 12);
+        let distinct: std::collections::HashSet<String> =
+            configs.iter().map(|c| format!("{:?}", c.mem)).collect();
+        assert!(
+            distinct.len() >= 8,
+            "only {} distinct configs",
+            distinct.len()
+        );
+        // Both technologies appear.
+        assert!(configs.iter().any(|c| c.mem.tech.is_fbdimm()));
+        assert!(configs.iter().any(|c| !c.mem.tech.is_fbdimm()));
+    }
+
+    #[test]
+    fn fit_recovers_self_generated_observations() {
+        // Observations produced by the model itself with known
+        // parameters must be fit with near-zero residual error.
+        let w = find("2C-1").unwrap();
+        let truth = ModelParams {
+            service_inflation: 1.4,
+            hit_scaling: 0.8,
+            contention: 2.0,
+            ..ModelParams::default()
+        };
+        let base = SystemConfig::paper_default(2);
+        let points: Vec<ObservedPoint> = calibration_configs(&base, 1, 8)
+            .into_iter()
+            .map(|system| {
+                let p = predict(&system, &w, 50_000, &truth);
+                ObservedPoint {
+                    observation: Observation::from_prediction(&p),
+                    system,
+                }
+            })
+            .collect();
+        let cal = Calibrator::new(&w, 50_000);
+        let fitted = cal.fit(&points);
+        let holdout: Vec<ObservedPoint> = calibration_configs(&base, 2, 4)
+            .into_iter()
+            .map(|system| {
+                let p = predict(&system, &w, 50_000, &truth);
+                ObservedPoint {
+                    observation: Observation::from_prediction(&p),
+                    system,
+                }
+            })
+            .collect();
+        let report = cal.report(fitted, points.len(), &holdout);
+        assert!(report.all_finite());
+        assert!(
+            report.ipc.mean_rel < 0.05,
+            "self-fit ipc error {}",
+            report.ipc.mean_rel
+        );
+    }
+}

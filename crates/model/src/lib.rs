@@ -1,0 +1,52 @@
+//! Analytic queue model of the FB-DIMM memory system — the *fast*
+//! fidelity.
+//!
+//! The cycle-stepped core in `fbd-core` is the reference ("accurate")
+//! fidelity; thousand-point design-space grids are prohibitively slow
+//! there. This crate models each logical channel as a small open
+//! queueing network — southbound command/write-data link, per-DIMM AMB
+//! prefetch buffer, DRAM bank pool with demand and prefetch request
+//! classes accounted separately, northbound return link — with M/D/1
+//! waiting times, and closes the loop between offered load and achieved
+//! IPC by fixed-point iteration (DESIGN.md §13).
+//!
+//! The model has exactly three free parameters ([`ModelParams`]):
+//! a service-time inflation `α`, an AMB-hit scaling `β` and a link/bank
+//! contention factor `γ`. [`Calibrator`] fits them by least squares
+//! against a small Latin-hypercube sample of cycle-accurate runs and
+//! reports held-out per-metric error bounds ([`CalibrationReport`]) so
+//! no approximate number is ever presented without its error bar.
+//!
+//! # Examples
+//!
+//! ```
+//! use fbd_model::{predict, ModelParams};
+//! use fbd_types::config::SystemConfig;
+//! use fbd_workloads::mixes::find;
+//!
+//! let w = find("1C-swim").unwrap();
+//! let p = predict(
+//!     &SystemConfig::paper_default(1),
+//!     &w,
+//!     100_000,
+//!     &ModelParams::default(),
+//! );
+//! assert!(p.ipc_sum() > 0.0);
+//! assert!(!p.elapsed.is_zero());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibrate;
+pub mod predict;
+pub mod queue;
+
+pub use calibrate::{
+    calibration_configs, latin_hypercube, CalibrationReport, Calibrator, MetricError, Observation,
+    ObservedPoint,
+};
+pub use predict::{
+    predict, ChannelPrediction, CorePrediction, ModelParams, Prediction, Utilization,
+};
+pub use queue::md1_wait;

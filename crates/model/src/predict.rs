@@ -1,0 +1,839 @@
+//! The analytic channel model: offered load → queue delays → IPC, by
+//! fixed-point iteration.
+//!
+//! Per logical channel the model sees (DESIGN.md §13):
+//!
+//! * a **southbound link** carrying command frames and write data at
+//!   half the northbound bandwidth,
+//! * the **AMB prefetch buffers** of the daisy-chained DIMMs, with a
+//!   hit-rate estimate from stream structure and buffer capacity,
+//! * the **DRAM bank pool** under close-page policy, where demand reads,
+//!   prefetch fills and writes are accounted as separate classes
+//!   (prefetch fills ride the demand activation and never cross the
+//!   northbound link),
+//! * a **northbound link** returning read data.
+//!
+//! Each shared resource contributes an M/D/1 wait ([`md1_wait`]); the
+//! per-core latency feeds back into the instruction rate until the
+//! load/latency loop converges.
+
+use fbd_power::{EnergyModel, EnergyReport, ModeResidency, RankActivity};
+use fbd_types::config::{AmbPrefetchMode, MemoryTech, SystemConfig};
+use fbd_types::request::Stage;
+use fbd_types::stats::DramOpCounts;
+use fbd_types::time::{DataRate, Dur};
+use fbd_workloads::mixes::Workload;
+
+use crate::queue::md1_wait;
+
+/// The model's three free parameters, fitted by [`crate::Calibrator`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// `α` — multiplies every service time (DRAM timings, link and bus
+    /// occupancies) to absorb scheduling overheads the queue abstraction
+    /// does not represent.
+    pub service_inflation: f64,
+    /// `β` — scales the structural AMB hit-rate estimate toward what
+    /// the reference simulator actually achieves.
+    pub hit_scaling: f64,
+    /// `γ` — multiplies every M/D/1 waiting time to absorb burstiness
+    /// beyond the Poisson-arrival assumption.
+    pub contention: f64,
+    /// Demand-read traffic scale: measured directly from the reference
+    /// runs (observed rate over the structural estimate), not searched.
+    pub demand_scale: f64,
+    /// Software-prefetch traffic scale (measured, not searched).
+    pub swpf_scale: f64,
+    /// Writeback traffic scale (measured, not searched) — the profile
+    /// formula over-counts dirty evictions the L2 actually coalesces.
+    pub write_scale: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            service_inflation: 1.0,
+            hit_scaling: 1.0,
+            contention: 1.0,
+            demand_scale: 1.0,
+            swpf_scale: 1.0,
+            write_scale: 1.0,
+        }
+    }
+}
+
+/// Per-core prediction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CorePrediction {
+    /// Instructions committed when the run ends.
+    pub instructions: u64,
+    /// Core cycles elapsed.
+    pub cycles: u64,
+    /// Predicted IPC.
+    pub ipc: f64,
+    /// Memory operations reaching the L2.
+    pub l2_accesses: u64,
+    /// L2 misses (reads reaching memory).
+    pub l2_misses: u64,
+}
+
+/// Per-logical-channel traffic prediction (uniform interleaving).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelPrediction {
+    /// Read commands serviced (demand + software prefetch).
+    pub reads: u64,
+    /// Write commands serviced.
+    pub writes: u64,
+    /// Data bytes moved across the controller boundary.
+    pub bytes: u64,
+    /// Reads satisfied by an AMB prefetch buffer.
+    pub amb_hits: u64,
+}
+
+/// Steady-state resource utilizations (post-convergence).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Utilization {
+    /// Per-bank utilization of the DRAM bank pool.
+    pub bank: f64,
+    /// Northbound link (FBD) or shared data bus (DDR2) utilization.
+    pub north: f64,
+    /// Southbound link utilization (zero for DDR2).
+    pub south: f64,
+}
+
+/// Everything the fast fidelity predicts for one run.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Simulated time at which the first core finishes its budget.
+    pub elapsed: Dur,
+    /// Per-core commit state.
+    pub cores: Vec<CorePrediction>,
+    /// Demand read count.
+    pub demand_reads: u64,
+    /// Software-prefetch read count.
+    pub sw_prefetch_reads: u64,
+    /// Write (writeback) count.
+    pub writes: u64,
+    /// Reads satisfied by an AMB prefetch buffer.
+    pub amb_hits: u64,
+    /// Lines speculatively fetched into AMB buffers.
+    pub lines_prefetched: u64,
+    /// Bytes moved across the controller boundary.
+    pub data_bytes: u64,
+    /// Mean demand-read latency (hit/miss weighted).
+    pub demand_latency: Dur,
+    /// Mean latency of a read serviced by DRAM.
+    pub miss_latency: Dur,
+    /// Mean latency of a read serviced by an AMB buffer.
+    pub hit_latency: Dur,
+    /// Mean write-path latency (arrival to write-data delivery).
+    pub write_latency: Dur,
+    /// Per-stage means of a DRAM-serviced read, in [`Stage`] order.
+    pub miss_stages: [Dur; Stage::COUNT],
+    /// Per-stage means of an AMB-hit read, in [`Stage`] order.
+    pub hit_stages: [Dur; Stage::COUNT],
+    /// Per-stage means of a write, in [`Stage`] order.
+    pub write_stages: [Dur; Stage::COUNT],
+    /// Aggregate AMB hit rate over all reads.
+    pub hit_rate: f64,
+    /// Converged resource utilizations.
+    pub util: Utilization,
+    /// Predicted DRAM command counts (feed the energy model).
+    pub dram_ops: DramOpCounts,
+    /// Total bank-busy time summed over all banks.
+    pub dram_busy: Dur,
+    /// Per-logical-channel traffic.
+    pub channels: Vec<ChannelPrediction>,
+    /// Energy from the existing [`EnergyModel`], fed with the predicted
+    /// command counts and mode residencies.
+    pub energy: EnergyReport,
+}
+
+impl Prediction {
+    /// Sum of per-core IPCs.
+    pub fn ipc_sum(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc).sum()
+    }
+
+    /// Total reads (demand + software prefetch).
+    pub fn reads(&self) -> u64 {
+        self.demand_reads + self.sw_prefetch_reads
+    }
+
+    /// Utilized bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        let ns = self.elapsed.as_ns_f64();
+        if ns == 0.0 {
+            0.0
+        } else {
+            self.data_bytes as f64 / ns
+        }
+    }
+}
+
+/// Per-core static load parameters derived from the benchmark profile.
+///
+/// The stall model mirrors the reference core: only demand *loads*
+/// whose line was not prefetched block commit (stores and software
+/// prefetches retire immediately), the ROB hides the first
+/// `rob_entries x base_time` of each blocking miss, and prefetched
+/// loads wait only for the part of the latency the prefetch distance
+/// could not cover.
+struct CoreLoad {
+    /// Ideal commit time per instruction (ns).
+    base_time: f64,
+    /// Demand reads per instruction reaching memory.
+    demand_pi: f64,
+    /// Software-prefetch reads per instruction.
+    swpf_pi: f64,
+    /// Writebacks per instruction.
+    write_pi: f64,
+    /// Commit-blocking load misses per instruction (uncovered loads).
+    blocking_pi: f64,
+    /// Prefetch-covered loads per instruction (late-prefetch waits).
+    covered_pi: f64,
+    /// Latency (ns) a software prefetch hides for its covered load.
+    pf_hide: f64,
+    /// Latency (ns) the reorder buffer hides for a blocking load.
+    rob_hide: f64,
+    /// Concurrent blocking misses sharing one stall (ROB clustering,
+    /// capped by the MSHR count).
+    overlap: f64,
+    /// AMB hit probability per read.
+    hit: f64,
+}
+
+fn dur_ns(x: f64) -> Dur {
+    Dur::from_ps((x.max(0.0) * 1000.0).round() as u64)
+}
+
+/// Per-channel in-flight transaction cap, mirroring the accurate
+/// controller's `MAX_INFLIGHT_PER_CHANNEL` admission limit.
+const INFLIGHT_WINDOW: f64 = 16.0;
+
+const FIXED_POINT_ITERS: usize = 600;
+const DAMPING: f64 = 0.7;
+const CONVERGENCE_TOL: f64 = 1e-10;
+const MAX_HIT_RATE: f64 = 0.95;
+/// Mirrors `fbd_core`'s power-down threshold (30 ns of idleness).
+const POWERDOWN_AFTER_NS: f64 = 30.0;
+
+/// Unscaled structural per-instruction traffic rates, averaged over
+/// cores: `(demand reads, software prefetches, writebacks)`. The
+/// calibrator divides observed rates by these to obtain the measured
+/// traffic scales in [`ModelParams`].
+pub(crate) fn structural_traffic(system: &SystemConfig, workload: &Workload) -> (f64, f64, f64) {
+    let (mut d, mut s, mut w) = (0.0, 0.0, 0.0);
+    for p in workload.benchmarks() {
+        let mpi = p.ops_per_kilo as f64 / 1000.0;
+        let q = if system.cpu.software_prefetch {
+            p.sw_prefetch_coverage
+        } else {
+            0.0
+        };
+        let sf = p.stream_fraction;
+        let irr = (1.0 - sf) * (1.0 - p.reuse_fraction);
+        d += mpi * (sf * (1.0 - q) + irr);
+        s += mpi * sf * q;
+        w += mpi * p.store_fraction * (sf + irr);
+    }
+    let n = workload.benchmarks().len().max(1) as f64;
+    (d / n, s / n, w / n)
+}
+
+/// Predicts one run of `workload` on `system` with an instruction
+/// budget of `budget` per core.
+///
+/// The returned [`Prediction`] carries everything needed to synthesize
+/// a `RunResult`-shaped output, including an [`EnergyReport`] computed
+/// by the existing power model from predicted command counts.
+pub fn predict(
+    system: &SystemConfig,
+    workload: &Workload,
+    budget: u64,
+    params: &ModelParams,
+) -> Prediction {
+    let cfg = &system.mem;
+    let cpu = &system.cpu;
+    let alpha = params.service_inflation.max(1e-3);
+    let gamma = params.contention.max(0.0);
+
+    let fbd = cfg.tech.is_fbdimm();
+    let amb_on = fbd && cfg.amb.is_enabled();
+    let full_latency_hits = amb_on && cfg.amb.mode == AmbPrefetchMode::FullLatency;
+    let k = cfg.amb.region_lines.max(1) as f64;
+
+    let n_ch = cfg.logical_channels.max(1) as f64;
+    let banks_per_ch =
+        (cfg.dimms_per_channel * cfg.ranks_per_dimm * cfg.banks_per_dimm).max(1) as f64;
+    let phys = cfg.phys_per_logical.max(1) as u64;
+
+    // Timing building blocks (ns), all inflated by α.
+    let t = &cfg.timings;
+    let dimm_clk = cfg.data_rate.clock_period().as_ns_f64();
+    let burst_clocks = 64u64.div_ceil(16 * phys) as f64;
+    let s_burst = alpha * dimm_clk * burst_clocks;
+    let s_rc = alpha * t.t_rc.as_ns_f64();
+    let s_rp = alpha * t.t_rp.as_ns_f64();
+    let s_rcd = alpha * t.t_rcd.as_ns_f64();
+    let s_cl = alpha * t.t_cl.as_ns_f64();
+    let s_wl = alpha * t.t_wl.as_ns_f64();
+    let s_frame = alpha * dimm_clk;
+    // The northbound link moves a line in one burst time (the paper's
+    // "6 ns data transfer"); southbound write data takes twice that at
+    // half the bandwidth (DESIGN.md §3).
+    let s_nb = s_burst;
+    let s_sb = 2.0 * s_nb;
+    let ctrl = cfg.controller_overhead.as_ns_f64();
+    // The daisy-chain delay is paid once per request end to end (the
+    // paper's idle decomposition: 12 ns for 4 DIMMs at 3 ns/hop), split
+    // evenly between the south and north legs for stage attribution.
+    let hops = match cfg.tech {
+        MemoryTech::FbDimm { vrl: true } => (cfg.dimms_per_channel as f64 + 1.0) / 2.0,
+        MemoryTech::FbDimm { vrl: false } => cfg.dimms_per_channel as f64,
+        MemoryTech::Ddr2 => 0.0,
+    };
+    let transit = hops * cfg.amb_hop_delay.as_ns_f64() / 2.0;
+    // Each DRAM read miss triggers a region fetch of k further lines
+    // sharing one activation. The bank is occupied for
+    // max(tRC, tRCD + k·burst + tRP) under close-page timing, so the
+    // fills only cost extra when the column train outruns tRC.
+    let extra_cols = if amb_on {
+        (s_rcd + k * s_burst + s_rp - s_rc).max(0.0)
+    } else {
+        0.0
+    };
+
+    // AMB capacity pressure: each live stream pins one region.
+    let streams_total: f64 = workload.benchmarks().iter().map(|p| p.streams as f64).sum();
+    let amb_lines = (cfg.logical_channels * cfg.dimms_per_channel * cfg.amb.cache_lines) as f64;
+    let cap = if amb_on {
+        (amb_lines / (streams_total * k).max(1.0)).min(1.0)
+    } else {
+        0.0
+    };
+
+    let clk = cpu.clock.as_ns_f64();
+    let loads: Vec<CoreLoad> = workload
+        .benchmarks()
+        .iter()
+        .map(|p| {
+            let mpi = p.ops_per_kilo as f64 / 1000.0;
+            let q = if cpu.software_prefetch {
+                p.sw_prefetch_coverage
+            } else {
+                0.0
+            };
+            let sf = p.stream_fraction;
+            let irregular_miss = (1.0 - sf) * (1.0 - p.reuse_fraction);
+            let demand_pi = params.demand_scale * mpi * (sf * (1.0 - q) + irregular_miss);
+            let swpf_pi = params.swpf_scale * mpi * sf * q;
+            let write_pi = params.write_scale * mpi * p.store_fraction * (sf + irregular_miss);
+            let reads_pi = demand_pi + swpf_pi;
+            let stream_share = if reads_pi > 0.0 {
+                mpi * sf / reads_pi
+            } else {
+                0.0
+            };
+            let used = (k / p.stream_stride as f64).max(1.0);
+            let region_hit = (used - 1.0) / used;
+            let hit = if amb_on {
+                (params.hit_scaling * stream_share * region_hit * cap).clamp(0.0, MAX_HIT_RATE)
+            } else {
+                0.0
+            };
+            let base_time = clk / p.base_ipc;
+            let loads = 1.0 - p.store_fraction;
+            let blocking_pi = params.demand_scale * loads * mpi * (sf * (1.0 - q) + irregular_miss);
+            let covered_pi = params.swpf_scale * loads * mpi * sf * q;
+            // A prefetch targets `distance` iterations ahead of its
+            // stream; the stream advances every streams/(mpi*sf)
+            // instructions, so the hide window is that many base-rate
+            // instruction times.
+            let pf_hide = if sf * mpi > 0.0 {
+                p.sw_prefetch_distance as f64 * p.streams.max(1) as f64 / (sf * mpi) * base_time
+            } else {
+                f64::MAX
+            };
+            let rob = cpu.rob_entries.max(1) as f64;
+            CoreLoad {
+                base_time,
+                demand_pi,
+                swpf_pi,
+                write_pi,
+                blocking_pi,
+                covered_pi,
+                pf_hide,
+                rob_hide: rob * base_time,
+                // While one blocking load stalls commit, the ROB fills
+                // with ~rob·blocking_pi further blocking loads whose
+                // latency overlaps the first (bounded by the MSHRs).
+                overlap: (1.0 + rob * blocking_pi).min(cpu.data_mshrs.max(1) as f64),
+                hit,
+            }
+        })
+        .collect();
+
+    // Fixed point: per-instruction time → arrival rates → queue waits →
+    // latency → per-instruction time.
+    let mut times: Vec<f64> = loads.iter().map(|l| l.base_time).collect();
+    let mut miss_stages = [0.0f64; Stage::COUNT];
+    let mut hit_stages = [0.0f64; Stage::COUNT];
+    let mut write_stages = [0.0f64; Stage::COUNT];
+    let mut util = Utilization::default();
+    // Residence blend from the previous iteration, for the in-flight
+    // window term (seeded with a latency-free estimate).
+    let mut resident = s_rc;
+    for _ in 0..FIXED_POINT_ITERS {
+        let mut rd = 0.0; // reads per ns per channel
+        let mut hit_flow = 0.0;
+        let mut wr = 0.0;
+        for (l, tc) in loads.iter().zip(&times) {
+            let rate = 1.0 / tc;
+            rd += rate * (l.demand_pi + l.swpf_pi);
+            hit_flow += rate * (l.demand_pi + l.swpf_pi) * l.hit;
+            wr += rate * l.write_pi;
+        }
+        rd /= n_ch;
+        hit_flow /= n_ch;
+        wr /= n_ch;
+        let miss = (rd - hit_flow).max(0.0);
+
+        let rho_bank = (miss * (s_rc + extra_cols) + wr * s_rc) / banks_per_ch;
+        let w_bank = gamma * md1_wait(rho_bank, s_rc + extra_cols);
+        // Behind each AMB sits one DDR data bus shared by that DIMM's
+        // ranks; a region fetch streams k bursts across it and a write
+        // one (AMB hits are served from the AMB cache and never touch
+        // it). The in-flight window closes the loop: of the <=16
+        // admitted transactions, those in their DRAM phase pile up on
+        // `dimms` parallel back-ends, so a request waits for the
+        // back-end queue ahead of it — negligible until the per-DIMM
+        // population exceeds one, then ~(population - 1) service times.
+        // This, not link utilization, is why a saturated single channel
+        // with 2 DIMMs is far slower than one with 8. DDR2 has no
+        // per-DIMM bus distinct from the channel bus, which rho_north
+        // already models. Structural (like the window), so no γ.
+        let w_dimm = if fbd && miss + wr > 0.0 {
+            let fetch_burst = if amb_on { k * s_burst } else { s_burst };
+            let dimms = cfg.dimms_per_channel.max(1) as f64;
+            let l_miss_prev: f64 = miss_stages.iter().sum();
+            let l_write_prev: f64 = write_stages.iter().sum();
+            let l_hit_prev: f64 = hit_stages.iter().sum();
+            // Back-end in-flight population by Little's law, capped by
+            // the admission window (hits occupy slots but no back-end).
+            let mut n_back = miss * l_miss_prev + wr * l_write_prev;
+            let n_win = n_back + hit_flow * l_hit_prev;
+            if n_win > INFLIGHT_WINDOW {
+                n_back *= INFLIGHT_WINDOW / n_win;
+            }
+            let s_mix = (miss * fetch_burst + wr * s_burst) / (miss + wr);
+            (n_back / dimms - 1.0).max(0.0) * s_mix
+        } else {
+            0.0
+        };
+        // The controller admits at most MAX_INFLIGHT_PER_CHANNEL
+        // transactions per channel; treat the window as a server whose
+        // slot turnover time is residence / window. This is what makes
+        // a single heavily-loaded channel collapse long before any
+        // individual bank or link saturates. The cap is a structural
+        // admission limit, not a tunable queue, so γ does not scale it
+        // and the knee is sharp: negligible below ~60% occupancy, then
+        // Little's-law blow-up (flow x latency → window).
+        let slot = resident / INFLIGHT_WINDOW;
+        let rho_win = ((rd + wr) * slot).min(crate::queue::MAX_UTILIZATION);
+        let w_win = slot * rho_win.powi(2) / (1.0 - rho_win);
+        let (w_sb, w_north, rho_north, rho_sb);
+        if fbd {
+            // The serial links carry fixed-size frames in schedule
+            // slots; arrivals are regulated by the controller, so the
+            // plain M/D/1 wait is already generous and γ (which
+            // absorbs DRAM-side scheduling slack) does not apply.
+            rho_north = rd * s_nb;
+            w_north = md1_wait(rho_north, s_nb);
+            rho_sb = (rd + wr) * s_frame + wr * s_sb;
+            w_sb = md1_wait(rho_sb, s_sb.max(s_frame));
+        } else {
+            // DDR2: one shared bidirectional data bus per channel,
+            // arbitrated alongside the banks — γ-scaled like them.
+            rho_north = (rd + wr) * s_burst;
+            w_north = gamma * md1_wait(rho_north, s_burst);
+            rho_sb = 0.0;
+            w_sb = 0.0;
+        }
+        util = Utilization {
+            bank: rho_bank,
+            north: rho_north,
+            south: rho_sb,
+        };
+
+        miss_stages = [0.0; Stage::COUNT];
+        miss_stages[Stage::CtrlQueue.index()] = ctrl + w_bank + w_dimm + w_win;
+        miss_stages[Stage::DramAct.index()] = s_rcd;
+        miss_stages[Stage::NorthQueue.index()] = w_north;
+        if fbd {
+            // The northbound data transfer is the burst itself; DramCas
+            // carries only the CAS latency (idle miss: 12 + 3 + 15 + 15
+            // + 6 + chain, exactly the paper's 63 ns decomposition).
+            miss_stages[Stage::DramCas.index()] = s_cl;
+            miss_stages[Stage::SouthLink.index()] = transit + s_frame + w_sb;
+            miss_stages[Stage::NorthLink.index()] = transit + s_nb;
+        } else {
+            miss_stages[Stage::DramCas.index()] = s_cl + s_burst;
+        }
+        hit_stages = [0.0; Stage::COUNT];
+        if amb_on {
+            hit_stages[Stage::CtrlQueue.index()] = ctrl + w_win;
+            hit_stages[Stage::SouthLink.index()] = transit + s_frame + w_sb;
+            hit_stages[Stage::AmbProc.index()] = if full_latency_hits { s_rcd + s_cl } else { 0.0 };
+            hit_stages[Stage::NorthQueue.index()] = w_north;
+            hit_stages[Stage::NorthLink.index()] = transit + s_nb;
+        }
+        write_stages = [0.0; Stage::COUNT];
+        write_stages[Stage::CtrlQueue.index()] = ctrl + w_bank + w_dimm + w_win;
+        write_stages[Stage::DramAct.index()] = s_rcd;
+        write_stages[Stage::DramCas.index()] = s_wl + s_burst;
+        if fbd {
+            write_stages[Stage::SouthLink.index()] = transit + s_frame + w_sb + s_sb;
+        }
+
+        let l_miss: f64 = miss_stages.iter().sum();
+        let l_hit: f64 = hit_stages.iter().sum();
+        // Slot residence for the next iteration: time in the window
+        // after admission (total latency minus the admission wait),
+        // blended over the read and write mix.
+        let flow = rd + wr;
+        if flow > 0.0 {
+            let l_write: f64 = write_stages.iter().sum();
+            let reads_res = miss * l_miss + hit_flow * l_hit;
+            let next_res = ((reads_res + wr * l_write) / flow - w_win).max(s_burst);
+            resident = DAMPING * resident + (1.0 - DAMPING) * next_res;
+        }
+        let mut worst_delta = 0.0f64;
+        for (i, l) in loads.iter().enumerate() {
+            let l_demand = (1.0 - l.hit) * l_miss + l.hit * l_hit;
+            let block_stall = (l_demand - l.rob_hide).max(0.0) / l.overlap;
+            let late_pf_stall = (l_demand - l.pf_hide).max(0.0) / l.overlap;
+            let next = l.base_time + l.blocking_pi * block_stall + l.covered_pi * late_pf_stall;
+            let updated = DAMPING * times[i] + (1.0 - DAMPING) * next;
+            worst_delta = worst_delta.max((updated - times[i]).abs() / times[i]);
+            times[i] = updated;
+        }
+        if worst_delta < CONVERGENCE_TOL {
+            break;
+        }
+    }
+
+    // The run ends when the first core commits its budget.
+    let t_min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let elapsed_ns = budget as f64 * t_min;
+    let cores: Vec<CorePrediction> = loads
+        .iter()
+        .zip(&times)
+        .zip(workload.benchmarks())
+        .map(|((l, tc), p)| {
+            let instructions = ((elapsed_ns / tc).round() as u64).min(budget);
+            let cycles = (elapsed_ns / clk).round() as u64;
+            let n = instructions as f64;
+            CorePrediction {
+                instructions,
+                cycles,
+                ipc: if cycles == 0 {
+                    0.0
+                } else {
+                    instructions as f64 / cycles as f64
+                },
+                l2_accesses: (n * p.ops_per_kilo as f64 / 1000.0).round() as u64,
+                l2_misses: (n * (l.demand_pi + l.swpf_pi)).round() as u64,
+            }
+        })
+        .collect();
+
+    let mut demand_reads = 0u64;
+    let mut sw_prefetch_reads = 0u64;
+    let mut writes = 0u64;
+    let mut amb_hits = 0u64;
+    for (l, c) in loads.iter().zip(&cores) {
+        let n = c.instructions as f64;
+        demand_reads += (n * l.demand_pi).round() as u64;
+        sw_prefetch_reads += (n * l.swpf_pi).round() as u64;
+        writes += (n * l.write_pi).round() as u64;
+        amb_hits += (n * (l.demand_pi + l.swpf_pi) * l.hit).round() as u64;
+    }
+    let reads = demand_reads + sw_prefetch_reads;
+    let amb_hits = amb_hits.min(reads);
+    let misses = reads - amb_hits;
+    let lines_prefetched = if amb_on {
+        misses * (cfg.amb.region_lines.max(1) as u64 - 1)
+    } else {
+        0
+    };
+    let data_bytes = (reads + writes) * 64;
+    let dram_ops = DramOpCounts {
+        act_pre: misses + writes,
+        col_reads: misses + lines_prefetched,
+        col_writes: writes,
+        refreshes: 0,
+    };
+    let dram_busy = misses as f64 * (s_rc + extra_cols) + writes as f64 * s_rc;
+
+    let n_channels = cfg.logical_channels.max(1) as usize;
+    let split = |total: u64, i: usize| -> u64 {
+        total / n_channels as u64 + u64::from(i == 0) * (total % n_channels as u64)
+    };
+    let channels: Vec<ChannelPrediction> = (0..n_channels)
+        .map(|i| ChannelPrediction {
+            reads: split(reads, i),
+            writes: split(writes, i),
+            bytes: split(data_bytes, i),
+            amb_hits: split(amb_hits, i),
+        })
+        .collect();
+
+    let energy = predicted_energy(cfg, elapsed_ns, &dram_ops, dram_busy);
+
+    let l_miss: f64 = miss_stages.iter().sum();
+    let l_hit: f64 = hit_stages.iter().sum();
+    let hit_rate = if reads == 0 {
+        0.0
+    } else {
+        amb_hits as f64 / reads as f64
+    };
+    let to_durs = |s: &[f64; Stage::COUNT]| -> [Dur; Stage::COUNT] {
+        let mut out = [Dur::ZERO; Stage::COUNT];
+        for (d, v) in out.iter_mut().zip(s) {
+            *d = dur_ns(*v);
+        }
+        out
+    };
+
+    Prediction {
+        elapsed: dur_ns(elapsed_ns),
+        cores,
+        demand_reads,
+        sw_prefetch_reads,
+        writes,
+        amb_hits,
+        lines_prefetched,
+        data_bytes,
+        demand_latency: dur_ns((1.0 - hit_rate) * l_miss + hit_rate * l_hit),
+        miss_latency: dur_ns(l_miss),
+        hit_latency: dur_ns(l_hit),
+        write_latency: dur_ns(write_stages.iter().sum()),
+        miss_stages: to_durs(&miss_stages),
+        hit_stages: to_durs(&hit_stages),
+        write_stages: to_durs(&write_stages),
+        hit_rate,
+        util,
+        dram_ops,
+        dram_busy: dur_ns(dram_busy),
+        channels,
+        energy,
+    }
+}
+
+/// Feeds predicted command counts and mode residencies through the
+/// existing Micron IDD energy model, mirroring the accurate path's
+/// current-set selection.
+fn predicted_energy(
+    cfg: &fbd_types::config::MemoryConfig,
+    elapsed_ns: f64,
+    ops: &DramOpCounts,
+    dram_busy_ns: f64,
+) -> EnergyReport {
+    let buffered = cfg.tech.is_fbdimm();
+    let model = if cfg.data_rate == DataRate::MTS1333 {
+        EnergyModel::micron_ddr3_1333(buffered)
+    } else {
+        EnergyModel::micron_ddr2_667(buffered)
+    };
+    let ranks_total =
+        (cfg.logical_channels * cfg.dimms_per_channel * cfg.ranks_per_dimm).max(1) as u64;
+    let per =
+        |total: u64, idx: u64| total / ranks_total + u64::from(idx == 0) * (total % ranks_total);
+    let busy_per_rank = dram_busy_ns / ranks_total as f64;
+    let active_ns = busy_per_rank.min(elapsed_ns);
+    let idle_ns = (elapsed_ns - active_ns).max(0.0);
+    let acts_per_rank = (ops.act_pre / ranks_total).max(1) as f64;
+    let mean_gap = idle_ns / acts_per_rank;
+    // Fraction of idle time spent in gaps longer than the power-down
+    // threshold, assuming exponential gaps of mean `mean_gap`.
+    let pd_frac = if mean_gap > 0.0 {
+        ((-POWERDOWN_AFTER_NS / mean_gap).exp() * (POWERDOWN_AFTER_NS + mean_gap) / mean_gap)
+            .min(1.0)
+    } else {
+        0.0
+    };
+    let powerdown_ns = idle_ns * pd_frac;
+    let standby_ns = idle_ns - powerdown_ns;
+
+    let mut ranks = Vec::with_capacity(ranks_total as usize);
+    let mut idx = 0u64;
+    for ch in 0..cfg.logical_channels {
+        for dimm in 0..cfg.dimms_per_channel {
+            for rank in 0..cfg.ranks_per_dimm {
+                ranks.push(RankActivity {
+                    channel: ch,
+                    dimm,
+                    rank,
+                    ops: DramOpCounts {
+                        act_pre: per(ops.act_pre, idx),
+                        col_reads: per(ops.col_reads, idx),
+                        col_writes: per(ops.col_writes, idx),
+                        refreshes: 0,
+                    },
+                    residency: ModeResidency {
+                        active: dur_ns(active_ns),
+                        standby: dur_ns(standby_ns),
+                        powerdown: dur_ns(powerdown_ns),
+                    },
+                });
+                idx += 1;
+            }
+        }
+    }
+    let amb_dimms = if buffered {
+        cfg.logical_channels * cfg.dimms_per_channel
+    } else {
+        0
+    };
+    model.report(&ranks, dur_ns(elapsed_ns), amb_dimms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_types::config::MemoryConfig;
+    use fbd_workloads::mixes::find;
+
+    fn sys(mem: MemoryConfig, cores: u32) -> SystemConfig {
+        let mut s = SystemConfig::paper_default(cores);
+        s.mem = mem;
+        s
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let w = find("2C-1").unwrap();
+        let s = sys(MemoryConfig::fbdimm_with_prefetch(), 2);
+        let a = predict(&s, &w, 200_000, &ModelParams::default());
+        let b = predict(&s, &w, 200_000, &ModelParams::default());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.dram_ops, b.dram_ops);
+        assert_eq!(a.energy.total_nj(), b.energy.total_nj());
+    }
+
+    #[test]
+    fn prefetch_hits_streaming_workload() {
+        let w = find("1C-swim").unwrap();
+        let ap = predict(
+            &sys(MemoryConfig::fbdimm_with_prefetch(), 1),
+            &w,
+            100_000,
+            &ModelParams::default(),
+        );
+        let off = predict(
+            &sys(MemoryConfig::fbdimm_default(), 1),
+            &w,
+            100_000,
+            &ModelParams::default(),
+        );
+        assert!(ap.hit_rate > 0.3, "hit rate {}", ap.hit_rate);
+        assert_eq!(off.hit_rate, 0.0);
+        assert!(ap.demand_latency < off.demand_latency);
+        assert!(ap.ipc_sum() >= off.ipc_sum());
+    }
+
+    #[test]
+    fn idle_stage_structure_matches_paper_decomposition() {
+        // Paper §5.2 idle FBD read: 12 ctrl + 3 southbound command +
+        // 15 tRCD + 15 tCL + 6 transfer + 12 daisy chain = 63 ns. The
+        // deterministic (wait-free) stage components must pin those
+        // numbers so only queueing separates the model from idle.
+        let w = find("1C-parser").unwrap();
+        let p = predict(
+            &sys(MemoryConfig::fbdimm_default(), 1),
+            &w,
+            100_000,
+            &ModelParams::default(),
+        );
+        assert_eq!(p.miss_stages[Stage::DramAct.index()], Dur::from_ns(15));
+        assert_eq!(p.miss_stages[Stage::DramCas.index()], Dur::from_ns(15));
+        // NorthLink is wait-free: half the chain (6) plus the 6 ns
+        // transfer.
+        assert_eq!(p.miss_stages[Stage::NorthLink.index()], Dur::from_ns(12));
+        // The full idle path is 63 ns plus whatever queueing the load
+        // induces; it can never be below the paper's decomposition.
+        assert!(p.miss_latency >= Dur::from_ns(63));
+    }
+
+    #[test]
+    fn ddr2_has_no_link_stages() {
+        let w = find("1C-parser").unwrap();
+        let p = predict(
+            &sys(MemoryConfig::ddr2_default(), 1),
+            &w,
+            100_000,
+            &ModelParams::default(),
+        );
+        assert_eq!(p.hit_rate, 0.0);
+        assert_eq!(p.miss_stages[Stage::SouthLink.index()], Dur::ZERO);
+        assert_eq!(p.miss_stages[Stage::NorthLink.index()], Dur::ZERO);
+        assert_eq!(p.util.south, 0.0);
+        assert_eq!(p.energy.amb_nj, 0.0);
+    }
+
+    #[test]
+    fn service_inflation_slows_the_system() {
+        let w = find("4C-1").unwrap();
+        let s = sys(MemoryConfig::fbdimm_with_prefetch(), 4);
+        let fast = predict(&s, &w, 100_000, &ModelParams::default());
+        let slow = predict(
+            &s,
+            &w,
+            100_000,
+            &ModelParams {
+                service_inflation: 2.0,
+                ..ModelParams::default()
+            },
+        );
+        assert!(slow.ipc_sum() < fast.ipc_sum());
+        // End-to-end latency is a closed loop (slower cores offer less
+        // load, shrinking queue waits), so check the inflation on a
+        // pure service stage instead.
+        assert!(
+            slow.miss_stages[Stage::DramAct.index()] > fast.miss_stages[Stage::DramAct.index()]
+        );
+    }
+
+    #[test]
+    fn stage_means_sum_to_latency() {
+        let w = find("8C-1").unwrap();
+        let p = predict(
+            &sys(MemoryConfig::fbdimm_with_prefetch(), 8),
+            &w,
+            100_000,
+            &ModelParams::default(),
+        );
+        let sum: u64 = p.miss_stages.iter().map(|d| d.as_ps()).sum();
+        let diff = sum.abs_diff(p.miss_latency.as_ps());
+        // Rounding each stage separately can drift by a few ps.
+        assert!(diff <= Stage::COUNT as u64, "diff {diff} ps");
+    }
+
+    #[test]
+    fn energy_counts_follow_traffic() {
+        let w = find("1C-swim").unwrap();
+        let p = predict(
+            &sys(MemoryConfig::fbdimm_with_prefetch(), 1),
+            &w,
+            100_000,
+            &ModelParams::default(),
+        );
+        assert!(p.energy.total_nj() > 0.0);
+        assert!(p.energy.amb_nj > 0.0);
+        assert_eq!(
+            p.dram_ops.col_reads,
+            p.reads() - p.amb_hits + p.lines_prefetched
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! M/D/1 waiting-time primitives.
+//!
+//! Every shared resource in the fast model (bank pool, southbound link,
+//! northbound link, DDR2 data bus) is approximated as an M/D/1 queue:
+//! Poisson arrivals, deterministic service. The Pollaczek–Khinchine
+//! formula for deterministic service gives the mean wait
+//! `W = ρ·S / (2·(1−ρ))`.
+
+/// Utilizations are clamped here before the P-K formula so an offered
+/// load beyond saturation produces a large-but-finite wait; the IPC
+/// fixed point then throttles the arrival rate instead of diverging.
+pub const MAX_UTILIZATION: f64 = 0.97;
+
+/// Mean M/D/1 waiting time (same unit as `service`) at utilization
+/// `rho`, clamped to [`MAX_UTILIZATION`].
+///
+/// # Examples
+///
+/// ```
+/// // At ρ = 0.5 the mean wait is half the service time.
+/// assert!((fbd_model::md1_wait(0.5, 10.0) - 5.0).abs() < 1e-12);
+/// // Zero load waits nothing.
+/// assert_eq!(fbd_model::md1_wait(0.0, 10.0), 0.0);
+/// ```
+pub fn md1_wait(rho: f64, service: f64) -> f64 {
+    let rho = rho.clamp(0.0, MAX_UTILIZATION);
+    rho * service / (2.0 * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_grows_monotonically_with_load() {
+        let mut last = -1.0;
+        for i in 0..=100 {
+            let w = md1_wait(i as f64 / 100.0, 30.0);
+            assert!(w >= last, "wait decreased at rho={}", i as f64 / 100.0);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn overload_is_finite() {
+        let w = md1_wait(5.0, 30.0);
+        assert!(w.is_finite());
+        assert_eq!(w, md1_wait(1.0, 30.0));
+    }
+}

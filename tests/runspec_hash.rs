@@ -1,0 +1,117 @@
+//! Tests for [`RunSpec`] canonicalization and hashing — the contract
+//! the calibration cache (and any future result cache) depends on:
+//! builder-call order and pure instrumentation never change the key,
+//! every semantic field does.
+
+use fbd_core::{ExperimentConfig, RunSpec, Warmup};
+use fbd_telemetry::TelemetryConfig;
+use fbd_types::config::MemoryConfig;
+
+fn base() -> RunSpec {
+    RunSpec::paper_default(1).workload("1C-swim")
+}
+
+#[test]
+fn hash_is_stable_across_builder_call_order() {
+    let a = base().budget(100_000).seed(7);
+    let b = base().seed(7).budget(100_000);
+    assert_eq!(a.canonical_key(), b.canonical_key());
+    assert_eq!(a.canonical_hash(), b.canonical_hash());
+
+    // Setting run control wholesale or field-by-field is equivalent.
+    let exp = ExperimentConfig {
+        budget: 100_000,
+        seed: 7,
+        ..*base().exp()
+    };
+    let c = base().experiment(exp);
+    assert_eq!(a.canonical_hash(), c.canonical_hash());
+}
+
+#[test]
+fn hash_ignores_instrumentation() {
+    let plain = base();
+    let instrumented = base().telemetry(TelemetryConfig::default()).capture_trace();
+    assert_eq!(plain.canonical_key(), instrumented.canonical_key());
+    assert_eq!(plain.canonical_hash(), instrumented.canonical_hash());
+}
+
+#[test]
+fn hash_changes_on_every_semantic_field() {
+    let reference = base().budget(100_000).seed(42);
+    let h = reference.canonical_hash();
+
+    // Run control.
+    assert_ne!(h, base().budget(100_001).seed(42).canonical_hash());
+    assert_ne!(h, base().budget(100_000).seed(43).canonical_hash());
+    assert_ne!(
+        h,
+        base()
+            .budget(100_000)
+            .seed(42)
+            .warmup(Warmup::None)
+            .canonical_hash()
+    );
+
+    // Workload.
+    assert_ne!(
+        h,
+        RunSpec::paper_default(1)
+            .workload("1C-wupwise")
+            .budget(100_000)
+            .seed(42)
+            .canonical_hash()
+    );
+    // No workload at all is its own key.
+    assert_ne!(
+        h,
+        RunSpec::paper_default(1)
+            .budget(100_000)
+            .seed(42)
+            .canonical_hash()
+    );
+
+    // System configuration: technology, geometry, prefetch knobs.
+    let mut variants = Vec::new();
+    variants.push(reference.clone().memory(MemoryConfig::ddr2_default()));
+    variants.push(reference.clone().with_prefetch(true));
+    let mut channels = reference.clone();
+    channels.system_mut().mem.logical_channels *= 2;
+    variants.push(channels);
+    let mut dimms = reference.clone();
+    dimms.system_mut().mem.dimms_per_channel += 1;
+    variants.push(dimms);
+    let mut region = reference.clone();
+    region.system_mut().mem.amb.region_lines *= 2;
+    variants.push(region);
+    let mut seen = vec![h];
+    for v in &variants {
+        let vh = v.canonical_hash();
+        assert!(
+            !seen.contains(&vh),
+            "semantic change did not change the hash: {}",
+            v.canonical_key()
+        );
+        seen.push(vh);
+    }
+}
+
+#[test]
+fn key_is_humanly_attributable() {
+    // The canonical key doubles as a debugging label: it must name the
+    // workload and carry the run control in readable form.
+    let key = base().budget(123_456).seed(9).canonical_key();
+    assert!(key.contains("workload=1C-swim"), "{key}");
+    assert!(key.contains("budget=123456"), "{key}");
+    assert!(key.contains("seed=9"), "{key}");
+    assert!(key.contains("system="), "{key}");
+}
+
+#[test]
+fn equal_specs_from_different_construction_paths_collide() {
+    // paper_default(1).workload(...) and an explicit with_workload of
+    // the same resolved workload describe the same run.
+    let by_name = base();
+    let explicit = RunSpec::paper_default(1).with_workload(fbd_workloads::find("1C-swim").unwrap());
+    assert_eq!(by_name.canonical_hash(), explicit.canonical_hash());
+}
