@@ -15,9 +15,7 @@
 
 use fbd_bench::*;
 use fbd_core::experiment::ExperimentConfig;
-use fbd_types::config::{
-    Interleaving, MemoryTech, PagePolicy, Replacement, SchedPolicy, SystemConfig,
-};
+use fbd_types::config::{Interleaving, MemoryTech, PagePolicy, Replacement, SystemConfig};
 
 fn run_pair(
     title: &str,
@@ -102,9 +100,9 @@ fn main() {
         &refs,
     );
 
-    // 3. Hit-first vs FCFS scheduling (on plain FB-DIMM).
-    let mut fcfs = system(Variant::Fbd, 1);
-    fcfs.mem.sched_policy = SchedPolicy::Fcfs;
+    // 3. Hit-first vs FCFS scheduling (on plain FB-DIMM). Both
+    //    policies are registry entries, selected by name.
+    let fcfs = with_scheduler(system(Variant::Fbd, 1), "fcfs");
     run_pair(
         "Controller scheduling: hit-first (paper) vs FCFS",
         vec![

@@ -8,6 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use fbd_core::experiment::ExperimentConfig;
 use fbd_core::RunSpec;
+use fbd_ctrl::AddressMapper;
 use fbd_types::config::{MemoryConfig, SystemConfig};
 use fbd_types::time::{Dur, Time};
 use fbd_types::LineAddr;
@@ -24,8 +25,8 @@ fn bench_mapping(c: &mut Criterion) {
     });
 }
 
-fn fbd_ctrl_mapper() -> fbd_ctrl::AddressMapper {
-    fbd_ctrl::AddressMapper::new(&MemoryConfig::fbdimm_with_prefetch())
+fn fbd_ctrl_mapper() -> fbd_ctrl::InterleavedMapper {
+    fbd_ctrl::InterleavedMapper::new(&MemoryConfig::fbdimm_with_prefetch())
 }
 
 fn bench_amb_cache(c: &mut Criterion) {

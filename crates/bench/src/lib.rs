@@ -21,7 +21,8 @@ use fbd_core::experiment::{default_budget, reference_ipcs, smt_speedup, Experime
 pub use fbd_core::parallel_map;
 use fbd_core::{RunResult, RunSpec};
 use fbd_types::config::{
-    AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, MemoryTech, SystemConfig,
+    AmbPrefetchMode, Associativity, Interleaving, MemoryConfig, MemoryTech, SchedPolicy,
+    SystemConfig,
 };
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload, PROFILES};
@@ -73,6 +74,28 @@ pub fn system(variant: Variant, cores: u32) -> SystemConfig {
             m.amb.mode = AmbPrefetchMode::FullLatency;
             m
         }
+    };
+    cfg
+}
+
+/// Selects a scheduling policy on a bench config by its registry name
+/// (validated against [`fbd_ctrl::schedulers`]), so benches pick
+/// policies the same way the CLI's `--scheduler` flag does.
+///
+/// # Panics
+///
+/// Panics on a name the scheduler registry does not know.
+pub fn with_scheduler(mut cfg: SystemConfig, name: &str) -> SystemConfig {
+    assert!(
+        fbd_ctrl::schedulers().get(name).is_some(),
+        "unknown scheduler `{name}` (available: {})",
+        fbd_ctrl::schedulers().available()
+    );
+    // The config enum is the carrier the grouped runners serialize; it
+    // mirrors the registry entry of the same name.
+    cfg.mem.sched_policy = match name {
+        "fcfs" => SchedPolicy::Fcfs,
+        _ => SchedPolicy::HitFirst,
     };
     cfg
 }

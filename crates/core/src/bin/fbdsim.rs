@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! fbdsim list
-//! fbdsim run     --workload 4C-1 --system fbd-ap [--budget N] [--seed N] [--csv] [--json]
-//!                [--stats-json stats.json] [--trace-out trace.json] [--sample-interval 512]
+//! fbdsim list-substrates
+//! fbdsim list-schedulers
+//! fbdsim run     --workload 4C-1 --substrate fbd-ap [--scheduler fcfs] [--budget N] [--seed N]
+//!                [--csv] [--json] [--stats-json stats.json] [--trace-out trace.json]
 //! fbdsim profile --workload 1C-swim [--system fbd-ap] [--folded-out folded.txt]
-//! fbdsim compare --workload 1C-swim [--budget N] [--seed N] [--csv] [--fidelity auto]
+//! fbdsim compare --workload 1C-swim [--substrate a,b,c] [--budget N] [--csv] [--fidelity auto]
 //! fbdsim sweep   --workload 1C-mgrid --knob {k|entries|assoc|channels|rate|grid} [--csv]
 //! ```
 //!
-//! Systems: `ddr2`, `fbd`, `fbd-ap`, `fbd-apfl`.
+//! Substrates come from the `fbd_types::substrate::substrates()`
+//! registry (`fbdsim list-substrates` prints them); `--system` is an
+//! exact alias of `--substrate` on `run` for backward compatibility.
 //! Workloads: the paper's Table 3 mixes (`2C-1` … `8C-3`) and the
 //! single-program workloads (`1C-<benchmark>`).
 
@@ -21,27 +25,36 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fbd_core::experiment::{default_budget, ExperimentConfig};
-use fbd_core::{calibrate, parallel_map, pareto_frontier, Calibration, Fidelity};
+use fbd_core::{calibrate, parallel_map, pareto_frontier, Calibration, Composition, Fidelity};
 use fbd_core::{RunResult, RunSpec};
+use fbd_ctrl::schedulers;
 use fbd_telemetry::{Json, LogHistogram, TelemetryConfig};
-use fbd_types::config::{
-    Associativity, FaultConfig, FaultMode, Interleaving, MemoryConfig, SystemConfig,
-};
+use fbd_types::config::{Associativity, FaultConfig, FaultMode, Interleaving, SystemConfig};
 use fbd_types::request::{REQ_CLASSES, STAGES};
+use fbd_types::substrate::substrates;
 use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload};
 
 fn usage_text() -> String {
-    "usage:\n  fbdsim list\n  fbdsim run --workload <name> --system <ddr2|fbd|fbd-ap|fbd-apfl> \
-     [--budget N] [--seed N] [--csv] [--json] [--timeline]\n             \
+    "usage:\n  fbdsim list\n  fbdsim list-substrates\n  fbdsim list-schedulers\n  \
+     fbdsim run --workload <name> --substrate <name> [--scheduler <name>] \
+     [--budget N] [--seed N]\n             [--csv] [--json] [--timeline] \
      [--stats-json <file>] [--trace-out <file>] [--sample-interval <cycles>]\n  \
      fbdsim profile --workload <name> [--system <name>] [--budget N] [--seed N] [--json]\n             \
      [--folded-out <file>] [--stats-json <file>]\n  \
-     fbdsim compare --workload <name> [--budget N] [--seed N] [--csv] [--json] [--stats-json <file>]\n  \
-     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate|grid> [--budget N] [--seed N] \
+     fbdsim compare --workload <name> [--substrate <a,b,c>] [--scheduler <name>] [--budget N] \
+     [--seed N] [--csv] [--json] [--stats-json <file>]\n  \
+     fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate|grid> \
+     [--substrate <name>] [--scheduler <name>]\n             [--budget N] [--seed N] \
      [--csv] [--json] [--stats-json <file>]\n  \
      fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
      fbdsim replay --trace <trace.csv> --system <name>\n\n\
+     substrate options:\n  \
+     --substrate <name>         registered memory substrate (see `fbdsim list-substrates`);\n                             \
+     on run, --system is an exact alias; on compare, a\n                             \
+     comma-separated list replaces the default paper grid\n  \
+     --scheduler <name>         registered scheduling policy (see `fbdsim list-schedulers`;\n                             \
+     default hit-first)\n\n\
      statistics options:\n  \
      --stats-json <file>        write machine-readable statistics as JSON (run: one\n                             \
      document; compare/sweep: one document covering every grid point)\n  \
@@ -68,6 +81,8 @@ fn usage_text() -> String {
 const RUN_KEYS: &[&str] = &[
     "workload",
     "system",
+    "substrate",
+    "scheduler",
     "budget",
     "seed",
     "stats-json",
@@ -93,6 +108,8 @@ const PROFILE_KEYS: &[&str] = &[
 const PROFILE_FLAGS: &[&str] = &["json"];
 const COMPARE_KEYS: &[&str] = &[
     "workload",
+    "substrate",
+    "scheduler",
     "budget",
     "seed",
     "stats-json",
@@ -105,6 +122,8 @@ const COMPARE_FLAGS: &[&str] = &["csv", "json"];
 const SWEEP_KEYS: &[&str] = &[
     "workload",
     "knob",
+    "substrate",
+    "scheduler",
     "budget",
     "seed",
     "stats-json",
@@ -204,8 +223,47 @@ fn find_workload(name: &str) -> Option<Workload> {
 
 fn system_config(name: &str, cores: u32) -> Option<SystemConfig> {
     let mut cfg = SystemConfig::paper_default(cores);
-    cfg.mem = MemoryConfig::by_name(name)?;
+    cfg.mem = substrates().get(name)?.config();
     Some(cfg)
+}
+
+/// The composition metadata a CLI run reports. The substrate label is
+/// the name the user selected — kept verbatim so it stays meaningful
+/// when fault flags make the config diverge from the registered preset
+/// (where [`Composition::from_config`] would report `custom`). The
+/// scheduler is the validated `--scheduler` choice; the rest comes from
+/// the config's own switches.
+fn composition_for(sname: &str, sched: &str, cfg: &SystemConfig) -> Composition {
+    Composition {
+        substrate: sname.to_string(),
+        scheduler: sched.to_string(),
+        mapper: "interleaved".to_string(),
+        refresh: if cfg.mem.refresh.enabled {
+            "staggered"
+        } else {
+            "none"
+        }
+        .to_string(),
+    }
+}
+
+/// Resolves the `--scheduler` flag shared by `run`/`compare`/`sweep`.
+/// Absent means the registered default (`hit-first`); unknown names are
+/// usage errors listing the registry.
+fn scheduler_options(args: &Args) -> Result<&str, ExitCode> {
+    if args.has_flag("scheduler") {
+        eprintln!("--scheduler requires a value");
+        return Err(ExitCode::from(2));
+    }
+    let name = args.get("scheduler").unwrap_or("hit-first");
+    if schedulers().get(name).is_none() {
+        eprintln!(
+            "unknown scheduler `{name}` (available: {})",
+            schedulers().available()
+        );
+        return Err(ExitCode::from(2));
+    }
+    Ok(name)
 }
 
 fn experiment(args: &Args) -> Result<ExperimentConfig, ExitCode> {
@@ -370,6 +428,7 @@ fn calibration_json(cal: &Calibration) -> Json {
         ])
     };
     Json::Obj(vec![
+        ("substrate".into(), Json::from(rep.substrate)),
         (
             "params".into(),
             Json::Obj(vec![
@@ -399,27 +458,28 @@ fn calibration_json(cal: &Calibration) -> Json {
 /// an exit code already reported on stderr.
 #[allow(clippy::type_complexity)]
 fn run_grid(
-    grid: &[(String, SystemConfig)],
+    grid: &[(String, String, SystemConfig)],
     workload: &Workload,
     exp: ExperimentConfig,
     fidelity: Fidelity,
+    sched: &str,
 ) -> Result<(Vec<RunResult>, Vec<Fidelity>, Option<Arc<Calibration>>), ExitCode> {
     if fidelity == Fidelity::Accurate {
         let progress = Progress::new(grid.len());
-        let results = parallel_map(grid, |(_, cfg)| {
-            let r = spec_for(*cfg, workload, exp).run();
+        let results = parallel_map(grid, |(_, _, cfg)| {
+            let r = spec_for(*cfg, workload, exp, sched).run();
             progress.tick();
             r
         });
         return Ok((results, vec![Fidelity::Accurate; grid.len()], None));
     }
-    let Some((_, first)) = grid.first() else {
+    let Some((_, _, first)) = grid.first() else {
         return Ok((Vec::new(), Vec::new(), None));
     };
     if std::io::stderr().is_terminal() {
         eprintln!("calibrating the fast model (accurate fit + holdout runs)...");
     }
-    let cal = match calibrate(&spec_for(*first, workload, exp)) {
+    let cal = match calibrate(&spec_for(*first, workload, exp, sched)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -427,8 +487,8 @@ fn run_grid(
         }
     };
     let mut results = Vec::with_capacity(grid.len());
-    for (label, cfg) in grid {
-        match spec_for(*cfg, workload, exp).try_run_fast(&cal) {
+    for (label, _, cfg) in grid {
+        match spec_for(*cfg, workload, exp, sched).try_run_fast(&cal) {
             Ok(r) => results.push(r),
             Err(e) => {
                 eprintln!("{label}: {e}");
@@ -445,10 +505,10 @@ fn run_grid(
             .map(|r| (r.ipcs().iter().sum::<f64>(), r.energy.total_nj()))
             .collect();
         let frontier = pareto_frontier(&points);
-        let subset: Vec<SystemConfig> = frontier.iter().map(|&i| grid[i].1).collect();
+        let subset: Vec<SystemConfig> = frontier.iter().map(|&i| grid[i].2).collect();
         let progress = Progress::new(subset.len());
         let accurate = parallel_map(&subset, |cfg| {
-            let r = spec_for(*cfg, workload, exp).run();
+            let r = spec_for(*cfg, workload, exp, sched).run();
             progress.tick();
             r
         });
@@ -461,11 +521,13 @@ fn run_grid(
 }
 
 /// Builds the [`RunSpec`] every subcommand runs through: the resolved
-/// system and workload plus the shared `--budget`/`--seed` run control.
-fn spec_for(cfg: SystemConfig, workload: &Workload, exp: ExperimentConfig) -> RunSpec {
+/// system and workload, the validated scheduler name, plus the shared
+/// `--budget`/`--seed` run control.
+fn spec_for(cfg: SystemConfig, workload: &Workload, exp: ExperimentConfig, sched: &str) -> RunSpec {
     RunSpec::new(cfg)
         .with_workload(workload.clone())
         .experiment(exp)
+        .scheduler(sched)
 }
 
 /// Resolves the run subcommand's telemetry flags. `Ok(None)` means no
@@ -501,7 +563,7 @@ fn telemetry_options(args: &Args, cfg: &SystemConfig) -> Result<Option<Telemetry
 /// The machine-readable statistics document written by `--stats-json`
 /// and printed by `--json`: everything the human report shows, plus the
 /// full metric registry and epoch time-series when telemetry ran.
-fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
+fn stats_document(workload: &Workload, system: &str, comp: &Composition, r: &RunResult) -> Json {
     let ipc_sum: f64 = r.ipcs().iter().sum();
     let bw = r.channel_bandwidth_gbps();
     let channels: Vec<Json> = r
@@ -524,6 +586,15 @@ fn stats_document(workload: &Workload, system: &str, r: &RunResult) -> Json {
     let mut fields = vec![
         ("workload".to_string(), Json::from(workload.name())),
         ("system".to_string(), Json::from(system)),
+        (
+            "composition".to_string(),
+            Json::Obj(vec![
+                ("substrate".into(), Json::from(comp.substrate.as_str())),
+                ("scheduler".into(), Json::from(comp.scheduler.as_str())),
+                ("mapper".into(), Json::from(comp.mapper.as_str())),
+                ("refresh".into(), Json::from(comp.refresh.as_str())),
+            ]),
+        ),
         ("elapsed_ns".to_string(), Json::from(r.elapsed.as_ns_f64())),
         ("ipc_sum".to_string(), Json::from(ipc_sum)),
         (
@@ -731,7 +802,8 @@ fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
 }
 
 fn cmd_list() -> ExitCode {
-    println!("systems: ddr2 fbd fbd-ap fbd-apfl");
+    let names: Vec<&str> = substrates().names().collect();
+    println!("systems: {}", names.join(" "));
     println!();
     println!("workloads:");
     for w in all_workloads() {
@@ -746,20 +818,71 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints every registered substrate with its timing spec and the key
+/// Table-2 parameters, in registration order.
+fn cmd_list_substrates() -> ExitCode {
+    println!("substrates (select with --substrate; --system is an alias on run):");
+    for (name, sub) in substrates().iter() {
+        let cfg = sub.config();
+        let t = &cfg.timings;
+        println!("  {:<10} {}", name, sub.description());
+        println!(
+            "             {} @ {:.0} MT/s, tCL {:.2} / tRCD {:.2} / tRP {:.2} ns, \
+             {} channel(s) x {} DIMM(s)",
+            sub.timing_spec(),
+            cfg.data_rate.mega_transfers(),
+            t.t_cl.as_ns_f64(),
+            t.t_rcd.as_ns_f64(),
+            t.t_rp.as_ns_f64(),
+            cfg.logical_channels,
+            cfg.dimms_per_channel,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints every registered scheduling policy, in registration order.
+fn cmd_list_schedulers() -> ExitCode {
+    println!("schedulers (select with --scheduler on run/compare/sweep):");
+    for (name, spec) in schedulers().iter() {
+        println!("  {:<10} {}", name, spec.description());
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_run(args: &Args) -> ExitCode {
     if let Err(code) = validate_args("run", args, RUN_KEYS, RUN_FLAGS) {
         return code;
     }
-    let (Some(wname), Some(sname)) = (args.get("workload"), args.get("system")) else {
+    let Some(wname) = args.get("workload") else {
         return usage();
+    };
+    // `--system` (historical) and `--substrate` (registry spelling) are
+    // exact aliases: both resolve through the substrate registry, so
+    // their outputs are byte-identical.
+    let (sname, flag) = match (args.get("system"), args.get("substrate")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--system and --substrate are aliases; give only one");
+            return ExitCode::from(2);
+        }
+        (Some(s), None) => (s, "system"),
+        (None, Some(s)) => (s, "substrate"),
+        (None, None) => return usage(),
     };
     let Some(workload) = find_workload(wname) else {
         eprintln!("unknown workload `{wname}` (try `fbdsim list`)");
         return ExitCode::from(2);
     };
     let Some(mut cfg) = system_config(sname, workload.cores()) else {
-        eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
+        eprintln!(
+            "unknown {flag} `{sname}` (available: {})",
+            substrates().available()
+        );
         return ExitCode::from(2);
+    };
+    let sched = match scheduler_options(args) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
     let (exp, faults) = match (experiment(args), fault_options(args)) {
         (Ok(e), Ok(f)) => (e, f),
@@ -789,7 +912,8 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     let csv = args.has_flag("csv");
     let json_stdout = args.has_flag("json");
-    let mut spec = spec_for(cfg, &workload, exp);
+    let comp = composition_for(sname, sched, &cfg);
+    let mut spec = spec_for(cfg, &workload, exp, sched);
     if let Some(tc) = &telemetry {
         spec = spec.telemetry(*tc);
     }
@@ -817,9 +941,10 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
     // The fast document carries its provenance: the fidelity tag and
     // the calibration's held-out error bounds. An accurate run's
-    // document stays byte-identical to previous releases.
+    // document is identical whether the system was selected with
+    // `--system` or `--substrate`.
     let doc = || {
-        let Json::Obj(mut fields) = stats_document(&workload, sname, &r) else {
+        let Json::Obj(mut fields) = stats_document(&workload, sname, &comp, &r) else {
             unreachable!("stats_document always returns an object");
         };
         if let Some(cal) = &calibration {
@@ -906,7 +1031,10 @@ fn cmd_profile(args: &Args) -> ExitCode {
         return ExitCode::from(2);
     };
     let Some(mut cfg) = system_config(sname, workload.cores()) else {
-        eprintln!("unknown system `{sname}` (ddr2|fbd|fbd-ap|fbd-apfl)");
+        eprintln!(
+            "unknown system `{sname}` (available: {})",
+            substrates().available()
+        );
         return ExitCode::from(2);
     };
     let (exp, faults) = match (experiment(args), fault_options(args)) {
@@ -916,7 +1044,8 @@ fn cmd_profile(args: &Args) -> ExitCode {
     if let Some(fc) = faults {
         cfg.mem.faults = fc;
     }
-    let r = match spec_for(cfg, &workload, exp).try_run() {
+    let comp = composition_for(sname, "hit-first", &cfg);
+    let r = match spec_for(cfg, &workload, exp, "hit-first").try_run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -925,7 +1054,7 @@ fn cmd_profile(args: &Args) -> ExitCode {
     };
     let p = &r.profile;
     if args.has_flag("json") {
-        println!("{}", stats_document(&workload, sname, &r).to_json());
+        println!("{}", stats_document(&workload, sname, &comp, &r).to_json());
     } else {
         println!("latency attribution for {} on {}:", workload.name(), sname);
         let reads = p.reads();
@@ -986,7 +1115,7 @@ fn cmd_profile(args: &Args) -> ExitCode {
         }
     }
     if let Some(path) = args.get("stats-json") {
-        let doc = stats_document(&workload, sname, &r);
+        let doc = stats_document(&workload, sname, &comp, &r);
         if let Err(e) = std::fs::write(path, doc.to_json_pretty(2)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -1059,25 +1188,39 @@ fn cmd_compare(args: &Args) -> ExitCode {
     }
     // Every grid point is an independent simulation: run them across
     // all cores, then report strictly in grid order so the output stays
-    // byte-for-byte deterministic.
-    let systems = ["ddr2", "fbd", "fbd-ap", "fbd-apfl"];
+    // byte-for-byte deterministic. `--substrate a,b,c` replaces the
+    // default paper grid.
+    let systems: Vec<String> = match args.get("substrate") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => ["ddr2", "fbd", "fbd-ap", "fbd-apfl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let sched = match scheduler_options(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     let mut grid = Vec::new();
-    for sname in systems {
+    for sname in &systems {
         let Some(mut cfg) = system_config(sname, workload.cores()) else {
-            eprintln!("internal error: unknown system `{sname}`");
-            return ExitCode::FAILURE;
+            eprintln!(
+                "unknown substrate `{sname}` (available: {})",
+                substrates().available()
+            );
+            return ExitCode::from(2);
         };
         if let Some(fc) = faults {
             cfg.mem.faults = fc;
         }
-        grid.push((sname.to_string(), cfg));
+        grid.push((sname.clone(), sname.clone(), cfg));
     }
-    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity) {
+    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity, sched) {
         Ok(x) => x,
         Err(code) => return code,
     };
     let points = grid_points(
-        &grid, &results, &tags, fidelity, &workload, human, csv, want_stats,
+        &grid, &results, &tags, fidelity, &workload, sched, human, csv, want_stats,
     );
     emit_grid(args, "compare", &workload, points, calibration.as_deref())
 }
@@ -1088,24 +1231,26 @@ fn cmd_compare(args: &Args) -> ExitCode {
 /// stays byte-identical to previous releases.
 #[allow(clippy::too_many_arguments)]
 fn grid_points(
-    grid: &[(String, SystemConfig)],
+    grid: &[(String, String, SystemConfig)],
     results: &[RunResult],
     tags: &[Fidelity],
     fidelity: Fidelity,
     workload: &Workload,
+    sched: &str,
     human: bool,
     csv: bool,
     want_stats: bool,
 ) -> Vec<Json> {
     let mut points = Vec::new();
-    for (((label, _), r), tag) in grid.iter().zip(results).zip(tags) {
+    for (((label, substrate, cfg), r), tag) in grid.iter().zip(results).zip(tags) {
         if human {
             report(workload, label, r, csv);
         }
         if !want_stats {
             continue;
         }
-        let Json::Obj(mut fields) = stats_document(workload, label, r) else {
+        let comp = composition_for(substrate, sched, cfg);
+        let Json::Obj(mut fields) = stats_document(workload, label, &comp, r) else {
             unreachable!("stats_document always returns an object");
         };
         if fidelity != Fidelity::Accurate {
@@ -1145,32 +1290,46 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     if csv && human {
         println!("{CSV_HEADER}");
     }
-    let Some(mut base) = system_config("fbd-ap", workload.cores()) else {
-        eprintln!("internal error: unknown system `fbd-ap`");
-        return ExitCode::FAILURE;
+    // `--substrate` re-bases the sweep on any registered preset; the
+    // default is the paper's fbd-ap system.
+    let base_name = args.get("substrate").unwrap_or("fbd-ap");
+    let sched = match scheduler_options(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let Some(mut base) = system_config(base_name, workload.cores()) else {
+        eprintln!(
+            "unknown substrate `{base_name}` (available: {})",
+            substrates().available()
+        );
+        return ExitCode::from(2);
     };
     if let Some(fc) = faults {
         base.mem.faults = fc;
     }
-    let Some(grid) = sweep_points(knob, base) else {
+    let Some(points) = sweep_points(knob, base_name, base) else {
         eprintln!("unknown knob `{knob}` (k|entries|assoc|channels|rate|grid)");
         return ExitCode::from(2);
     };
-    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity) {
+    let grid: Vec<(String, String, SystemConfig)> = points
+        .into_iter()
+        .map(|(label, cfg)| (label, base_name.to_string(), cfg))
+        .collect();
+    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity, sched) {
         Ok(x) => x,
         Err(code) => return code,
     };
     let docs = grid_points(
-        &grid, &results, &tags, fidelity, &workload, human, csv, want_stats,
+        &grid, &results, &tags, fidelity, &workload, sched, human, csv, want_stats,
     );
     emit_grid(args, "sweep", &workload, docs, calibration.as_deref())
 }
 
 /// The labeled configuration grid a `sweep` knob expands to, or `None`
-/// for an unknown knob. The `grid` knob is the 64-point cross product
-/// (entries × channels × k × rate) the auto-fidelity Pareto search is
-/// built for.
-fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemConfig)>> {
+/// for an unknown knob. Labels carry the base substrate's name. The
+/// `grid` knob is the 64-point cross product (entries × channels × k ×
+/// rate) the auto-fidelity Pareto search is built for.
+fn sweep_points(knob: &str, name: &str, base: SystemConfig) -> Option<Vec<(String, SystemConfig)>> {
     let points: Vec<(String, SystemConfig)> = match knob {
         "k" => [2u32, 4, 8]
             .iter()
@@ -1178,7 +1337,7 @@ fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemCon
                 let mut c = base;
                 c.mem.amb.region_lines = k;
                 c.mem.interleaving = Interleaving::MultiCacheline { lines: k };
-                (format!("fbd-ap/k={k}"), c)
+                (format!("{name}/k={k}"), c)
             })
             .collect(),
         "entries" => [32u32, 64, 128]
@@ -1186,20 +1345,20 @@ fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemCon
             .map(|&e| {
                 let mut c = base;
                 c.mem.amb.cache_lines = e;
-                (format!("fbd-ap/entries={e}"), c)
+                (format!("{name}/entries={e}"), c)
             })
             .collect(),
         "assoc" => vec![
-            ("fbd-ap/direct".to_string(), Associativity::Direct),
-            ("fbd-ap/2way".to_string(), Associativity::Ways(2)),
-            ("fbd-ap/4way".to_string(), Associativity::Ways(4)),
-            ("fbd-ap/full".to_string(), Associativity::Full),
+            ("direct", Associativity::Direct),
+            ("2way", Associativity::Ways(2)),
+            ("4way", Associativity::Ways(4)),
+            ("full", Associativity::Full),
         ]
         .into_iter()
         .map(|(l, a)| {
             let mut c = base;
             c.mem.amb.associativity = a;
-            (l, c)
+            (format!("{name}/{l}"), c)
         })
         .collect(),
         "channels" => [1u32, 2, 4]
@@ -1207,7 +1366,7 @@ fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemCon
             .map(|&n| {
                 let mut c = base;
                 c.mem.logical_channels = n;
-                (format!("fbd-ap/{n}ch"), c)
+                (format!("{name}/{n}ch"), c)
             })
             .collect(),
         "rate" => [
@@ -1219,7 +1378,7 @@ fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemCon
         .map(|&(l, r)| {
             let mut c = base;
             c.mem.data_rate = r;
-            (format!("fbd-ap/{l}MT"), c)
+            (format!("{name}/{l}MT"), c)
         })
         .collect(),
         "grid" => {
@@ -1236,7 +1395,7 @@ fn sweep_points(knob: &str, base: SystemConfig) -> Option<Vec<(String, SystemCon
                             c.mem.interleaving = Interleaving::MultiCacheline { lines: k };
                             c.mem.logical_channels = channels;
                             c.mem.data_rate = rate;
-                            pts.push((format!("fbd-ap/e{entries}-{channels}ch-k{k}-{label}MT"), c));
+                            pts.push((format!("{name}/e{entries}-{channels}ch-k{k}-{label}MT"), c));
                         }
                     }
                 }
@@ -1273,7 +1432,10 @@ fn cmd_record(args: &Args) -> ExitCode {
         Err(code) => return code,
     };
     exp.warmup = fbd_core::Warmup::Ops(0);
-    let result = match spec_for(cfg, &workload, exp).capture_trace().try_run() {
+    let result = match spec_for(cfg, &workload, exp, "hit-first")
+        .capture_trace()
+        .try_run()
+    {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -1378,6 +1540,8 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "help" | "--help" | "-h" => help(),
         "list" => cmd_list(),
+        "list-substrates" => cmd_list_substrates(),
+        "list-schedulers" => cmd_list_schedulers(),
         "run" => cmd_run(&args),
         "profile" => cmd_profile(&args),
         "compare" => cmd_compare(&args),
@@ -1424,11 +1588,45 @@ mod tests {
         assert!(find_workload("1C-swim").is_some());
         assert!(find_workload("4C-1").is_some());
         assert!(find_workload("9C-1").is_none());
-        for s in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
+        // Every registered substrate resolves, including the extension
+        // entries that exist only in the registry.
+        for s in ["ddr2", "fbd", "fbd-ap", "fbd-apfl", "fbd-ddr3", "ddr3-1066"] {
             let cfg = system_config(s, 2).expect(s);
             cfg.validate().unwrap();
         }
         assert!(system_config("ddr5", 1).is_none());
+    }
+
+    #[test]
+    fn scheduler_flag_resolves_against_the_registry() {
+        // Absent means the paper's hit-first policy.
+        let args = parse(&["--workload", "1C-swim"]).unwrap();
+        assert_eq!(scheduler_options(&args).unwrap(), "hit-first");
+        for name in ["hit-first", "fcfs"] {
+            let args = parse(&["--scheduler", name]).unwrap();
+            assert_eq!(scheduler_options(&args).unwrap(), name);
+        }
+        // Unknown names and a bare flag are usage errors.
+        let args = parse(&["--scheduler", "round-robin"]).unwrap();
+        assert!(scheduler_options(&args).is_err());
+        let args = parse(&["--scheduler"]).unwrap();
+        assert!(scheduler_options(&args).is_err());
+    }
+
+    #[test]
+    fn composition_metadata_reflects_the_selection() {
+        let cfg = system_config("fbd-ap", 1).unwrap();
+        let comp = composition_for("fbd-ap", "fcfs", &cfg);
+        assert_eq!(comp.substrate, "fbd-ap");
+        assert_eq!(comp.scheduler, "fcfs");
+        assert_eq!(comp.mapper, "interleaved");
+        assert_eq!(comp.refresh, "none", "the paper runs without refresh");
+        // The substrate label survives a config edit (e.g. fault
+        // injection) that makes the config diverge from the preset.
+        let mut faulty = cfg;
+        faulty.mem.faults.ber = 1e-6;
+        let comp = composition_for("fbd-ap", "hit-first", &faulty);
+        assert_eq!(comp.substrate, "fbd-ap");
     }
 
     #[test]
@@ -1490,13 +1688,20 @@ mod tests {
             .experiment(exp)
             .telemetry(tc)
             .run();
-        let doc = stats_document(&workload, "fbd-ap", &r);
+        let comp = composition_for("fbd-ap", "hit-first", &cfg);
+        let doc = stats_document(&workload, "fbd-ap", &comp, &r);
         // The document round-trips through its own writer and parser.
         let parsed = fbd_telemetry::json::parse(&doc.to_json()).unwrap();
         assert_eq!(
             parsed.get("workload").and_then(Json::as_str),
             Some("1C-swim")
         );
+        // The composition object names every pluggable part.
+        let c = parsed.get("composition").expect("composition present");
+        assert_eq!(c.get("substrate").and_then(Json::as_str), Some("fbd-ap"));
+        assert_eq!(c.get("scheduler").and_then(Json::as_str), Some("hit-first"));
+        assert_eq!(c.get("mapper").and_then(Json::as_str), Some("interleaved"));
+        assert_eq!(c.get("refresh").and_then(Json::as_str), Some("none"));
         // Summed channel bandwidth agrees with the scalar headline.
         let chans = parsed.get("channels").and_then(Json::as_array).unwrap();
         assert_eq!(chans.len(), cfg.mem.logical_channels as usize);
@@ -1571,7 +1776,7 @@ mod tests {
             .with_workload(workload.clone())
             .experiment(exp)
             .run();
-        let doc = stats_document(&workload, "fbd-ap", &bare);
+        let doc = stats_document(&workload, "fbd-ap", &comp, &bare);
         assert!(doc.get("metrics").is_none());
         assert!(doc.get("series").is_none());
     }
@@ -1669,17 +1874,18 @@ mod tests {
     #[test]
     fn sweep_grid_knob_expands_to_64_valid_points() {
         let base = system_config("fbd-ap", 1).unwrap();
-        let points = sweep_points("grid", base).unwrap();
+        let points = sweep_points("grid", "fbd-ap", base).unwrap();
         assert_eq!(points.len(), 64);
         let labels: std::collections::HashSet<&str> =
             points.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(labels.len(), 64, "labels must be unique");
         for (label, cfg) in &points {
             cfg.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert!(label.starts_with("fbd-ap/"), "{label}");
         }
         // The single-knob sweeps still expand, and typos stay rejected.
-        assert_eq!(sweep_points("k", base).unwrap().len(), 3);
-        assert!(sweep_points("voltage", base).is_none());
+        assert_eq!(sweep_points("k", "fbd-ap", base).unwrap().len(), 3);
+        assert!(sweep_points("voltage", "fbd-ap", base).is_none());
     }
 
     #[test]

@@ -26,9 +26,11 @@ use std::collections::HashMap;
 
 use fbd_telemetry::TelemetryConfig;
 use fbd_types::config::{AmbPrefetchConfig, Interleaving, MemoryConfig, SystemConfig};
+use fbd_types::substrate::substrates;
 use fbd_types::ConfigError;
 use fbd_workloads::Workload;
 
+use crate::compose::Composition;
 use crate::system::{RunResult, System};
 
 /// L2 warm-up policy for a run.
@@ -109,6 +111,17 @@ pub struct RunSpec {
     exp: ExperimentConfig,
     telemetry: Option<TelemetryConfig>,
     capture_trace: bool,
+    overrides: CompositionOverrides,
+}
+
+/// Registry names explicitly selected on a [`RunSpec`], overriding
+/// whatever [`Composition::from_config`] would infer from the system
+/// configuration. Names are validated when set, so resolution at run
+/// time cannot fail.
+#[derive(Clone, Debug, Default)]
+struct CompositionOverrides {
+    substrate: Option<String>,
+    scheduler: Option<String>,
 }
 
 impl RunSpec {
@@ -122,6 +135,7 @@ impl RunSpec {
             exp: ExperimentConfig::env_default(),
             telemetry: None,
             capture_trace: false,
+            overrides: CompositionOverrides::default(),
         }
     }
 
@@ -165,16 +179,94 @@ impl RunSpec {
         self
     }
 
-    /// Replaces the system configuration (core count and all).
+    /// Replaces the system configuration (core count and all). Clears
+    /// any substrate selected earlier — the new configuration speaks
+    /// for itself.
     pub fn with_system(mut self, system: SystemConfig) -> RunSpec {
         self.system = system;
+        self.overrides.substrate = None;
         self
     }
 
     /// Replaces just the memory subsystem, keeping the processor side.
+    /// Clears any substrate selected earlier.
     pub fn memory(mut self, mem: MemoryConfig) -> RunSpec {
         self.system.mem = mem;
+        self.overrides.substrate = None;
         self
+    }
+
+    /// Selects a registered substrate by name: replaces the memory
+    /// configuration with the substrate's preset and records the name
+    /// for the run's composition metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name; use
+    /// [`try_substrate`](Self::try_substrate) for fallible resolution.
+    pub fn substrate(self, name: &str) -> RunSpec {
+        self.try_substrate(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`substrate`](Self::substrate), but returns an error
+    /// message instead of panicking (for CLI front-ends).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description listing the registered names.
+    pub fn try_substrate(mut self, name: &str) -> Result<RunSpec, String> {
+        let s = substrates().get(name).ok_or_else(|| {
+            format!(
+                "unknown substrate `{name}` (available: {})",
+                substrates().available()
+            )
+        })?;
+        self.system.mem = s.config();
+        self.overrides.substrate = Some(name.to_owned());
+        Ok(self)
+    }
+
+    /// Selects a registered scheduling policy by name for every
+    /// channel (overrides the configuration's legacy policy enum).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name; use
+    /// [`try_scheduler`](Self::try_scheduler) for fallible resolution.
+    pub fn scheduler(self, name: &str) -> RunSpec {
+        self.try_scheduler(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`scheduler`](Self::scheduler), but returns an error
+    /// message instead of panicking (for CLI front-ends).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description listing the registered names.
+    pub fn try_scheduler(mut self, name: &str) -> Result<RunSpec, String> {
+        if fbd_ctrl::schedulers().get(name).is_none() {
+            return Err(format!(
+                "unknown scheduler `{name}` (available: {})",
+                fbd_ctrl::schedulers().available()
+            ));
+        }
+        self.overrides.scheduler = Some(name.to_owned());
+        Ok(self)
+    }
+
+    /// The composition this spec would run: inferred from the system
+    /// configuration ([`Composition::from_config`]), with any names
+    /// selected via [`substrate`](Self::substrate) /
+    /// [`scheduler`](Self::scheduler) taking precedence.
+    pub fn composition(&self) -> Composition {
+        let mut comp = Composition::from_config(&self.system.mem);
+        if let Some(s) = &self.overrides.substrate {
+            comp.substrate.clone_from(s);
+        }
+        if let Some(s) = &self.overrides.scheduler {
+            comp.scheduler.clone_from(s);
+        }
+        comp
     }
 
     /// Turns AMB prefetching on (the paper's default prefetcher with
@@ -189,6 +281,9 @@ impl RunSpec {
             self.system.mem.amb = AmbPrefetchConfig::off();
             self.system.mem.interleaving = Interleaving::Cacheline;
         }
+        // The modified config may no longer match the selected preset;
+        // let from_config re-derive the substrate name by equality.
+        self.overrides.substrate = None;
         self
     }
 
@@ -280,6 +375,16 @@ impl RunSpec {
             "seed={};budget={};warmup={:?}",
             self.exp.seed, self.exp.budget, self.exp.warmup
         );
+        // Composed policy names are semantic: a different scheduler,
+        // mapper or refresh manager is a different run. The substrate
+        // label is not — the system configuration above already pins
+        // everything a substrate selects.
+        let comp = self.composition();
+        let _ = write!(
+            key,
+            ";scheduler={};mapper={};refresh={}",
+            comp.scheduler, comp.mapper, comp.refresh
+        );
         key
     }
 
@@ -359,7 +464,10 @@ impl RunSpec {
             }
             Warmup::Ops(n) => n,
         };
-        let mut sys = System::with_warmup(&self.system, traces, self.exp.budget, warmup_ops);
+        let comp = self.composition();
+        let mut sys = System::composed(&self.system, traces, self.exp.budget, &comp)
+            .unwrap_or_else(|e| panic!("{e}"));
+        sys.warm(warmup_ops);
         if let Some(tc) = &self.telemetry {
             sys.enable_telemetry(tc);
         }

@@ -89,10 +89,34 @@ fn cache() -> &'static Mutex<HashMap<u64, Arc<Calibration>>> {
 /// and core count, with the swept system dimensions normalized away
 /// (a calibration is reused across every system variant of a grid).
 fn cache_key(spec: &RunSpec, workload: &Workload) -> u64 {
-    RunSpec::new(SystemConfig::paper_default(workload.cores()))
+    let base = RunSpec::new(SystemConfig::paper_default(workload.cores()))
         .with_workload(workload.clone())
         .experiment(*spec.exp())
-        .canonical_hash()
+        .canonical_hash();
+    // Substrates are not a normalized-away sweep dimension: a spec
+    // composed on a different substrate must not reuse another's
+    // calibration, so its label is folded into the key.
+    base ^ fnv1a(substrate_label(spec))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The registry name of the spec's substrate as a `'static` string
+/// (`custom` when the config matches no registered preset).
+fn substrate_label(spec: &RunSpec) -> &'static str {
+    let name = spec.composition().substrate;
+    fbd_types::substrate::substrates()
+        .get(&name)
+        .map_or("custom", |s| s.name())
 }
 
 fn observe(result: &RunResult) -> Observation {
@@ -162,7 +186,7 @@ pub fn calibrate(spec: &RunSpec) -> Result<Arc<Calibration>, String> {
         .collect();
     let (fit, holdout) = points.split_at(CALIBRATION_FIT_POINTS);
 
-    let calibrator = Calibrator::new(workload, exp.budget);
+    let calibrator = Calibrator::new(workload, exp.budget).substrate(substrate_label(spec));
     let params = calibrator.fit(fit);
     let report = calibrator.report(params, fit.len(), holdout);
     let cal = Arc::new(Calibration { report });

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compose;
 pub mod experiment;
 pub mod fidelity;
 pub mod memsys;
@@ -41,6 +42,7 @@ pub mod parallel;
 pub mod system;
 pub mod trace_io;
 
+pub use compose::Composition;
 pub use experiment::{reference_ipcs, smt_speedup, ExperimentConfig, RunSpec, Warmup};
 pub use fidelity::{
     calibrate, pareto_frontier, Calibration, Fidelity, CALIBRATION_FIT_POINTS,

@@ -20,8 +20,8 @@ use std::collections::VecDeque;
 
 use fbd_amb::{AmbDimm, GroupFetchOutcome, ReadOutcome, WriteOutcome};
 use fbd_ctrl::{
-    AddressMapper, FillOutcome, HitFirstScheduler, MappedAddr, PrefetchTable, QueueEntry,
-    SchedClass, TransactionQueue,
+    mappers, refresh_managers, schedulers, AddressMapper, FillOutcome, MappedAddr, PrefetchTable,
+    QueueEntry, RefreshManager, RefreshOp, SchedClass, SchedulerPolicy, TransactionQueue,
 };
 use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
 use fbd_faults::FaultReport;
@@ -38,6 +38,8 @@ use fbd_types::request::{
 use fbd_types::stats::MemStats;
 use fbd_types::time::{DataRate, Dur, Time};
 use fbd_types::CACHE_LINE_BYTES;
+
+use crate::compose::Composition;
 
 /// Reads in flight per logical channel before the controller stops
 /// issuing and waits for completions. Bounds how far reservations run
@@ -94,8 +96,6 @@ enum ChannelPath {
 struct Channel {
     path: ChannelPath,
     inflight: u32,
-    /// Per-DIMM next refresh deadline (empty when refresh is disabled).
-    refresh_due: Vec<Time>,
 }
 
 /// Always-on per-channel traffic counters. These stay outside the
@@ -315,12 +315,18 @@ impl MemTel {
 /// The full memory subsystem behind the processor complex.
 pub struct MemorySystem {
     cfg: MemoryConfig,
-    mapper: AddressMapper,
+    mapper: Box<dyn AddressMapper>,
     queue: TransactionQueue,
     spill: VecDeque<(MemRequest, MappedAddr)>,
     /// One scheduler per logical channel (drain-mode state is
     /// per-channel).
-    scheds: Vec<HitFirstScheduler>,
+    scheds: Vec<Box<dyn SchedulerPolicy>>,
+    /// Decides when each DIMM refreshes; `refresh_active` caches its
+    /// `is_active` so the per-decision fast path stays branch-cheap.
+    refresh_mgr: Box<dyn RefreshManager>,
+    refresh_active: bool,
+    /// Scratch buffer reused across [`Self::run_refreshes`] calls.
+    refresh_buf: Vec<RefreshOp>,
     table: Option<PrefetchTable>,
     channels: Vec<Channel>,
     stats: MemStats,
@@ -360,22 +366,47 @@ impl MemorySystem {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: &MemoryConfig) -> MemorySystem {
         cfg.validate().expect("invalid memory configuration");
+        MemorySystem::compose(cfg, &Composition::from_config(cfg))
+            .expect("default composition resolves")
+    }
+
+    /// Builds the subsystem from an explicit [`Composition`]: each
+    /// named part is resolved against its registry and composed around
+    /// `cfg`. This is how string-selected policies (`--scheduler fcfs`)
+    /// reach the controller without the core naming any concrete type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unresolved part (with the available
+    /// registry names) or the configuration error.
+    pub fn compose(cfg: &MemoryConfig, comp: &Composition) -> Result<MemorySystem, String> {
+        cfg.validate().map_err(|e| e.to_string())?;
+        let sched_spec = schedulers().get(&comp.scheduler).ok_or_else(|| {
+            format!(
+                "unknown scheduler `{}` (available: {})",
+                comp.scheduler,
+                schedulers().available()
+            )
+        })?;
+        let mapper_spec = mappers().get(&comp.mapper).ok_or_else(|| {
+            format!(
+                "unknown mapper `{}` (available: {})",
+                comp.mapper,
+                mappers().available()
+            )
+        })?;
+        let refresh_spec = refresh_managers().get(&comp.refresh).ok_or_else(|| {
+            format!(
+                "unknown refresh manager `{}` (available: {})",
+                comp.refresh,
+                refresh_managers().available()
+            )
+        })?;
         let clock = cfg.data_rate.clock_period();
         let lines_per_clock_bytes = 16 * u64::from(cfg.phys_per_logical);
         let burst_clocks = (CACHE_LINE_BYTES).div_ceil(lines_per_clock_bytes);
         let burst = clock * burst_clocks;
         let close_page = cfg.page_policy == PagePolicy::ClosePage;
-        // Stagger initial refresh deadlines across DIMMs, as real
-        // controllers do, so the whole subsystem never refreshes at once.
-        let refresh_due = |cfg: &MemoryConfig| -> Vec<Time> {
-            if !cfg.refresh.enabled {
-                return Vec::new();
-            }
-            let n = u64::from(cfg.dimms_per_channel);
-            (0..n)
-                .map(|i| Time::ZERO + (cfg.refresh.t_refi / n) * (i + 1))
-                .collect()
-        };
         let channels: Vec<Channel> = (0..cfg.logical_channels)
             .map(|ch| {
                 let path = match cfg.tech {
@@ -404,26 +435,21 @@ impl MemorySystem {
                             .collect(),
                     },
                 };
-                Channel {
-                    path,
-                    inflight: 0,
-                    refresh_due: refresh_due(cfg),
-                }
+                Channel { path, inflight: 0 }
             })
             .collect();
-        MemorySystem {
-            mapper: AddressMapper::new(cfg),
+        let refresh_mgr = refresh_spec.build(cfg);
+        let refresh_active = refresh_mgr.is_active();
+        Ok(MemorySystem {
+            mapper: mapper_spec.build(cfg),
             queue: TransactionQueue::new(cfg.queue_capacity as usize),
             spill: VecDeque::new(),
-            scheds: vec![
-                HitFirstScheduler::new(
-                    cfg.write_drain_threshold as usize,
-                    // Batch-drain writes only on the shared DDR2 bus,
-                    // where every direction change costs tWTR.
-                    cfg.tech == MemoryTech::Ddr2,
-                );
-                cfg.logical_channels as usize
-            ],
+            scheds: (0..cfg.logical_channels)
+                .map(|_| sched_spec.build(cfg))
+                .collect(),
+            refresh_mgr,
+            refresh_active,
+            refresh_buf: Vec::new(),
             table: cfg.amb.is_enabled().then(|| PrefetchTable::new(cfg)),
             channels,
             stats: MemStats::default(),
@@ -437,7 +463,7 @@ impl MemorySystem {
             burst,
             clock,
             cfg: *cfg,
-        }
+        })
     }
 
     /// Index of the power tracker for `(ch, dimm, rank)`.
@@ -712,37 +738,36 @@ impl MemorySystem {
     /// A refresh occupies every rank of the DIMM for `t_rfc`, which
     /// counts as busy time for the power-mode residency model.
     fn run_refreshes(&mut self, ch: u32, now: Time) {
-        let t_refi = self.cfg.refresh.t_refi;
-        let t_rfc = self.cfg.refresh.t_rfc;
         let ranks = self.cfg.ranks_per_dimm;
         let dimms_per_channel = self.cfg.dimms_per_channel;
+        let mut ops = std::mem::take(&mut self.refresh_buf);
+        ops.clear();
+        self.refresh_mgr.due(ch, now, &mut ops);
         let channel = &mut self.channels[ch as usize];
-        for (dimm, due) in channel.refresh_due.iter_mut().enumerate() {
-            while *due <= now {
-                match &mut channel.path {
-                    ChannelPath::Fbd { dimms, .. } => {
-                        dimms[dimm].refresh(*due, t_rfc);
-                    }
-                    ChannelPath::Ddr2 { dimms, .. } => {
-                        // Refresh every rank of this DIMM (the bank
-                        // arrays are laid out `dimm * ranks + rank`).
-                        for r in 0..ranks {
-                            dimms[dimm * ranks as usize + r as usize].refresh_all(*due, t_rfc);
-                        }
+        for op in &ops {
+            match &mut channel.path {
+                ChannelPath::Fbd { dimms, .. } => {
+                    dimms[op.dimm as usize].refresh(op.at, op.t_rfc);
+                }
+                ChannelPath::Ddr2 { dimms, .. } => {
+                    // Refresh every rank of this DIMM (the bank
+                    // arrays are laid out `dimm * ranks + rank`).
+                    for r in 0..ranks {
+                        dimms[(op.dimm * ranks + r) as usize].refresh_all(op.at, op.t_rfc);
                     }
                 }
-                for r in 0..ranks {
-                    let i = ((ch * dimms_per_channel + dimm as u32) * ranks + r) as usize;
-                    self.power[i].note_busy(*due, *due + t_rfc);
-                }
-                *due += t_refi;
+            }
+            for r in 0..ranks {
+                let i = ((ch * dimms_per_channel + op.dimm) * ranks + r) as usize;
+                self.power[i].note_busy(op.at, op.at + op.t_rfc);
             }
         }
+        self.refresh_buf = ops;
     }
 
     /// Runs one scheduling decision for channel `ch` at `now`.
     pub fn decide(&mut self, ch: u32, now: Time) -> DecideResult {
-        if self.cfg.refresh.enabled {
+        if self.refresh_active {
             self.run_refreshes(ch, now);
         }
         if self.channels[ch as usize].inflight >= MAX_INFLIGHT_PER_CHANNEL {
@@ -795,7 +820,7 @@ impl MemorySystem {
         }
     }
 
-    /// Applies the hit-first policy to channel `ch`'s ready transactions.
+    /// Applies the channel's scheduling policy to its ready transactions.
     fn pick_for(&mut self, ch: u32, now: Time) -> Option<fbd_types::RequestId> {
         let overhead = self.cfg.controller_overhead;
         let ready = |e: &QueueEntry| e.mapped.channel == ch && e.req.arrival + overhead <= now;
@@ -806,11 +831,7 @@ impl MemorySystem {
             // keeps the data bus busy; one deep in its tRC/precharge
             // window would stall it.
             let slack = self.clock * 2;
-            let classify = |e: &QueueEntry| -> SchedClass {
-                if self.cfg.sched_policy == fbd_types::config::SchedPolicy::Fcfs {
-                    // FCFS ablation: no reordering signal; age decides.
-                    return SchedClass::Ready;
-                }
+            let mut classify = |e: &QueueEntry| -> SchedClass {
                 if e.req.kind.is_read() {
                     if let Some(t) = table {
                         if t.would_hit(ch, e.mapped.dimm, e.req.line) {
@@ -852,7 +873,8 @@ impl MemorySystem {
                     SchedClass::NotReady
                 }
             };
-            self.scheds[ch as usize].pick(self.queue.iter().filter(|e| ready(e)), classify)
+            let candidates: Vec<&QueueEntry> = self.queue.iter().filter(|e| ready(e)).collect();
+            self.scheds[ch as usize].pick(&candidates, &mut classify)
         }
     }
 
@@ -1198,12 +1220,13 @@ impl MemorySystem {
     /// The end-to-end energy report for the run so far, evaluated at
     /// `end`: per-rank operation counts and power-mode residencies fed
     /// through the Micron [`EnergyModel`] matching the substrate's data
-    /// rate (DDR3-1333 currents for the `fbdimm_ddr3` substrate,
-    /// DDR2-667 otherwise), with AMB core/link power included on
-    /// FB-DIMM subsystems. The report names the current set it used.
+    /// rate (DDR3 currents for the DDR3-speed substrates, DDR2-667
+    /// otherwise), with AMB core/link power included on FB-DIMM
+    /// subsystems. The report names the current set it used.
     pub fn energy_report(&self, end: Time) -> EnergyReport {
         let buffered = matches!(self.cfg.tech, MemoryTech::FbDimm { .. });
-        let model = if self.cfg.data_rate == DataRate::MTS1333 {
+        let ddr3 = matches!(self.cfg.data_rate, DataRate::MTS1333 | DataRate::MTS1066);
+        let model = if ddr3 {
             EnergyModel::micron_ddr3_1333(buffered)
         } else {
             EnergyModel::micron_ddr2_667(buffered)

@@ -19,6 +19,7 @@ use fbd_types::stats::{CoreStats, MemStats};
 use fbd_types::time::{Dur, Time};
 use fbd_types::LineAddr;
 
+use crate::compose::Composition;
 use crate::memsys::{ChannelCounters, Issued, MemorySystem};
 use crate::trace_io::{MemoryTrace, TraceRecord};
 
@@ -145,6 +146,35 @@ impl System {
             capture: None,
             cpu_gauges: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but composes the memory subsystem from
+    /// an explicit [`Composition`] of registry names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the invalid configuration field or the
+    /// unresolved registry name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace count does not match the core count.
+    pub fn composed(
+        cfg: &SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        budget: u64,
+        comp: &Composition,
+    ) -> Result<System, String> {
+        cfg.validate().map_err(|e| e.to_string())?;
+        let mem = MemorySystem::compose(&cfg.mem, comp)?;
+        Ok(System {
+            cpu: CpuComplex::new(&cfg.cpu, traces, budget),
+            mem,
+            events: BinaryHeap::new(),
+            now: Time::ZERO,
+            capture: None,
+            cpu_gauges: None,
+        })
     }
 
     /// Records every transaction handed to the memory controller; the

@@ -1,44 +1,68 @@
 //! The memory controller: address mapping, the transaction queue, the
-//! hit-first scheduler, and the prefetch information table.
+//! scheduling policies, refresh management, and the prefetch
+//! information table.
 //!
-//! The controller is technology-agnostic policy: it decodes addresses
-//! ([`AddressMapper`]), buffers transactions ([`TransactionQueue`]),
-//! reorders them ([`HitFirstScheduler`]) and — when AMB prefetching is
+//! The controller is technology-agnostic policy behind pluggable
+//! interfaces: it decodes addresses ([`AddressMapper`], default
+//! [`InterleavedMapper`]), buffers transactions ([`TransactionQueue`]),
+//! reorders them ([`SchedulerPolicy`], default [`HitFirstScheduler`]),
+//! times refreshes ([`RefreshManager`]) and — when AMB prefetching is
 //! enabled — tracks every AMB cache's content ([`PrefetchTable`]) so
-//! hits are known before any channel command is sent. The datapath
-//! (links, AMBs, DRAM devices) lives in the sibling crates and is wired
-//! together by `fbd-core`.
+//! hits are known before any channel command is sent. Implementations
+//! are published by name through the [`schedulers`], [`mappers`] and
+//! [`refresh_managers`] registries; the datapath (links, AMBs, DRAM
+//! devices) lives in the sibling crates and is wired together by
+//! `fbd-core`.
 //!
 //! # Examples
 //!
 //! Decode a line under the paper's 4-cacheline interleaving:
 //!
 //! ```
-//! use fbd_ctrl::AddressMapper;
+//! use fbd_ctrl::{AddressMapper, InterleavedMapper};
 //! use fbd_types::config::MemoryConfig;
 //! use fbd_types::LineAddr;
 //!
-//! let mapper = AddressMapper::new(&MemoryConfig::fbdimm_with_prefetch());
+//! let mapper = InterleavedMapper::new(&MemoryConfig::fbdimm_with_prefetch());
 //! let a = mapper.map(LineAddr::new(6));
 //! let b = mapper.map(LineAddr::new(7));
 //! // Blocks 6 and 7 share a region, hence a bank row (Figure 2).
 //! assert_eq!((a.channel, a.dimm, a.bank, a.row), (b.channel, b.dimm, b.bank, b.row));
 //! ```
+//!
+//! Build a scheduling policy by name from the registry:
+//!
+//! ```
+//! use fbd_types::config::MemoryConfig;
+//!
+//! let spec = fbd_ctrl::schedulers().get("fcfs").expect("registered");
+//! let mut policy = spec.build(&MemoryConfig::fbdimm_default());
+//! assert_eq!(policy.pick(&[], &mut |_| fbd_ctrl::SchedClass::Ready), None);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compose;
+pub mod fcfs;
 pub mod info_table;
 pub mod mapping;
 pub mod queue;
 pub mod recovery;
+pub mod refresh;
 pub mod sched;
 
+pub use compose::{mappers, refresh_managers, schedulers};
+pub use fcfs::{FcfsScheduler, FcfsSpec};
 pub use info_table::{FillOutcome, PrefetchTable};
-pub use mapping::{AddressMapper, MappedAddr};
+pub use mapping::{AddressMapper, InterleavedMapper, InterleavedSpec, MappedAddr, MapperSpec};
 pub use queue::{QueueEntry, TransactionQueue};
 pub use recovery::{droppable, northbound_action, CrcAction};
-pub use sched::{HitFirstScheduler, SchedClass};
+pub use refresh::{
+    NoRefresh, NoRefreshSpec, RefreshManager, RefreshOp, RefreshSpec, StaggeredRefresh,
+    StaggeredSpec,
+};
+pub use sched::{HitFirstScheduler, HitFirstSpec, SchedClass, SchedulerPolicy, SchedulerSpec};
 
 #[cfg(all(test, feature = "proptest"))]
 mod proptests {
@@ -47,7 +71,7 @@ mod proptests {
     use fbd_types::LineAddr;
     use proptest::prelude::*;
 
-    fn mapper_for(scheme: u8) -> AddressMapper {
+    fn mapper_for(scheme: u8) -> InterleavedMapper {
         let mut cfg = MemoryConfig::fbdimm_default();
         cfg.interleaving = match scheme % 4 {
             0 => Interleaving::Cacheline,
@@ -58,7 +82,7 @@ mod proptests {
                 Interleaving::Page
             }
         };
-        AddressMapper::new(&cfg)
+        InterleavedMapper::new(&cfg)
     }
 
     proptest! {
@@ -96,7 +120,7 @@ mod proptests {
                 }
             };
             prop_assume!(cfg.validate().is_ok());
-            let m = AddressMapper::new(&cfg);
+            let m = InterleavedMapper::new(&cfg);
             let l = LineAddr::new(line % m.capacity_lines());
             let x = m.map(l);
             prop_assert_eq!(m.unmap(x), l);
@@ -104,6 +128,36 @@ mod proptests {
             prop_assert!(x.dimm < cfg.dimms_per_channel);
             prop_assert!(x.bank < cfg.banks_per_dimm);
             prop_assert!(x.col_line < cfg.lines_per_page());
+        }
+
+        /// The bijection holds at NON-power-of-two DIMM counts too: the
+        /// modular channel/DIMM arithmetic never assumed a power of two,
+        /// and the XOR permutation only touches the bank index.
+        #[test]
+        fn mapping_round_trips_at_any_dimm_count(
+            dimms in 1u32..=9,
+            permute in any::<bool>(),
+            scheme in 0u8..4,
+            line in 0u64..5_000_000,
+        ) {
+            let mut cfg = MemoryConfig::fbdimm_default();
+            cfg.dimms_per_channel = dimms;
+            cfg.xor_permutation = permute;
+            cfg.interleaving = match scheme % 4 {
+                0 => Interleaving::Cacheline,
+                1 => Interleaving::MultiCacheline { lines: 4 },
+                2 => Interleaving::MultiCacheline { lines: 8 },
+                _ => {
+                    cfg.page_policy = PagePolicy::OpenPage;
+                    Interleaving::Page
+                }
+            };
+            prop_assume!(cfg.validate().is_ok());
+            let m = InterleavedMapper::new(&cfg);
+            let l = LineAddr::new(line % m.capacity_lines());
+            let x = m.map(l);
+            prop_assert_eq!(m.unmap(x), l);
+            prop_assert!(x.dimm < dimms);
         }
 
         /// Lines of one region always land on the same bank row under

@@ -33,9 +33,29 @@ pub struct MappedAddr {
     pub col_line: u32,
 }
 
-/// Maps line addresses to memory-subsystem coordinates and back.
+/// Decodes cacheline addresses into memory-subsystem coordinates and
+/// back — the pluggable mapping interface ([`crate::MapperSpec`]
+/// publishes implementations by name).
+///
+/// `unmap` must invert `map` for every address within
+/// [`capacity_lines`](Self::capacity_lines), for *any* validated
+/// geometry — including non-power-of-two DIMM counts.
+pub trait AddressMapper: Send + Sync + std::fmt::Debug {
+    /// Maps a cacheline address onto {channel, DIMM, rank, bank, row,
+    /// column}. Addresses beyond the capacity wrap around.
+    fn map(&self, line: LineAddr) -> MappedAddr;
+    /// Inverse of [`map`](Self::map) for addresses within capacity.
+    fn unmap(&self, m: MappedAddr) -> LineAddr;
+    /// The interleaving group size in cachelines.
+    fn group_lines(&self) -> u32;
+    /// Total mappable lines before addresses wrap.
+    fn capacity_lines(&self) -> u64;
+}
+
+/// The workspace's standard mapper: G-line groups round-robin over
+/// {channel → DIMM → rank → bank}, with optional XOR bank permutation.
 #[derive(Clone, Copy, Debug)]
-pub struct AddressMapper {
+pub struct InterleavedMapper {
     channels: u64,
     dimms: u64,
     ranks: u64,
@@ -49,17 +69,17 @@ pub struct AddressMapper {
     permute: bool,
 }
 
-impl AddressMapper {
+impl InterleavedMapper {
     /// Builds the mapper for a memory configuration.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (validate it first).
-    pub fn new(cfg: &MemoryConfig) -> AddressMapper {
+    pub fn new(cfg: &MemoryConfig) -> InterleavedMapper {
         cfg.validate().expect("invalid memory configuration");
         let lines_per_page = u64::from(cfg.lines_per_page());
         let group_lines = u64::from(cfg.interleaving.group_lines(cfg.lines_per_page()));
-        AddressMapper {
+        InterleavedMapper {
             channels: u64::from(cfg.logical_channels),
             dimms: u64::from(cfg.dimms_per_channel),
             ranks: u64::from(cfg.ranks_per_dimm),
@@ -70,14 +90,16 @@ impl AddressMapper {
             permute: cfg.xor_permutation,
         }
     }
+}
 
+impl AddressMapper for InterleavedMapper {
     /// The interleaving group size in cachelines.
-    pub fn group_lines(&self) -> u32 {
+    fn group_lines(&self) -> u32 {
         self.group_lines as u32
     }
 
     /// Total mappable lines before addresses wrap.
-    pub fn capacity_lines(&self) -> u64 {
+    fn capacity_lines(&self) -> u64 {
         self.channels * self.dimms * self.ranks * self.banks * self.rows * self.lines_per_page
     }
 
@@ -85,7 +107,7 @@ impl AddressMapper {
     ///
     /// Addresses beyond the capacity wrap around (row index is taken
     /// modulo the row count), mirroring physical-address aliasing.
-    pub fn map(&self, line: LineAddr) -> MappedAddr {
+    fn map(&self, line: LineAddr) -> MappedAddr {
         let line = line.as_u64();
         let group = line / self.group_lines;
         let offset = line % self.group_lines;
@@ -116,7 +138,7 @@ impl AddressMapper {
     }
 
     /// Inverse of [`map`](Self::map) for addresses within capacity.
-    pub fn unmap(&self, m: MappedAddr) -> LineAddr {
+    fn unmap(&self, m: MappedAddr) -> LineAddr {
         let groups_per_row = self.lines_per_page / self.group_lines;
         let slot = u64::from(m.col_line) / self.group_lines;
         let offset = u64::from(m.col_line) % self.group_lines;
@@ -135,18 +157,45 @@ impl AddressMapper {
     }
 }
 
+/// A named, registerable [`AddressMapper`] factory (see
+/// [`crate::mappers`] for the registry).
+pub trait MapperSpec: Send + Sync + std::fmt::Debug {
+    /// Stable registry name (e.g. `interleaved`).
+    fn name(&self) -> &'static str;
+    /// One-line human description for listings.
+    fn description(&self) -> &'static str;
+    /// Builds the mapper for a validated configuration.
+    fn build(&self, cfg: &MemoryConfig) -> Box<dyn AddressMapper>;
+}
+
+/// Registry entry for [`InterleavedMapper`].
+#[derive(Debug)]
+pub struct InterleavedSpec;
+
+impl MapperSpec for InterleavedSpec {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+    fn description(&self) -> &'static str {
+        "group round-robin over channel/DIMM/rank/bank (paper Figure 2)"
+    }
+    fn build(&self, cfg: &MemoryConfig) -> Box<dyn AddressMapper> {
+        Box::new(InterleavedMapper::new(cfg))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fbd_types::config::MemoryConfig;
 
-    fn mapper(interleaving: Interleaving) -> AddressMapper {
+    fn mapper(interleaving: Interleaving) -> InterleavedMapper {
         let mut cfg = MemoryConfig::fbdimm_default();
         cfg.interleaving = interleaving;
         if let Interleaving::Page = interleaving {
             cfg.page_policy = fbd_types::config::PagePolicy::OpenPage;
         }
-        AddressMapper::new(&cfg)
+        InterleavedMapper::new(&cfg)
     }
 
     #[test]
@@ -246,7 +295,7 @@ mod tests {
         cfg.page_policy = fbd_types::config::PagePolicy::OpenPage;
         cfg.interleaving = Interleaving::Page;
         cfg.xor_permutation = true;
-        let m = AddressMapper::new(&cfg);
+        let m = InterleavedMapper::new(&cfg);
         // Bijection still holds.
         for l in (0..200_000u64).step_by(73) {
             assert_eq!(m.unmap(m.map(LineAddr::new(l))), LineAddr::new(l));
@@ -263,7 +312,7 @@ mod tests {
         );
 
         cfg.xor_permutation = false;
-        let plain = AddressMapper::new(&cfg);
+        let plain = InterleavedMapper::new(&cfg);
         let same: std::collections::HashSet<u32> = (0..8u64)
             .map(|i| plain.map(LineAddr::new(i * stride)).bank)
             .collect();
@@ -280,7 +329,7 @@ mod tests {
         // row under permutation.
         let mut cfg = MemoryConfig::fbdimm_with_prefetch();
         cfg.xor_permutation = true;
-        let m = AddressMapper::new(&cfg);
+        let m = InterleavedMapper::new(&cfg);
         for base in (0..4_000u64).step_by(4) {
             let first = m.map(LineAddr::new(base));
             for off in 1..4 {
@@ -297,7 +346,7 @@ mod tests {
     fn multi_rank_round_trips_and_extends_capacity() {
         let mut cfg = MemoryConfig::fbdimm_default();
         cfg.ranks_per_dimm = 2;
-        let m = AddressMapper::new(&cfg);
+        let m = InterleavedMapper::new(&cfg);
         assert_eq!(m.capacity_lines(), 2 * 4 * 2 * 4 * 16_384 * 128);
         for l in (0..300_000u64).step_by(61) {
             let x = m.map(LineAddr::new(l));
@@ -308,6 +357,37 @@ mod tests {
         let ranks: std::collections::HashSet<u32> =
             (0..64u64).map(|l| m.map(LineAddr::new(l)).rank).collect();
         assert_eq!(ranks.len(), 2);
+    }
+
+    #[test]
+    fn unmap_round_trips_at_non_pow2_dimm_counts() {
+        // The hole this closes: `validate()` used to require a
+        // power-of-two DIMM count, so the round-trip was never
+        // exercised off the pow2 grid. The mapper is modular
+        // arithmetic, so 3-, 5-, 6- and 7-DIMM channels must decode
+        // exactly too (with and without the bank-permutation XOR).
+        for dimms in [3u32, 5, 6, 7] {
+            for permute in [false, true] {
+                let mut cfg = MemoryConfig::fbdimm_default();
+                cfg.dimms_per_channel = dimms;
+                cfg.xor_permutation = permute;
+                cfg.validate().expect("non-pow2 DIMM counts are valid");
+                let m = InterleavedMapper::new(&cfg);
+                assert_eq!(m.capacity_lines(), 2 * u64::from(dimms) * 4 * 16_384 * 128);
+                let mut dimms_seen = std::collections::HashSet::new();
+                for l in (0..500_000u64).step_by(131) {
+                    let x = m.map(LineAddr::new(l));
+                    assert!(x.dimm < dimms, "dimm {} out of range", x.dimm);
+                    dimms_seen.insert(x.dimm);
+                    assert_eq!(
+                        m.unmap(x),
+                        LineAddr::new(l),
+                        "{dimms} dimms, permute={permute}, line {l}"
+                    );
+                }
+                assert_eq!(dimms_seen.len() as u32, dimms, "every DIMM used");
+            }
+        }
     }
 
     #[test]

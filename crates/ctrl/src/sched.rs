@@ -13,6 +13,7 @@
 //! The scheduler itself is policy only: the caller classifies each entry
 //! (it knows the bank and AMB-cache state) and the scheduler picks.
 
+use fbd_types::config::{MemoryConfig, MemoryTech};
 use fbd_types::request::AccessKind;
 use fbd_types::RequestId;
 
@@ -28,6 +29,37 @@ pub enum SchedClass {
     Ready,
     /// Its bank is busy (activation window, precharge, tRC).
     NotReady,
+}
+
+/// A pluggable, per-channel request-reordering policy (the trait-object
+/// form of the scheduling interface; [`crate::schedulers`] publishes
+/// implementations by name).
+///
+/// The controller collects the channel's schedulable entries and a
+/// `classify` callback that knows the bank and AMB-cache state; the
+/// policy picks the next transaction (or `None` when `candidates` is
+/// empty). Policies may keep state across picks (e.g. write-drain
+/// hysteresis), which is why `pick` takes `&mut self`.
+pub trait SchedulerPolicy: Send + std::fmt::Debug {
+    /// Picks the next transaction among `candidates` (already filtered
+    /// to one channel and to schedulable arrivals).
+    fn pick(
+        &mut self,
+        candidates: &[&QueueEntry],
+        classify: &mut dyn FnMut(&QueueEntry) -> SchedClass,
+    ) -> Option<RequestId>;
+}
+
+/// A named, registerable [`SchedulerPolicy`] factory (see
+/// [`crate::schedulers`] for the registry).
+pub trait SchedulerSpec: Send + Sync + std::fmt::Debug {
+    /// Stable registry name (e.g. `hit-first`).
+    fn name(&self) -> &'static str;
+    /// One-line human description for listings.
+    fn description(&self) -> &'static str;
+    /// Builds one per-channel policy instance for `cfg` (write-drain
+    /// threshold, bus technology, …).
+    fn build(&self, cfg: &MemoryConfig) -> Box<dyn SchedulerPolicy>;
 }
 
 /// Which kinds the scheduler should consider this round.
@@ -72,10 +104,10 @@ impl HitFirstScheduler {
     /// to one channel), classifying each entry with `classify`.
     ///
     /// Returns `None` when `candidates` is empty.
-    pub fn pick<'a, I, F>(&mut self, candidates: I, classify: F) -> Option<RequestId>
+    pub fn pick<'a, I, F>(&mut self, candidates: I, mut classify: F) -> Option<RequestId>
     where
         I: IntoIterator<Item = &'a QueueEntry>,
-        F: Fn(&QueueEntry) -> SchedClass,
+        F: FnMut(&QueueEntry) -> SchedClass,
     {
         let entries: Vec<&QueueEntry> = candidates.into_iter().collect();
         if entries.is_empty() {
@@ -105,6 +137,37 @@ impl HitFirstScheduler {
             })
             .min_by_key(|e| (classify(e), e.seq))
             .map(|e| e.req.id)
+    }
+}
+
+impl SchedulerPolicy for HitFirstScheduler {
+    fn pick(
+        &mut self,
+        candidates: &[&QueueEntry],
+        classify: &mut dyn FnMut(&QueueEntry) -> SchedClass,
+    ) -> Option<RequestId> {
+        HitFirstScheduler::pick(self, candidates.iter().copied(), |e| classify(e))
+    }
+}
+
+/// Registry entry for the paper's hit-first policy.
+#[derive(Debug)]
+pub struct HitFirstSpec;
+
+impl SchedulerSpec for HitFirstSpec {
+    fn name(&self) -> &'static str {
+        "hit-first"
+    }
+    fn description(&self) -> &'static str {
+        "hit-first with read priority and write-drain threshold (paper §4.1)"
+    }
+    fn build(&self, cfg: &MemoryConfig) -> Box<dyn SchedulerPolicy> {
+        Box::new(HitFirstScheduler::new(
+            cfg.write_drain_threshold as usize,
+            // Batch-drain writes only on the shared DDR2 bus, where
+            // every direction change costs tWTR.
+            cfg.tech == MemoryTech::Ddr2,
+        ))
     }
 }
 

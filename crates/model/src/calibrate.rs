@@ -94,6 +94,11 @@ impl MetricError {
 pub struct CalibrationReport {
     /// The fitted parameters.
     pub params: ModelParams,
+    /// Registry name of the substrate the calibration was requested
+    /// for (`custom` when the config matched no registered preset).
+    /// A `&'static str` so the report stays `Copy`; registry names
+    /// have static lifetime by construction.
+    pub substrate: &'static str,
     /// Number of configurations used for fitting.
     pub fit_points: usize,
     /// Number of held-out configurations used for the error bounds.
@@ -230,6 +235,7 @@ pub fn calibration_configs(base: &SystemConfig, seed: u64, n: usize) -> Vec<Syst
 pub struct Calibrator<'a> {
     workload: &'a Workload,
     budget: u64,
+    substrate: &'static str,
 }
 
 /// Parameter search ranges (log-uniform): α, β, γ.
@@ -241,7 +247,20 @@ impl<'a> Calibrator<'a> {
     /// A calibrator for `workload` at `budget` instructions per core —
     /// the same workload and budget the fast-path queries will use.
     pub fn new(workload: &'a Workload, budget: u64) -> Calibrator<'a> {
-        Calibrator { workload, budget }
+        Calibrator {
+            workload,
+            budget,
+            substrate: "custom",
+        }
+    }
+
+    /// Labels the calibration with the registry name of the substrate
+    /// it was requested for (recorded in the report; defaults to
+    /// `custom`).
+    #[must_use]
+    pub fn substrate(mut self, name: &'static str) -> Calibrator<'a> {
+        self.substrate = name;
+        self
     }
 
     fn rel(model: f64, reference: f64) -> f64 {
@@ -366,6 +385,7 @@ impl<'a> Calibrator<'a> {
         }
         CalibrationReport {
             params,
+            substrate: self.substrate,
             fit_points,
             holdout_points: holdout.len(),
             ipc: MetricError::from_errors(&e_ipc),

@@ -647,22 +647,18 @@ impl MemoryConfig {
         cfg
     }
 
-    /// Resolves a memory subsystem preset by its stable CLI/bench name:
-    /// `ddr2`, `fbd`, `fbd-ap` (prefetching) or `fbd-apfl` (prefetching
-    /// with the full-latency ablation). Returns `None` for an unknown
-    /// name.
+    /// Resolves a memory subsystem preset by its stable CLI/bench name.
+    /// Deprecated shim: forwards to the substrate registry
+    /// ([`crate::substrate::substrates`]), which also knows the
+    /// extension presets (`fbd-ddr3`, `ddr3-1066`). Returns `None` for
+    /// an unknown name, and warns (once per process) on first use.
+    #[deprecated(
+        since = "0.1.0",
+        note = "select a substrate via fbd_types::substrate::substrates().get(name)"
+    )]
     pub fn by_name(name: &str) -> Option<MemoryConfig> {
-        match name {
-            "ddr2" => Some(MemoryConfig::ddr2_default()),
-            "fbd" => Some(MemoryConfig::fbdimm_default()),
-            "fbd-ap" => Some(MemoryConfig::fbdimm_with_prefetch()),
-            "fbd-apfl" => {
-                let mut m = MemoryConfig::fbdimm_with_prefetch();
-                m.amb.mode = AmbPrefetchMode::FullLatency;
-                Some(m)
-            }
-            _ => None,
-        }
+        crate::substrate::warn_by_name_deprecated();
+        crate::substrate::substrates().get(name).map(|s| s.config())
     }
 
     /// FB-DIMM carrying DDR3-1333 devices (extension; the paper's
@@ -731,7 +727,6 @@ impl MemoryConfig {
         let pow2_fields = [
             ("logical_channels", self.logical_channels),
             ("phys_per_logical", self.phys_per_logical),
-            ("dimms_per_channel", self.dimms_per_channel),
             ("ranks_per_dimm", self.ranks_per_dimm),
             ("banks_per_dimm", self.banks_per_dimm),
             ("rows_per_bank", self.rows_per_bank),
@@ -741,6 +736,13 @@ impl MemoryConfig {
             if !value.is_power_of_two() {
                 return Err(ConfigError::new(name, "must be a power of two"));
             }
+        }
+        // DIMM counts need not be a power of two: the address mapper
+        // round-robins groups by modular arithmetic, not bit slicing,
+        // so 3- or 6-DIMM channels decode exactly (the bank-permutation
+        // XOR touches only the bank index, which stays a power of two).
+        if self.dimms_per_channel == 0 {
+            return Err(ConfigError::new("dimms_per_channel", "must be non-zero"));
         }
         if self.queue_capacity == 0 {
             return Err(ConfigError::new("queue_capacity", "must be non-zero"));

@@ -24,9 +24,12 @@
 
 pub mod address;
 pub mod config;
+pub mod ddr3_1066;
 pub mod error;
+pub mod registry;
 pub mod request;
 pub mod stats;
+pub mod substrate;
 pub mod time;
 
 pub use address::{LineAddr, PhysAddr, RegionId, CACHE_LINE_BYTES};
@@ -36,6 +39,7 @@ pub use config::{
     SchedPolicy, SystemConfig,
 };
 pub use error::ConfigError;
+pub use registry::Registry;
 pub use request::{
     AccessKind, CoreId, MemRequest, MemResponse, ReqClass, RequestId, ServiceKind, Stage,
     StageBreakdown, StageStamper, REQ_CLASSES, STAGES,

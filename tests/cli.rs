@@ -42,6 +42,122 @@ fn assert_energy_consistent(doc: &Json) {
 }
 
 #[test]
+fn list_substrates_prints_every_registry_entry() {
+    let out = fbdsim(&["list-substrates"]);
+    assert_eq!(exit_code(&out), 0);
+    let text = String::from_utf8(out.stdout).expect("utf-8 listing");
+    for name in ["ddr2", "fbd", "fbd-ap", "fbd-apfl", "fbd-ddr3", "ddr3-1066"] {
+        assert!(text.contains(name), "listing must name `{name}`:\n{text}");
+    }
+    // Each entry carries its timing spec and key parameters.
+    assert!(text.contains("ddr2-667"), "{text}");
+    assert!(text.contains("MT/s"), "{text}");
+    assert!(text.contains("tCL"), "{text}");
+}
+
+#[test]
+fn list_schedulers_prints_every_registry_entry() {
+    let out = fbdsim(&["list-schedulers"]);
+    assert_eq!(exit_code(&out), 0);
+    let text = String::from_utf8(out.stdout).expect("utf-8 listing");
+    assert!(text.contains("hit-first"), "{text}");
+    assert!(text.contains("fcfs"), "{text}");
+}
+
+#[test]
+fn compare_accepts_a_substrate_list_and_rejects_unknown_names() {
+    let path = tmp_path("compare-substrates.json");
+    let out = fbdsim(&[
+        "compare",
+        "--workload",
+        "1C-swim",
+        "--substrate",
+        "fbd,fbd-ap",
+        "--budget",
+        "2000",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("stats file written");
+    std::fs::remove_file(&path).ok();
+    let doc = json::parse(&text).expect("well-formed JSON");
+    let points = doc.get("points").and_then(Json::as_array).expect("points");
+    let systems: Vec<&str> = points
+        .iter()
+        .map(|p| p.get("system").and_then(Json::as_str).expect("system"))
+        .collect();
+    assert_eq!(systems, ["fbd", "fbd-ap"]);
+
+    let out = fbdsim(&[
+        "compare",
+        "--workload",
+        "1C-swim",
+        "--substrate",
+        "fbd,ddr9",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown substrate `ddr9`"), "{err}");
+    assert!(err.contains("available:"), "{err}");
+}
+
+#[test]
+fn sweep_rebases_on_the_selected_substrate() {
+    let path = tmp_path("sweep-substrate.json");
+    let out = fbdsim(&[
+        "sweep",
+        "--workload",
+        "1C-swim",
+        "--knob",
+        "k",
+        "--substrate",
+        "fbd-ddr3",
+        "--budget",
+        "2000",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("stats file written");
+    std::fs::remove_file(&path).ok();
+    let doc = json::parse(&text).expect("well-formed JSON");
+    let points = doc.get("points").and_then(Json::as_array).expect("points");
+    assert_eq!(points.len(), 3, "the k knob expands to three points");
+    for p in points {
+        let label = p.get("system").and_then(Json::as_str).expect("label");
+        assert!(label.starts_with("fbd-ddr3/"), "{label}");
+        let comp = p.get("composition").expect("composition metadata");
+        assert_eq!(
+            comp.get("substrate").and_then(Json::as_str),
+            Some("fbd-ddr3")
+        );
+    }
+
+    let out = fbdsim(&[
+        "sweep",
+        "--workload",
+        "1C-swim",
+        "--knob",
+        "k",
+        "--substrate",
+        "ddr9",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown substrate `ddr9`"));
+}
+
+#[test]
 fn no_arguments_is_a_usage_error() {
     assert_eq!(exit_code(&fbdsim(&[])), 2);
     assert_eq!(exit_code(&fbdsim(&["frobnicate"])), 2);

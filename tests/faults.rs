@@ -15,14 +15,15 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 use fbd_core::{RunResult, RunSpec};
-use fbd_types::config::{FaultMode, MemoryConfig};
+use fbd_types::config::FaultMode;
 use fbd_types::request::{Stage, REQ_CLASSES};
+use fbd_types::substrate::substrates;
 use fbd_types::time::Dur;
 
 const BUDGET: u64 = 20_000;
 
 fn faulted(system: &str, ber: f64, mode: FaultMode) -> RunResult {
-    let mem = MemoryConfig::by_name(system).expect("known system");
+    let mem = substrates().get(system).expect("known system").config();
     let mut spec = RunSpec::paper_default(1)
         .workload("1C-swim")
         .memory(mem)
@@ -112,7 +113,7 @@ fn zero_ber_run_matches_no_fault_run_exactly() {
         "an inactive fault config must not produce a report"
     );
     let baseline = {
-        let mem = MemoryConfig::by_name("fbd-ap").unwrap();
+        let mem = substrates().get("fbd-ap").unwrap().config();
         RunSpec::paper_default(1)
             .workload("1C-swim")
             .memory(mem)

@@ -15,8 +15,8 @@ use std::collections::BinaryHeap;
 
 use fbd_core::{Issued, MemorySystem, RunResult, RunSpec};
 use fbd_telemetry::{LogHistogram, MetricValue, TelemetryConfig};
-use fbd_types::config::MemoryConfig;
 use fbd_types::request::{AccessKind, CoreId, MemRequest, ReqClass, Stage, REQ_CLASSES, STAGES};
+use fbd_types::substrate::substrates;
 use fbd_types::time::{Dur, Time};
 use fbd_types::{LineAddr, RequestId};
 
@@ -24,7 +24,7 @@ const BUDGET: u64 = 40_000;
 const SEED: u64 = 42;
 
 fn run(system: &str, workload: &str) -> RunResult {
-    let mem = MemoryConfig::by_name(system).expect("known system");
+    let mem = substrates().get(system).expect("known system").config();
     RunSpec::paper_default(fbd_workloads::find(workload).expect("workload").cores())
         .workload(workload)
         .memory(mem)
@@ -183,7 +183,7 @@ fn channel_writes_equal_summed_dimm_col_writes() {
     // on every system — including the DDR2 batch-drain path, which this
     // stream trips (all-write queue, drain threshold exceeded).
     for system in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
-        let cfg = MemoryConfig::by_name(system).expect("known system");
+        let cfg = substrates().get(system).expect("known system").config();
         let mut mem = MemorySystem::new(&cfg);
         mem.enable_telemetry(&TelemetryConfig::default());
 
