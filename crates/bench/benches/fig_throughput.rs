@@ -1,0 +1,213 @@
+//! Host-throughput trajectory bench: how fast the simulator itself
+//! runs, per paper system and workload intensity, with the host
+//! profiler's evidence that its own overhead is within budget.
+//!
+//! Method: run the four paper systems (DDR2, FBD, FBD-AP, FBD-APFL)
+//! against three single-core workloads of increasing memory intensity
+//! (`1C-parser` low, `1C-equake` medium, `1C-swim` high), each with an
+//! enabled [`HostProfiler`], and record wall time, simulated-cycles/sec,
+//! instructions/sec and the per-phase wall-time breakdown. Rows run
+//! sequentially so each row's wall clock is unshared.
+//!
+//! The overhead section then certifies the tentpole's zero-cost claim:
+//! a run with an attached-but-disabled profiler must be within 2% of a
+//! run with no profiler at all (min of 5 trials each); the enabled
+//! profiler's cost is measured and reported as data, not gated.
+//!
+//! Output: `BENCH_throughput.json` in `$FBD_OUT_DIR` (or the working
+//! directory). CI runs this on a small budget, checks every row has a
+//! finite positive cycles/sec and a phase-fraction sum ≥ 0.95, and
+//! compares the geomean cycles/sec against a committed baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fbd_bench::*;
+use fbd_core::experiment::default_budget;
+use fbd_core::{RunResult, RunSpec};
+use fbd_telemetry::host::HostProfiler;
+use fbd_telemetry::Json;
+
+/// Workloads by rising memory intensity (ops per 1000 instructions:
+/// parser 10, equake 18, swim 30).
+const WORKLOADS: [(&str, &str); 3] = [
+    ("1C-parser", "low"),
+    ("1C-equake", "medium"),
+    ("1C-swim", "high"),
+];
+
+const VARIANTS: [Variant; 4] = [
+    Variant::Ddr2,
+    Variant::Fbd,
+    Variant::FbdAp,
+    Variant::FbdApfl,
+];
+
+/// Overhead trials per configuration; the minimum is reported (least
+/// scheduler noise).
+const OVERHEAD_TRIALS: usize = 5;
+
+fn throughput_row(variant: Variant, workload: &str, intensity: &str) -> (Json, f64) {
+    let spec = RunSpec::new(system(variant, 1))
+        .workload(workload)
+        .experiment(experiment())
+        .host_profiler(Arc::new(HostProfiler::enabled()));
+    let r: RunResult = spec.run();
+    let h = &r.host;
+    let cps = h.cycles_per_sec();
+    let frac_sum = h.phase_fraction_sum();
+    // Self-check the acceptance invariants where the number is made,
+    // so a regression fails loudly even outside CI.
+    assert!(
+        cps.is_finite() && cps > 0.0,
+        "{} on {workload}: cycles/sec must be finite and positive, got {cps}",
+        variant.label()
+    );
+    assert!(
+        frac_sum >= 0.95,
+        "{} on {workload}: phase fractions explain only {frac_sum:.3} of wall time",
+        variant.label()
+    );
+    println!(
+        "  {:<9} {workload:<10} {intensity:<7} {:>9.3}s wall  {:>12.0} cyc/s  {:>12.0} instr/s",
+        variant.label(),
+        h.wall.as_secs_f64(),
+        cps,
+        h.instr_per_sec()
+    );
+    let phases: Vec<(String, Json)> = h
+        .phases
+        .iter()
+        .map(|(label, d)| {
+            let frac = if h.wall.as_secs_f64() > 0.0 {
+                d.as_secs_f64() / h.wall.as_secs_f64()
+            } else {
+                0.0
+            };
+            ((*label).to_string(), Json::from(frac))
+        })
+        .collect();
+    let counters: Vec<(String, Json)> = h
+        .counters
+        .iter()
+        .map(|(label, n)| ((*label).to_string(), Json::from(*n)))
+        .collect();
+    let row = Json::Obj(vec![
+        ("system".into(), Json::from(variant.label())),
+        ("workload".into(), Json::from(workload)),
+        ("intensity".into(), Json::from(intensity)),
+        ("wall_s".into(), Json::from(h.wall.as_secs_f64())),
+        ("sim_cycles".into(), Json::from(h.sim_cycles)),
+        ("instructions".into(), Json::from(h.instructions)),
+        ("cycles_per_sec".into(), Json::from(cps)),
+        ("instr_per_sec".into(), Json::from(h.instr_per_sec())),
+        ("phase_fraction_sum".into(), Json::from(frac_sum)),
+        ("phase_fractions".into(), Json::Obj(phases)),
+        ("counters".into(), Json::Obj(counters)),
+    ]);
+    (row, cps)
+}
+
+/// Minimum wall time over [`OVERHEAD_TRIALS`] runs of `spec`.
+fn min_wall_s(spec: &RunSpec) -> f64 {
+    (0..OVERHEAD_TRIALS)
+        .map(|_| {
+            let t = Instant::now();
+            let r = spec.run();
+            // Keep the result alive past the clock read so drop cost
+            // is excluded from every arm equally.
+            let elapsed = t.elapsed().as_secs_f64();
+            drop(r);
+            elapsed
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn overhead_section() -> Json {
+    // Big enough that a 2% difference is above timer noise.
+    let exp = fbd_core::experiment::ExperimentConfig {
+        budget: default_budget().max(100_000),
+        ..experiment()
+    };
+    let base = RunSpec::new(system(Variant::FbdAp, 1))
+        .workload("1C-swim")
+        .experiment(exp);
+    // One untimed warm-up run so page faults and lazy init are paid
+    // before any arm is measured.
+    drop(base.run());
+    let none_s = min_wall_s(&base);
+    let disabled_s = min_wall_s(
+        &base
+            .clone()
+            .host_profiler(Arc::new(HostProfiler::disabled())),
+    );
+    let enabled_s = min_wall_s(
+        &base
+            .clone()
+            .host_profiler(Arc::new(HostProfiler::enabled())),
+    );
+    let disabled_ratio = disabled_s / none_s;
+    let enabled_ratio = enabled_s / none_s;
+    println!(
+        "overhead (min of {OVERHEAD_TRIALS}, {} instr): none {none_s:.3}s, \
+         disabled profiler {disabled_s:.3}s ({:+.2}%), enabled {enabled_s:.3}s ({:+.2}%)",
+        exp.budget,
+        (disabled_ratio - 1.0) * 100.0,
+        (enabled_ratio - 1.0) * 100.0
+    );
+    // The zero-cost gate: an attached-but-disabled profiler must be
+    // free. A 2ms absolute floor keeps sub-millisecond smoke budgets
+    // from tripping on scheduler jitter alone.
+    assert!(
+        disabled_s <= none_s * 1.02 + 0.002,
+        "disabled host profiler costs {:.2}% (> 2% budget)",
+        (disabled_ratio - 1.0) * 100.0
+    );
+    Json::Obj(vec![
+        ("trials".into(), Json::from(OVERHEAD_TRIALS)),
+        ("budget".into(), Json::from(exp.budget)),
+        ("none_s".into(), Json::from(none_s)),
+        ("disabled_s".into(), Json::from(disabled_s)),
+        ("enabled_s".into(), Json::from(enabled_s)),
+        ("disabled_ratio".into(), Json::from(disabled_ratio)),
+        ("enabled_ratio".into(), Json::from(enabled_ratio)),
+    ])
+}
+
+fn main() {
+    let exp = fbd_bench::experiment();
+    banner(
+        "Throughput",
+        "host simulation throughput per system and workload intensity",
+        &exp,
+    );
+
+    let mut rows = Vec::new();
+    let mut cps_all = Vec::new();
+    for (workload, intensity) in WORKLOADS {
+        for variant in VARIANTS {
+            let (row, cps) = throughput_row(variant, workload, intensity);
+            rows.push(row);
+            cps_all.push(cps);
+        }
+    }
+    let geomean = (cps_all.iter().map(|c| c.ln()).sum::<f64>() / cps_all.len() as f64).exp();
+    println!(
+        "geomean {geomean:.0} simulated cycles per host second over {} rows",
+        rows.len()
+    );
+
+    let overhead = overhead_section();
+
+    let doc = Json::Obj(vec![
+        ("budget".into(), Json::from(exp.budget)),
+        ("geomean_cycles_per_sec".into(), Json::from(geomean)),
+        ("build".into(), fbd_core::build_info().to_json()),
+        ("rows".into(), Json::Arr(rows)),
+        ("overhead".into(), overhead),
+    ]);
+    let dir = std::env::var("FBD_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
+    std::fs::write(&path, doc.to_json_pretty(2)).expect("write BENCH_throughput.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,48 @@
+//! Build-time provenance capture: git SHA, rustc version and cargo
+//! profile are baked into the binary as env vars so every stats JSON
+//! document (and `fbdsim version`) can say exactly what produced it.
+//! Everything degrades to "unknown" — builds from a tarball or without
+//! git must not fail.
+
+use std::process::Command;
+
+fn main() {
+    let sha = git_sha().unwrap_or_else(|| "unknown".into());
+    let rustc = rustc_version().unwrap_or_else(|| "unknown".into());
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".into());
+    println!("cargo:rustc-env=FBD_GIT_SHA={sha}");
+    println!("cargo:rustc-env=FBD_RUSTC={rustc}");
+    println!("cargo:rustc-env=FBD_PROFILE={profile}");
+    // Re-run when HEAD moves so the SHA stays honest across commits.
+    for hint in [".git/HEAD", ".git/index"] {
+        let p = std::path::Path::new("../..").join(hint);
+        if p.exists() {
+            println!("cargo:rerun-if-changed={}", p.display());
+        }
+    }
+}
+
+fn git_sha() -> Option<String> {
+    let sha = run("git", &["rev-parse", "--short=12", "HEAD"])?;
+    let dirty = run("git", &["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+    Some(if dirty { format!("{sha}-dirty") } else { sha })
+}
+
+fn rustc_version() -> Option<String> {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    run(&rustc, &["--version"])
+}
+
+fn run(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let text = text.trim();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.to_string())
+    }
+}

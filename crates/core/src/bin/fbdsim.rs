@@ -20,15 +20,17 @@
 
 use std::io::{IsTerminal, Write};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fbd_core::experiment::{default_budget, ExperimentConfig};
 use fbd_core::{calibrate, parallel_map, pareto_frontier, Calibration, Composition, Fidelity};
 use fbd_core::{RunResult, RunSpec};
 use fbd_ctrl::schedulers;
-use fbd_telemetry::{Json, LogHistogram, TelemetryConfig};
+use fbd_telemetry::host::{Counter, HostProfiler, PHASES};
+use fbd_telemetry::live::{bar, fmt_duration, si, sparkline};
+use fbd_telemetry::{Json, LogHistogram, SampleObserver, TelemetryConfig};
 use fbd_types::config::{Associativity, FaultConfig, FaultMode, Interleaving, SystemConfig};
 use fbd_types::request::{REQ_CLASSES, STAGES};
 use fbd_types::substrate::substrates;
@@ -36,17 +38,17 @@ use fbd_types::time::DataRate;
 use fbd_workloads::{paper_workloads, Workload};
 
 fn usage_text() -> String {
-    "usage:\n  fbdsim list\n  fbdsim list-substrates\n  fbdsim list-schedulers\n  \
+    "usage:\n  fbdsim list\n  fbdsim list-substrates\n  fbdsim list-schedulers\n  fbdsim version\n  \
      fbdsim run --workload <name> --substrate <name> [--scheduler <name>] \
-     [--budget N] [--seed N]\n             [--csv] [--json] [--timeline] \
+     [--budget N] [--seed N]\n             [--csv] [--json] [--timeline] [--live] \
      [--stats-json <file>] [--trace-out <file>] [--sample-interval <cycles>]\n  \
      fbdsim profile --workload <name> [--system <name>] [--budget N] [--seed N] [--json]\n             \
      [--folded-out <file>] [--stats-json <file>]\n  \
      fbdsim compare --workload <name> [--substrate <a,b,c>] [--scheduler <name>] [--budget N] \
-     [--seed N] [--csv] [--json] [--stats-json <file>]\n  \
+     [--seed N] [--csv] [--json] [--live] [--stats-json <file>]\n  \
      fbdsim sweep --workload <name> --knob <k|entries|assoc|channels|rate|grid> \
      [--substrate <name>] [--scheduler <name>]\n             [--budget N] [--seed N] \
-     [--csv] [--json] [--stats-json <file>]\n  \
+     [--csv] [--json] [--live] [--stats-json <file>]\n  \
      fbdsim record --workload <name> --system <name> --out <trace.csv> [--budget N] [--seed N]\n  \
      fbdsim replay --trace <trace.csv> --system <name>\n\n\
      substrate options:\n  \
@@ -62,6 +64,11 @@ fn usage_text() -> String {
      telemetry options (run):\n  \
      --trace-out <file>         write a Chrome-trace (Perfetto-loadable) event trace\n  \
      --sample-interval <cycles> snapshot all metrics every N memory-clock cycles\n\n\
+     display options (run/compare/sweep):\n  \
+     --live                     live stderr dashboard while the simulation runs: host\n                             \
+     throughput sparkline, per-phase wall-time bars, grid\n                             \
+     progress and hot-loop counters (requires a terminal on\n                             \
+     stderr, silently off otherwise; `q` + Enter detaches)\n\n\
      fault-injection options (run/profile/compare/sweep):\n  \
      --fault-ber <rate>         channel bit-error rate in [0,1] (0 = injection off)\n  \
      --fault-seed <n>           error-process seed (default 1)\n  \
@@ -93,7 +100,7 @@ const RUN_KEYS: &[&str] = &[
     "fault-mode",
     "fidelity",
 ];
-const RUN_FLAGS: &[&str] = &["csv", "json", "timeline"];
+const RUN_FLAGS: &[&str] = &["csv", "json", "timeline", "live"];
 const PROFILE_KEYS: &[&str] = &[
     "workload",
     "system",
@@ -118,7 +125,7 @@ const COMPARE_KEYS: &[&str] = &[
     "fault-mode",
     "fidelity",
 ];
-const COMPARE_FLAGS: &[&str] = &["csv", "json"];
+const COMPARE_FLAGS: &[&str] = &["csv", "json", "live"];
 const SWEEP_KEYS: &[&str] = &[
     "workload",
     "knob",
@@ -132,7 +139,7 @@ const SWEEP_KEYS: &[&str] = &[
     "fault-mode",
     "fidelity",
 ];
-const SWEEP_FLAGS: &[&str] = &["csv", "json"];
+const SWEEP_FLAGS: &[&str] = &["csv", "json", "live"];
 const RECORD_KEYS: &[&str] = &["workload", "system", "out", "budget", "seed"];
 const RECORD_FLAGS: &[&str] = &[];
 const REPLAY_KEYS: &[&str] = &["trace", "system"];
@@ -360,9 +367,10 @@ fn fidelity_options(args: &Args) -> Result<Fidelity, ExitCode> {
     }
 }
 
-/// Throttled `done/total/ETA` progress meter for grid commands,
-/// printed to stderr only when stderr is a terminal so piped and CI
-/// output stays byte-identical.
+/// Throttled `done/total/ETA` progress meter for grid commands. It
+/// prints to stderr only when both stderr *and* stdout are terminals
+/// (so piped and CI output stays byte-identical on either stream) and
+/// never while the `--live` dashboard owns stderr.
 struct Progress {
     enabled: bool,
     total: usize,
@@ -374,9 +382,9 @@ struct Progress {
 impl Progress {
     const THROTTLE_MS: u128 = 100;
 
-    fn new(total: usize) -> Progress {
+    fn new(total: usize, live: bool) -> Progress {
         Progress {
-            enabled: std::io::stderr().is_terminal(),
+            enabled: !live && std::io::stderr().is_terminal() && std::io::stdout().is_terminal(),
             total,
             done: AtomicUsize::new(0),
             start: Instant::now(),
@@ -414,6 +422,239 @@ impl Progress {
             );
         }
         let _ = err.flush();
+    }
+}
+
+/// Sample cadence driving the `--live` dashboard when the user gave no
+/// `--sample-interval`: one telemetry snapshot (and one throughput
+/// observation) every 1024 memory-clock cycles.
+const LIVE_SAMPLE_CYCLES: u64 = 1024;
+
+/// Shared state behind the `--live` dashboard: the simulation threads
+/// write it (per-point [`HostProfiler`]s, sampler observers, the done
+/// counter) and the render thread reads it a few times per second.
+struct LiveState {
+    workload: String,
+    total: usize,
+    done: AtomicUsize,
+    /// Labeled per-point profilers, registered as grid points start.
+    points: Mutex<Vec<(String, Arc<HostProfiler>)>>,
+    /// Total simulated picoseconds advanced across all points, fed by
+    /// the per-point sample observers.
+    sim_ps: AtomicU64,
+    /// Memory-clock period (ps) for converting simulated time to
+    /// cycles; grids use the first point's clock.
+    clock_ps: u64,
+    /// Set by the stdin reader when the user types `q` + Enter: the
+    /// dashboard erases itself and stops drawing, the run continues.
+    detached: AtomicBool,
+}
+
+impl LiveState {
+    fn new(workload: &str, total: usize, clock: fbd_types::time::Dur) -> Arc<LiveState> {
+        Arc::new(LiveState {
+            workload: workload.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            points: Mutex::new(Vec::new()),
+            sim_ps: AtomicU64::new(0),
+            clock_ps: clock.as_ps().max(1),
+            detached: AtomicBool::new(false),
+        })
+    }
+
+    fn register(&self, label: &str, profiler: Arc<HostProfiler>) {
+        self.points
+            .lock()
+            .expect("live points poisoned")
+            .push((label.to_string(), profiler));
+    }
+
+    /// A sampler observer accumulating one point's simulated-time
+    /// progress into the shared total (each point keeps its own
+    /// last-seen instant, so concurrent points compose additively).
+    fn observer(self: &Arc<Self>) -> SampleObserver {
+        let state = Arc::clone(self);
+        let last_ps = Mutex::new(0u64);
+        SampleObserver::new(move |row, _| {
+            let mut last = last_ps.lock().expect("observer state poisoned");
+            let ps = row.at.as_ps();
+            state
+                .sim_ps
+                .fetch_add(ps.saturating_sub(*last), Ordering::Relaxed);
+            *last = ps;
+        })
+    }
+
+    fn point_done(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The `--live` dashboard: a render thread that redraws a small stderr
+/// panel ~5×/second (throughput sparkline, per-phase wall-time bars,
+/// grid progress, hot-loop counters) while the simulation runs, then
+/// erases it so the report that follows starts clean. Callers only
+/// construct one when stderr is a terminal; without one, a `--live`
+/// run's output is byte-identical to a run without the flag.
+struct LiveDashboard {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveDashboard {
+    const FRAME_MS: u64 = 200;
+    /// Sparkline history window (frames) kept for the throughput row.
+    const HISTORY: usize = 32;
+
+    fn start(state: Arc<LiveState>) -> LiveDashboard {
+        // `q` + Enter detaches. The reader thread blocks on stdin, so
+        // it is left detached (it dies with the process) and is only
+        // spawned when stdin is interactive.
+        if std::io::stdin().is_terminal() {
+            let st = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match std::io::stdin().read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) if line.trim() == "q" => {
+                            st.detached.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        Ok(_) => {}
+                    }
+                }
+            });
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || Self::render_loop(&state, &stop))
+        };
+        LiveDashboard {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the render thread and waits for it to erase the panel.
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn render_loop(state: &LiveState, stop: &AtomicBool) {
+        let start = Instant::now();
+        let mut history: Vec<f64> = Vec::new();
+        let mut last_ps = 0u64;
+        let mut last_frame = start;
+        let mut drawn = 0usize;
+        loop {
+            let stopping = stop.load(Ordering::Relaxed);
+            if state.detached.load(Ordering::Relaxed) {
+                Self::erase(&mut drawn);
+                return;
+            }
+            let now = Instant::now();
+            let ps = state.sim_ps.load(Ordering::Relaxed);
+            let dt = now.duration_since(last_frame).as_secs_f64();
+            if dt > 0.0 {
+                let cycles = ps.saturating_sub(last_ps) as f64 / state.clock_ps as f64;
+                history.push(cycles / dt);
+                if history.len() > Self::HISTORY {
+                    history.remove(0);
+                }
+            }
+            last_ps = ps;
+            last_frame = now;
+            if stopping {
+                Self::erase(&mut drawn);
+                return;
+            }
+            Self::draw(state, start, &history, ps, &mut drawn);
+            std::thread::sleep(Duration::from_millis(Self::FRAME_MS));
+        }
+    }
+
+    /// Renders one frame: erases the previous panel (cursor-up + clear
+    /// to end of screen), then prints the new one.
+    fn draw(state: &LiveState, start: Instant, history: &[f64], sim_ps: u64, drawn: &mut usize) {
+        let mut frame = String::new();
+        if *drawn > 0 {
+            frame.push_str(&format!("\x1b[{}A\x1b[J", *drawn));
+        }
+        let done = state.done.load(Ordering::Relaxed).min(state.total);
+        let mut lines = vec![format!(
+            "  {} live   {done}/{} point(s)   {} elapsed   (q⏎ detaches)",
+            state.workload,
+            state.total,
+            fmt_duration(start.elapsed())
+        )];
+        let current = history.last().copied().unwrap_or(0.0);
+        let total_cycles = sim_ps as f64 / state.clock_ps as f64;
+        let avg = total_cycles / start.elapsed().as_secs_f64().max(1e-9);
+        lines.push(format!(
+            "  sim speed   {}  {}cyc/s now, {}cyc/s avg",
+            sparkline(history, Self::HISTORY),
+            si(current),
+            si(avg)
+        ));
+        // Aggregate phases and counters across every registered point.
+        let points = state.points.lock().expect("live points poisoned");
+        let mut phases = [Duration::ZERO; PHASES.len()];
+        let mut counts = [0u64; fbd_telemetry::host::COUNTERS.len()];
+        for (_, prof) in points.iter() {
+            for (slot, d) in phases.iter_mut().zip(prof.phase_snapshot()) {
+                *slot += d;
+            }
+            for (slot, &(c, _)) in counts.iter_mut().zip(&fbd_telemetry::host::COUNTERS) {
+                *slot += prof.counter(c);
+            }
+        }
+        drop(points);
+        let busy: Duration = phases.iter().sum();
+        if !busy.is_zero() {
+            for (&(_, label), d) in PHASES.iter().zip(&phases) {
+                if d.is_zero() {
+                    continue;
+                }
+                let frac = d.as_secs_f64() / busy.as_secs_f64();
+                lines.push(format!(
+                    "  {label:<11} {} {:>5.1}%",
+                    bar(frac, 24),
+                    frac * 100.0
+                ));
+            }
+        }
+        lines.push(format!(
+            "  counters    {} events, {} retired, {} frames, {} retries",
+            si(counts[Counter::Events as usize] as f64),
+            si(counts[Counter::RequestsRetired as usize] as f64),
+            si(counts[Counter::FramesSent as usize] as f64),
+            si(counts[Counter::Retries as usize] as f64),
+        ));
+        for l in &lines {
+            frame.push_str(l);
+            // Clear to end of line so shrinking lines leave no residue.
+            frame.push_str("\x1b[K\n");
+        }
+        *drawn = lines.len();
+        let mut err = std::io::stderr();
+        let _ = err.write_all(frame.as_bytes());
+        let _ = err.flush();
+    }
+
+    fn erase(drawn: &mut usize) {
+        if *drawn > 0 {
+            let mut err = std::io::stderr();
+            let _ = write!(err, "\x1b[{}A\x1b[J", *drawn);
+            let _ = err.flush();
+            *drawn = 0;
+        }
     }
 }
 
@@ -456,6 +697,12 @@ fn calibration_json(cal: &Calibration) -> Json {
 /// results in grid order, the fidelity tag each point actually ran at,
 /// and the calibration when the fast model was involved. `Err` carries
 /// an exit code already reported on stderr.
+///
+/// Every point runs with its own enabled [`HostProfiler`] (created at
+/// run time, so a point's wall clock starts when *it* starts), which is
+/// where the `host` object in every grid stats document comes from.
+/// With `live`, points also carry a sampler (at the dashboard's default
+/// cadence) whose observer feeds the shared throughput meter.
 #[allow(clippy::type_complexity)]
 fn run_grid(
     grid: &[(String, String, SystemConfig)],
@@ -463,12 +710,32 @@ fn run_grid(
     exp: ExperimentConfig,
     fidelity: Fidelity,
     sched: &str,
+    live: Option<&Arc<LiveState>>,
 ) -> Result<(Vec<RunResult>, Vec<Fidelity>, Option<Arc<Calibration>>), ExitCode> {
+    let point_spec = |i: usize| -> RunSpec {
+        let (label, _, cfg) = &grid[i];
+        let profiler = Arc::new(HostProfiler::enabled());
+        let mut spec = spec_for(*cfg, workload, exp, sched).host_profiler(Arc::clone(&profiler));
+        if let Some(state) = live {
+            state.register(label, profiler);
+            spec = spec
+                .telemetry(TelemetryConfig {
+                    sample_interval: Some(cfg.mem.data_rate.clock_period() * LIVE_SAMPLE_CYCLES),
+                    trace: false,
+                })
+                .sample_observer(state.observer());
+        }
+        spec
+    };
+    let indices: Vec<usize> = (0..grid.len()).collect();
     if fidelity == Fidelity::Accurate {
-        let progress = Progress::new(grid.len());
-        let results = parallel_map(grid, |(_, _, cfg)| {
-            let r = spec_for(*cfg, workload, exp, sched).run();
+        let progress = Progress::new(grid.len(), live.is_some());
+        let results = parallel_map(&indices, |&i| {
+            let r = point_spec(i).run();
             progress.tick();
+            if let Some(state) = live {
+                state.point_done();
+            }
             r
         });
         return Ok((results, vec![Fidelity::Accurate; grid.len()], None));
@@ -476,7 +743,7 @@ fn run_grid(
     let Some((_, _, first)) = grid.first() else {
         return Ok((Vec::new(), Vec::new(), None));
     };
-    if std::io::stderr().is_terminal() {
+    if live.is_none() && std::io::stderr().is_terminal() {
         eprintln!("calibrating the fast model (accurate fit + holdout runs)...");
     }
     let cal = match calibrate(&spec_for(*first, workload, exp, sched)) {
@@ -487,11 +754,16 @@ fn run_grid(
         }
     };
     let mut results = Vec::with_capacity(grid.len());
-    for (label, _, cfg) in grid {
-        match spec_for(*cfg, workload, exp, sched).try_run_fast(&cal) {
-            Ok(r) => results.push(r),
+    for &i in &indices {
+        match point_spec(i).try_run_fast(&cal) {
+            Ok(r) => {
+                results.push(r);
+                if let Some(state) = live {
+                    state.point_done();
+                }
+            }
             Err(e) => {
-                eprintln!("{label}: {e}");
+                eprintln!("{}: {e}", grid[i].0);
                 return Err(ExitCode::FAILURE);
             }
         }
@@ -500,15 +772,17 @@ fn run_grid(
     if fidelity == Fidelity::Auto {
         // Re-run only the model's IPC/energy Pareto frontier through
         // the cycle simulator; dominated points keep their fast result.
+        // Re-runs get fresh profilers (via `point_spec`), so a frontier
+        // point's host report covers its accurate run only; the done
+        // counter is not re-ticked (the point was already counted).
         let points: Vec<(f64, f64)> = results
             .iter()
             .map(|r| (r.ipcs().iter().sum::<f64>(), r.energy.total_nj()))
             .collect();
         let frontier = pareto_frontier(&points);
-        let subset: Vec<SystemConfig> = frontier.iter().map(|&i| grid[i].2).collect();
-        let progress = Progress::new(subset.len());
-        let accurate = parallel_map(&subset, |cfg| {
-            let r = spec_for(*cfg, workload, exp, sched).run();
+        let progress = Progress::new(frontier.len(), live.is_some());
+        let accurate = parallel_map(&frontier, |&i| {
+            let r = point_spec(i).run();
             progress.tick();
             r
         });
@@ -712,6 +986,11 @@ fn stats_document(workload: &Workload, system: &str, comp: &Composition, r: &Run
             fields.push(("series".to_string(), sampler.to_json(&tel.registry)));
         }
     }
+    // Host-side observability: wall time, per-phase breakdown,
+    // throughput and build provenance. Always present; wall-clock
+    // fields are the one nondeterministic part of the document, so
+    // byte-comparing consumers strip this key.
+    fields.push(("host".to_string(), r.host.to_json()));
     Json::Obj(fields)
 }
 
@@ -796,6 +1075,33 @@ fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
                     fr.degraded.as_ns_f64() / 1_000.0
                 );
             }
+        }
+        if r.host.enabled {
+            let mut top: Vec<(&str, Duration)> = r
+                .host
+                .phases
+                .iter()
+                .filter(|(_, d)| !d.is_zero())
+                .map(|&(l, d)| (l, d))
+                .collect();
+            top.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+            let top: Vec<String> = top
+                .iter()
+                .take(2)
+                .map(|(l, d)| {
+                    format!(
+                        "{l} {:.0}%",
+                        100.0 * d.as_secs_f64() / r.host.wall.as_secs_f64().max(1e-12)
+                    )
+                })
+                .collect();
+            println!(
+                "  host               {} wall, {}cyc/s, {}instr/s ({})",
+                fmt_duration(r.host.wall),
+                si(r.host.cycles_per_sec()),
+                si(r.host.instr_per_sec()),
+                top.join(", ")
+            );
         }
         println!();
     }
@@ -906,10 +1212,26 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Some(fc) = faults {
         cfg.mem.faults = fc;
     }
-    let telemetry = match telemetry_options(args, &cfg) {
+    let mut telemetry = match telemetry_options(args, &cfg) {
         Ok(t) => t,
         Err(code) => return code,
     };
+    // `--live` needs a terminal on stderr; otherwise it is silently
+    // inert, so piped output stays byte-identical to a run without it.
+    // The dashboard's throughput meter rides on the epoch sampler, so
+    // a live run without an explicit cadence gets the default one.
+    let live = args.has_flag("live") && std::io::stderr().is_terminal();
+    if live
+        && telemetry
+            .as_ref()
+            .is_none_or(|t| t.sample_interval.is_none())
+    {
+        let t = telemetry.get_or_insert(TelemetryConfig {
+            sample_interval: None,
+            trace: false,
+        });
+        t.sample_interval = Some(cfg.mem.data_rate.clock_period() * LIVE_SAMPLE_CYCLES);
+    }
     let csv = args.has_flag("csv");
     let json_stdout = args.has_flag("json");
     let comp = composition_for(sname, sched, &cfg);
@@ -917,10 +1239,24 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Some(tc) = &telemetry {
         spec = spec.telemetry(*tc);
     }
+    let profiler = Arc::new(HostProfiler::enabled());
+    spec = spec.host_profiler(Arc::clone(&profiler));
+    let live_state =
+        live.then(|| LiveState::new(workload.name(), 1, cfg.mem.data_rate.clock_period()));
+    if let Some(state) = &live_state {
+        state.register(sname, profiler);
+        spec = spec.sample_observer(state.observer());
+    }
+    let dashboard = live_state
+        .as_ref()
+        .map(|s| LiveDashboard::start(Arc::clone(s)));
     let calibration = if fast {
         match calibrate(&spec) {
             Ok(c) => Some(c),
             Err(e) => {
+                if let Some(d) = dashboard {
+                    d.finish();
+                }
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
@@ -932,6 +1268,9 @@ fn cmd_run(args: &Args) -> ExitCode {
         Some(cal) => spec.try_run_fast(cal),
         None => spec.try_run(),
     };
+    if let Some(d) = dashboard {
+        d.finish();
+    }
     let r = match run {
         Ok(r) => r,
         Err(e) => {
@@ -1045,7 +1384,9 @@ fn cmd_profile(args: &Args) -> ExitCode {
         cfg.mem.faults = fc;
     }
     let comp = composition_for(sname, "hit-first", &cfg);
-    let r = match spec_for(cfg, &workload, exp, "hit-first").try_run() {
+    let spec =
+        spec_for(cfg, &workload, exp, "hit-first").host_profiler(Arc::new(HostProfiler::enabled()));
+    let r = match spec.try_run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -1135,6 +1476,7 @@ fn emit_grid(
     workload: &Workload,
     points: Vec<Json>,
     calibration: Option<&Calibration>,
+    host: Json,
 ) -> ExitCode {
     let mut fields = vec![
         ("command".to_string(), Json::from(cmd)),
@@ -1143,6 +1485,7 @@ fn emit_grid(
     if let Some(cal) = calibration {
         fields.push(("calibration".to_string(), calibration_json(cal)));
     }
+    fields.push(("host".to_string(), host));
     fields.push(("points".to_string(), Json::Arr(points)));
     let doc = Json::Obj(fields);
     if args.has_flag("json") {
@@ -1157,10 +1500,63 @@ fn emit_grid(
     ExitCode::SUCCESS
 }
 
+/// The grid-level `host` object on `compare`/`sweep` documents: the
+/// whole command's wall time and aggregate simulation throughput plus
+/// build provenance. Per-point phase breakdowns live in each point's
+/// own `host` object.
+fn session_host_json(start: Instant, results: &[RunResult]) -> Json {
+    let wall = start.elapsed().as_secs_f64();
+    let cycles: u64 = results.iter().map(|r| r.host.sim_cycles).sum();
+    let instructions: u64 = results.iter().map(|r| r.host.instructions).sum();
+    let per_sec = |n: u64| {
+        if wall > 0.0 {
+            n as f64 / wall
+        } else {
+            0.0
+        }
+    };
+    let mut fields = vec![
+        ("wall_s".to_string(), Json::from(wall)),
+        ("sim_cycles".to_string(), Json::from(cycles)),
+        ("instructions".to_string(), Json::from(instructions)),
+        ("cycles_per_sec".to_string(), Json::from(per_sec(cycles))),
+        (
+            "instr_per_sec".to_string(),
+            Json::from(per_sec(instructions)),
+        ),
+    ];
+    if let Some(rss) = fbd_telemetry::host::peak_rss_bytes() {
+        fields.push(("peak_rss_bytes".to_string(), Json::from(rss)));
+    }
+    fields.push(("build".to_string(), fbd_core::build_info().to_json()));
+    Json::Obj(fields)
+}
+
+/// Resolves `--live` for the grid commands: active only when stderr is
+/// a terminal, otherwise silently inert (output byte-identical). The
+/// dashboard converts simulated time to cycles with the first grid
+/// point's memory clock.
+fn live_state_for(
+    args: &Args,
+    workload: &Workload,
+    grid: &[(String, String, SystemConfig)],
+) -> Option<Arc<LiveState>> {
+    if !(args.has_flag("live") && std::io::stderr().is_terminal()) {
+        return None;
+    }
+    let clock = grid
+        .first()
+        .map_or(DataRate::MTS667.clock_period(), |(_, _, cfg)| {
+            cfg.mem.data_rate.clock_period()
+        });
+    Some(LiveState::new(workload.name(), grid.len(), clock))
+}
+
 fn cmd_compare(args: &Args) -> ExitCode {
     if let Err(code) = validate_args("compare", args, COMPARE_KEYS, COMPARE_FLAGS) {
         return code;
     }
+    let session_start = Instant::now();
     let Some(wname) = args.get("workload") else {
         return usage();
     };
@@ -1215,14 +1611,30 @@ fn cmd_compare(args: &Args) -> ExitCode {
         }
         grid.push((sname.clone(), sname.clone(), cfg));
     }
-    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity, sched) {
+    let live_state = live_state_for(args, &workload, &grid);
+    let dashboard = live_state
+        .as_ref()
+        .map(|s| LiveDashboard::start(Arc::clone(s)));
+    let run = run_grid(&grid, &workload, exp, fidelity, sched, live_state.as_ref());
+    if let Some(d) = dashboard {
+        d.finish();
+    }
+    let (results, tags, calibration) = match run {
         Ok(x) => x,
         Err(code) => return code,
     };
+    let host = session_host_json(session_start, &results);
     let points = grid_points(
         &grid, &results, &tags, fidelity, &workload, sched, human, csv, want_stats,
     );
-    emit_grid(args, "compare", &workload, points, calibration.as_deref())
+    emit_grid(
+        args,
+        "compare",
+        &workload,
+        points,
+        calibration.as_deref(),
+        host,
+    )
 }
 
 /// Reports every grid point in order and collects the per-point stats
@@ -1265,6 +1677,7 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     if let Err(code) = validate_args("sweep", args, SWEEP_KEYS, SWEEP_FLAGS) {
         return code;
     }
+    let session_start = Instant::now();
     let (Some(wname), Some(knob)) = (args.get("workload"), args.get("knob")) else {
         return usage();
     };
@@ -1315,14 +1728,23 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         .into_iter()
         .map(|(label, cfg)| (label, base_name.to_string(), cfg))
         .collect();
-    let (results, tags, calibration) = match run_grid(&grid, &workload, exp, fidelity, sched) {
+    let live_state = live_state_for(args, &workload, &grid);
+    let dashboard = live_state
+        .as_ref()
+        .map(|s| LiveDashboard::start(Arc::clone(s)));
+    let run = run_grid(&grid, &workload, exp, fidelity, sched, live_state.as_ref());
+    if let Some(d) = dashboard {
+        d.finish();
+    }
+    let (results, tags, calibration) = match run {
         Ok(x) => x,
         Err(code) => return code,
     };
+    let host = session_host_json(session_start, &results);
     let docs = grid_points(
         &grid, &results, &tags, fidelity, &workload, sched, human, csv, want_stats,
     );
-    emit_grid(args, "sweep", &workload, docs, calibration.as_deref())
+    emit_grid(args, "sweep", &workload, docs, calibration.as_deref(), host)
 }
 
 /// The labeled configuration grid a `sweep` knob expands to, or `None`
@@ -1529,6 +1951,17 @@ fn cmd_replay(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints build provenance: crate version, git SHA, rustc and profile
+/// (the same `build` object every stats JSON document embeds).
+fn cmd_version() -> ExitCode {
+    let b = fbd_core::build_info();
+    println!(
+        "fbdsim {} ({}, {}, {} profile)",
+        b.version, b.git_sha, b.rustc, b.profile
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -1539,6 +1972,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => help(),
+        "version" | "--version" | "-V" => cmd_version(),
         "list" => cmd_list(),
         "list-substrates" => cmd_list_substrates(),
         "list-schedulers" => cmd_list_schedulers(),

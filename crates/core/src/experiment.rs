@@ -23,8 +23,10 @@
 //! channel count; Figure 7 references two-channel DDR2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use fbd_telemetry::TelemetryConfig;
+use fbd_telemetry::host::{HostHandle, HostProfiler, Phase};
+use fbd_telemetry::{SampleObserver, TelemetryConfig};
 use fbd_types::config::{AmbPrefetchConfig, Interleaving, MemoryConfig, SystemConfig};
 use fbd_types::substrate::substrates;
 use fbd_types::ConfigError;
@@ -112,6 +114,8 @@ pub struct RunSpec {
     telemetry: Option<TelemetryConfig>,
     capture_trace: bool,
     overrides: CompositionOverrides,
+    host: Option<Arc<HostProfiler>>,
+    observer: SampleObserver,
 }
 
 /// Registry names explicitly selected on a [`RunSpec`], overriding
@@ -136,6 +140,8 @@ impl RunSpec {
             telemetry: None,
             capture_trace: false,
             overrides: CompositionOverrides::default(),
+            host: None,
+            observer: SampleObserver::none(),
         }
     }
 
@@ -325,6 +331,27 @@ impl RunSpec {
         self
     }
 
+    /// Attaches a host-side profiler: the run marks its wall-clock
+    /// phases and hot-loop counters into it and
+    /// [`RunResult::host`](crate::RunResult) carries the report.
+    /// The profiler is shared so a live dashboard can read it mid-run.
+    /// Like telemetry, this observes the run without changing its
+    /// simulated result (it is excluded from
+    /// [`canonical_key`](Self::canonical_key)).
+    pub fn host_profiler(mut self, profiler: Arc<HostProfiler>) -> RunSpec {
+        self.host = Some(profiler);
+        self
+    }
+
+    /// Attaches a [`SampleObserver`] notified with every epoch-sampler
+    /// row; only meaningful when [`telemetry`](Self::telemetry) enables
+    /// sampling. Excluded from the canonical key like all
+    /// instrumentation.
+    pub fn sample_observer(mut self, observer: SampleObserver) -> RunSpec {
+        self.observer = observer;
+        self
+    }
+
     /// The system configuration this spec would run.
     pub fn system(&self) -> &SystemConfig {
         &self.system
@@ -350,6 +377,12 @@ impl RunSpec {
     /// the fast fidelity mirrors it onto synthesized results).
     pub(crate) fn telemetry_config(&self) -> Option<&TelemetryConfig> {
         self.telemetry.as_ref()
+    }
+
+    /// The attached host profiler, if any (crate-internal; the fast
+    /// fidelity charges its model time into it).
+    pub(crate) fn host_profiler_ref(&self) -> Option<&Arc<HostProfiler>> {
+        self.host.as_ref()
     }
 
     /// Canonical text serialization of the spec's *semantic* fields —
@@ -465,11 +498,21 @@ impl RunSpec {
             Warmup::Ops(n) => n,
         };
         let comp = self.composition();
+        let host = self
+            .host
+            .as_ref()
+            .map_or_else(HostHandle::off, |p| HostHandle::new(Arc::clone(p)));
         let mut sys = System::composed(&self.system, traces, self.exp.budget, &comp)
             .unwrap_or_else(|e| panic!("{e}"));
+        host.mark(Phase::Setup);
         sys.warm(warmup_ops);
+        host.mark(Phase::Warmup);
+        sys.set_host_profiler(host);
         if let Some(tc) = &self.telemetry {
             sys.enable_telemetry(tc);
+        }
+        if self.observer.is_attached() {
+            sys.set_sample_observer(self.observer.clone());
         }
         if self.capture_trace {
             sys.enable_trace_capture();
@@ -551,6 +594,7 @@ mod tests {
             faults: None,
             trace: None,
             telemetry: None,
+            host: Default::default(),
         }
     }
 

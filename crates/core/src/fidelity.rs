@@ -21,11 +21,12 @@ use fbd_model::{
     calibration_configs, predict, CalibrationReport, Calibrator, Observation, ObservedPoint,
     Prediction,
 };
+use fbd_telemetry::host::{HostHandle, Phase};
 use fbd_telemetry::{StageProfile, Telemetry};
 use fbd_types::config::SystemConfig;
 use fbd_types::request::{ReqClass, StageBreakdown, STAGES};
 use fbd_types::stats::{CoreStats, MemStats};
-use fbd_types::time::Dur;
+use fbd_types::time::{Dur, Time};
 use fbd_workloads::mixes::Workload;
 
 use crate::experiment::RunSpec;
@@ -316,8 +317,42 @@ fn result_from_prediction(spec: &RunSpec, p: &Prediction, cal: &Calibration) -> 
             let id = reg.gauge(path);
             reg.set(id, value);
         }
+        // The analytic model has no event loop to drive epoch
+        // snapshots, so synthesize the sampler's time axis directly:
+        // one row per interval boundary over the predicted duration
+        // (capped — a pathological interval must not OOM), closed by
+        // the usual end-of-run flush. Rows carry the model gauges, so
+        // downstream consumers (CSV export, the live dashboard, the
+        // monotonicity tests) see the same row shape as an accurate
+        // run.
+        if let Some(interval) = tc.sample_interval {
+            const MAX_SYNTH_ROWS: u64 = 10_000;
+            let end = Time::ZERO + p.elapsed;
+            let mut at = Time::ZERO + interval;
+            let mut rows = 0;
+            while at < end && rows < MAX_SYNTH_ROWS {
+                tel.sample(at);
+                at += interval;
+                rows += 1;
+            }
+            tel.finish(end);
+        }
         tel
     });
+
+    let host_handle = spec
+        .host_profiler_ref()
+        .map_or_else(HostHandle::off, |p| HostHandle::new(Arc::clone(p)));
+    // Everything since the profiler's last mark — prediction and result
+    // synthesis — is the analytic model's time.
+    host_handle.mark(Phase::Model);
+    let instructions: u64 = p.cores.iter().map(|c| c.instructions).sum();
+    let mut host = host_handle.finish_report(
+        p.elapsed,
+        spec.system().mem.data_rate.clock_period(),
+        instructions,
+    );
+    host.build = crate::build_info();
 
     RunResult {
         elapsed: p.elapsed,
@@ -347,6 +382,7 @@ fn result_from_prediction(spec: &RunSpec, p: &Prediction, cal: &Calibration) -> 
         telemetry,
         profile,
         faults: None,
+        host,
     }
 }
 

@@ -44,6 +44,7 @@ pub mod trace_io;
 
 pub use compose::Composition;
 pub use experiment::{reference_ipcs, smt_speedup, ExperimentConfig, RunSpec, Warmup};
+use fbd_telemetry::host::BuildInfo;
 pub use fidelity::{
     calibrate, pareto_frontier, Calibration, Fidelity, CALIBRATION_FIT_POINTS,
     CALIBRATION_HOLDOUT_POINTS,
@@ -52,3 +53,17 @@ pub use memsys::{ChannelCounters, DecideResult, Issued, MemorySystem};
 pub use parallel::parallel_map;
 pub use system::{RunResult, System};
 pub use trace_io::{replay, MemoryTrace, ReplayResult, TraceRecord};
+
+/// Build provenance baked in at compile time by `build.rs`: crate
+/// version, git SHA (with `-dirty` suffix), rustc version and cargo
+/// profile. Attached to every [`RunResult`]'s host report and printed
+/// by `fbdsim version`; fields fall back to `"unknown"` when git is
+/// unavailable at build time.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        git_sha: env!("FBD_GIT_SHA").to_string(),
+        rustc: env!("FBD_RUSTC").to_string(),
+        profile: env!("FBD_PROFILE").to_string(),
+    }
+}

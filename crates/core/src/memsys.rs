@@ -27,6 +27,7 @@ use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
 use fbd_faults::FaultReport;
 use fbd_link::{Ddr2CommandBus, FbdChannel, LinkSlot};
 use fbd_power::{EnergyModel, EnergyReport, PowerModeTracker, RankActivity};
+use fbd_telemetry::host::{Counter, HostHandle, Phase};
 use fbd_telemetry::{
     tid_bank, tid_dimm, tid_power, Json, MetricId, StageProfile, Telemetry, TelemetryConfig,
     TID_NORTH, TID_SOUTH,
@@ -345,6 +346,8 @@ pub struct MemorySystem {
     /// DIMM-bus time of one line on a (ganged) DIMM.
     burst: Dur,
     clock: Dur,
+    /// Host-side profiler handle (no-op unless a profiler is attached).
+    host: HostHandle,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -463,7 +466,15 @@ impl MemorySystem {
             burst,
             clock,
             cfg: *cfg,
+            host: HostHandle::off(),
         })
+    }
+
+    /// Attaches the host-side profiler handle (shared with the system's
+    /// event loop); the scheduler and datapath mark their phases into
+    /// it. See [`crate::System::set_host_profiler`].
+    pub fn set_host_profiler(&mut self, host: HostHandle) {
+        self.host = host;
     }
 
     /// Index of the power tracker for `(ch, dimm, rank)`.
@@ -771,6 +782,7 @@ impl MemorySystem {
             self.run_refreshes(ch, now);
         }
         if self.channels[ch as usize].inflight >= MAX_INFLIGHT_PER_CHANNEL {
+            self.host.mark(Phase::Controller);
             return DecideResult::default();
         }
         let Some(id) = self.pick_for(ch, now) else {
@@ -784,6 +796,7 @@ impl MemorySystem {
                 .map(|e| e.req.arrival + overhead)
                 .filter(|t| *t > now)
                 .min();
+            self.host.mark(Phase::Controller);
             return DecideResult {
                 issued: Vec::new(),
                 next_decision: next,
@@ -792,6 +805,9 @@ impl MemorySystem {
         let entry = self.queue.remove(id).expect("picked entry exists");
         self.drain_spill();
         let first_is_write = entry.req.kind == AccessKind::Write;
+        // Everything up to the pick is controller work; the execute
+        // calls below are the transaction's datapath.
+        self.host.mark(Phase::Controller);
         let mut issued = vec![self.execute(entry, now)];
         self.channels[ch as usize].inflight += 1;
         // Burst the write drain on a shared-bus channel: commit the whole
@@ -814,6 +830,7 @@ impl MemorySystem {
                 self.channels[ch as usize].inflight += 1;
             }
         }
+        self.host.mark(Phase::Datapath);
         DecideResult {
             issued,
             next_decision: Some(self.next_slot(ch, now)),
@@ -935,6 +952,11 @@ impl MemorySystem {
             ChannelPath::Fbd { link, dimms } => {
                 st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
                 let cmd = link.send_command_checked(now);
+                self.host
+                    .add(Counter::FramesSent, 1 + cmd.failed.len() as u64);
+                if !cmd.failed.is_empty() {
+                    self.host.add(Counter::Retries, cmd.failed.len() as u64);
+                }
                 st.to(Stage::SouthLink, cmd.first_done);
                 st.to(Stage::Retry, cmd.slot.done);
                 let cmd_at_amb = cmd.slot.done;
@@ -961,6 +983,11 @@ impl MemorySystem {
                     self.stats.amb_hits += 1;
                     self.chan_counts[m.channel as usize].amb_hits += 1;
                     let north = link.return_read_data_checked(m.dimm, data_ready, droppable);
+                    self.host
+                        .add(Counter::FramesSent, 1 + north.failed.len() as u64);
+                    if !north.failed.is_empty() {
+                        self.host.add(Counter::Retries, north.failed.len() as u64);
+                    }
                     st.to(Stage::NorthQueue, north.first_start);
                     st.to(Stage::NorthLink, north.first_done);
                     st.to(Stage::Retry, north.slot.done);
@@ -984,6 +1011,11 @@ impl MemorySystem {
                     self.power[pi].note_busy(out.service_start(), out.fill_done);
                     let north =
                         link.return_read_data_checked(m.dimm, out.demanded_ready, droppable);
+                    self.host
+                        .add(Counter::FramesSent, 1 + north.failed.len() as u64);
+                    if !north.failed.is_empty() {
+                        self.host.add(Counter::Retries, north.failed.len() as u64);
+                    }
                     st.to(Stage::NorthQueue, north.first_start);
                     st.to(Stage::NorthLink, north.first_done);
                     st.to(Stage::Retry, north.slot.done);
@@ -1007,6 +1039,11 @@ impl MemorySystem {
                     }
                     self.power[pi].note_busy(out.service_start(), out.data_end);
                     let north = link.return_read_data_checked(m.dimm, out.data_ready, droppable);
+                    self.host
+                        .add(Counter::FramesSent, 1 + north.failed.len() as u64);
+                    if !north.failed.is_empty() {
+                        self.host.add(Counter::Retries, north.failed.len() as u64);
+                    }
                     st.to(Stage::NorthQueue, north.first_start);
                     st.to(Stage::NorthLink, north.first_done);
                     st.to(Stage::Retry, north.slot.done);
@@ -1128,6 +1165,11 @@ impl MemorySystem {
             ChannelPath::Fbd { link, dimms } => {
                 st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
                 let wdata = link.send_write_data_checked(now);
+                self.host
+                    .add(Counter::FramesSent, 1 + wdata.failed.len() as u64);
+                if !wdata.failed.is_empty() {
+                    self.host.add(Counter::Retries, wdata.failed.len() as u64);
+                }
                 st.to(Stage::SouthLink, wdata.first_done);
                 st.to(Stage::Retry, wdata.slot.done);
                 let out = dimms[m.dimm as usize].write_line_at(

@@ -12,7 +12,8 @@ use std::collections::BinaryHeap;
 use fbd_cpu::{CpuComplex, TraceSource};
 use fbd_faults::FaultReport;
 use fbd_power::EnergyReport;
-use fbd_telemetry::{MetricId, StageProfile, Telemetry, TelemetryConfig};
+use fbd_telemetry::host::{Counter, HostHandle, HostReport, Phase};
+use fbd_telemetry::{MetricId, SampleObserver, StageProfile, Telemetry, TelemetryConfig};
 use fbd_types::config::SystemConfig;
 use fbd_types::request::AccessKind;
 use fbd_types::stats::{CoreStats, MemStats};
@@ -72,6 +73,10 @@ pub struct RunResult {
     /// Error/recovery summary when fault injection was configured
     /// (`None` on a no-fault run, so downstream exports stay identical).
     pub faults: Option<FaultReport>,
+    /// Host-side profile of the run: wall-clock phase breakdown, event
+    /// counters, and simulated-cycles/sec throughput (a disabled
+    /// default report when no profiler was attached).
+    pub host: HostReport,
 }
 
 impl RunResult {
@@ -126,6 +131,8 @@ pub struct System {
     /// `(l2_mshr_occupancy, outstanding_misses)` gauge handles, set when
     /// telemetry is enabled.
     cpu_gauges: Option<(MetricId, MetricId)>,
+    /// Host-side profiler handle (no-op unless a profiler is attached).
+    host: HostHandle,
 }
 
 impl System {
@@ -145,6 +152,7 @@ impl System {
             now: Time::ZERO,
             capture: None,
             cpu_gauges: None,
+            host: HostHandle::off(),
         }
     }
 
@@ -174,7 +182,26 @@ impl System {
             now: Time::ZERO,
             capture: None,
             cpu_gauges: None,
+            host: HostHandle::off(),
         })
+    }
+
+    /// Attaches a host-side profiler: the event loop marks phase
+    /// boundaries and bumps hot-loop counters into it, and
+    /// [`RunResult::host`] carries its report. Without this call every
+    /// instrumentation site is a no-op branch.
+    pub fn set_host_profiler(&mut self, host: HostHandle) {
+        self.mem.set_host_profiler(host.clone());
+        self.host = host;
+    }
+
+    /// Attaches a [`SampleObserver`] notified with every epoch-sampler
+    /// row — requires telemetry sampling to already be enabled (no-op
+    /// otherwise).
+    pub fn set_sample_observer(&mut self, observer: SampleObserver) {
+        if let Some(tel) = self.mem.telemetry_mut() {
+            tel.observer = observer;
+        }
     }
 
     /// Records every transaction handed to the memory controller; the
@@ -231,6 +258,7 @@ impl System {
     /// channel decisions and CPU wakes.
     fn pump_cpu(&mut self) {
         let adv = self.cpu.advance(self.now);
+        self.host.mark(Phase::Cpu);
         for req in adv.requests {
             if let Some(trace) = self.capture.as_mut() {
                 trace.push(TraceRecord {
@@ -248,6 +276,7 @@ impl System {
                 self.push(wake, Event::CpuWake);
             }
         }
+        self.host.mark(Phase::Controller);
     }
 
     fn run_decision(&mut self, ch: u32) {
@@ -271,6 +300,8 @@ impl System {
         if let Some(next) = result.next_decision {
             self.push(next.max(self.now), Event::Decide(ch));
         }
+        self.host.mark(Phase::Controller);
+        self.host.bump(Counter::Decisions);
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -295,6 +326,7 @@ impl System {
                 "simulation exceeded the safety time limit"
             );
             self.now = self.now.max(at);
+            self.host.bump(Counter::Events);
             match ev {
                 Event::Decide(ch) => {
                     self.run_decision(ch);
@@ -311,12 +343,16 @@ impl System {
                     if self.mem.has_work(ch) {
                         self.push(self.now, Event::Decide(ch));
                     }
+                    self.host.bump(Counter::RequestsRetired);
+                    self.host.mark(Phase::Controller);
                 }
                 Event::WriteDone(ch) => {
                     self.mem.complete(ch);
                     if self.mem.has_work(ch) {
                         self.push(self.now, Event::Decide(ch));
                     }
+                    self.host.bump(Counter::RequestsRetired);
+                    self.host.mark(Phase::Controller);
                 }
                 Event::CpuWake => {
                     self.pump_cpu();
@@ -336,6 +372,7 @@ impl System {
                     if due != Time::NEVER {
                         self.push(due, Event::Sample);
                     }
+                    self.host.mark(Phase::Telemetry);
                 }
             }
             if self.cpu.any_done(self.now) {
@@ -345,16 +382,32 @@ impl System {
         let elapsed = self.now - Time::ZERO;
         let cores = self.cpu.finish(self.now);
         let telemetry = self.mem.finish_telemetry(self.now);
+        let mem = self.mem.stats();
+        let ops = &mem.dram_ops;
+        // ACT/PRE are counted as pairs; expand to individual commands.
+        self.host.set(
+            Counter::DramCommands,
+            ops.act_pre * 2 + ops.col_total() + ops.refreshes,
+        );
+        let instructions: u64 = cores.iter().map(|c| c.instructions).sum();
+        self.host.mark(Phase::Finish);
+        let mut host = self.host.finish_report(
+            elapsed,
+            self.mem.config().data_rate.clock_period(),
+            instructions,
+        );
+        host.build = crate::build_info();
         RunResult {
             elapsed,
             cores,
-            mem: self.mem.stats(),
+            mem,
             channels: self.mem.channel_counters().to_vec(),
             energy: self.mem.energy_report(self.now),
             profile: self.mem.latency_profile().clone(),
             faults: self.mem.fault_report(self.now),
             trace: self.capture,
             telemetry,
+            host,
         }
     }
 }

@@ -45,16 +45,22 @@
 //! ```
 
 pub mod hist;
+pub mod host;
 pub mod json;
+pub mod live;
 pub mod registry;
 pub mod sampler;
 pub mod trace;
 
 pub use hist::{LogHistogram, StageProfile};
+pub use host::{BuildInfo, Counter, HostHandle, HostProfiler, HostReport, Phase};
 pub use json::Json;
 pub use registry::{MetricId, MetricKind, MetricRegistry, MetricValue};
 pub use sampler::{EpochSampler, SampleRow};
 pub use trace::{tid_bank, tid_dimm, tid_power, Tracer, PID_SYSTEM, TID_NORTH, TID_SOUTH};
+
+use std::fmt;
+use std::sync::Arc;
 
 use fbd_types::time::{Dur, Time};
 
@@ -75,12 +81,55 @@ impl TelemetryConfig {
     }
 }
 
+/// The callback type a [`SampleObserver`] wraps.
+type SampleCallback = dyn Fn(&SampleRow, &MetricRegistry) + Send + Sync;
+
+/// An optional callback invoked with each freshly taken
+/// [`SampleRow`] (and the registry for name lookups) — how the live
+/// dashboard watches a run in flight without the simulator knowing
+/// anything about terminals. Cloning shares the same callback.
+#[derive(Clone, Default)]
+pub struct SampleObserver(Option<Arc<SampleCallback>>);
+
+impl SampleObserver {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&SampleRow, &MetricRegistry) + Send + Sync + 'static) -> SampleObserver {
+        SampleObserver(Some(Arc::new(f)))
+    }
+
+    /// The default no-op observer.
+    pub fn none() -> SampleObserver {
+        SampleObserver(None)
+    }
+
+    /// True when a callback is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn notify(&self, row: &SampleRow, registry: &MetricRegistry) {
+        if let Some(f) = &self.0 {
+            f(row, registry);
+        }
+    }
+}
+
+impl fmt::Debug for SampleObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SampleObserver")
+            .field(&self.0.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
 /// Per-run telemetry state: the registry plus optional collectors.
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     pub registry: MetricRegistry,
     pub sampler: Option<EpochSampler>,
     pub tracer: Option<Tracer>,
+    /// Notified after every epoch snapshot (see [`SampleObserver`]).
+    pub observer: SampleObserver,
 }
 
 impl Telemetry {
@@ -95,6 +144,7 @@ impl Telemetry {
             registry: MetricRegistry::new(),
             sampler: config.sample_interval.map(EpochSampler::new),
             tracer: config.trace.then(Tracer::new),
+            observer: SampleObserver::none(),
         }
     }
 
@@ -118,17 +168,25 @@ impl Telemetry {
             .map_or(Time::NEVER, EpochSampler::next_due)
     }
 
-    /// Takes an epoch snapshot if sampling is enabled.
+    /// Takes an epoch snapshot if sampling is enabled, notifying the
+    /// attached [`SampleObserver`] (if any) with the new row.
     pub fn sample(&mut self, now: Time) {
         if let Some(sampler) = self.sampler.as_mut() {
             sampler.sample(now, &self.registry);
+            if let Some(row) = sampler.rows().last() {
+                self.observer.notify(row, &self.registry);
+            }
         }
     }
 
-    /// Ends the run at `end`: flushes the final partial epoch.
+    /// Ends the run at `end`: flushes the final partial epoch and
+    /// notifies the observer with the closing row.
     pub fn finish(&mut self, end: Time) {
         if let Some(sampler) = self.sampler.as_mut() {
             sampler.finish(end, &self.registry);
+            if let Some(row) = sampler.rows().last() {
+                self.observer.notify(row, &self.registry);
+            }
         }
     }
 }
@@ -164,5 +222,28 @@ mod tests {
         let rows = tel.sampler.as_ref().unwrap().rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1].values, vec![3.0]);
+    }
+
+    #[test]
+    fn observer_sees_every_row() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let mut tel = Telemetry::new(&TelemetryConfig {
+            sample_interval: Some(Dur::from_ns(50)),
+            trace: false,
+        });
+        assert!(!tel.observer.is_attached());
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        tel.observer = SampleObserver::new(move |_row, _reg| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(tel.observer.is_attached());
+        tel.registry.counter("reads");
+        tel.sample(Time::from_ns(50));
+        tel.sample(Time::from_ns(100));
+        tel.finish(Time::from_ns(120));
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
     }
 }

@@ -425,6 +425,172 @@ fn compare_stats_json_covers_every_system() {
 }
 
 #[test]
+fn version_prints_build_provenance_on_every_spelling() {
+    let canonical = fbdsim(&["version"]);
+    assert_eq!(exit_code(&canonical), 0);
+    let text = String::from_utf8(canonical.stdout.clone()).expect("utf-8 version line");
+    assert!(
+        text.starts_with(&format!("fbdsim {} (", env!("CARGO_PKG_VERSION"))),
+        "version line must lead with the crate version: {text}"
+    );
+    assert!(text.contains("profile)"), "{text}");
+    assert!(canonical.stderr.is_empty());
+    for alias in ["--version", "-V"] {
+        let out = fbdsim(&[alias]);
+        assert_eq!(exit_code(&out), 0, "`fbdsim {alias}` failed");
+        assert_eq!(out.stdout, canonical.stdout, "`{alias}` diverged");
+    }
+}
+
+/// The `host` object every stats document must carry: an enabled
+/// profiler with a finite throughput, a phase breakdown explaining
+/// ≥95% of wall time, and build provenance.
+fn assert_host_observability(doc: &Json) {
+    let host = doc.get("host").expect("stats carry a host object");
+    assert_eq!(host.get("enabled"), Some(&Json::Bool(true)));
+    assert!(host.get("wall_s").and_then(Json::as_f64).expect("wall_s") > 0.0);
+    let cps = host
+        .get("cycles_per_sec")
+        .and_then(Json::as_f64)
+        .expect("cycles_per_sec");
+    assert!(cps.is_finite() && cps > 0.0, "cycles_per_sec {cps}");
+    let frac_sum = host
+        .get("phase_fraction_sum")
+        .and_then(Json::as_f64)
+        .expect("phase_fraction_sum");
+    assert!(frac_sum >= 0.95, "phases explain only {frac_sum} of wall");
+    let phases = host.get("phases").expect("phase breakdown");
+    assert!(matches!(phases, Json::Obj(fields) if !fields.is_empty()));
+    assert!(host.get("counters").is_some());
+    let build = host.get("build").expect("build provenance");
+    for key in ["version", "git_sha", "rustc", "profile"] {
+        let v = build.get(key).and_then(Json::as_str).expect(key);
+        assert!(!v.is_empty(), "build.{key} must not be empty");
+    }
+    assert_eq!(
+        build.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+}
+
+#[test]
+fn run_stats_json_carries_host_observability() {
+    let out = fbdsim(&[
+        "run",
+        "--workload",
+        "1C-swim",
+        "--system",
+        "fbd-ap",
+        "--budget",
+        "5000",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let doc = json::parse(String::from_utf8(out.stdout).unwrap().trim()).expect("stats JSON");
+    assert_host_observability(&doc);
+}
+
+#[test]
+fn compare_stats_json_carries_session_and_per_point_host_objects() {
+    let out = fbdsim(&[
+        "compare",
+        "--workload",
+        "1C-swim",
+        "--budget",
+        "2000",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    let doc = json::parse(String::from_utf8(out.stdout).unwrap().trim()).expect("stats JSON");
+    // Session-level host: wall time, aggregate throughput, provenance.
+    let host = doc.get("host").expect("grid documents carry a host object");
+    assert!(host.get("wall_s").and_then(Json::as_f64).expect("wall_s") > 0.0);
+    assert!(host.get("build").is_some());
+    // And every point carries its own full host breakdown.
+    let points = doc.get("points").and_then(Json::as_array).expect("points");
+    assert_eq!(points.len(), 4);
+    for p in points {
+        assert_host_observability(p);
+    }
+}
+
+/// Removes every `host` object (top-level and per-point) and
+/// re-serializes, so byte-identity can be asserted across runs whose
+/// wall-clock timings legitimately differ.
+fn strip_host(text: &str) -> String {
+    fn strip(j: &mut Json) {
+        match j {
+            Json::Obj(fields) => {
+                fields.retain(|(k, _)| k != "host");
+                for (_, v) in fields.iter_mut() {
+                    strip(v);
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(strip),
+            _ => {}
+        }
+    }
+    let mut doc = json::parse(text.trim()).expect("well-formed stats JSON");
+    strip(&mut doc);
+    doc.to_json_pretty(2)
+}
+
+#[test]
+fn live_flag_is_inert_when_output_is_piped() {
+    // `--live` requires a terminal on stderr. Under pipes (this test,
+    // CI, redirection) it must change nothing: no dashboard frames or
+    // control sequences on stderr, and stdout byte-identical to the
+    // same run without the flag (modulo the wall-clock host block).
+    let args = |live: bool| {
+        let mut v = vec![
+            "run",
+            "--workload",
+            "1C-swim",
+            "--system",
+            "fbd-ap",
+            "--budget",
+            "5000",
+            "--json",
+        ];
+        if live {
+            v.push("--live");
+        }
+        v
+    };
+    let plain = fbdsim(&args(false));
+    let live = fbdsim(&args(true));
+    assert_eq!(exit_code(&plain), 0);
+    assert_eq!(exit_code(&live), 0);
+    assert!(
+        live.stderr.is_empty(),
+        "piped --live run must keep stderr clean: {}",
+        String::from_utf8_lossy(&live.stderr)
+    );
+    assert_eq!(
+        strip_host(&String::from_utf8(plain.stdout).unwrap()),
+        strip_host(&String::from_utf8(live.stdout).unwrap()),
+        "piped --live output must match the plain run"
+    );
+
+    // Same contract on a grid command.
+    let out = fbdsim(&[
+        "compare",
+        "--workload",
+        "1C-swim",
+        "--budget",
+        "2000",
+        "--live",
+        "--json",
+    ]);
+    assert_eq!(exit_code(&out), 0);
+    assert!(
+        out.stderr.is_empty(),
+        "piped --live compare must keep stderr clean: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn sweep_json_stdout_covers_every_grid_point() {
     let out = fbdsim(&[
         "sweep",

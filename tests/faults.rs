@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 use fbd_core::{RunResult, RunSpec};
+use fbd_telemetry::{json, Json};
 use fbd_types::config::FaultMode;
 use fbd_types::request::{Stage, REQ_CLASSES};
 use fbd_types::substrate::substrates;
@@ -142,6 +143,28 @@ fn tmp_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("fbdsim-faults-{}-{name}", std::process::id()))
 }
 
+/// Removes every `host` object (top-level and per-point) and
+/// re-serializes: host wall-clock timings legitimately differ between
+/// two invocations of the same deterministic run, so byte-identity is
+/// asserted on everything else.
+fn strip_host(text: &str) -> String {
+    fn strip(j: &mut Json) {
+        match j {
+            Json::Obj(fields) => {
+                fields.retain(|(k, _)| k != "host");
+                for (_, v) in fields.iter_mut() {
+                    strip(v);
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(strip),
+            _ => {}
+        }
+    }
+    let mut doc = json::parse(text).expect("well-formed stats JSON");
+    strip(&mut doc);
+    doc.to_json_pretty(2)
+}
+
 fn run_json(extra: &[&str]) -> String {
     let mut args = vec![
         "run",
@@ -162,7 +185,7 @@ fn run_json(extra: &[&str]) -> String {
         args,
         String::from_utf8_lossy(&out.stderr)
     );
-    String::from_utf8(out.stdout).expect("utf-8 stats JSON")
+    strip_host(&String::from_utf8(out.stdout).expect("utf-8 stats JSON"))
 }
 
 #[test]
@@ -219,8 +242,8 @@ fn compare_is_deterministic_under_parallel_execution() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
-    let a = std::fs::read_to_string(&path_a).expect("stats A");
-    let b = std::fs::read_to_string(&path_b).expect("stats B");
+    let a = strip_host(&std::fs::read_to_string(&path_a).expect("stats A"));
+    let b = strip_host(&std::fs::read_to_string(&path_b).expect("stats B"));
     std::fs::remove_file(&path_a).ok();
     std::fs::remove_file(&path_b).ok();
     assert_eq!(a, b, "parallel compare must be deterministic");

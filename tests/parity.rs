@@ -35,8 +35,31 @@ fn tmp_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("fbdsim-parity-{}-{name}", std::process::id()))
 }
 
+/// Removes every `host` object (top-level and per-point) and
+/// re-serializes: the host block carries wall-clock timings that
+/// legitimately differ between two invocations of the same run, so
+/// byte-identity is asserted on everything else.
+fn strip_host(text: &str) -> String {
+    fn strip(j: &mut Json) {
+        match j {
+            Json::Obj(fields) => {
+                fields.retain(|(k, _)| k != "host");
+                for (_, v) in fields.iter_mut() {
+                    strip(v);
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(strip),
+            _ => {}
+        }
+    }
+    let mut doc = json::parse(text).expect("well-formed stats JSON");
+    strip(&mut doc);
+    doc.to_json_pretty(2)
+}
+
 /// Runs `fbdsim run` selecting `system` through `flag` (`--system` or
-/// `--substrate`) and returns the pretty-printed stats JSON bytes.
+/// `--substrate`) and returns the pretty-printed stats JSON bytes with
+/// the wall-clock-bearing `host` object stripped.
 fn stats_via(flag: &str, system: &str, extra: &[&str]) -> String {
     let path = tmp_path(&format!("{}-{system}.json", flag.trim_start_matches('-')));
     let path_s = path.to_str().unwrap().to_string();
@@ -61,7 +84,7 @@ fn stats_via(flag: &str, system: &str, extra: &[&str]) -> String {
     );
     let text = std::fs::read_to_string(&path).expect("stats file written");
     std::fs::remove_file(&path).ok();
-    text
+    strip_host(&text)
 }
 
 #[test]
