@@ -9,10 +9,16 @@
 //! instructions/sec and the per-phase wall-time breakdown. Rows run
 //! sequentially so each row's wall clock is unshared.
 //!
-//! The overhead section then certifies the tentpole's zero-cost claim:
-//! a run with an attached-but-disabled profiler must be within 2% of a
-//! run with no profiler at all (min of 5 trials each); the enabled
-//! profiler's cost is measured and reported as data, not gated.
+//! The overhead section then certifies the profiler cost claims: a run
+//! with an attached-but-disabled profiler must be within 2% of a run
+//! with no profiler at all, and an *enabled* profiler within 10% (min
+//! of 5 trials each) — stride-sampled marks keep the enabled hot path
+//! off the monotonic clock on most iterations.
+//!
+//! When built with `--features alloc-count`, a final section counts
+//! heap allocations across the steady-state window of the hot loop
+//! (after the first 1000 retired requests, until the budget is
+//! exhausted) and asserts the count is exactly zero.
 //!
 //! Output: `BENCH_throughput.json` in `$FBD_OUT_DIR` (or the working
 //! directory). CI runs this on a small budget, checks every row has a
@@ -27,6 +33,12 @@ use fbd_core::experiment::default_budget;
 use fbd_core::{RunResult, RunSpec};
 use fbd_telemetry::host::HostProfiler;
 use fbd_telemetry::Json;
+
+/// Count every heap allocation so the steady-state section below can
+/// certify the hot loop allocates nothing per retired request.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: fbd_telemetry::host::alloc::CountingAlloc = fbd_telemetry::host::alloc::CountingAlloc;
 
 /// Workloads by rising memory intensity (ops per 1000 instructions:
 /// parser 10, equake 18, swim 30).
@@ -108,19 +120,30 @@ fn throughput_row(variant: Variant, workload: &str, intensity: &str) -> (Json, f
     (row, cps)
 }
 
-/// Minimum wall time over [`OVERHEAD_TRIALS`] runs of `spec`.
-fn min_wall_s(spec: &RunSpec) -> f64 {
-    (0..OVERHEAD_TRIALS)
-        .map(|_| {
-            let t = Instant::now();
-            let r = spec.run();
-            // Keep the result alive past the clock read so drop cost
-            // is excluded from every arm equally.
-            let elapsed = t.elapsed().as_secs_f64();
-            drop(r);
-            elapsed
-        })
-        .fold(f64::INFINITY, f64::min)
+/// One timed run of `spec`.
+fn wall_s(spec: &RunSpec) -> f64 {
+    let t = Instant::now();
+    let r = spec.run();
+    // Keep the result alive past the clock read so drop cost is
+    // excluded from every arm equally.
+    let elapsed = t.elapsed().as_secs_f64();
+    drop(r);
+    elapsed
+}
+
+/// Per-arm minimum wall time over [`OVERHEAD_TRIALS`] rounds, with the
+/// arms interleaved round-robin inside each round: host-machine speed
+/// drifts on the scale of seconds, so back-to-back blocks of one arm
+/// would attribute that drift to the profiler. Interleaving exposes
+/// every arm to the same drift.
+fn min_walls(specs: &[&RunSpec]) -> Vec<f64> {
+    let mut mins = vec![f64::INFINITY; specs.len()];
+    for _ in 0..OVERHEAD_TRIALS {
+        for (min, spec) in mins.iter_mut().zip(specs) {
+            *min = min.min(wall_s(spec));
+        }
+    }
+    mins
 }
 
 fn overhead_section() -> Json {
@@ -135,17 +158,14 @@ fn overhead_section() -> Json {
     // One untimed warm-up run so page faults and lazy init are paid
     // before any arm is measured.
     drop(base.run());
-    let none_s = min_wall_s(&base);
-    let disabled_s = min_wall_s(
-        &base
-            .clone()
-            .host_profiler(Arc::new(HostProfiler::disabled())),
-    );
-    let enabled_s = min_wall_s(
-        &base
-            .clone()
-            .host_profiler(Arc::new(HostProfiler::enabled())),
-    );
+    let disabled = base
+        .clone()
+        .host_profiler(Arc::new(HostProfiler::disabled()));
+    let enabled = base
+        .clone()
+        .host_profiler(Arc::new(HostProfiler::enabled()));
+    let mins = min_walls(&[&base, &disabled, &enabled]);
+    let (none_s, disabled_s, enabled_s) = (mins[0], mins[1], mins[2]);
     let disabled_ratio = disabled_s / none_s;
     let enabled_ratio = enabled_s / none_s;
     println!(
@@ -163,6 +183,14 @@ fn overhead_section() -> Json {
         "disabled host profiler costs {:.2}% (> 2% budget)",
         (disabled_ratio - 1.0) * 100.0
     );
+    // The enabled profiler is allowed real cost, but stride-sampled
+    // marks must keep it under 10% (the pre-sampling hot path cost
+    // ≈40%). Same absolute floor as above for tiny budgets.
+    assert!(
+        enabled_s <= none_s * 1.10 + 0.002,
+        "enabled host profiler costs {:.2}% (> 10% budget)",
+        (enabled_ratio - 1.0) * 100.0
+    );
     Json::Obj(vec![
         ("trials".into(), Json::from(OVERHEAD_TRIALS)),
         ("budget".into(), Json::from(exp.budget)),
@@ -172,6 +200,46 @@ fn overhead_section() -> Json {
         ("disabled_ratio".into(), Json::from(disabled_ratio)),
         ("enabled_ratio".into(), Json::from(enabled_ratio)),
     ])
+}
+
+/// Runs the hot loop under the counting allocator and returns the
+/// allocation count across its steady-state window (started after 1000
+/// retired requests, closed when the loop exits), asserting it is
+/// exactly zero. Requires `--features alloc-count`; without it the
+/// section reports `null` and gates nothing.
+fn steady_alloc_section() -> Json {
+    // Big enough to retire well over the 1000 requests that open the
+    // steady-state window (1C-swim ≈ 30 memory ops / 1000 instr).
+    let exp = fbd_core::experiment::ExperimentConfig {
+        budget: default_budget().max(100_000),
+        ..experiment()
+    };
+    let spec = RunSpec::new(system(Variant::FbdAp, 1))
+        .workload("1C-swim")
+        .experiment(exp)
+        .host_profiler(Arc::new(HostProfiler::enabled()));
+    let r: RunResult = spec.run();
+    let steady = r.host.steady_allocations;
+    match steady {
+        Some(n) => {
+            println!("steady-state allocations (after first 1000 retired requests): {n}");
+            assert_eq!(
+                n, 0,
+                "the hot loop allocated {n} times in steady state (must be allocation-free)"
+            );
+            Json::Obj(vec![
+                ("budget".into(), Json::from(exp.budget)),
+                ("steady_allocations".into(), Json::from(n)),
+            ])
+        }
+        None => {
+            println!("steady-state allocations: not measured (build with --features alloc-count)");
+            Json::Obj(vec![
+                ("budget".into(), Json::from(exp.budget)),
+                ("steady_allocations".into(), Json::Null),
+            ])
+        }
+    }
 }
 
 fn main() {
@@ -198,6 +266,7 @@ fn main() {
     );
 
     let overhead = overhead_section();
+    let steady = steady_alloc_section();
 
     let doc = Json::Obj(vec![
         ("budget".into(), Json::from(exp.budget)),
@@ -205,6 +274,7 @@ fn main() {
         ("build".into(), fbd_core::build_info().to_json()),
         ("rows".into(), Json::Arr(rows)),
         ("overhead".into(), overhead),
+        ("steady".into(), steady),
     ]);
     let dir = std::env::var("FBD_OUT_DIR").unwrap_or_else(|_| ".".into());
     let path = std::path::Path::new(&dir).join("BENCH_throughput.json");

@@ -328,6 +328,9 @@ pub struct MemorySystem {
     refresh_active: bool,
     /// Scratch buffer reused across [`Self::run_refreshes`] calls.
     refresh_buf: Vec<RefreshOp>,
+    /// Scratch buffer of schedulable candidates reused across
+    /// [`Self::pick_for`] calls (steady state never allocates).
+    cand_buf: Vec<QueueEntry>,
     table: Option<PrefetchTable>,
     channels: Vec<Channel>,
     stats: MemStats,
@@ -453,15 +456,19 @@ impl MemorySystem {
             refresh_mgr,
             refresh_active,
             refresh_buf: Vec::new(),
+            cand_buf: Vec::new(),
             table: cfg.amb.is_enabled().then(|| PrefetchTable::new(cfg)),
             channels,
             stats: MemStats::default(),
             chan_counts: vec![ChannelCounters::default(); cfg.logical_channels as usize],
             tel: None,
-            power: vec![
-                PowerModeTracker::new(POWERDOWN_AFTER);
-                (cfg.logical_channels * cfg.dimms_per_channel * cfg.ranks_per_dimm) as usize
-            ],
+            // Built with `repeat_with`, not `vec![x; n]`: cloning a
+            // tracker drops its pre-reserved span capacity (Vec::clone
+            // allocates exactly `len`), which would put `note_busy`
+            // back on the allocator in the hot loop.
+            power: std::iter::repeat_with(|| PowerModeTracker::new(POWERDOWN_AFTER))
+                .take((cfg.logical_channels * cfg.dimms_per_channel * cfg.ranks_per_dimm) as usize)
+                .collect(),
             profile: StageProfile::new(),
             burst,
             clock,
@@ -777,13 +784,30 @@ impl MemorySystem {
     }
 
     /// Runs one scheduling decision for channel `ch` at `now`.
+    ///
+    /// Convenience wrapper over [`Self::decide_into`] that allocates a
+    /// fresh result; the hot loop uses `decide_into` with a reused
+    /// buffer instead.
     pub fn decide(&mut self, ch: u32, now: Time) -> DecideResult {
+        let mut issued = Vec::new();
+        let next_decision = self.decide_into(ch, now, &mut issued);
+        DecideResult {
+            issued,
+            next_decision,
+        }
+    }
+
+    /// Runs one scheduling decision for channel `ch` at `now`, pushing
+    /// issued transactions into `issued` (not cleared first) and
+    /// returning when the channel should next decide (`None`: wait for
+    /// a new arrival or a completion).
+    pub fn decide_into(&mut self, ch: u32, now: Time, issued: &mut Vec<Issued>) -> Option<Time> {
         if self.refresh_active {
             self.run_refreshes(ch, now);
         }
         if self.channels[ch as usize].inflight >= MAX_INFLIGHT_PER_CHANNEL {
-            self.host.mark(Phase::Controller);
-            return DecideResult::default();
+            self.host.mark_sampled(Phase::Controller);
+            return None;
         }
         let Some(id) = self.pick_for(ch, now) else {
             // Nothing ready now; maybe a queued transaction becomes
@@ -796,19 +820,16 @@ impl MemorySystem {
                 .map(|e| e.req.arrival + overhead)
                 .filter(|t| *t > now)
                 .min();
-            self.host.mark(Phase::Controller);
-            return DecideResult {
-                issued: Vec::new(),
-                next_decision: next,
-            };
+            self.host.mark_sampled(Phase::Controller);
+            return next;
         };
         let entry = self.queue.remove(id).expect("picked entry exists");
         self.drain_spill();
         let first_is_write = entry.req.kind == AccessKind::Write;
         // Everything up to the pick is controller work; the execute
         // calls below are the transaction's datapath.
-        self.host.mark(Phase::Controller);
-        let mut issued = vec![self.execute(entry, now)];
+        self.host.mark_sampled(Phase::Controller);
+        issued.push(self.execute(entry, now));
         self.channels[ch as usize].inflight += 1;
         // Burst the write drain on a shared-bus channel: commit the whole
         // batch in one decision so the next reads' ACT/tRCD pipeline
@@ -830,11 +851,8 @@ impl MemorySystem {
                 self.channels[ch as usize].inflight += 1;
             }
         }
-        self.host.mark(Phase::Datapath);
-        DecideResult {
-            issued,
-            next_decision: Some(self.next_slot(ch, now)),
-        }
+        self.host.mark_sampled(Phase::Datapath);
+        Some(self.next_slot(ch, now))
     }
 
     /// Applies the channel's scheduling policy to its ready transactions.
@@ -890,8 +908,12 @@ impl MemorySystem {
                     SchedClass::NotReady
                 }
             };
-            let candidates: Vec<&QueueEntry> = self.queue.iter().filter(|e| ready(e)).collect();
-            self.scheds[ch as usize].pick(&candidates, &mut classify)
+            let mut candidates = std::mem::take(&mut self.cand_buf);
+            candidates.clear();
+            candidates.extend(self.queue.iter().filter(|e| ready(e)).copied());
+            let picked = self.scheds[ch as usize].pick(&candidates, &mut classify);
+            self.cand_buf = candidates;
+            picked
         }
     }
 
@@ -1238,8 +1260,27 @@ impl MemorySystem {
 
     /// Statistics accumulated so far, with DRAM operation counters folded
     /// in from every DIMM.
+    ///
+    /// This clones the stats struct (including its histogram and series
+    /// buffers) — fine for diagnostics and tests, but a finished run
+    /// should move them out once via [`Self::finish_stats`] instead.
     pub fn stats(&self) -> MemStats {
         let mut s = self.stats.clone();
+        self.fold_dimm_ops(&mut s);
+        s
+    }
+
+    /// Moves the accumulated statistics out (DRAM operation counters
+    /// folded in from every DIMM) without cloning the histogram and
+    /// bandwidth-series buffers. Call once when the run is over; the
+    /// internal stats are left empty.
+    pub fn finish_stats(&mut self) -> MemStats {
+        let mut s = std::mem::take(&mut self.stats);
+        self.fold_dimm_ops(&mut s);
+        s
+    }
+
+    fn fold_dimm_ops(&self, s: &mut MemStats) {
         for c in &self.channels {
             match &c.path {
                 ChannelPath::Fbd { dimms, .. } => {
@@ -1256,7 +1297,6 @@ impl MemorySystem {
                 }
             }
         }
-        s
     }
 
     /// The end-to-end energy report for the run so far, evaluated at

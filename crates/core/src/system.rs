@@ -6,9 +6,6 @@
 //! back and unblock commit. The run ends when any core commits its
 //! instruction budget (the paper's stop condition).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use fbd_cpu::{CpuComplex, TraceSource};
 use fbd_faults::FaultReport;
 use fbd_power::EnergyReport;
@@ -21,12 +18,18 @@ use fbd_types::time::{Dur, Time};
 use fbd_types::LineAddr;
 
 use crate::compose::Composition;
+use crate::events::EventQueue;
 use crate::memsys::{ChannelCounters, Issued, MemorySystem};
 use crate::trace_io::{MemoryTrace, TraceRecord};
 
 /// Safety valve: abort runs that exceed this much simulated time
 /// (indicates a deadlock bug, not a slow workload).
 const MAX_SIM_TIME: Time = Time::from_ns(1_000_000_000); // 1 s
+
+/// Retired requests after which the run is considered to be in
+/// allocation steady state (every pool and scratch buffer has hit its
+/// high-water mark); the `alloc-count` gate measures from here.
+const STEADY_RETIRED: u64 = 1_000;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
@@ -125,8 +128,24 @@ impl RunResult {
 pub struct System {
     cpu: CpuComplex,
     mem: MemorySystem,
-    events: BinaryHeap<Reverse<(Time, Event)>>,
+    events: EventQueue<Event>,
     now: Time,
+    /// Scratch for requests drained from the cores each pump (reused so
+    /// the steady-state loop never allocates).
+    req_buf: Vec<fbd_types::request::MemRequest>,
+    /// Scratch for transactions issued per decision (same reuse).
+    issued_buf: Vec<Issued>,
+    /// Requests retired so far (drives the steady-state allocation
+    /// snapshot at [`STEADY_RETIRED`]).
+    retired: u64,
+    /// Earliest outstanding [`Event::CpuWake`], or a past time when
+    /// none is queued. [`pump_cpu`](Self::pump_cpu) skips scheduling a
+    /// wake at or after an already-outstanding one: the earlier wake
+    /// re-pumps and re-schedules, so the skipped wake could only ever
+    /// have been a no-op pump. Without this, every pump while the CPU
+    /// is memory-stalled queued another wake for the same instant —
+    /// dozens of identical events per bucket.
+    cpu_wake_at: Time,
     capture: Option<MemoryTrace>,
     /// `(l2_mshr_occupancy, outstanding_misses)` gauge handles, set when
     /// telemetry is enabled.
@@ -148,8 +167,15 @@ impl System {
         System {
             cpu: CpuComplex::new(&cfg.cpu, traces, budget),
             mem: MemorySystem::new(&cfg.mem),
-            events: BinaryHeap::new(),
+            events: EventQueue::from_env(),
             now: Time::ZERO,
+            // Sized to the per-pump ceiling (every L2 MSHR missing at
+            // once, each with a dirty writeback, plus prefetcher
+            // suggestions) so steady state never grows them.
+            req_buf: Vec::with_capacity(cfg.cpu.l2_mshrs as usize * 2 + 64),
+            issued_buf: Vec::with_capacity(64),
+            retired: 0,
+            cpu_wake_at: Time::ZERO,
             capture: None,
             cpu_gauges: None,
             host: HostHandle::off(),
@@ -178,8 +204,15 @@ impl System {
         Ok(System {
             cpu: CpuComplex::new(&cfg.cpu, traces, budget),
             mem,
-            events: BinaryHeap::new(),
+            events: EventQueue::from_env(),
             now: Time::ZERO,
+            // Sized to the per-pump ceiling (every L2 MSHR missing at
+            // once, each with a dirty writeback, plus prefetcher
+            // suggestions) so steady state never grows them.
+            req_buf: Vec::with_capacity(cfg.cpu.l2_mshrs as usize * 2 + 64),
+            issued_buf: Vec::with_capacity(64),
+            retired: 0,
+            cpu_wake_at: Time::ZERO,
             capture: None,
             cpu_gauges: None,
             host: HostHandle::off(),
@@ -249,17 +282,36 @@ impl System {
         self.cpu.warm_l2(ops_per_core);
     }
 
+    /// Snapshots the post-warm-up CPU state (L2 contents and trace
+    /// positions); see [`fbd_cpu::CpuComplex::warm_snapshot`].
+    pub fn warm_snapshot(&self) -> Option<fbd_cpu::WarmState> {
+        self.cpu.warm_snapshot()
+    }
+
+    /// Restores a snapshot taken by [`Self::warm_snapshot`] —
+    /// byte-identical to replaying the same warm-up. Returns `false`
+    /// and leaves the system untouched if the snapshot does not fit.
+    pub fn warm_restore(&mut self, state: &fbd_cpu::WarmState) -> bool {
+        self.cpu.warm_restore(state)
+    }
+
     fn push(&mut self, at: Time, ev: Event) {
         debug_assert!(at >= self.now, "event scheduled in the past");
-        self.events.push(Reverse((at, ev)));
+        // Decisions are the only event kind pushed redundantly (one per
+        // submitted request / completion); the wheel collapses identical
+        // same-instant entries into one multiplicity-counted entry.
+        let dedup = matches!(ev, Event::Decide(_));
+        self.events.push(at, ev, dedup);
     }
 
     /// Pulls new requests from the cores and schedules the resulting
     /// channel decisions and CPU wakes.
     fn pump_cpu(&mut self) {
-        let adv = self.cpu.advance(self.now);
-        self.host.mark(Phase::Cpu);
-        for req in adv.requests {
+        let mut reqs = std::mem::take(&mut self.req_buf);
+        debug_assert!(reqs.is_empty());
+        let next_wake = self.cpu.advance_into(self.now, &mut reqs);
+        self.host.mark_sampled(Phase::Cpu);
+        for req in reqs.drain(..) {
             if let Some(trace) = self.capture.as_mut() {
                 trace.push(TraceRecord {
                     arrival: req.arrival,
@@ -271,17 +323,23 @@ impl System {
             let (ch, ready) = self.mem.submit(req);
             self.push(ready.max(self.now), Event::Decide(ch));
         }
-        if let Some(wake) = adv.next_wake {
-            if wake > self.now {
+        self.req_buf = reqs;
+        if let Some(wake) = next_wake {
+            // Schedule only if no earlier (or equal) wake is already
+            // outstanding; that wake's own pump re-schedules the rest.
+            if wake > self.now && (self.cpu_wake_at <= self.now || wake < self.cpu_wake_at) {
                 self.push(wake, Event::CpuWake);
+                self.cpu_wake_at = wake;
             }
         }
-        self.host.mark(Phase::Controller);
+        self.host.mark_sampled(Phase::Controller);
     }
 
     fn run_decision(&mut self, ch: u32) {
-        let result = self.mem.decide(ch, self.now);
-        for issued in result.issued {
+        let mut issued = std::mem::take(&mut self.issued_buf);
+        debug_assert!(issued.is_empty());
+        let next_decision = self.mem.decide_into(ch, self.now, &mut issued);
+        for issued in issued.drain(..) {
             match issued {
                 Issued::Read { resp } => {
                     self.push(
@@ -297,11 +355,22 @@ impl System {
                 }
             }
         }
-        if let Some(next) = result.next_decision {
+        self.issued_buf = issued;
+        if let Some(next) = next_decision {
             self.push(next.max(self.now), Event::Decide(ch));
         }
-        self.host.mark(Phase::Controller);
+        self.host.mark_sampled(Phase::Controller);
         self.host.bump(Counter::Decisions);
+    }
+
+    /// Counts a retired request; at [`STEADY_RETIRED`] the allocation
+    /// steady state begins and the `alloc-count` snapshot is taken.
+    fn note_retired(&mut self) {
+        self.host.bump(Counter::RequestsRetired);
+        self.retired += 1;
+        if self.retired == STEADY_RETIRED {
+            self.host.note_steady_start();
+        }
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -317,8 +386,8 @@ impl System {
         if due != Time::NEVER {
             self.push(due, Event::Sample);
         }
-        loop {
-            let Some(Reverse((at, ev))) = self.events.pop() else {
+        'run: loop {
+            let Some((at, ev, count)) = self.events.pop() else {
                 panic!("simulation deadlock: no events pending and no core finished");
             };
             assert!(
@@ -326,63 +395,74 @@ impl System {
                 "simulation exceeded the safety time limit"
             );
             self.now = self.now.max(at);
-            self.host.bump(Counter::Events);
-            match ev {
-                Event::Decide(ch) => {
-                    self.run_decision(ch);
-                }
-                Event::ReadDone(ch, line, dropped) => {
-                    self.mem.complete(ch);
-                    let deliver = self.now + self.cpu.fill_latency();
-                    if dropped {
-                        self.cpu.complete_dropped(line, deliver);
-                    } else {
-                        self.cpu.complete(line, deliver);
+            // `count` > 1 only for deduped same-instant decisions; the
+            // seed heap popped those back to back (equal keys cannot be
+            // interleaved), so re-running the handler — with the finish
+            // check between runs, which the handler cannot perturb —
+            // reproduces it exactly.
+            for _ in 0..count {
+                self.host.bump(Counter::Events);
+                match ev {
+                    Event::Decide(ch) => {
+                        self.run_decision(ch);
                     }
-                    self.pump_cpu();
-                    if self.mem.has_work(ch) {
-                        self.push(self.now, Event::Decide(ch));
-                    }
-                    self.host.bump(Counter::RequestsRetired);
-                    self.host.mark(Phase::Controller);
-                }
-                Event::WriteDone(ch) => {
-                    self.mem.complete(ch);
-                    if self.mem.has_work(ch) {
-                        self.push(self.now, Event::Decide(ch));
-                    }
-                    self.host.bump(Counter::RequestsRetired);
-                    self.host.mark(Phase::Controller);
-                }
-                Event::CpuWake => {
-                    self.pump_cpu();
-                }
-                Event::Sample => {
-                    if let Some((mshr, outstanding)) = self.cpu_gauges {
-                        let (lines, slots) = self.cpu.occupancy();
-                        if let Some(tel) = self.mem.telemetry_mut() {
-                            tel.registry.set(mshr, lines as f64);
-                            tel.registry.set(outstanding, slots as f64);
+                    Event::ReadDone(ch, line, dropped) => {
+                        self.mem.complete(ch);
+                        let deliver = self.now + self.cpu.fill_latency();
+                        if dropped {
+                            self.cpu.complete_dropped(line, deliver);
+                        } else {
+                            self.cpu.complete(line, deliver);
                         }
+                        self.pump_cpu();
+                        if self.mem.has_work(ch) {
+                            self.push(self.now, Event::Decide(ch));
+                        }
+                        self.note_retired();
+                        self.host.mark_sampled(Phase::Controller);
                     }
-                    self.mem.sample_telemetry(self.now);
-                    // `sample` advances the next deadline strictly past
-                    // `now`, so this cannot self-schedule a busy loop.
-                    let due = self.mem.next_sample_due();
-                    if due != Time::NEVER {
-                        self.push(due, Event::Sample);
+                    Event::WriteDone(ch) => {
+                        self.mem.complete(ch);
+                        if self.mem.has_work(ch) {
+                            self.push(self.now, Event::Decide(ch));
+                        }
+                        self.note_retired();
+                        self.host.mark_sampled(Phase::Controller);
                     }
-                    self.host.mark(Phase::Telemetry);
+                    Event::CpuWake => {
+                        self.pump_cpu();
+                    }
+                    Event::Sample => {
+                        if let Some((mshr, outstanding)) = self.cpu_gauges {
+                            let (lines, slots) = self.cpu.occupancy();
+                            if let Some(tel) = self.mem.telemetry_mut() {
+                                tel.registry.set(mshr, lines as f64);
+                                tel.registry.set(outstanding, slots as f64);
+                            }
+                        }
+                        self.mem.sample_telemetry(self.now);
+                        // `sample` advances the next deadline strictly
+                        // past `now`, so this cannot self-schedule a
+                        // busy loop.
+                        let due = self.mem.next_sample_due();
+                        if due != Time::NEVER {
+                            self.push(due, Event::Sample);
+                        }
+                        self.host.mark_sampled(Phase::Telemetry);
+                    }
                 }
-            }
-            if self.cpu.any_done(self.now) {
-                break;
+                if self.cpu.any_done(self.now) {
+                    break 'run;
+                }
             }
         }
+        // End of the hot loop: close the steady-state allocation window
+        // before stats collection (which legitimately allocates).
+        self.host.note_steady_end();
         let elapsed = self.now - Time::ZERO;
         let cores = self.cpu.finish(self.now);
         let telemetry = self.mem.finish_telemetry(self.now);
-        let mem = self.mem.stats();
+        let mem = self.mem.finish_stats();
         let ops = &mem.dram_ops;
         // ACT/PRE are counted as pairs; expand to individual commands.
         self.host.set(

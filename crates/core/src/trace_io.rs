@@ -260,12 +260,12 @@ pub fn replay(cfg: &MemoryConfig, trace: &MemoryTrace) -> ReplayResult {
         }
     }
     ReplayResult {
-        mem: mem.stats(),
         energy: mem.energy_report(finished),
         finished,
         profile: mem.latency_profile().clone(),
         channels: mem.channel_counters().to_vec(),
         faults: mem.fault_report(finished),
+        mem: mem.finish_stats(),
     }
 }
 

@@ -27,19 +27,39 @@ impl L2Outcome {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct L2Entry {
-    line: LineAddr,
-    dirty: bool,
-    /// Monotonic recency stamp (larger = more recent).
-    lru: u64,
+/// Valid bit of a [`Way`]'s packed metadata.
+const VALID: u64 = 1;
+/// Dirty bit of a [`Way`]'s packed metadata.
+const DIRTY: u64 = 2;
+/// The recency stamp occupies the bits above dirty/valid.
+const LRU_SHIFT: u32 = 2;
+
+/// One way frame: the line address plus packed metadata
+/// (`lru << 2 | dirty << 1 | valid`; 0 = empty frame). 16 bytes, so a
+/// 4-way set is one cache line of the *host* — the warm-up and access
+/// paths scan a set without pointer chasing.
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    line: u64,
+    meta: u64,
 }
 
 /// A set-associative, write-back, write-allocate cache.
+///
+/// Storage is one flat `Way` array (sets contiguous) rather than a
+/// `Vec` per set. Replacement behavior is identical to the boxed-set
+/// form: recency stamps are unique, so the LRU victim is the unique
+/// minimum, and an empty frame (packed metadata 0) orders before every
+/// valid frame — exactly the "set not yet full" case.
 #[derive(Clone, Debug)]
 pub struct L2Cache {
-    sets: Vec<Vec<L2Entry>>,
+    store: Vec<Way>,
+    num_sets: usize,
     ways: usize,
+    /// `num_sets - 1` when the set count is a power of two (the Table 1
+    /// geometry): the set index is then a mask instead of a `u64`
+    /// modulo on the hottest path in warm-up.
+    set_mask: Option<u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -62,8 +82,10 @@ impl L2Cache {
         );
         let num_sets = (bytes / line / ways as u64) as usize;
         L2Cache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            store: vec![Way::default(); num_sets * ways],
+            num_sets,
             ways,
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -71,50 +93,96 @@ impl L2Cache {
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.as_u64() % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line.as_u64() & mask) as usize,
+            None => (line.as_u64() % self.num_sets as u64) as usize,
+        }
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let base = self.set_index(line) * self.ways;
+        base..base + self.ways
     }
 
     /// Accesses `line`, allocating it on a miss. `write` marks the line
     /// dirty (stores and write-allocate fills).
+    ///
+    /// The 4-way case (Table 1 geometry) runs a branchless fixed-width
+    /// scan: the hit way and the minimum-metadata victim are selected
+    /// with conditional moves, leaving one well-predicted hit/miss
+    /// branch. An early-exit scan mispredicts on nearly every access
+    /// (the hit way's position is uniform), which dominated warm-up
+    /// cost on this model.
     pub fn access(&mut self, line: LineAddr, write: bool) -> L2Outcome {
         self.tick += 1;
-        let tick = self.tick;
-        let ways = self.ways;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
-            e.lru = tick;
-            e.dirty |= write;
-            self.hits += 1;
-            return L2Outcome::Hit;
+        let fresh = (self.tick << LRU_SHIFT) | VALID | if write { DIRTY } else { 0 };
+        let target = line.as_u64();
+        let base = self.set_index(line) * self.ways;
+        if self.ways == 4 {
+            let set: &mut [Way; 4] = (&mut self.store[base..base + 4]).try_into().unwrap();
+            let mut hit = usize::MAX;
+            let mut victim = 0usize;
+            let mut victim_meta = set[0].meta;
+            for (i, w) in set.iter().enumerate() {
+                // Straight-line selects; the compiler lowers both `if`s
+                // to cmov so no way-position branch exists to mispredict.
+                if (w.line == target) & (w.meta & VALID != 0) {
+                    hit = i;
+                }
+                if w.meta < victim_meta {
+                    victim_meta = w.meta;
+                    victim = i;
+                }
+            }
+            if hit != usize::MAX {
+                set[hit].meta = fresh | (set[hit].meta & DIRTY);
+                self.hits += 1;
+                return L2Outcome::Hit;
+            }
+            self.misses += 1;
+            let writeback = (victim_meta & (VALID | DIRTY) == VALID | DIRTY)
+                .then(|| LineAddr::new(set[victim].line));
+            set[victim] = Way {
+                line: target,
+                meta: fresh,
+            };
+            return L2Outcome::Miss { writeback };
         }
-        self.misses += 1;
-        let mut writeback = None;
-        if set.len() == ways {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let evicted = set.swap_remove(victim);
-            if evicted.dirty {
-                writeback = Some(evicted.line);
+        let set = &mut self.store[base..base + self.ways];
+        // One pass: find the hit or remember the minimum-metadata way.
+        // Empty frames (meta 0) order before valid ones, and recency
+        // stamps are unique, so the minimum is an empty frame when one
+        // exists and the unique LRU entry otherwise.
+        let mut victim = 0;
+        let mut victim_meta = u64::MAX;
+        for (i, w) in set.iter_mut().enumerate() {
+            if w.meta & VALID != 0 && w.line == target {
+                w.meta = fresh | (w.meta & DIRTY);
+                self.hits += 1;
+                return L2Outcome::Hit;
+            }
+            if w.meta < victim_meta {
+                victim_meta = w.meta;
+                victim = i;
             }
         }
-        set.push(L2Entry {
-            line,
-            dirty: write,
-            lru: tick,
-        });
+        self.misses += 1;
+        let writeback = (victim_meta & (VALID | DIRTY) == VALID | DIRTY)
+            .then(|| LineAddr::new(set[victim].line));
+        set[victim] = Way {
+            line: target,
+            meta: fresh,
+        };
         L2Outcome::Miss { writeback }
     }
 
     /// Pure presence check (no LRU update).
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)]
+        let range = self.set_range(line);
+        let target = line.as_u64();
+        self.store[range]
             .iter()
-            .any(|e| e.line == line)
+            .any(|w| w.meta & VALID != 0 && w.line == target)
     }
 
     /// Removes `line` if present *and clean*; returns whether it was
@@ -123,10 +191,13 @@ impl L2Cache {
     /// no valid data, but a line dirtied by an intervening store must
     /// not lose its data and stays.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.line == line && !e.dirty) {
-            set.swap_remove(pos);
+        let range = self.set_range(line);
+        let target = line.as_u64();
+        if let Some(w) = self.store[range]
+            .iter_mut()
+            .find(|w| w.meta & (VALID | DIRTY) == VALID && w.line == target)
+        {
+            w.meta = 0;
             return true;
         }
         false
@@ -233,7 +304,113 @@ mod tests {
     fn table1_geometry_constructs() {
         let c = L2Cache::new(4 << 20, 4);
         // 4 MB / 64 B / 4 ways = 16384 sets.
-        assert_eq!(c.sets.len(), 16_384);
+        assert_eq!(c.num_sets, 16_384);
+        assert_eq!(c.store.len(), 16_384 * 4);
+        // Power-of-two set count -> mask-indexed.
+        assert_eq!(c.set_mask, Some(16_383));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_falls_back_to_modulo() {
+        // 3 sets × 2 ways × 64 B.
+        let mut c = L2Cache::new(3 * 2 * 64, 2);
+        assert_eq!(c.set_mask, None);
+        // Lines 1 and 4 collide (both mod 3 == 1); 2 does not.
+        c.access(LineAddr::new(1), false);
+        c.access(LineAddr::new(4), false);
+        c.access(LineAddr::new(2), false);
+        assert!(c.contains(LineAddr::new(1)));
+        assert!(c.contains(LineAddr::new(4)));
+        assert!(c.contains(LineAddr::new(2)));
+    }
+
+    /// The flat-array rewrite must behave exactly like the seed's
+    /// Vec-per-set model (find-hit, push-until-full, unique-min-LRU
+    /// victim): drive both with the same scrambled access stream and
+    /// compare every outcome.
+    #[test]
+    fn flat_storage_matches_reference_model() {
+        #[derive(Clone, Copy)]
+        struct RefEntry {
+            line: u64,
+            dirty: bool,
+            lru: u64,
+        }
+        struct RefCache {
+            sets: Vec<Vec<RefEntry>>,
+            ways: usize,
+            tick: u64,
+        }
+        impl RefCache {
+            fn access(&mut self, line: u64, write: bool) -> (bool, Option<u64>) {
+                self.tick += 1;
+                let tick = self.tick;
+                let idx = (line % self.sets.len() as u64) as usize;
+                let set = &mut self.sets[idx];
+                if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+                    e.lru = tick;
+                    e.dirty |= write;
+                    return (true, None);
+                }
+                let mut wb = None;
+                if set.len() == self.ways {
+                    let victim = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let evicted = set.swap_remove(victim);
+                    if evicted.dirty {
+                        wb = Some(evicted.line);
+                    }
+                }
+                set.push(RefEntry {
+                    line,
+                    dirty: write,
+                    lru: tick,
+                });
+                (false, wb)
+            }
+        }
+
+        // 16 sets × 4 ways, heavy conflict pressure from a 64-line
+        // footprint; xorshift for a deterministic scramble.
+        let mut flat = L2Cache::new(16 * 4 * 64, 4);
+        let mut reference = RefCache {
+            sets: vec![Vec::new(); 16],
+            ways: 4,
+            tick: 0,
+        };
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 64;
+            let write = x & (1 << 40) != 0;
+            let want = reference.access(line, write);
+            let got = match flat.access(LineAddr::new(line), write) {
+                L2Outcome::Hit => (true, None),
+                L2Outcome::Miss { writeback } => (false, writeback.map(|l| l.as_u64())),
+            };
+            assert_eq!(got, want, "diverged on line {line} write {write}");
+            // Occasionally invalidate a clean line, as dropped fills do.
+            if x.is_multiple_of(97) {
+                let victim = (x >> 8) % 64;
+                let ref_idx = (victim % 16) as usize;
+                let ref_removed = reference.sets[ref_idx]
+                    .iter()
+                    .position(|e| e.line == victim && !e.dirty)
+                    .map(|pos| {
+                        reference.sets[ref_idx].swap_remove(pos);
+                    })
+                    .is_some();
+                assert_eq!(flat.invalidate(LineAddr::new(victim)), ref_removed);
+            }
+        }
+        let (hits, misses) = flat.hit_miss_counts();
+        assert!(hits > 0 && misses > 0, "stream must exercise both paths");
     }
 
     #[test]

@@ -42,6 +42,23 @@ struct CoreRunner {
     stats: CoreStats,
 }
 
+/// Post-warm-up snapshot of the state [`CpuComplex::warm_l2`] mutates:
+/// the shared L2 and every core's trace position (including its RNG and
+/// reuse history). Produced by [`CpuComplex::warm_snapshot`], consumed
+/// by [`CpuComplex::warm_restore`].
+pub struct WarmState {
+    l2: L2Cache,
+    traces: Vec<(Box<dyn TraceSource>, bool)>,
+}
+
+impl std::fmt::Debug for WarmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmState")
+            .field("cores", &self.traces.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Book-keeping for one in-flight line fill.
 #[derive(Debug, Default)]
 struct InFlightEntry {
@@ -70,6 +87,11 @@ pub struct CpuComplex {
     l2: L2Cache,
     /// In-flight lines and who waits on them.
     in_flight: HashMap<LineAddr, InFlightEntry>,
+    /// Retired [`InFlightEntry`]s kept for reuse so the steady-state
+    /// miss path never allocates (their `slots`/`waiters` capacity
+    /// survives the round trip; the pool is bounded by the L2 MSHR
+    /// count).
+    entry_pool: Vec<InFlightEntry>,
     next_req_id: u64,
     data_mshrs: u32,
     l2_mshrs: usize,
@@ -115,7 +137,18 @@ impl CpuComplex {
         CpuComplex {
             cores,
             l2: L2Cache::new(u64::from(cfg.l2_bytes), cfg.l2_ways as usize),
-            in_flight: HashMap::new(),
+            // The map never holds more than `l2_mshrs` lines, and every
+            // entry is recycled through the pool; seeding both with
+            // that bound (and each entry's index lists with room for
+            // every core) keeps the miss path off the allocator once
+            // the run reaches steady state.
+            in_flight: HashMap::with_capacity(cfg.l2_mshrs as usize + 1),
+            entry_pool: (0..cfg.l2_mshrs as usize + 1)
+                .map(|_| InFlightEntry {
+                    slots: Vec::with_capacity(cfg.cores as usize * 4),
+                    waiters: Vec::with_capacity(cfg.cores as usize * 4),
+                })
+                .collect(),
             next_req_id: 0,
             data_mshrs: cfg.data_mshrs,
             l2_mshrs: cfg.l2_mshrs as usize,
@@ -140,8 +173,9 @@ impl CpuComplex {
     /// standard warm-up that makes capacity evictions (and therefore
     /// writeback traffic) present from the first measured instruction.
     pub fn warm_l2(&mut self, ops_per_core: u64) {
+        let n = self.cores.len();
         for _ in 0..ops_per_core {
-            for i in 0..self.cores.len() {
+            for i in 0..n {
                 let runner = &mut self.cores[i];
                 if runner.trace_done {
                     continue;
@@ -159,6 +193,45 @@ impl CpuComplex {
         self.l2.reset_counts();
     }
 
+    /// Snapshots everything [`warm_l2`](Self::warm_l2) mutates — the
+    /// shared L2 and each core's trace state — so a runner can reuse
+    /// one warm-up across runs with identical warm inputs. Returns
+    /// `None` if any trace source cannot clone itself.
+    pub fn warm_snapshot(&self) -> Option<WarmState> {
+        let mut traces = Vec::with_capacity(self.cores.len());
+        for r in &self.cores {
+            traces.push((r.trace.clone_box()?, r.trace_done));
+        }
+        Some(WarmState {
+            l2: self.l2.clone(),
+            traces,
+        })
+    }
+
+    /// Restores a [`warm_snapshot`](Self::warm_snapshot) into this
+    /// complex, replacing the L2 contents and trace positions with the
+    /// snapshotted ones — byte-identical to having replayed the same
+    /// warm-up. Returns `false` (leaving `self` untouched) on a shape
+    /// mismatch or an uncloneable source.
+    pub fn warm_restore(&mut self, state: &WarmState) -> bool {
+        if state.traces.len() != self.cores.len() {
+            return false;
+        }
+        let mut cloned = Vec::with_capacity(state.traces.len());
+        for (trace, done) in &state.traces {
+            match trace.clone_box() {
+                Some(t) => cloned.push((t, *done)),
+                None => return false,
+            }
+        }
+        self.l2 = state.l2.clone();
+        for (runner, (trace, done)) in self.cores.iter_mut().zip(cloned) {
+            runner.trace = trace;
+            runner.trace_done = done;
+        }
+        true
+    }
+
     fn fresh_id(&mut self) -> RequestId {
         let id = RequestId(self.next_req_id);
         self.next_req_id += 1;
@@ -168,12 +241,23 @@ impl CpuComplex {
     /// Advances every core to `now`, collecting memory requests that
     /// become ready and the earliest self-wake time.
     pub fn advance(&mut self, now: Time) -> Advance {
-        let mut out = Advance::default();
-        for i in 0..self.cores.len() {
-            self.advance_core(i, now, &mut out.requests);
+        let mut requests = Vec::new();
+        let next_wake = self.advance_into(now, &mut requests);
+        Advance {
+            requests,
+            next_wake,
         }
-        out.next_wake = self.next_wake(now);
-        out
+    }
+
+    /// [`advance`](Self::advance) into a caller-owned request buffer
+    /// (not cleared first), so the event loop can reuse one scratch
+    /// `Vec` instead of allocating an [`Advance`] per event. Returns
+    /// the earliest self-wake time.
+    pub fn advance_into(&mut self, now: Time, requests: &mut Vec<MemRequest>) -> Option<Time> {
+        for i in 0..self.cores.len() {
+            self.advance_core(i, now, requests);
+        }
+        self.next_wake(now)
     }
 
     fn advance_core(&mut self, i: usize, now: Time, requests: &mut Vec<MemRequest>) {
@@ -271,7 +355,7 @@ impl CpuComplex {
                 };
                 let id = self.fresh_id();
                 requests.push(MemRequest::new(id, CoreId(i as u32), kind, op.line, now));
-                let mut entry = InFlightEntry::default();
+                let mut entry = self.entry_pool.pop().unwrap_or_default();
                 entry.slots.push(i);
                 if op.kind == OpKind::Load {
                     self.cores[i].core.push_blocking_load(idx, op.line);
@@ -329,7 +413,8 @@ impl CpuComplex {
                 line,
                 now,
             ));
-            self.in_flight.insert(line, InFlightEntry::default());
+            let entry = self.entry_pool.pop().unwrap_or_default();
+            self.in_flight.insert(line, entry);
             if let L2Outcome::Miss {
                 writeback: Some(victim),
             } = outcome
@@ -350,13 +435,16 @@ impl CpuComplex {
     /// L2 fill latency (schedule the delivery at
     /// `completion + fill_latency()`).
     pub fn complete(&mut self, line: LineAddr, now: Time) {
-        if let Some(entry) = self.in_flight.remove(&line) {
-            for i in entry.slots {
+        if let Some(mut entry) = self.in_flight.remove(&line) {
+            for &i in &entry.slots {
                 self.cores[i].outstanding = self.cores[i].outstanding.saturating_sub(1);
             }
-            for i in entry.waiters {
+            for &i in &entry.waiters {
                 self.cores[i].core.complete_line(line, now);
             }
+            entry.slots.clear();
+            entry.waiters.clear();
+            self.entry_pool.push(entry);
         }
     }
 

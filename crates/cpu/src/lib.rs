@@ -33,7 +33,7 @@ pub mod hw_prefetch;
 pub mod trace;
 
 pub use cache::{L2Cache, L2Outcome};
-pub use complex::{Advance, CpuComplex};
+pub use complex::{Advance, CpuComplex, WarmState};
 pub use core::OooCore;
 pub use hw_prefetch::StreamPrefetcher;
 pub use trace::{OpKind, StridedTrace, TraceOp, TraceSource};

@@ -38,7 +38,9 @@ pub struct TraceOp {
 /// A source of memory operations for one core.
 ///
 /// Implementations must be deterministic for reproducible experiments.
-pub trait TraceSource {
+/// The `Send` bound lets snapshots of trace state be held in a
+/// process-wide warm-up cache shared between test threads.
+pub trait TraceSource: Send {
     /// Produces the next operation, or `None` when the trace ends.
     fn next_op(&mut self) -> Option<TraceOp>;
 
@@ -48,6 +50,15 @@ pub trait TraceSource {
 
     /// Human-readable benchmark name (e.g. `"swim"`).
     fn name(&self) -> &str;
+
+    /// Clones this source's complete state (position, RNG, reuse
+    /// history), or `None` when the implementation cannot snapshot
+    /// itself. Sources that support this let the runner reuse one L2
+    /// warm-up across runs with identical warm inputs instead of
+    /// replaying it.
+    fn clone_box(&self) -> Option<Box<dyn TraceSource>> {
+        None
+    }
 }
 
 /// A trivial trace for tests: strided loads with a fixed gap.
@@ -95,6 +106,10 @@ impl TraceSource for StridedTrace {
 
     fn name(&self) -> &str {
         "strided-test"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn TraceSource>> {
+        Some(Box::new(self.clone()))
     }
 }
 

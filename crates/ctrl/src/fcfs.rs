@@ -42,12 +42,11 @@ impl FcfsScheduler {
 impl SchedulerPolicy for FcfsScheduler {
     fn pick(
         &mut self,
-        candidates: &[&QueueEntry],
+        candidates: &[QueueEntry],
         _classify: &mut dyn FnMut(&QueueEntry) -> SchedClass,
     ) -> Option<RequestId> {
         // A constant class makes (class, seq) order pure arrival order.
-        self.inner
-            .pick(candidates.iter().copied(), |_| SchedClass::Ready)
+        self.inner.pick(candidates, |_| SchedClass::Ready)
     }
 }
 
@@ -106,7 +105,6 @@ mod tests {
             entry(1, AccessKind::DemandRead, 0, 0),
             entry(2, AccessKind::DemandRead, 1, 1),
         ];
-        let refs: Vec<&QueueEntry> = entries.iter().collect();
         let mut classify = |e: &QueueEntry| {
             if e.mapped.bank == 1 {
                 SchedClass::Hit
@@ -115,7 +113,7 @@ mod tests {
             }
         };
         let mut s = FcfsScheduler::new(4, false);
-        assert_eq!(s.pick(&refs, &mut classify), Some(RequestId(1)));
+        assert_eq!(s.pick(&entries, &mut classify), Some(RequestId(1)));
     }
 
     #[test]
@@ -126,17 +124,16 @@ mod tests {
             entry(1, AccessKind::Write, 0, 0),
             entry(2, AccessKind::DemandRead, 1, 0),
         ];
-        let refs: Vec<&QueueEntry> = entries.iter().collect();
         let mut classify = |_: &QueueEntry| SchedClass::Ready;
         let mut s = FcfsScheduler::new(4, false);
-        assert_eq!(s.pick(&refs, &mut classify), Some(RequestId(2)));
+        assert_eq!(s.pick(&entries, &mut classify), Some(RequestId(2)));
     }
 
     #[test]
     fn spec_builds_from_config() {
         let cfg = MemoryConfig::fbdimm_default();
         let mut policy = FcfsSpec.build(&cfg);
-        let refs: Vec<&QueueEntry> = Vec::new();
-        assert_eq!(policy.pick(&refs, &mut |_| SchedClass::Ready), None);
+        let empty: Vec<QueueEntry> = Vec::new();
+        assert_eq!(policy.pick(&empty, &mut |_| SchedClass::Ready), None);
     }
 }

@@ -42,10 +42,12 @@ pub enum SchedClass {
 /// hysteresis), which is why `pick` takes `&mut self`.
 pub trait SchedulerPolicy: Send + std::fmt::Debug {
     /// Picks the next transaction among `candidates` (already filtered
-    /// to one channel and to schedulable arrivals).
+    /// to one channel and to schedulable arrivals). The slice is a
+    /// caller-owned scratch buffer of copied entries, so policies can
+    /// scan it repeatedly without allocating.
     fn pick(
         &mut self,
-        candidates: &[&QueueEntry],
+        candidates: &[QueueEntry],
         classify: &mut dyn FnMut(&QueueEntry) -> SchedClass,
     ) -> Option<RequestId>;
 }
@@ -101,23 +103,22 @@ impl HitFirstScheduler {
     }
 
     /// Picks the next transaction among `candidates` (the caller filters
-    /// to one channel), classifying each entry with `classify`.
+    /// to one channel), classifying each entry with `classify`. Two
+    /// passes over the slice, no allocation.
     ///
     /// Returns `None` when `candidates` is empty.
-    pub fn pick<'a, I, F>(&mut self, candidates: I, mut classify: F) -> Option<RequestId>
+    pub fn pick<F>(&mut self, candidates: &[QueueEntry], mut classify: F) -> Option<RequestId>
     where
-        I: IntoIterator<Item = &'a QueueEntry>,
         F: FnMut(&QueueEntry) -> SchedClass,
     {
-        let entries: Vec<&QueueEntry> = candidates.into_iter().collect();
-        if entries.is_empty() {
+        if candidates.is_empty() {
             return None;
         }
-        let writes = entries
+        let writes = candidates
             .iter()
             .filter(|e| e.req.kind == AccessKind::Write)
             .count();
-        let reads = entries.len() - writes;
+        let reads = candidates.len() - writes;
         if writes >= self.write_drain_threshold {
             self.draining = true;
         } else if writes <= self.write_drain_threshold / 2 || !self.hysteresis {
@@ -129,8 +130,8 @@ impl HitFirstScheduler {
         } else {
             Phase::Reads
         };
-        entries
-            .into_iter()
+        candidates
+            .iter()
             .filter(|e| match phase {
                 Phase::Reads => e.req.kind != AccessKind::Write,
                 Phase::Writes => e.req.kind == AccessKind::Write,
@@ -143,10 +144,10 @@ impl HitFirstScheduler {
 impl SchedulerPolicy for HitFirstScheduler {
     fn pick(
         &mut self,
-        candidates: &[&QueueEntry],
+        candidates: &[QueueEntry],
         classify: &mut dyn FnMut(&QueueEntry) -> SchedClass,
     ) -> Option<RequestId> {
-        HitFirstScheduler::pick(self, candidates.iter().copied(), |e| classify(e))
+        HitFirstScheduler::pick(self, candidates, |e| classify(e))
     }
 }
 
@@ -207,7 +208,7 @@ mod tests {
     #[test]
     fn empty_queue_yields_none() {
         let empty: Vec<QueueEntry> = Vec::new();
-        let picked = sched().pick(empty.iter(), |_| SchedClass::Ready);
+        let picked = sched().pick(&empty, |_| SchedClass::Ready);
         assert_eq!(picked, None);
     }
 
@@ -217,7 +218,7 @@ mod tests {
             entry(1, AccessKind::Write, 0, 0),
             entry(2, AccessKind::DemandRead, 1, 0),
         ];
-        let picked = sched().pick(entries.iter(), |_| SchedClass::Ready);
+        let picked = sched().pick(&entries, |_| SchedClass::Ready);
         assert_eq!(picked, Some(RequestId(2)));
     }
 
@@ -227,7 +228,7 @@ mod tests {
             entry(1, AccessKind::DemandRead, 0, 0),
             entry(2, AccessKind::DemandRead, 1, 1),
         ];
-        let picked = sched().pick(entries.iter(), |e| {
+        let picked = sched().pick(&entries, |e| {
             if e.mapped.bank == 1 {
                 SchedClass::Hit
             } else {
@@ -243,7 +244,7 @@ mod tests {
             entry(5, AccessKind::DemandRead, 7, 0),
             entry(6, AccessKind::DemandRead, 3, 0),
         ];
-        let picked = sched().pick(entries.iter(), |_| SchedClass::Ready);
+        let picked = sched().pick(&entries, |_| SchedClass::Ready);
         assert_eq!(picked, Some(RequestId(6)));
     }
 
@@ -254,23 +255,14 @@ mod tests {
             (0..4).map(|i| entry(i, AccessKind::Write, i, 0)).collect();
         entries.push(entry(10, AccessKind::DemandRead, 10, 0));
         // 4 writes trigger draining.
-        assert_eq!(
-            s.pick(entries.iter(), |_| SchedClass::Ready),
-            Some(RequestId(0))
-        );
+        assert_eq!(s.pick(&entries, |_| SchedClass::Ready), Some(RequestId(0)));
         entries.remove(0);
         // 3 writes remain: still above the low watermark → keep draining
         // even though a read is available.
-        assert_eq!(
-            s.pick(entries.iter(), |_| SchedClass::Ready),
-            Some(RequestId(1))
-        );
+        assert_eq!(s.pick(&entries, |_| SchedClass::Ready), Some(RequestId(1)));
         entries.remove(0);
         // 2 writes: at the watermark → back to reads.
-        assert_eq!(
-            s.pick(entries.iter(), |_| SchedClass::Ready),
-            Some(RequestId(10))
-        );
+        assert_eq!(s.pick(&entries, |_| SchedClass::Ready), Some(RequestId(10)));
     }
 
     #[test]
@@ -280,16 +272,10 @@ mod tests {
             (0..4).map(|i| entry(i, AccessKind::Write, i, 0)).collect();
         entries.push(entry(10, AccessKind::DemandRead, 10, 0));
         // At the threshold a write drains...
-        assert_eq!(
-            s.pick(entries.iter(), |_| SchedClass::Ready),
-            Some(RequestId(0))
-        );
+        assert_eq!(s.pick(&entries, |_| SchedClass::Ready), Some(RequestId(0)));
         entries.remove(0);
         // ...but with hysteresis off the next pick returns to reads.
-        assert_eq!(
-            s.pick(entries.iter(), |_| SchedClass::Ready),
-            Some(RequestId(10))
-        );
+        assert_eq!(s.pick(&entries, |_| SchedClass::Ready), Some(RequestId(10)));
     }
 
     #[test]
@@ -297,7 +283,7 @@ mod tests {
         let mut entries: Vec<QueueEntry> =
             (0..4).map(|i| entry(i, AccessKind::Write, i, 0)).collect();
         entries.push(entry(10, AccessKind::DemandRead, 10, 0));
-        let picked = sched().pick(entries.iter(), |_| SchedClass::Ready);
+        let picked = sched().pick(&entries, |_| SchedClass::Ready);
         assert_eq!(
             picked,
             Some(RequestId(0)),
@@ -308,7 +294,7 @@ mod tests {
     #[test]
     fn writes_drain_when_no_reads_pending() {
         let entries = [entry(1, AccessKind::Write, 0, 0)];
-        let picked = sched().pick(entries.iter(), |_| SchedClass::Ready);
+        let picked = sched().pick(&entries, |_| SchedClass::Ready);
         assert_eq!(picked, Some(RequestId(1)));
     }
 
@@ -318,7 +304,7 @@ mod tests {
             entry(1, AccessKind::Write, 0, 0),
             entry(2, AccessKind::SoftwarePrefetch, 1, 0),
         ];
-        let picked = sched().pick(entries.iter(), |_| SchedClass::Ready);
+        let picked = sched().pick(&entries, |_| SchedClass::Ready);
         assert_eq!(picked, Some(RequestId(2)));
     }
 
@@ -328,7 +314,7 @@ mod tests {
             entry(1, AccessKind::DemandRead, 0, 0),
             entry(2, AccessKind::DemandRead, 1, 1),
         ];
-        let picked = sched().pick(entries.iter(), |e| {
+        let picked = sched().pick(&entries, |e| {
             if e.mapped.bank == 0 {
                 SchedClass::NotReady
             } else {

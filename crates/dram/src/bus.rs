@@ -45,9 +45,15 @@ impl DataBus {
     /// Creates an idle bus with the given DRAM clock period.
     pub fn new(clock: Dur) -> DataBus {
         assert!(!clock.is_zero(), "clock period must be non-zero");
+        // The pruning in `commit` bounds the deque to the bursts inside
+        // one `PRUNE_WINDOW` (each at least a clock long, pairwise
+        // disjoint) plus a short scheduled-ahead tail. Reserving that
+        // bound up front keeps `commit` off the allocator for the whole
+        // run (the steady-state allocation gate in `fig_throughput`).
+        let cap = (PRUNE_WINDOW.as_ps() / clock.as_ps()) as usize + 256;
         DataBus {
             clock,
-            bursts: VecDeque::new(),
+            bursts: VecDeque::with_capacity(cap),
             horizon: Time::ZERO,
             busy: Dur::ZERO,
         }

@@ -295,7 +295,24 @@ impl<'a> Calibrator<'a> {
         )
     }
 
-    fn objective(&self, params: &ModelParams, points: &[ObservedPoint]) -> f64 {
+    /// Mean squared relative error of `params` over `points`, or `None`
+    /// as soon as the running mean reaches `cutoff`.
+    ///
+    /// The per-point terms are non-negative and division by the (fixed,
+    /// positive) point count is monotone, so a partial mean at or above
+    /// the incumbent proves the total cannot beat it — abandoning early
+    /// selects exactly the same argmin the exhaustive sum would (a
+    /// candidate tying the incumbent is discarded either way). This
+    /// branch-and-bound prunes most of the 5·9³ grid-search candidates
+    /// after one or two of their points, which is what keeps the
+    /// one-time calibration cost small next to its accurate runs.
+    fn objective_below(
+        &self,
+        params: &ModelParams,
+        points: &[ObservedPoint],
+        cutoff: f64,
+    ) -> Option<f64> {
+        let len = points.len().max(1) as f64;
         let mut sum = 0.0;
         for p in points {
             let pred = predict(&p.system, self.workload, self.budget, params);
@@ -309,8 +326,11 @@ impl<'a> Calibrator<'a> {
             // so the fit cannot trade a grossly wrong latency for a
             // marginal IPC gain.
             sum += e_ipc * e_ipc + 0.1 * e_lat * e_lat + 0.1 * e_bw * e_bw;
+            if sum / len >= cutoff {
+                return None;
+            }
         }
-        sum / points.len().max(1) as f64
+        Some(sum / len)
     }
 
     /// Least-squares fit by deterministic coarse-to-fine grid search
@@ -346,8 +366,7 @@ impl<'a> Calibrator<'a> {
                             swpf_scale,
                             write_scale,
                         };
-                        let obj = self.objective(&p, points);
-                        if obj < best_obj {
+                        if let Some(obj) = self.objective_below(&p, points, best_obj) {
                             best_obj = obj;
                             best = p;
                         }

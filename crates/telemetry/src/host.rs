@@ -135,12 +135,31 @@ pub struct HostProfiler {
     origin: Instant,
     /// Nanoseconds since `origin` of the most recent mark.
     last_ns: AtomicU64,
+    /// Calls into [`mark_sampled`](Self::mark_sampled) so far; only
+    /// every [`MARK_STRIDE`]th takes a timestamp.
+    mark_seq: AtomicU64,
     phases: [AtomicU64; PHASES.len()],
     counters: [AtomicU64; COUNTERS.len()],
     /// Global allocation count at construction (`alloc-count` builds).
     #[cfg(feature = "alloc-count")]
     alloc_base: u64,
+    /// Allocation count when the run entered steady state
+    /// (`u64::MAX` until [`note_steady_start`](Self::note_steady_start)).
+    #[cfg(feature = "alloc-count")]
+    steady_alloc_base: AtomicU64,
+    /// Allocation count when the hot loop ended (`u64::MAX` until
+    /// [`note_steady_end`](Self::note_steady_end)).
+    #[cfg(feature = "alloc-count")]
+    steady_alloc_end: AtomicU64,
 }
+
+/// Every `MARK_STRIDE`th [`HostProfiler::mark_sampled`] call takes a
+/// real timestamp; the rest are one relaxed load + store. The whole
+/// stride's wall time is charged to the phase of the sampling call, so
+/// the per-phase attribution error is bounded by the duration of one
+/// stride (~64 events, microseconds), while totals stay exact because
+/// marks still partition the wall clock.
+pub const MARK_STRIDE: u64 = 64;
 
 impl HostProfiler {
     fn new(on: bool) -> HostProfiler {
@@ -148,10 +167,15 @@ impl HostProfiler {
             on,
             origin: Instant::now(),
             last_ns: AtomicU64::new(0),
+            mark_seq: AtomicU64::new(0),
             phases: Default::default(),
             counters: Default::default(),
             #[cfg(feature = "alloc-count")]
             alloc_base: alloc::allocations(),
+            #[cfg(feature = "alloc-count")]
+            steady_alloc_base: AtomicU64::new(u64::MAX),
+            #[cfg(feature = "alloc-count")]
+            steady_alloc_end: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -185,6 +209,23 @@ impl HostProfiler {
         self.phases[phase as usize].fetch_add(now_ns.saturating_sub(prev), Ordering::Relaxed);
     }
 
+    /// Stride-sampled [`mark`](Self::mark) for per-event hot paths:
+    /// takes a real timestamp only every [`MARK_STRIDE`]th call, so an
+    /// *enabled* profiler stops double-digit-percent-slowing the event
+    /// loop. Marks are written by the single simulation thread, so the
+    /// sequence counter is a relaxed load + store, not an RMW.
+    #[inline]
+    pub fn mark_sampled(&self, phase: Phase) {
+        if !self.on {
+            return;
+        }
+        let seq = self.mark_seq.load(Ordering::Relaxed).wrapping_add(1);
+        self.mark_seq.store(seq, Ordering::Relaxed);
+        if seq & (MARK_STRIDE - 1) == 0 {
+            self.mark(phase);
+        }
+    }
+
     /// Opens a scoped span: when the returned guard drops, the wall
     /// time since the previous mark is charged to `phase`. Sugar over
     /// [`mark`](Self::mark) for straight-line code (setup, warmup,
@@ -203,13 +244,16 @@ impl HostProfiler {
         self.add(counter, 1);
     }
 
-    /// Increments `counter` by `n`.
+    /// Increments `counter` by `n`. Counters are written by the single
+    /// simulation thread (readers elsewhere only load), so this is a
+    /// relaxed load + store rather than an atomic RMW.
     #[inline]
     pub fn add(&self, counter: Counter, n: u64) {
         if !self.on {
             return;
         }
-        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        let c = &self.counters[counter as usize];
+        c.store(c.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
     }
 
     /// Overwrites `counter` with an externally collected total (used
@@ -282,8 +326,38 @@ impl HostProfiler {
             instructions,
             peak_rss_bytes: peak_rss_bytes(),
             allocations: self.allocation_delta(),
+            steady_allocations: self.steady_allocation_delta(),
             build: BuildInfo::default(),
         }
+    }
+
+    /// Marks the start of allocation steady state (called by the event
+    /// loop once enough requests have retired that every pool and
+    /// scratch buffer has reached its high-water mark). Idempotent; a
+    /// no-op without the `alloc-count` feature.
+    pub fn note_steady_start(&self) {
+        #[cfg(feature = "alloc-count")]
+        #[cfg(feature = "alloc-count")]
+        let _ = self.steady_alloc_base.compare_exchange(
+            u64::MAX,
+            alloc::allocations(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Marks the end of the hot loop (before end-of-run stats
+    /// collection, which legitimately allocates). Idempotent; a no-op
+    /// without the `alloc-count` feature.
+    pub fn note_steady_end(&self) {
+        #[cfg(feature = "alloc-count")]
+        #[cfg(feature = "alloc-count")]
+        let _ = self.steady_alloc_end.compare_exchange(
+            u64::MAX,
+            alloc::allocations(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     #[cfg(feature = "alloc-count")]
@@ -293,6 +367,26 @@ impl HostProfiler {
 
     #[cfg(not(feature = "alloc-count"))]
     fn allocation_delta(&self) -> Option<u64> {
+        None
+    }
+
+    #[cfg(feature = "alloc-count")]
+    fn steady_allocation_delta(&self) -> Option<u64> {
+        let base = self.steady_alloc_base.load(Ordering::Relaxed);
+        if base == u64::MAX {
+            return None;
+        }
+        let end = self.steady_alloc_end.load(Ordering::Relaxed);
+        let end = if end == u64::MAX {
+            alloc::allocations()
+        } else {
+            end
+        };
+        Some(end.saturating_sub(base))
+    }
+
+    #[cfg(not(feature = "alloc-count"))]
+    fn steady_allocation_delta(&self) -> Option<u64> {
         None
     }
 }
@@ -338,6 +432,28 @@ impl HostHandle {
     pub fn mark(&self, phase: Phase) {
         if let Some(p) = &self.0 {
             p.mark(phase);
+        }
+    }
+
+    /// See [`HostProfiler::mark_sampled`].
+    #[inline]
+    pub fn mark_sampled(&self, phase: Phase) {
+        if let Some(p) = &self.0 {
+            p.mark_sampled(phase);
+        }
+    }
+
+    /// See [`HostProfiler::note_steady_start`].
+    pub fn note_steady_start(&self) {
+        if let Some(p) = &self.0 {
+            p.note_steady_start();
+        }
+    }
+
+    /// See [`HostProfiler::note_steady_end`].
+    pub fn note_steady_end(&self) {
+        if let Some(p) = &self.0 {
+            p.note_steady_end();
         }
     }
 
@@ -441,6 +557,12 @@ pub struct HostReport {
     pub peak_rss_bytes: Option<u64>,
     /// Global allocation count over the run (`alloc-count` builds only).
     pub allocations: Option<u64>,
+    /// Allocations between the steady-state mark (~1k retired requests
+    /// into the run) and the end of the hot loop — the number the
+    /// "allocation-free steady state" gate asserts is zero
+    /// (`alloc-count` builds only; `None` for runs too short to reach
+    /// steady state).
+    pub steady_allocations: Option<u64>,
     /// Build provenance (filled in by the embedding crate's
     /// `build_info()`; `unknown` fields otherwise).
     pub build: BuildInfo,
@@ -458,6 +580,7 @@ impl Default for HostReport {
             instructions: 0,
             peak_rss_bytes: None,
             allocations: None,
+            steady_allocations: None,
             build: BuildInfo::default(),
         }
     }
@@ -525,6 +648,9 @@ impl HostReport {
             .collect();
         if let Some(n) = self.allocations {
             counters.push(("allocations".into(), Json::from(n)));
+        }
+        if let Some(n) = self.steady_allocations {
+            counters.push(("steady_allocations".into(), Json::from(n)));
         }
         let mut fields = vec![
             ("enabled".to_string(), Json::Bool(self.enabled)),
@@ -643,6 +769,32 @@ mod tests {
             .any(|(l, d)| *l == "setup" && !d.is_zero()));
         assert!(report.cycles_per_sec() > 0.0);
         assert!(report.instr_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sampled_marks_keep_partition_invariant() {
+        let prof = HostProfiler::enabled();
+        prof.mark(Phase::Setup);
+        // Far more calls than one stride: only every 64th takes a
+        // timestamp, but the deltas must still partition wall time.
+        for _ in 0..1000 {
+            prof.mark_sampled(Phase::Cpu);
+            prof.mark_sampled(Phase::Controller);
+        }
+        assert_eq!(prof.mark_seq.load(Ordering::Relaxed), 2000);
+        let report = prof.report(Dur::from_ns(1000), DataRate::MTS667.clock_period(), 1);
+        let sum = report.phase_fraction_sum();
+        assert!(sum > 0.99 && sum < 1.01, "fractions sum to {sum}");
+    }
+
+    #[test]
+    fn sampled_marks_on_disabled_profiler_are_inert() {
+        let prof = HostProfiler::disabled();
+        for _ in 0..(MARK_STRIDE * 2) {
+            prof.mark_sampled(Phase::Cpu);
+        }
+        assert_eq!(prof.mark_seq.load(Ordering::Relaxed), 0);
+        assert_eq!(prof.phase(Phase::Cpu), Duration::ZERO);
     }
 
     #[test]

@@ -252,7 +252,11 @@ impl EpochSeries {
         assert!(!epoch.is_zero(), "epoch must be non-zero");
         EpochSeries {
             epoch,
-            buckets: Vec::new(),
+            // Pre-reserve so the always-on bandwidth series doesn't
+            // reallocate while the hot loop runs (4096 default-length
+            // epochs ≈ 4 ms of simulated time, ~32 KiB; growth past
+            // that doubles, so later reallocations are rare).
+            buckets: Vec::with_capacity(4096),
         }
     }
 

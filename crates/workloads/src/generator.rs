@@ -17,8 +17,6 @@
 //! Everything derives from a seeded [`StdRng`], so runs are exactly
 //! reproducible.
 
-use std::collections::VecDeque;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,6 +27,7 @@ use fbd_types::LineAddr;
 use crate::profile::BenchmarkProfile;
 
 /// How many recently touched lines feed the short-reuse pool.
+/// Must stay a power of two: the reuse ring indexes with a mask.
 const REUSE_WINDOW: usize = 32;
 
 /// A deterministic synthetic access trace for one core.
@@ -38,9 +37,27 @@ pub struct SyntheticTrace {
     rng: StdRng,
     base_line: u64,
     cursors: Vec<u64>,
-    recent: VecDeque<u64>,
+    /// Fixed ring of the last [`REUSE_WINDOW`] touched lines. `rhead`
+    /// is the index of the oldest entry once the ring is full (0 while
+    /// filling), so logical index `i` lives at `(rhead + i) & mask` —
+    /// the same oldest-first order a deque would give, without its
+    /// bookkeeping on the warm-up inner loop.
+    recent: [u64; REUSE_WINDOW],
+    rlen: usize,
+    rhead: usize,
     queued: Option<TraceOp>,
     tpi: Dur,
+    /// Cached `profile.mean_gap()` (an integer division; `next_op` is
+    /// the warm-up inner loop, so it is hoisted out).
+    mean_gap: u64,
+    /// The four per-profile coin probabilities pre-scaled to
+    /// `gen_bool`'s 53-bit mantissa threshold (`p * 2^53`), so each of
+    /// the up-to-four coin flips per op skips a float multiply. The
+    /// draws stay bit-identical to `Rng::gen_bool`.
+    stream_thresh: f64,
+    pf_thresh: f64,
+    reuse_thresh: f64,
+    store_thresh: f64,
 }
 
 impl SyntheticTrace {
@@ -57,23 +74,63 @@ impl SyntheticTrace {
             rng,
             base_line,
             cursors,
-            recent: VecDeque::with_capacity(REUSE_WINDOW),
+            recent: [0; REUSE_WINDOW],
+            rlen: 0,
+            rhead: 0,
             queued: None,
             tpi: profile.time_per_instr(),
+            mean_gap: profile.mean_gap(),
+            stream_thresh: coin_threshold(profile.stream_fraction),
+            pf_thresh: coin_threshold(profile.sw_prefetch_coverage),
+            reuse_thresh: coin_threshold(profile.reuse_fraction),
+            store_thresh: coin_threshold(profile.store_fraction),
         }
     }
 
     fn remember(&mut self, line: u64) {
-        if self.recent.len() == REUSE_WINDOW {
-            self.recent.pop_front();
+        if self.rlen == REUSE_WINDOW {
+            // Overwrite the oldest entry in place.
+            self.recent[self.rhead] = line;
+            self.rhead = (self.rhead + 1) & (REUSE_WINDOW - 1);
+        } else {
+            self.recent[self.rlen] = line;
+            self.rlen += 1;
         }
-        self.recent.push_back(line);
     }
 
     fn gap(&mut self) -> u64 {
-        let mean = self.profile.mean_gap();
-        self.rng.gen_range(1..=2 * mean)
+        self.rng.gen_range(1..=2 * self.mean_gap)
     }
+}
+
+/// `p` scaled to [`coin`]'s comparison domain, exactly as
+/// `Rng::gen_bool` scales it (53-bit mantissa threshold).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`, matching `gen_bool`.
+fn coin_threshold(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+    p * (1u64 << 53) as f64
+}
+
+/// One Bernoulli draw with a pre-scaled threshold: consumes one
+/// `next_u64` and decides exactly as `Rng::gen_bool(p)` would for the
+/// `p` that produced `thresh` via [`coin_threshold`].
+#[inline]
+fn coin(rng: &mut StdRng, thresh: f64) -> bool {
+    ((rng.next_u64() >> 11) as f64) < thresh
+}
+
+/// `v % m` for `v` already known to be a small number of multiples of
+/// `m` (stream advances and bounded prefetch look-ahead): repeated
+/// subtraction beats the hardware divider there.
+#[inline]
+fn wrap(mut v: u64, m: u64) -> u64 {
+    while v >= m {
+        v -= m;
+    }
+    v
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -92,16 +149,20 @@ impl TraceSource for SyntheticTrace {
             return Some(op);
         }
         let p = self.profile;
+        let footprint = p.footprint_lines;
         let gap = self.gap();
-        let is_stream = self.rng.gen_bool(p.stream_fraction);
+        let is_stream = coin(&mut self.rng, self.stream_thresh);
         let rel_line = if is_stream {
             let s = self.rng.gen_range(0..self.cursors.len());
             let line = self.cursors[s];
-            self.cursors[s] = (line + p.stream_stride) % p.footprint_lines;
+            // Cursors stay below the footprint, so wrapping is repeated
+            // subtraction — exactly the `%` it replaces, without the
+            // ~30-cycle division on the warm-up inner loop.
+            self.cursors[s] = wrap(line + p.stream_stride, footprint);
             // Compiler-inserted prefetch for a future iteration of this
             // stream, emitted alongside the demand access.
-            if self.rng.gen_bool(p.sw_prefetch_coverage) {
-                let target = (line + p.sw_prefetch_distance * p.stream_stride) % p.footprint_lines;
+            if coin(&mut self.rng, self.pf_thresh) {
+                let target = wrap(line + p.sw_prefetch_distance * p.stream_stride, footprint);
                 self.queued = Some(TraceOp {
                     gap: 0,
                     kind: OpKind::Prefetch,
@@ -109,14 +170,14 @@ impl TraceSource for SyntheticTrace {
                 });
             }
             line
-        } else if !self.recent.is_empty() && self.rng.gen_bool(p.reuse_fraction) {
-            let i = self.rng.gen_range(0..self.recent.len());
-            self.recent[i]
+        } else if self.rlen != 0 && coin(&mut self.rng, self.reuse_thresh) {
+            let i = self.rng.gen_range(0..self.rlen);
+            self.recent[(self.rhead + i) & (REUSE_WINDOW - 1)]
         } else {
-            self.rng.gen_range(0..p.footprint_lines)
+            self.rng.gen_range(0..footprint)
         };
         self.remember(rel_line);
-        let kind = if self.rng.gen_bool(p.store_fraction) {
+        let kind = if coin(&mut self.rng, self.store_thresh) {
             OpKind::Store
         } else {
             OpKind::Load
@@ -134,6 +195,10 @@ impl TraceSource for SyntheticTrace {
 
     fn name(&self) -> &str {
         self.profile.name
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn TraceSource>> {
+        Some(Box::new(self.clone()))
     }
 }
 

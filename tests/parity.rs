@@ -1,5 +1,5 @@
 //! Golden-parity suite for the composable substrate API (ISSUE 7
-//! acceptance criteria).
+//! acceptance criteria) and the event-wheel hot loop (ISSUE 9).
 //!
 //! The registry path must be a pure re-plumbing: selecting a system
 //! through `--substrate` (registry spelling) must produce stats JSON
@@ -9,6 +9,12 @@
 //! results exactly; and the extension entries (`ddr3-1066`, `fcfs`)
 //! must be reachable by name only, with their names echoed in the
 //! stats document's composition metadata.
+//!
+//! The event wheel must likewise be a pure re-plumbing of the event
+//! queue: every run under the default calendar queue must produce
+//! stats JSON byte-identical to the same run forced onto the seed
+//! binary heap with `FBD_EVENT_QUEUE=heap` — across the four paper
+//! systems, under fault injection, and through the fast-fidelity path.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -58,10 +64,15 @@ fn strip_host(text: &str) -> String {
 }
 
 /// Runs `fbdsim run` selecting `system` through `flag` (`--system` or
-/// `--substrate`) and returns the pretty-printed stats JSON bytes with
-/// the wall-clock-bearing `host` object stripped.
-fn stats_via(flag: &str, system: &str, extra: &[&str]) -> String {
-    let path = tmp_path(&format!("{}-{system}.json", flag.trim_start_matches('-')));
+/// `--substrate`) with `envs` set, and returns the pretty-printed
+/// stats JSON bytes with the wall-clock-bearing `host` object
+/// stripped.
+fn stats_via_env(flag: &str, system: &str, extra: &[&str], envs: &[(&str, &str)]) -> String {
+    let tag = envs.iter().map(|(_, v)| *v).collect::<Vec<_>>().join("-");
+    let path = tmp_path(&format!(
+        "{}-{system}-{tag}.json",
+        flag.trim_start_matches('-')
+    ));
     let path_s = path.to_str().unwrap().to_string();
     let mut args = vec![
         "run",
@@ -75,16 +86,25 @@ fn stats_via(flag: &str, system: &str, extra: &[&str]) -> String {
         &path_s,
     ];
     args.extend_from_slice(extra);
-    let out = fbdsim(&args);
+    let out = Command::new(env!("CARGO_BIN_EXE_fbdsim"))
+        .args(&args)
+        .envs(envs.iter().copied())
+        .output()
+        .expect("fbdsim runs");
     assert_eq!(
         exit_code(&out),
         0,
-        "fbdsim {args:?} failed: {}",
+        "fbdsim {args:?} (env {envs:?}) failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&path).expect("stats file written");
     std::fs::remove_file(&path).ok();
     strip_host(&text)
+}
+
+/// [`stats_via_env`] with no environment overrides.
+fn stats_via(flag: &str, system: &str, extra: &[&str]) -> String {
+    stats_via_env(flag, system, extra, &[])
 }
 
 #[test]
@@ -238,6 +258,48 @@ fn unknown_registry_names_exit_2_with_the_available_list() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown scheduler `elevator`"), "{err}");
     assert!(err.contains("hit-first|fcfs"), "{err}");
+}
+
+const WHEEL: &[(&str, &str)] = &[("FBD_EVENT_QUEUE", "wheel")];
+const HEAP: &[(&str, &str)] = &[("FBD_EVENT_QUEUE", "heap")];
+
+#[test]
+fn event_wheel_is_byte_identical_to_seed_heap_on_all_paper_systems() {
+    for system in ["ddr2", "fbd", "fbd-ap", "fbd-apfl"] {
+        let wheel = stats_via_env("--system", system, &[], WHEEL);
+        let heap = stats_via_env("--system", system, &[], HEAP);
+        assert_eq!(
+            wheel, heap,
+            "event wheel diverged from the seed heap on `{system}`"
+        );
+    }
+}
+
+#[test]
+fn event_wheel_heap_parity_holds_under_fault_injection() {
+    // Fault injection exercises the drop/retry event paths (extra
+    // ReadDone orderings and redundant Decide wakeups — exactly where
+    // the wheel's dedup could go wrong).
+    let faults = ["--fault-ber", "1e-5", "--fault-seed", "3"];
+    let wheel = stats_via_env("--system", "fbd-ap", &faults, WHEEL);
+    let heap = stats_via_env("--system", "fbd-ap", &faults, HEAP);
+    assert_eq!(wheel, heap, "faulted run diverged between queue kinds");
+    let doc = json::parse(&wheel).expect("well-formed stats JSON");
+    assert!(doc.get("errors").is_some(), "faulted run reports errors");
+}
+
+#[test]
+fn event_wheel_heap_parity_holds_through_fast_fidelity() {
+    // The fast path calibrates itself by running the accurate
+    // simulator on anchor points; those anchor runs must land on the
+    // same numbers under either queue.
+    let fast = ["--fidelity", "fast"];
+    let wheel = stats_via_env("--system", "fbd", &fast, WHEEL);
+    let heap = stats_via_env("--system", "fbd", &fast, HEAP);
+    assert_eq!(
+        wheel, heap,
+        "fast-fidelity run diverged between queue kinds"
+    );
 }
 
 #[test]
