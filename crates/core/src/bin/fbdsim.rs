@@ -27,11 +27,13 @@ use std::time::{Duration, Instant};
 use fbd_core::experiment::{default_budget, ExperimentConfig};
 use fbd_core::{calibrate, parallel_map, pareto_frontier, Calibration, Composition, Fidelity};
 use fbd_core::{RunResult, RunSpec};
-use fbd_ctrl::schedulers;
+use fbd_ctrl::{schedulers, scrub_policies};
 use fbd_telemetry::host::{Counter, HostProfiler, PHASES};
 use fbd_telemetry::live::{bar, fmt_duration, si, sparkline};
 use fbd_telemetry::{Json, LogHistogram, SampleObserver, TelemetryConfig};
-use fbd_types::config::{Associativity, FaultConfig, FaultMode, Interleaving, SystemConfig};
+use fbd_types::config::{
+    Associativity, FaultConfig, FaultMode, Interleaving, ScrubPolicyKind, SystemConfig,
+};
 use fbd_types::request::{REQ_CLASSES, STAGES};
 use fbd_types::substrate::substrates;
 use fbd_types::time::DataRate;
@@ -73,6 +75,19 @@ fn usage_text() -> String {
      --fault-ber <rate>         channel bit-error rate in [0,1] (0 = injection off)\n  \
      --fault-seed <n>           error-process seed (default 1)\n  \
      --fault-mode <mode>        ber|burst|stuck-lane (default ber)\n\n\
+     reliability options (run/profile/compare/sweep):\n  \
+     --crc-bits <n>             effective CRC strength in check bits; corrupted frames\n                             \
+     escape detection with probability ~2^-n (0 = ideal CRC,\n                             \
+     every corruption detected; requires --fault-ber)\n  \
+     --scrub <policy>           background scrub policy: none|patrol (default none;\n                             \
+     patrol costs bandwidth even on a clean channel)\n  \
+     --scrub-interval-ns <n>    per-channel patrol rate limit in ns (default 600;\n                             \
+     requires --scrub patrol)\n  \
+     --failback <quiet-ns>      re-probe failed-over lanes after this quiet period with\n                             \
+     bounded exponential backoff (0 = fail-over is permanent;\n                             \
+     requires --fault-ber)\n  \
+     --reissue <budget>         dropped prefetch returns remembered per channel and\n                             \
+     re-issued in idle slots (0 = off; requires --fault-ber)\n\n\
      fidelity options (run/compare/sweep):\n  \
      --fidelity <mode>          accurate: cycle-stepped simulator (default)\n                             \
      fast: calibrated analytic queue model; output embeds the\n                             \
@@ -98,6 +113,11 @@ const RUN_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "crc-bits",
+    "scrub",
+    "scrub-interval-ns",
+    "failback",
+    "reissue",
     "fidelity",
 ];
 const RUN_FLAGS: &[&str] = &["csv", "json", "timeline", "live"];
@@ -111,6 +131,11 @@ const PROFILE_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "crc-bits",
+    "scrub",
+    "scrub-interval-ns",
+    "failback",
+    "reissue",
 ];
 const PROFILE_FLAGS: &[&str] = &["json"];
 const COMPARE_KEYS: &[&str] = &[
@@ -123,6 +148,11 @@ const COMPARE_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "crc-bits",
+    "scrub",
+    "scrub-interval-ns",
+    "failback",
+    "reissue",
     "fidelity",
 ];
 const COMPARE_FLAGS: &[&str] = &["csv", "json", "live"];
@@ -137,6 +167,11 @@ const SWEEP_KEYS: &[&str] = &[
     "fault-ber",
     "fault-seed",
     "fault-mode",
+    "crc-bits",
+    "scrub",
+    "scrub-interval-ns",
+    "failback",
+    "reissue",
     "fidelity",
 ];
 const SWEEP_FLAGS: &[&str] = &["csv", "json", "live"];
@@ -299,33 +334,63 @@ fn experiment(args: &Args) -> Result<ExperimentConfig, ExitCode> {
     Ok(exp)
 }
 
-/// Resolves the fault-injection flags shared by `run`/`profile`/
-/// `compare`/`sweep`. `Ok(None)` means no injection was requested (the
-/// channel models stay on the zero-cost no-fault path); `Err` is a
-/// usage error already reported on stderr.
+/// Resolves the fault-injection and reliability flags shared by
+/// `run`/`profile`/`compare`/`sweep`. `Ok(None)` means neither
+/// injection nor any recovery policy was requested (the channel models
+/// stay on the zero-cost no-fault path); `Err` is a usage error
+/// already reported on stderr.
+///
+/// `--scrub` stands alone — patrol scrubbing costs bandwidth on a
+/// clean channel too, so it is meaningful without an error process.
+/// The other reliability knobs shape how errors are detected or
+/// recovered from, so they require `--fault-ber`.
 fn fault_options(args: &Args) -> Result<Option<FaultConfig>, ExitCode> {
-    for key in ["fault-ber", "fault-seed", "fault-mode"] {
+    for key in [
+        "fault-ber",
+        "fault-seed",
+        "fault-mode",
+        "crc-bits",
+        "scrub",
+        "scrub-interval-ns",
+        "failback",
+        "reissue",
+    ] {
         if args.has_flag(key) {
             eprintln!("--{key} requires a value");
             return Err(ExitCode::from(2));
         }
     }
-    let Some(ber_s) = args.get("fault-ber") else {
-        if args.get("fault-seed").is_some() || args.get("fault-mode").is_some() {
-            eprintln!("--fault-seed/--fault-mode require --fault-ber");
-            return Err(ExitCode::from(2));
+    if args.get("fault-ber").is_none() {
+        for key in [
+            "fault-seed",
+            "fault-mode",
+            "crc-bits",
+            "failback",
+            "reissue",
+        ] {
+            if args.get(key).is_some() {
+                eprintln!("--{key} requires --fault-ber");
+                return Err(ExitCode::from(2));
+            }
         }
+    }
+    if args.get("scrub-interval-ns").is_some() && args.get("scrub") != Some("patrol") {
+        eprintln!("--scrub-interval-ns requires --scrub patrol");
+        return Err(ExitCode::from(2));
+    }
+    if args.get("fault-ber").is_none() && args.get("scrub").is_none() {
         return Ok(None);
-    };
-    let ber = match ber_s.parse::<f64>() {
-        Ok(b) if b.is_finite() && (0.0..=1.0).contains(&b) => b,
-        _ => {
-            eprintln!("--fault-ber must be a bit-error rate in [0, 1], got `{ber_s}`");
-            return Err(ExitCode::from(2));
-        }
-    };
+    }
     let mut fc = FaultConfig::off();
-    fc.ber = ber;
+    if let Some(ber_s) = args.get("fault-ber") {
+        match ber_s.parse::<f64>() {
+            Ok(b) if b.is_finite() && (0.0..=1.0).contains(&b) => fc.ber = b,
+            _ => {
+                eprintln!("--fault-ber must be a bit-error rate in [0, 1], got `{ber_s}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
     if let Some(v) = args.get("fault-seed") {
         match v.parse::<u64>() {
             Ok(s) => fc.seed = s,
@@ -340,6 +405,54 @@ fn fault_options(args: &Args) -> Result<Option<FaultConfig>, ExitCode> {
             Some(m) => fc.mode = m,
             None => {
                 eprintln!("--fault-mode must be ber, burst or stuck-lane, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(v) = args.get("crc-bits") {
+        match v.parse::<u32>() {
+            Ok(b) if b <= 64 => fc.crc_bits = b,
+            _ => {
+                eprintln!("--crc-bits must be an integer in [0, 64], got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(v) = args.get("scrub") {
+        match ScrubPolicyKind::by_name(v) {
+            Some(k) => fc.scrub = k,
+            None => {
+                eprintln!(
+                    "unknown scrub policy `{v}` (available: {})",
+                    scrub_policies().available()
+                );
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(v) = args.get("scrub-interval-ns") {
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => fc.scrub_interval_ns = n,
+            _ => {
+                eprintln!("--scrub-interval-ns must be a positive nanosecond count, got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(v) = args.get("failback") {
+        match v.parse::<u64>() {
+            Ok(n) => fc.failback_quiet_ns = n,
+            Err(_) => {
+                eprintln!("--failback must be a quiet period in ns (0 = off), got `{v}`");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(v) = args.get("reissue") {
+        match v.parse::<u32>() {
+            Ok(n) => fc.reissue_budget = n,
+            Err(_) => {
+                eprintln!("--reissue must be a per-channel line budget (0 = off), got `{v}`");
                 return Err(ExitCode::from(2));
             }
         }
@@ -970,12 +1083,38 @@ fn stats_document(workload: &Workload, system: &str, comp: &Composition, r: &Run
                     "retry_exhausted".into(),
                     Json::from(fr.counters.retry_exhausted),
                 ),
+                ("escaped".into(), Json::from(fr.counters.escaped)),
                 ("failovers".into(), Json::from(fr.counters.failovers)),
                 (
                     "dropped_prefetch".into(),
                     Json::from(fr.counters.dropped_prefetch),
                 ),
                 ("degraded_ns".into(), Json::from(fr.degraded.as_ns_f64())),
+                ("probes".into(), Json::from(fr.counters.probes)),
+                ("failbacks".into(), Json::from(fr.counters.failbacks)),
+                ("reissued".into(), Json::from(fr.counters.reissued)),
+                ("scrub_reads".into(), Json::from(fr.counters.scrub_reads)),
+                (
+                    "scrub_rewrites".into(),
+                    Json::from(fr.counters.scrub_rewrites),
+                ),
+                (
+                    "silent".into(),
+                    Json::Obj(vec![
+                        (
+                            "poisoned_lines".into(),
+                            Json::from(fr.silent.poisoned_lines),
+                        ),
+                        (
+                            "demand_consumed".into(),
+                            Json::from(fr.silent.demand_consumed),
+                        ),
+                        (
+                            "scrubbed_clean".into(),
+                            Json::from(fr.silent.scrubbed_clean),
+                        ),
+                    ]),
+                ),
             ]),
         ));
     }
@@ -1073,6 +1212,34 @@ fn report(workload: &Workload, system: &str, r: &RunResult, csv: bool) {
                 println!(
                     "                     degraded-width residency {:.1} µs",
                     fr.degraded.as_ns_f64() / 1_000.0
+                );
+            }
+            if fr.counters.escaped > 0 || fr.silent.any() {
+                println!(
+                    "  silent errors      {} CRC escapes, {} poisoned lines at end, \
+                     {} demand reads consumed one, {} scrubbed clean",
+                    fr.counters.escaped,
+                    fr.silent.poisoned_lines,
+                    fr.silent.demand_consumed,
+                    fr.silent.scrubbed_clean
+                );
+            }
+            if fr.counters.scrub_reads > 0 {
+                println!(
+                    "  patrol scrubbing   {} verify reads, {} rewrites",
+                    fr.counters.scrub_reads, fr.counters.scrub_rewrites
+                );
+            }
+            if fr.counters.probes > 0 || fr.counters.failbacks > 0 {
+                println!(
+                    "  lane fail-back     {} probes, {} fail-backs",
+                    fr.counters.probes, fr.counters.failbacks
+                );
+            }
+            if fr.counters.reissued > 0 {
+                println!(
+                    "  prefetch re-issue  {} dropped returns re-fetched",
+                    fr.counters.reissued
                 );
             }
         }
@@ -1202,7 +1369,7 @@ fn cmd_run(args: &Args) -> ExitCode {
     // its own Pareto frontier, so it would be re-run accurately anyway.
     let fast = fidelity == Fidelity::Fast;
     if fast && faults.is_some() {
-        eprintln!("--fault-* options require --fidelity accurate");
+        eprintln!("--fault-* and reliability options require --fidelity accurate");
         return ExitCode::from(2);
     }
     if fast && args.get("trace-out").is_some() {
@@ -1439,9 +1606,12 @@ fn cmd_profile(args: &Args) -> ExitCode {
                 "    {:<12} {:>12} {:>9} {:>8} {:>8} {:>7}",
                 "stage", "total ns", "mean ns", "p50 ns", "p99 ns", "share"
             );
+            // Skip only stages with no recorded events: a stage whose
+            // share rounds to 0.0% (e.g. `retry` on a clean channel)
+            // still prints when its event count is nonzero.
             for stage in STAGES {
                 let h = p.stage(class, stage);
-                if h.total_ns() == 0.0 {
+                if h.is_empty() {
                     continue;
                 }
                 println!("{}", stage_row(stage.label(), h, e2e.total_ns()));
@@ -1573,7 +1743,7 @@ fn cmd_compare(args: &Args) -> ExitCode {
         Err(code) => return code,
     };
     if faults.is_some() && fidelity != Fidelity::Accurate {
-        eprintln!("--fault-* options require --fidelity accurate");
+        eprintln!("--fault-* and reliability options require --fidelity accurate");
         return ExitCode::from(2);
     }
     let csv = args.has_flag("csv");
@@ -1694,7 +1864,7 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         Err(code) => return code,
     };
     if faults.is_some() && fidelity != Fidelity::Accurate {
-        eprintln!("--fault-* options require --fidelity accurate");
+        eprintln!("--fault-* and reliability options require --fidelity accurate");
         return ExitCode::from(2);
     }
     let csv = args.has_flag("csv");
@@ -2283,6 +2453,104 @@ mod tests {
         let args = parse(&["--fault-ber", "0"]).unwrap();
         let fc = fault_options(&args).unwrap().unwrap();
         assert!(!fc.is_active());
+    }
+
+    #[test]
+    fn reliability_flags_resolve() {
+        // `--scrub patrol` stands alone: clean-channel scrubbing needs
+        // no error process.
+        let args = parse(&["--scrub", "patrol"]).unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!(fc.scrub, ScrubPolicyKind::Patrol);
+        assert!(!fc.is_active());
+        assert!(fc.recovery_active());
+        assert_eq!(fc.scrub_interval_ns, FaultConfig::off().scrub_interval_ns);
+        // `--scrub none` is an explicit off: Some so it overrides a
+        // preset, but the zero-cost path stays selected.
+        let args = parse(&["--scrub", "none"]).unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!(fc, FaultConfig::off());
+        assert!(!fc.recovery_active());
+        // The interval rides on patrol.
+        let args = parse(&["--scrub", "patrol", "--scrub-interval-ns", "250"]).unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!(fc.scrub_interval_ns, 250);
+        // The full lifecycle spelled out on one error process.
+        let args = parse(&[
+            "--fault-ber",
+            "1e-5",
+            "--crc-bits",
+            "8",
+            "--scrub",
+            "patrol",
+            "--failback",
+            "2000",
+            "--reissue",
+            "8",
+        ])
+        .unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!(fc.crc_bits, 8);
+        assert_eq!(fc.scrub, ScrubPolicyKind::Patrol);
+        assert_eq!(fc.failback_quiet_ns, 2000);
+        assert!(fc.failback_enabled());
+        assert_eq!(fc.reissue_budget, 8);
+        assert!(fc.recovery_active());
+        fc.validate().unwrap();
+        // Explicit zeros keep the configuration byte-identical to the
+        // defaults (the parity contract for the off spellings).
+        let args = parse(&[
+            "--fault-ber",
+            "0",
+            "--crc-bits",
+            "0",
+            "--failback",
+            "0",
+            "--reissue",
+            "0",
+        ])
+        .unwrap();
+        let fc = fault_options(&args).unwrap().unwrap();
+        assert_eq!(fc, FaultConfig::off());
+    }
+
+    #[test]
+    fn reliability_flags_reject_bad_values() {
+        for bad in [
+            // Unknown or malformed values.
+            &["--fault-ber", "1e-6", "--crc-bits", "65"][..],
+            &["--fault-ber", "1e-6", "--crc-bits", "-1"],
+            &["--fault-ber", "1e-6", "--crc-bits", "x"],
+            &["--scrub", "demand"],
+            &["--scrub", "patrol", "--scrub-interval-ns", "0"],
+            &["--scrub", "patrol", "--scrub-interval-ns", "abc"],
+            &["--fault-ber", "1e-6", "--failback", "-3"],
+            &["--fault-ber", "1e-6", "--reissue", "many"],
+            // Detection/recovery shaping without an error process.
+            &["--crc-bits", "8"],
+            &["--failback", "2000"],
+            &["--reissue", "8"],
+            // The patrol rate limit without patrol.
+            &["--scrub-interval-ns", "250"],
+            &["--scrub", "none", "--scrub-interval-ns", "250"],
+        ] {
+            let args = parse(bad).unwrap();
+            assert!(fault_options(&args).is_err(), "{bad:?} must be rejected");
+        }
+        // Bare value-taking reliability flags are usage errors.
+        for flag in [
+            "--crc-bits",
+            "--scrub",
+            "--scrub-interval-ns",
+            "--failback",
+            "--reissue",
+        ] {
+            let args = parse(&[flag]).unwrap();
+            assert!(
+                fault_options(&args).is_err(),
+                "bare {flag} must be rejected"
+            );
+        }
     }
 
     #[test]

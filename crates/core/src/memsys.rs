@@ -16,15 +16,16 @@
 //! at most one transaction, and the next decision follows one command
 //! slot later, so scheduling stays fine-grained.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use fbd_amb::{AmbDimm, GroupFetchOutcome, ReadOutcome, WriteOutcome};
 use fbd_ctrl::{
-    mappers, refresh_managers, schedulers, AddressMapper, FillOutcome, MappedAddr, PrefetchTable,
-    QueueEntry, RefreshManager, RefreshOp, SchedClass, SchedulerPolicy, TransactionQueue,
+    mappers, refresh_managers, schedulers, scrub_policies, AddressMapper, FillOutcome, MappedAddr,
+    PrefetchTable, QueueEntry, RefreshManager, RefreshOp, SchedClass, SchedulerPolicy, ScrubPolicy,
+    TransactionQueue,
 };
 use fbd_dram::{AccessPlan, BankArray, ColKind, ColumnOp, DataBus};
-use fbd_faults::FaultReport;
+use fbd_faults::{FaultCounters, FaultReport, SilentErrorReport};
 use fbd_link::{Ddr2CommandBus, FbdChannel, LinkSlot};
 use fbd_power::{EnergyModel, EnergyReport, PowerModeTracker, RankActivity};
 use fbd_telemetry::host::{Counter, HostHandle, Phase};
@@ -32,13 +33,14 @@ use fbd_telemetry::{
     tid_bank, tid_dimm, tid_power, Json, MetricId, StageProfile, Telemetry, TelemetryConfig,
     TID_NORTH, TID_SOUTH,
 };
-use fbd_types::config::{AmbPrefetchMode, MemoryConfig, MemoryTech, PagePolicy};
+use fbd_types::config::{AmbPrefetchMode, MemoryConfig, MemoryTech, PagePolicy, ScrubPolicyKind};
 use fbd_types::request::{
-    AccessKind, MemRequest, MemResponse, ReqClass, ServiceKind, Stage, StageBreakdown,
+    AccessKind, CoreId, MemRequest, MemResponse, ReqClass, RequestId, ServiceKind, Stage,
+    StageBreakdown,
 };
 use fbd_types::stats::MemStats;
 use fbd_types::time::{DataRate, Dur, Time};
-use fbd_types::CACHE_LINE_BYTES;
+use fbd_types::{LineAddr, CACHE_LINE_BYTES};
 
 use crate::compose::Composition;
 
@@ -313,6 +315,57 @@ impl MemTel {
     }
 }
 
+/// Controller-originated requests (scrub sweeps, prefetch re-issues)
+/// take ids in the top half of the id space so they can never collide
+/// with core-originated ids.
+const SYNTH_ID_BASE: u64 = 1 << 63;
+
+/// Closed-loop recovery state: the poison set fed by CRC escapes, the
+/// background scrub policy, and the dropped-prefetch re-issue queues.
+///
+/// Lives behind an `Option` that stays `None` unless fault injection
+/// with a finite CRC, scrubbing, or re-issue is configured, so the
+/// default hot path pays one pointer test and every export stays
+/// byte-identical to a build without this subsystem.
+#[derive(Debug)]
+struct Reliability {
+    /// Background scrub policy (the registry's `none` entry when only
+    /// poison tracking or re-issue is active).
+    scrub: Box<dyn ScrubPolicy>,
+    /// Whether `scrub` can ever return work — skips the observe/poll
+    /// calls entirely for the `none` policy.
+    scrub_active: bool,
+    /// Lines whose last transfer escaped the CRC: silently corrupted
+    /// in memory until a clean overwrite or a scrub repairs them.
+    poisoned: HashSet<LineAddr>,
+    /// Dropped prefetch returns remembered per channel, re-issued at
+    /// idle decision slots (each queue bounded by `reissue_budget`).
+    pending: Vec<VecDeque<LineAddr>>,
+    reissue_budget: usize,
+    /// Controller-side recovery counters (scrub/re-issue activity),
+    /// merged with the link counters into the run's fault report.
+    counters: FaultCounters,
+    /// Demand-consumption and scrub-repair outcomes. `poisoned_lines`
+    /// is derived from the live set when the report is taken.
+    silent: SilentErrorReport,
+    /// Monotone id/sequence source for synthesized queue entries.
+    synth: u64,
+}
+
+impl Reliability {
+    /// The controller-side half of the run's fault report: scrub and
+    /// re-issue counters plus the silent-corruption outcome.
+    fn report(&self) -> FaultReport {
+        let mut silent = self.silent;
+        silent.poisoned_lines = self.poisoned.len() as u64;
+        FaultReport {
+            counters: self.counters,
+            degraded: Dur::ZERO,
+            silent,
+        }
+    }
+}
+
 /// The full memory subsystem behind the processor complex.
 pub struct MemorySystem {
     cfg: MemoryConfig,
@@ -332,6 +385,9 @@ pub struct MemorySystem {
     /// [`Self::pick_for`] calls (steady state never allocates).
     cand_buf: Vec<QueueEntry>,
     table: Option<PrefetchTable>,
+    /// Closed-loop recovery state; `None` unless a CRC-escape model,
+    /// scrubbing, or prefetch re-issue is configured.
+    reliability: Option<Box<Reliability>>,
     channels: Vec<Channel>,
     stats: MemStats,
     chan_counts: Vec<ChannelCounters>,
@@ -446,6 +502,29 @@ impl MemorySystem {
             .collect();
         let refresh_mgr = refresh_spec.build(cfg);
         let refresh_active = refresh_mgr.is_active();
+        let reliability = if cfg.faults.recovery_active() {
+            let scrub_spec = scrub_policies()
+                .get(cfg.faults.scrub.name())
+                .ok_or_else(|| {
+                    format!(
+                        "unknown scrub policy `{}` (available: {})",
+                        cfg.faults.scrub.name(),
+                        scrub_policies().available()
+                    )
+                })?;
+            Some(Box::new(Reliability {
+                scrub: scrub_spec.build(cfg),
+                scrub_active: cfg.faults.scrub != ScrubPolicyKind::None,
+                poisoned: HashSet::new(),
+                pending: vec![VecDeque::new(); cfg.logical_channels as usize],
+                reissue_budget: cfg.faults.reissue_budget as usize,
+                counters: FaultCounters::default(),
+                silent: SilentErrorReport::default(),
+                synth: 0,
+            }))
+        } else {
+            None
+        };
         Ok(MemorySystem {
             mapper: mapper_spec.build(cfg),
             queue: TransactionQueue::new(cfg.queue_capacity as usize),
@@ -458,6 +537,7 @@ impl MemorySystem {
             refresh_buf: Vec::new(),
             cand_buf: Vec::new(),
             table: cfg.amb.is_enabled().then(|| PrefetchTable::new(cfg)),
+            reliability,
             channels,
             stats: MemStats::default(),
             chan_counts: vec![ChannelCounters::default(); cfg.logical_channels as usize],
@@ -590,8 +670,11 @@ impl MemorySystem {
 
     /// The fault-injection summary for the run so far, evaluated at
     /// `end` (degraded-width residency accrues until then), merged over
-    /// every channel. `None` when fault injection is off — the stats
-    /// schema stays byte-identical to a no-fault run.
+    /// every channel, plus the controller's recovery overlay (scrub and
+    /// re-issue counters, silent-corruption outcome). `None` when both
+    /// fault injection and recovery are off — the stats schema stays
+    /// byte-identical to a no-fault run. A scrub-only run at zero BER
+    /// reports `Some` so its traffic is visible.
     pub fn fault_report(&self, end: Time) -> Option<FaultReport> {
         let mut out: Option<FaultReport> = None;
         for c in &self.channels {
@@ -602,6 +685,13 @@ impl MemorySystem {
                         None => out = Some(r),
                     }
                 }
+            }
+        }
+        if let Some(rel) = self.reliability.as_deref() {
+            let overlay = rel.report();
+            match out.as_mut() {
+                Some(acc) => acc.merge(&overlay),
+                None => out = Some(overlay),
             }
         }
         out
@@ -707,6 +797,24 @@ impl MemorySystem {
                     fr.counters.dropped_prefetch as f64,
                 ),
                 ("errors.degraded_ns", fr.degraded.as_ns_f64()),
+                ("errors.escaped", fr.counters.escaped as f64),
+                ("errors.probes", fr.counters.probes as f64),
+                ("errors.failbacks", fr.counters.failbacks as f64),
+                ("errors.reissued", fr.counters.reissued as f64),
+                ("errors.scrub_reads", fr.counters.scrub_reads as f64),
+                ("errors.scrub_rewrites", fr.counters.scrub_rewrites as f64),
+                (
+                    "errors.silent.poisoned_lines",
+                    fr.silent.poisoned_lines as f64,
+                ),
+                (
+                    "errors.silent.demand_consumed",
+                    fr.silent.demand_consumed as f64,
+                ),
+                (
+                    "errors.silent.scrubbed_clean",
+                    fr.silent.scrubbed_clean as f64,
+                ),
             ] {
                 let id = mt.tel.registry.gauge(path);
                 mt.tel.registry.set(id, value);
@@ -740,10 +848,15 @@ impl MemorySystem {
         }
     }
 
-    /// True if any transaction is queued (or spilled) for channel `ch`.
+    /// True if any transaction is queued (or spilled) for channel `ch`,
+    /// or a dropped prefetch is waiting for an idle-slot re-issue.
     pub fn has_work(&self, ch: u32) -> bool {
         self.queue.iter().any(|e| e.mapped.channel == ch)
             || self.spill.iter().any(|(_, m)| m.channel == ch)
+            || self
+                .reliability
+                .as_deref()
+                .is_some_and(|r| !r.pending[ch as usize].is_empty())
     }
 
     /// A completion was observed on `ch`: release its in-flight slot.
@@ -810,6 +923,16 @@ impl MemorySystem {
             return None;
         }
         let Some(id) = self.pick_for(ch, now) else {
+            // The channel has an idle slot: recovery work (a prefetch
+            // re-issue, then a due scrub sweep) may claim it. Demand
+            // traffic always won the pick above, so recovery never
+            // displaces a schedulable transaction.
+            if self.reliability.is_some() {
+                if let Some(next) = self.dispatch_recovery(ch, now, issued) {
+                    self.host.mark_sampled(Phase::Datapath);
+                    return Some(next);
+                }
+            }
             // Nothing ready now; maybe a queued transaction becomes
             // schedulable later (spilled ones re-enter via the queue).
             let overhead = self.cfg.controller_overhead;
@@ -933,6 +1056,76 @@ impl MemorySystem {
         }
     }
 
+    /// Builds a controller-originated queue entry (scrub sweep or
+    /// prefetch re-issue) for `line`, with a synthesized id in the
+    /// reserved top-half id space. Arrival is `now`, so the entry
+    /// carries no queueing history.
+    fn synth_entry(&mut self, kind: AccessKind, line: LineAddr, now: Time) -> QueueEntry {
+        let rel = self
+            .reliability
+            .as_deref_mut()
+            .expect("recovery state exists");
+        let n = rel.synth;
+        rel.synth += 1;
+        QueueEntry {
+            req: MemRequest::new(RequestId(SYNTH_ID_BASE + n), CoreId(0), kind, line, now),
+            mapped: self.mapper.map(line),
+            seq: SYNTH_ID_BASE + n,
+        }
+    }
+
+    /// Tries to fill an idle decision slot with recovery work: a
+    /// dropped-prefetch re-issue first (it has a consumer-visible hole
+    /// to repair), then a due scrub sweep. A sweep that lands on a
+    /// poisoned line issues the repair rewrite in the same decision.
+    /// Returns the next decision instant when something was issued.
+    fn dispatch_recovery(&mut self, ch: u32, now: Time, issued: &mut Vec<Issued>) -> Option<Time> {
+        let reissue = self
+            .reliability
+            .as_deref_mut()
+            .and_then(|r| r.pending[ch as usize].pop_front());
+        if let Some(line) = reissue {
+            let entry = self.synth_entry(AccessKind::HardwarePrefetch, line, now);
+            issued.push(self.execute_read(entry, now));
+            self.channels[ch as usize].inflight += 1;
+            let rel = self
+                .reliability
+                .as_deref_mut()
+                .expect("recovery state exists");
+            rel.counters.reissued += 1;
+            return Some(self.next_slot(ch, now));
+        }
+        let line = self.reliability.as_deref_mut().and_then(|r| {
+            if !r.scrub_active {
+                return None;
+            }
+            r.scrub.next_scrub(ch, now)
+        })?;
+        let entry = self.synth_entry(AccessKind::HardwarePrefetch, line, now);
+        debug_assert_eq!(
+            entry.mapped.channel, ch,
+            "scrub lines stay on their channel"
+        );
+        issued.push(self.execute_read(entry, now));
+        self.channels[ch as usize].inflight += 1;
+        let rel = self
+            .reliability
+            .as_deref_mut()
+            .expect("recovery state exists");
+        rel.counters.scrub_reads += 1;
+        // Verify half of read-verify-rewrite: a poisoned line gets a
+        // clean rewrite (ordinary posted-write traffic, so its link,
+        // bank and energy costs are modeled).
+        if rel.poisoned.remove(&line) {
+            rel.silent.scrubbed_clean += 1;
+            rel.counters.scrub_rewrites += 1;
+            let entry = self.synth_entry(AccessKind::Write, line, now);
+            issued.push(self.execute_write(entry, now));
+            self.channels[ch as usize].inflight += 1;
+        }
+        Some(self.next_slot(ch, now))
+    }
+
     fn execute_read(&mut self, entry: QueueEntry, now: Time) -> Issued {
         let m = entry.mapped;
         let req = entry.req;
@@ -970,7 +1163,9 @@ impl MemorySystem {
         // backoff and corrupted slots under fault injection) is charged
         // to its own stage at each link crossing.
         let mut st = StageBreakdown::stamper(req.arrival);
-        let (completion, service, dropped) = match &mut self.channels[m.channel as usize].path {
+        let (completion, service, dropped, escaped) = match &mut self.channels[m.channel as usize]
+            .path
+        {
             ChannelPath::Fbd { link, dimms } => {
                 st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
                 let cmd = link.send_command_checked(now);
@@ -1018,7 +1213,12 @@ impl MemorySystem {
                         t.retry_frames(m.channel, TID_NORTH, &north.failed);
                         t.north_frame(m.channel, north.slot);
                     }
-                    (north.slot.done, ServiceKind::AmbCacheHit, north.dropped)
+                    (
+                        north.slot.done,
+                        ServiceKind::AmbCacheHit,
+                        north.dropped,
+                        cmd.escaped || north.escaped,
+                    )
                 } else if let Some(table) = self.table.as_mut() {
                     // Group fetch: demanded line first, K−1 fills.
                     let k = self.cfg.amb.region_lines;
@@ -1050,6 +1250,7 @@ impl MemorySystem {
                         north.slot.done,
                         ServiceKind::DramAccessWithPrefetch,
                         north.dropped,
+                        cmd.escaped || north.escaped,
                     )
                 } else {
                     let out = dimm.read_line_at(rank, m.bank as usize, m.row, cmd_at_amb);
@@ -1079,7 +1280,12 @@ impl MemorySystem {
                     } else {
                         ServiceKind::DramAccess
                     };
-                    (north.slot.done, service, north.dropped)
+                    (
+                        north.slot.done,
+                        service,
+                        north.dropped,
+                        cmd.escaped || north.escaped,
+                    )
                 }
             }
             ChannelPath::Ddr2 { cmd, bus, dimms } => {
@@ -1121,9 +1327,32 @@ impl MemorySystem {
                 } else {
                     ServiceKind::DramAccess
                 };
-                (plan.data_end, service, false)
+                (plan.data_end, service, false, false)
             }
         };
+        // Silent-corruption bookkeeping: an escaped transfer poisons
+        // the line; a demand read that sees escaped or already-poisoned
+        // data has consumed silent corruption (the failure the scrubber
+        // exists to pre-empt). Dropped prefetch returns are remembered
+        // for idle-slot re-issue, and every serviced line feeds the
+        // scrub policy's candidate pool.
+        if let Some(rel) = self.reliability.as_deref_mut() {
+            if rel.scrub_active {
+                rel.scrub.observe(m.channel, req.line);
+            }
+            if escaped {
+                rel.poisoned.insert(req.line);
+            }
+            if demand && (escaped || rel.poisoned.contains(&req.line)) {
+                rel.silent.demand_consumed += 1;
+            }
+            if dropped && rel.reissue_budget > 0 {
+                let q = &mut rel.pending[m.channel as usize];
+                if q.len() < rel.reissue_budget {
+                    q.push_back(req.line);
+                }
+            }
+        }
         if demand {
             self.stats.read_latency.record(completion - req.arrival);
             self.stats
@@ -1183,7 +1412,7 @@ impl MemorySystem {
         // stage durations sum to the recorded write latency exactly as
         // they do for reads.
         let mut st = StageBreakdown::stamper(req.arrival);
-        let done = match &mut self.channels[m.channel as usize].path {
+        let (done, escaped) = match &mut self.channels[m.channel as usize].path {
             ChannelPath::Fbd { link, dimms } => {
                 st.to(Stage::CtrlQueue, req.arrival + entry.queue_wait(now));
                 let wdata = link.send_write_data_checked(now);
@@ -1213,7 +1442,7 @@ impl MemorySystem {
                     t.south_frame("wdata", m.channel, wdata.slot);
                     t.dram_write(m.channel, m.dimm, m.bank, &out);
                 }
-                out.data_end
+                (out.data_end, wdata.escaped)
             }
             ChannelPath::Ddr2 { cmd, bus, dimms } => {
                 let dimm = &mut dimms[(m.dimm * self.cfg.ranks_per_dimm + m.rank) as usize];
@@ -1243,9 +1472,21 @@ impl MemorySystem {
                 if let Some(t) = self.tel.as_deref_mut() {
                     t.ddr2_access(m.channel, m.dimm, &plan);
                 }
-                plan.data_end
+                (plan.data_end, false)
             }
         };
+        // A clean overwrite repairs latent corruption; escaped write
+        // data means the devices stored garbage nobody will re-send.
+        if let Some(rel) = self.reliability.as_deref_mut() {
+            if rel.scrub_active {
+                rel.scrub.observe(m.channel, req.line);
+            }
+            if escaped {
+                rel.poisoned.insert(req.line);
+            } else {
+                rel.poisoned.remove(&req.line);
+            }
+        }
         self.stats.bandwidth_series.record(done, CACHE_LINE_BYTES);
         let stages = st.finish();
         debug_assert_eq!(
@@ -1343,5 +1584,122 @@ impl MemorySystem {
     /// The configuration this subsystem was built from.
     pub fn config(&self) -> &MemoryConfig {
         &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(id: u64, line: u64, at: Time) -> MemRequest {
+        MemRequest::new(
+            RequestId(id),
+            CoreId(0),
+            AccessKind::DemandRead,
+            LineAddr::new(line),
+            at,
+        )
+    }
+
+    #[test]
+    fn scrub_sweeps_issue_traffic_on_a_clean_channel() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.logical_channels = 1;
+        cfg.faults.scrub = ScrubPolicyKind::Patrol;
+        cfg.faults.scrub_interval_ns = 10;
+        let mut mem = MemorySystem::new(&cfg);
+        let (ch, ready) = mem.submit(demand(1, 0, Time::ZERO));
+        let r = mem.decide(ch, ready);
+        assert_eq!(r.issued.len(), 1, "the demand read issues first");
+        mem.complete(ch);
+        // Channel idle, one line observed: the next decision sweeps it.
+        let r = mem.decide(ch, Time::from_ns(1_000));
+        assert_eq!(r.issued.len(), 1, "the idle slot runs a scrub read");
+        assert!(r.next_decision.is_some());
+        let fr = mem
+            .fault_report(Time::from_ns(2_000))
+            .expect("scrub-only runs still report recovery activity");
+        assert_eq!(fr.counters.scrub_reads, 1);
+        assert_eq!(
+            fr.counters.scrub_rewrites, 0,
+            "a clean line needs no rewrite"
+        );
+        assert_eq!(fr.counters.injected, 0);
+        assert_eq!(fr.silent, SilentErrorReport::default());
+        // Scrub traffic is attributed to the hw-prefetch class, so the
+        // stage-sum invariant ran on it (debug_assert in execute_read).
+        let s = mem.stats();
+        assert_eq!(s.hw_prefetch_reads, 1);
+    }
+
+    #[test]
+    fn dropped_prefetches_are_reissued_in_idle_slots() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.logical_channels = 1;
+        cfg.faults.ber = 1.0; // every northbound prefetch return drops
+        cfg.faults.seed = 7;
+        cfg.faults.reissue_budget = 4;
+        let mut mem = MemorySystem::new(&cfg);
+        let (ch, ready) = mem.submit(MemRequest::new(
+            RequestId(1),
+            CoreId(0),
+            AccessKind::HardwarePrefetch,
+            LineAddr::new(3),
+            Time::ZERO,
+        ));
+        let r = mem.decide(ch, ready);
+        assert_eq!(r.issued.len(), 1);
+        let Issued::Read { resp } = r.issued[0] else {
+            panic!("a prefetch read was issued");
+        };
+        assert!(resp.dropped, "at BER 1.0 the prefetch return is dropped");
+        mem.complete(ch);
+        assert!(mem.has_work(ch), "a remembered drop counts as pending work");
+        let r = mem.decide(ch, Time::from_ns(5_000));
+        assert_eq!(r.issued.len(), 1, "the idle slot re-issues the drop");
+        let fr = mem
+            .fault_report(Time::from_ns(10_000))
+            .expect("faulted run");
+        assert_eq!(fr.counters.reissued, 1);
+        assert!(fr.counters.dropped_prefetch >= 1);
+    }
+
+    #[test]
+    fn escapes_poison_lines_and_patrol_scrub_repairs_them() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.logical_channels = 1;
+        cfg.faults.ber = 1.0; // every frame corrupt ...
+        cfg.faults.crc_bits = 1; // ... and half the corruptions escape
+        cfg.faults.seed = 42;
+        cfg.faults.scrub = ScrubPolicyKind::Patrol;
+        cfg.faults.scrub_interval_ns = 10;
+        let mut mem = MemorySystem::new(&cfg);
+        let mut t = Time::ZERO;
+        for i in 0..50 {
+            t = Time::from_ns(1_000 * (i + 1));
+            let (ch, _) = mem.submit(demand(i, 5, t));
+            let r = mem.decide(ch, t + cfg.controller_overhead);
+            assert_eq!(r.issued.len(), 1);
+            mem.complete(ch);
+        }
+        let fr = mem.fault_report(t).expect("faulted run");
+        assert!(fr.counters.escaped > 0, "a 1-bit CRC lets escapes through");
+        assert_eq!(
+            fr.counters.detected + fr.counters.escaped,
+            fr.counters.injected,
+            "every injection is either detected or escaped"
+        );
+        assert_eq!(fr.silent.poisoned_lines, 1, "line 5 is poisoned");
+        assert!(
+            fr.silent.demand_consumed > 0,
+            "later demand reads consumed the poisoned line"
+        );
+        // An idle decision sweeps the (only) observed line and repairs
+        // it with a rewrite in the same decision.
+        let r = mem.decide(0, t + Dur::from_ns(1_000));
+        assert!(r.issued.len() >= 2, "scrub read plus repair rewrite");
+        let fr = mem.fault_report(t + Dur::from_ns(2_000)).expect("report");
+        assert!(fr.silent.scrubbed_clean >= 1);
+        assert!(fr.counters.scrub_rewrites >= 1);
     }
 }

@@ -51,8 +51,9 @@ pub mod queue;
 pub mod recovery;
 pub mod refresh;
 pub mod sched;
+pub mod scrub;
 
-pub use compose::{mappers, refresh_managers, schedulers};
+pub use compose::{mappers, refresh_managers, schedulers, scrub_policies};
 pub use fcfs::{FcfsScheduler, FcfsSpec};
 pub use info_table::{FillOutcome, PrefetchTable};
 pub use mapping::{AddressMapper, InterleavedMapper, InterleavedSpec, MappedAddr, MapperSpec};
@@ -63,6 +64,7 @@ pub use refresh::{
     StaggeredSpec,
 };
 pub use sched::{HitFirstScheduler, HitFirstSpec, SchedClass, SchedulerPolicy, SchedulerSpec};
+pub use scrub::{NoScrub, NoScrubSpec, PatrolScrub, PatrolSpec, ScrubPolicy, ScrubSpec};
 
 #[cfg(all(test, feature = "proptest"))]
 mod proptests {

@@ -97,6 +97,9 @@ pub struct FaultProcess {
     /// Per-frame corruption probability derived from the BER and the
     /// frame payload width.
     p_frame: f64,
+    /// Probability that a *corrupted* transfer aliases to a valid CRC
+    /// codeword and sails through undetected (0.0 for the ideal CRC).
+    p_escape: f64,
     mode: FaultMode,
     burst_frames: u32,
     rng: SplitMix64,
@@ -116,6 +119,11 @@ impl FaultProcess {
     /// this direction (wider frames are proportionally more exposed):
     /// the per-frame corruption probability is
     /// `1 − (1 − ber)^bits_per_frame`.
+    ///
+    /// When `cfg.crc_bits` is non-zero the CRC is no longer ideal: a
+    /// corrupted transfer escapes detection with probability
+    /// [`escape_probability`] and the consumer must track the resulting
+    /// silent corruption (see [`SilentErrorReport`]).
     pub fn new(cfg: &FaultConfig, channel: u32, dir: LinkDir, bits_per_frame: u32) -> FaultProcess {
         let mut rng = SplitMix64::new(cfg.seed);
         rng.absorb(u64::from(channel).wrapping_add(1));
@@ -123,6 +131,7 @@ impl FaultProcess {
         let p_frame = 1.0 - (1.0 - cfg.ber).powi(bits_per_frame as i32);
         FaultProcess {
             p_frame,
+            p_escape: escape_probability(cfg, bits_per_frame),
             mode: cfg.mode,
             burst_frames: cfg.burst_frames,
             rng,
@@ -135,6 +144,11 @@ impl FaultProcess {
     /// Per-frame corruption probability of this process.
     pub fn p_frame(&self) -> f64 {
         self.p_frame
+    }
+
+    /// Probability that a corrupted transfer escapes the CRC check.
+    pub fn p_escape(&self) -> f64 {
+        self.p_escape
     }
 
     /// Number of frames drawn so far.
@@ -181,10 +195,65 @@ impl FaultProcess {
         any
     }
 
+    /// Decides whether a transfer the error process just corrupted
+    /// slips past the CRC check (the caller invokes this once per
+    /// *corrupted* transfer, before entering the retry path).
+    ///
+    /// Stream-alignment contract: the decision consumes a draw only
+    /// when the escape probability is non-zero — under the default
+    /// ideal CRC (`crc_bits == 0`) this is a pure `false` and the
+    /// corruption pattern stays bit-identical to earlier releases.
+    pub fn escapes(&mut self) -> bool {
+        if self.p_escape <= 0.0 {
+            return false;
+        }
+        self.rng.next_f64() < self.p_escape
+    }
+
     /// True once a stuck-lane defect has latched.
     pub fn is_stuck(&self) -> bool {
         self.stuck
     }
+}
+
+/// Probability that a corrupted transfer aliases to a valid codeword of
+/// a `crc_bits`-bit CRC and escapes detection.
+///
+/// A random error pattern aliases with probability `2^-crc_bits`. The
+/// one error class a well-chosen CRC *never* misses is the single-bit
+/// flip, so under the random-BER mode the aliasing chance is scaled by
+/// the conditional probability that a corrupted frame carries two or
+/// more flipped bits: with `p_single = bits · ber · (1−ber)^(bits−1)`,
+/// `p_escape = ((p_frame − p_single) / p_frame) · 2^-crc_bits`. Burst
+/// and stuck-lane defects always span many bits, so they alias at the
+/// full `2^-crc_bits` rate. `crc_bits == 0` encodes the ideal
+/// (never-aliasing) CRC of the original model and yields exactly 0.
+pub fn escape_probability(cfg: &FaultConfig, bits_per_frame: u32) -> f64 {
+    if cfg.crc_bits == 0 {
+        return 0.0;
+    }
+    let alias = 0.5f64.powi(cfg.crc_bits as i32);
+    match cfg.mode {
+        FaultMode::Ber => {
+            let bits = bits_per_frame as f64;
+            let p_frame = 1.0 - (1.0 - cfg.ber).powi(bits_per_frame as i32);
+            if p_frame <= 0.0 {
+                return 0.0;
+            }
+            let p_single = bits * cfg.ber * (1.0 - cfg.ber).powi(bits_per_frame as i32 - 1);
+            let p_multi = (p_frame - p_single).max(0.0);
+            (p_multi / p_frame) * alias
+        }
+        FaultMode::Burst | FaultMode::StuckLane => alias,
+    }
+}
+
+/// Fail-back probe schedule: after a lane degrades, the controller
+/// waits `quiet` before the first re-probe and doubles the wait after
+/// every failed probe, capped at `quiet · 2^6` (mirroring the retry
+/// backoff cap). `attempt` is 0-based.
+pub fn probe_delay(quiet: Dur, attempt: u32) -> Dur {
+    quiet * (1u64 << attempt.min(MAX_BACKOFF_CAP))
 }
 
 /// Exponential backoff before replaying a corrupted frame: the
@@ -207,19 +276,32 @@ pub const MAX_BACKOFF_SLOTS: u64 = 64;
 pub struct FaultCounters {
     /// Transfers that arrived with at least one corrupted frame.
     pub injected: u64,
-    /// Corrupted transfers the CRC check caught (the model's CRC is
-    /// ideal, so this always equals `injected`; kept separate so a
-    /// future aliasing-CRC model slots in without a schema change).
+    /// Corrupted transfers the CRC check caught. Under the default
+    /// ideal CRC (`crc_bits == 0`) this equals `injected`; with a
+    /// finite CRC, `detected + escaped == injected`.
     pub detected: u64,
+    /// Corrupted transfers that aliased past the CRC check (silent
+    /// corruption; see [`SilentErrorReport`] for the line-level view).
+    pub escaped: u64,
     /// Replay attempts issued (one transfer may retry several times).
     pub retried: u64,
     /// Transfers whose retry budget ran out (each escalates fail-over).
     pub retry_exhausted: u64,
-    /// Lane fail-overs performed (at most one per link direction).
+    /// Lane fail-overs performed.
     pub failovers: u64,
     /// Corrupted northbound *prefetch* transfers dropped instead of
     /// retried (the AMB interplay rule: the line is simply not cached).
     pub dropped_prefetch: u64,
+    /// Fail-back probe transfers sent on degraded lanes.
+    pub probes: u64,
+    /// Lanes restored to full width after a clean probe.
+    pub failbacks: u64,
+    /// Dropped prefetch lines the controller re-issued in idle slots.
+    pub reissued: u64,
+    /// Background patrol-scrub read sweeps performed.
+    pub scrub_reads: u64,
+    /// Scrub sweeps that found a poisoned line and rewrote it clean.
+    pub scrub_rewrites: u64,
 }
 
 impl FaultCounters {
@@ -227,15 +309,50 @@ impl FaultCounters {
     pub fn merge(&mut self, other: &FaultCounters) {
         self.injected += other.injected;
         self.detected += other.detected;
+        self.escaped += other.escaped;
         self.retried += other.retried;
         self.retry_exhausted += other.retry_exhausted;
         self.failovers += other.failovers;
         self.dropped_prefetch += other.dropped_prefetch;
+        self.probes += other.probes;
+        self.failbacks += other.failbacks;
+        self.reissued += other.reissued;
+        self.scrub_reads += other.scrub_reads;
+        self.scrub_rewrites += other.scrub_rewrites;
     }
 
     /// True when any error was injected.
     pub fn any(&self) -> bool {
         self.injected > 0
+    }
+}
+
+/// End-of-run silent-corruption summary: what the CRC escapes did to
+/// memory contents, as tracked by the controller's poison set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SilentErrorReport {
+    /// Lines still carrying undetected corruption at end of run
+    /// (escaped in, never scrubbed or overwritten).
+    pub poisoned_lines: u64,
+    /// Demand reads that consumed silently corrupted data — the
+    /// failures an application would actually observe.
+    pub demand_consumed: u64,
+    /// Poisoned lines a patrol scrub caught and rewrote clean before
+    /// any demand read touched them.
+    pub scrubbed_clean: u64,
+}
+
+impl SilentErrorReport {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &SilentErrorReport) {
+        self.poisoned_lines += other.poisoned_lines;
+        self.demand_consumed += other.demand_consumed;
+        self.scrubbed_clean += other.scrubbed_clean;
+    }
+
+    /// True when any silent-corruption activity was recorded.
+    pub fn any(&self) -> bool {
+        self.poisoned_lines > 0 || self.demand_consumed > 0 || self.scrubbed_clean > 0
     }
 }
 
@@ -249,6 +366,8 @@ pub struct FaultReport {
     pub counters: FaultCounters,
     /// Summed degraded-width residency across link directions.
     pub degraded: Dur,
+    /// Silent-corruption outcome (all-zero under the ideal CRC).
+    pub silent: SilentErrorReport,
 }
 
 impl FaultReport {
@@ -256,6 +375,7 @@ impl FaultReport {
     pub fn merge(&mut self, other: &FaultReport) {
         self.counters.merge(&other.counters);
         self.degraded += other.degraded;
+        self.silent.merge(&other.silent);
     }
 }
 
@@ -361,24 +481,204 @@ mod tests {
     fn counters_and_reports_merge() {
         let a = FaultCounters {
             injected: 3,
-            detected: 3,
+            detected: 2,
+            escaped: 1,
             retried: 5,
             retry_exhausted: 1,
             failovers: 1,
             dropped_prefetch: 2,
+            probes: 4,
+            failbacks: 1,
+            reissued: 2,
+            scrub_reads: 9,
+            scrub_rewrites: 1,
+        };
+        let silent = SilentErrorReport {
+            poisoned_lines: 1,
+            demand_consumed: 2,
+            scrubbed_clean: 3,
         };
         let mut total = FaultReport {
             counters: a,
             degraded: Dur::from_ns(10),
+            silent,
         };
         total.merge(&FaultReport {
             counters: a,
             degraded: Dur::from_ns(5),
+            silent,
         });
         assert_eq!(total.counters.injected, 6);
+        assert_eq!(total.counters.escaped, 2);
         assert_eq!(total.counters.retried, 10);
+        assert_eq!(total.counters.probes, 8);
+        assert_eq!(total.counters.failbacks, 2);
+        assert_eq!(total.counters.reissued, 4);
+        assert_eq!(total.counters.scrub_reads, 18);
+        assert_eq!(total.counters.scrub_rewrites, 2);
         assert_eq!(total.degraded, Dur::from_ns(15));
+        assert_eq!(total.silent.poisoned_lines, 2);
+        assert_eq!(total.silent.demand_consumed, 4);
+        assert_eq!(total.silent.scrubbed_clean, 6);
         assert!(total.counters.any());
+        assert!(total.silent.any());
         assert!(!FaultCounters::default().any());
+        assert!(!SilentErrorReport::default().any());
+    }
+
+    #[test]
+    fn ideal_crc_never_escapes_and_draws_nothing() {
+        let mut p = FaultProcess::new(&cfg(1.0, FaultMode::Ber), 0, LinkDir::North, 168);
+        assert_eq!(p.p_escape(), 0.0);
+        // The escape decision must not advance the rng stream: the
+        // corruption pattern with interleaved escapes() calls must
+        // match the pattern without them (the parity contract).
+        let mut q = p.clone();
+        let with: Vec<bool> = (0..64)
+            .map(|_| {
+                let hit = p.corrupt_frame();
+                if hit {
+                    assert!(!p.escapes());
+                }
+                hit
+            })
+            .collect();
+        let without: Vec<bool> = (0..64).map(|_| q.corrupt_frame()).collect();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn finite_crc_escapes_at_the_aliasing_rate() {
+        let mut c = cfg(0.05, FaultMode::Burst);
+        c.crc_bits = 1; // aliases half the time — easy to observe
+        let mut p = FaultProcess::new(&c, 0, LinkDir::North, 168);
+        assert_eq!(p.p_escape(), 0.5);
+        let escapes = (0..10_000).filter(|_| p.escapes()).count();
+        assert!(
+            (4_000..6_000).contains(&escapes),
+            "p=0.5 over 10k draws: got {escapes}"
+        );
+    }
+
+    #[test]
+    fn ber_escape_probability_excludes_single_bit_flips() {
+        let mut c = cfg(1e-5, FaultMode::Ber);
+        c.crc_bits = 8;
+        // At tiny BER almost every corrupted frame is a single flip,
+        // which the CRC always catches: escape ≪ the 2^-8 aliasing.
+        let p = escape_probability(&c, 168);
+        assert!(p > 0.0 && p < 0.5f64.powi(8) * 0.01, "p_escape = {p}");
+        // At BER 0.5 multi-bit patterns dominate: escape ≈ 2^-8.
+        c.ber = 0.5;
+        let p = escape_probability(&c, 168);
+        assert!((p - 0.5f64.powi(8)).abs() < 1e-4, "p_escape = {p}");
+        // Degenerate: zero BER corrupts nothing, so nothing escapes.
+        c.ber = 0.0;
+        assert_eq!(escape_probability(&c, 168), 0.0);
+    }
+
+    #[test]
+    fn probe_delay_doubles_then_caps() {
+        let quiet = Dur::from_ns(1_000);
+        assert_eq!(probe_delay(quiet, 0), quiet);
+        assert_eq!(probe_delay(quiet, 1), Dur::from_ns(2_000));
+        assert_eq!(probe_delay(quiet, 3), Dur::from_ns(8_000));
+        assert_eq!(probe_delay(quiet, 6), Dur::from_ns(64_000));
+        assert_eq!(probe_delay(quiet, 40), Dur::from_ns(64_000));
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Backoff is bounded by the cap, monotone non-decreasing in
+        /// the attempt number, and starts at one slot.
+        #[test]
+        fn backoff_is_bounded_and_monotone(attempt in 0u32..1_000) {
+            let slots = backoff_slots(attempt);
+            prop_assert!(slots >= 1);
+            prop_assert!(slots <= MAX_BACKOFF_SLOTS);
+            prop_assert!(slots <= backoff_slots(attempt + 1));
+        }
+
+        /// The probe schedule is bounded (quiet · 64), monotone
+        /// non-decreasing, and never shorter than the quiet period.
+        #[test]
+        fn probe_schedule_is_bounded_and_monotone(
+            quiet_ns in 1u64..1_000_000,
+            attempt in 0u32..1_000,
+        ) {
+            let quiet = Dur::from_ns(quiet_ns);
+            let d = probe_delay(quiet, attempt);
+            prop_assert!(d >= quiet);
+            prop_assert!(d <= quiet * MAX_BACKOFF_SLOTS);
+            prop_assert!(d <= probe_delay(quiet, attempt + 1));
+        }
+
+        /// The corruption stream is a pure function of (seed, channel,
+        /// direction): re-building the process replays it exactly.
+        #[test]
+        fn stream_is_deterministic_from_seed(
+            seed in any::<u64>(),
+            channel in 0u32..8,
+            ber in 1e-7f64..1e-2,
+        ) {
+            let c = FaultConfig { ber, seed, ..FaultConfig::off() };
+            let mut a = FaultProcess::new(&c, channel, LinkDir::North, 168);
+            let mut b = FaultProcess::new(&c, channel, LinkDir::North, 168);
+            let pa: Vec<bool> = (0..512).map(|_| a.corrupt_frame()).collect();
+            let pb: Vec<bool> = (0..512).map(|_| b.corrupt_frame()).collect();
+            prop_assert_eq!(pa, pb);
+        }
+
+        /// Escape probabilities are valid probabilities under any
+        /// configuration, and exactly zero for the ideal CRC.
+        #[test]
+        fn escape_probability_is_a_probability(
+            ber in 0.0f64..=1.0,
+            crc_bits in 0u32..=64,
+            bits in 1u32..512,
+        ) {
+            for mode in [FaultMode::Ber, FaultMode::Burst, FaultMode::StuckLane] {
+                let c = FaultConfig { ber, crc_bits, mode, ..FaultConfig::off() };
+                let p = escape_probability(&c, bits);
+                prop_assert!((0.0..=1.0).contains(&p), "p_escape = {}", p);
+                if crc_bits == 0 {
+                    prop_assert_eq!(p, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Golden vectors for the SplitMix64 core: the first outputs of the
+    /// reference implementation (seed 0 and seed 42) plus the absorbed
+    /// per-link stream head. Pinning exact u64s catches any platform or
+    /// refactor drift in the generator — every determinism contract in
+    /// the fault layer sits on these numbers.
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next_u64(), 0x06C4_5D18_8009_454F);
+        let mut g = SplitMix64::new(42);
+        assert_eq!(g.next_u64(), 0xBDD7_3226_2FEB_6E95);
+        // The absorbed stream (seed 42, channel 0, north) is equally
+        // pinned: FaultProcess draws must never silently shift.
+        let c = FaultConfig {
+            ber: 0.5,
+            seed: 42,
+            ..FaultConfig::off()
+        };
+        let mut p = FaultProcess::new(&c, 0, LinkDir::North, 168);
+        let head: Vec<bool> = (0..8).map(|_| p.corrupt_frame()).collect();
+        let again: Vec<bool> = {
+            let mut q = FaultProcess::new(&c, 0, LinkDir::North, 168);
+            (0..8).map(|_| q.corrupt_frame()).collect()
+        };
+        assert_eq!(head, again);
     }
 }

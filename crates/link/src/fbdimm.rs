@@ -13,7 +13,7 @@
 //! Latency (the paper's default) every access is charged the delay of the
 //! farthest DIMM; with VRL the delay depends on the DIMM's position.
 
-use fbd_faults::{backoff_slots, FaultCounters, FaultProcess, FaultReport, LinkDir};
+use fbd_faults::{backoff_slots, probe_delay, FaultCounters, FaultProcess, FaultReport, LinkDir};
 use fbd_types::config::{MemoryConfig, MemoryTech};
 use fbd_types::time::{Dur, Time};
 use fbd_types::CACHE_LINE_BYTES;
@@ -83,6 +83,10 @@ pub struct LinkXfer {
     /// True when this transfer exhausted its retry budget and forced
     /// the lane fail-over.
     pub failover: bool,
+    /// True when the transfer was corrupted but aliased past the CRC
+    /// check: it delivered on clean timing, silently carrying bad data
+    /// (the consumer must poison the line).
+    pub escaped: bool,
 }
 
 impl LinkXfer {
@@ -96,6 +100,7 @@ impl LinkXfer {
             retries: 0,
             dropped: false,
             failover: false,
+            escaped: false,
         }
     }
 
@@ -124,18 +129,42 @@ impl XferKind {
     }
 }
 
+/// Frames one fail-back probe pattern occupies (a short training
+/// sequence the controller sends on the mapped-out lane).
+const PROBE_FRAMES: u64 = 4;
+
 /// Per-channel fault state: one error process per link direction plus
 /// the recovery bookkeeping.
 #[derive(Clone, Debug)]
 struct ChannelFaults {
     processes: [FaultProcess; 2],
     /// Injection live per direction; cleared by fail-over (the bad lane
-    /// is mapped out, the surviving lanes are assumed healthy).
+    /// is mapped out, the surviving lanes are assumed healthy) and
+    /// restored by a successful fail-back probe.
     live: [bool; 2],
     /// When each direction dropped to the degraded lane map.
     degraded_since: [Option<Time>; 2],
     max_retries: u32,
     counters: FaultCounters,
+    /// Earliest instant the next fail-back probe may run per direction;
+    /// `None` when no probe is pending (lane healthy, fail-back
+    /// disabled, or the probe/flap budget is spent).
+    probe_at: [Option<Time>; 2],
+    /// Failed probes since this direction degraded (drives the
+    /// exponential probe schedule).
+    probe_count: [u32; 2],
+    /// Completed fail-overs *after* a fail-back per direction — the
+    /// flap count; lanes that keep flapping stay failed for good.
+    flaps: [u32; 2],
+    /// Degraded residency of closed degradation spans (spans still open
+    /// at end of run are added by [`FbdChannel::fault_report`]).
+    degraded_total: Dur,
+    /// Quiet period before the first re-probe; zero disables fail-back.
+    failback_quiet: Dur,
+    /// Probes allowed per degradation before giving the lane up.
+    failback_max_probes: u32,
+    /// Fail-over → fail-back round trips allowed per direction.
+    failback_max_flaps: u32,
 }
 
 /// One logical FB-DIMM channel's southbound + northbound links.
@@ -249,6 +278,13 @@ impl FbdChannel {
                 degraded_since: [None; 2],
                 max_retries: cfg.faults.max_retries,
                 counters: FaultCounters::default(),
+                probe_at: [None; 2],
+                probe_count: [0; 2],
+                flaps: [0; 2],
+                degraded_total: Dur::ZERO,
+                failback_quiet: Dur::from_ns(cfg.faults.failback_quiet_ns),
+                failback_max_probes: cfg.faults.failback_max_probes,
+                failback_max_flaps: cfg.faults.failback_max_flaps,
             })
         });
         // Southbound slots are command-sized (3 per frame) so that three
@@ -372,12 +408,19 @@ impl FbdChannel {
     /// Maps out the failed lane on `dir` at `at`: injection stops (the
     /// defective lane is gone), and the direction's transfers widen to
     /// twice their slot time — the half-width lane map carries half the
-    /// bandwidth for the rest of the run.
+    /// bandwidth until a fail-back probe (if enabled) restores it.
     fn fail_over(&mut self, dir: LinkDir, at: Time) {
         let f = self.faults.as_mut().expect("fail-over without faults");
         f.counters.failovers += 1;
         f.live[dir.index()] = false;
         f.degraded_since[dir.index()].get_or_insert(at);
+        // Schedule the first re-probe after the quiet period —
+        // unless fail-back is off or this lane has flapped too often
+        // (hysteresis: a repeat offender stays failed).
+        f.probe_count[dir.index()] = 0;
+        f.probe_at[dir.index()] = (!f.failback_quiet.is_zero()
+            && f.flaps[dir.index()] < f.failback_max_flaps)
+            .then(|| at + f.failback_quiet);
         match dir {
             LinkDir::South => {
                 self.cmd_slot = self.cmd_slot * 2;
@@ -387,10 +430,54 @@ impl FbdChannel {
         }
     }
 
+    /// Runs a due fail-back probe on `dir`, if any: a short training
+    /// pattern on the mapped-out lane. A clean probe restores the
+    /// full-width lane map (and re-arms injection — the lane may fail
+    /// again, which counts as a flap); a corrupted one reschedules on
+    /// the bounded exponential probe schedule until the probe budget is
+    /// spent. Probes are opportunistic — they piggyback on the next
+    /// transfer at or after their due time, costing no link occupancy.
+    fn maybe_failback(&mut self, dir: LinkDir, now: Time) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let i = dir.index();
+        match f.probe_at[i] {
+            Some(due) if due <= now && !f.live[i] => {}
+            _ => return,
+        }
+        f.counters.probes += 1;
+        // A stuck-lane defect is permanent silicon damage: its probes
+        // never pass. Transient processes re-draw the error stream.
+        let clean = !f.processes[i].is_stuck() && !f.processes[i].corrupt_transfer(PROBE_FRAMES);
+        if clean {
+            f.counters.failbacks += 1;
+            f.flaps[i] += 1;
+            f.live[i] = true;
+            f.probe_at[i] = None;
+            f.probe_count[i] = 0;
+            if let Some(since) = f.degraded_since[i].take() {
+                f.degraded_total += now.saturating_since(since);
+            }
+            match dir {
+                LinkDir::South => {
+                    self.cmd_slot = self.cmd_slot / 2;
+                    self.write_slot = self.write_slot / 2;
+                }
+                LinkDir::North => self.read_slot = self.read_slot / 2,
+            }
+        } else {
+            f.probe_count[i] += 1;
+            f.probe_at[i] = (f.probe_count[i] < f.failback_max_probes)
+                .then(|| now + probe_delay(f.failback_quiet, f.probe_count[i]));
+        }
+    }
+
     /// The CRC/retry state machine around one wire transfer: detect a
     /// corrupted attempt, replay it after exponential backoff, and
     /// escalate to lane fail-over when the retry budget runs out.
     fn transfer(&mut self, kind: XferKind, not_before: Time, droppable: bool) -> LinkXfer {
+        self.maybe_failback(kind.dir(), not_before);
         let first = self.issue(kind, not_before);
         if self.faults.is_none() {
             return LinkXfer::clean(first);
@@ -401,7 +488,13 @@ impl FbdChannel {
         }
         let f = self.faults.as_mut().expect("checked above");
         f.counters.injected += 1;
-        // The model's frame CRC is ideal: every corruption is caught.
+        if f.processes[kind.dir().index()].escapes() {
+            // The corruption aliased to a valid CRC codeword: the
+            // transfer delivers on clean timing, silently bad.
+            f.counters.escaped += 1;
+            xfer.escaped = true;
+            return xfer;
+        }
         f.counters.detected += 1;
         if droppable {
             f.counters.dropped_prefetch += 1;
@@ -446,6 +539,15 @@ impl FbdChannel {
             }
             let f = self.faults.as_mut().expect("checked above");
             f.counters.injected += 1;
+            if f.processes[kind.dir().index()].escapes() {
+                // A corrupted *replay* aliasing through: accepted as
+                // the delivering attempt, silently bad.
+                f.counters.escaped += 1;
+                xfer.escaped = true;
+                xfer.retries = attempt;
+                xfer.slot = slot;
+                return xfer;
+            }
             f.counters.detected += 1;
             prev = slot;
         }
@@ -463,12 +565,13 @@ impl FbdChannel {
     pub fn fault_report(&self, end: Time) -> Option<FaultReport> {
         self.faults.as_deref().map(|f| FaultReport {
             counters: f.counters,
-            degraded: f
-                .degraded_since
-                .iter()
-                .flatten()
-                .map(|&since| end.saturating_since(since))
-                .sum(),
+            degraded: f.degraded_total
+                + f.degraded_since
+                    .iter()
+                    .flatten()
+                    .map(|&since| end.saturating_since(since))
+                    .sum(),
+            silent: Default::default(),
         })
     }
 
@@ -647,6 +750,116 @@ mod tests {
         let demand = ch.return_read_data_checked(0, Time::from_ns(100), false);
         assert!(!demand.dropped);
         assert!(demand.retries > 0);
+    }
+
+    #[test]
+    fn escaped_transfers_deliver_silently_on_clean_timing() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.faults.ber = 1.0; // every frame corrupt
+        cfg.faults.crc_bits = 1; // ...and half the corruptions alias
+        cfg.faults.max_retries = 64;
+        let mut ch = FbdChannel::for_channel(&cfg, 0);
+        let mut escaped = 0u32;
+        for i in 0..64u64 {
+            let xfer = ch.send_command_checked(Time::from_ns(i * 1_000));
+            if xfer.escaped {
+                escaped += 1;
+                assert!(!xfer.dropped && !xfer.failover);
+            }
+        }
+        assert!(escaped > 0, "p=0.5 escapes over 64 transfers must hit");
+        let c = ch.fault_counters().unwrap();
+        assert_eq!(c.escaped + c.detected, c.injected);
+        assert!(c.escaped >= u64::from(escaped));
+    }
+
+    #[test]
+    fn ideal_crc_keeps_the_fault_stream_unchanged() {
+        // crc_bits = 0 must not consume extra rng draws: the recovery
+        // timeline is bit-identical to a build that never asks about
+        // escapes (the zero-cost-when-disabled contract at link level).
+        let run = |crc_bits: u32| {
+            let mut cfg = MemoryConfig::fbdimm_default();
+            cfg.faults.ber = 0.01;
+            cfg.faults.max_retries = 4;
+            cfg.faults.crc_bits = crc_bits;
+            let mut ch = FbdChannel::for_channel(&cfg, 0);
+            (0..200u64)
+                .map(|i| ch.send_command_checked(Time::from_ns(i * 40)).slot.done)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0));
+    }
+
+    #[test]
+    fn failback_restores_full_width_after_clean_probe() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.faults.ber = 1e-9; // healthy lane: probes pass
+        cfg.faults.failback_quiet_ns = 500;
+        let mut ch = FbdChannel::for_channel(&cfg, 0);
+        ch.fail_over(LinkDir::South, Time::from_ns(100));
+        assert_eq!(ch.cmd_slot, Dur::from_ns(4));
+        // Before the quiet period elapses nothing probes.
+        let _ = ch.send_command_checked(Time::from_ns(200));
+        assert_eq!(ch.fault_counters().unwrap().probes, 0);
+        assert_eq!(ch.cmd_slot, Dur::from_ns(4));
+        // The first transfer past the due time piggybacks the probe;
+        // the clean lane comes back at full width.
+        let xfer = ch.send_command_checked(Time::from_ns(700));
+        assert_eq!(xfer.slot.dur, Dur::from_ns(2), "restored width applies");
+        let c = ch.fault_counters().unwrap();
+        assert_eq!(c.probes, 1);
+        assert_eq!(c.failbacks, 1);
+        assert_eq!(ch.cmd_slot, Dur::from_ns(2));
+        assert_eq!(ch.write_slot, Dur::from_ns(12));
+        // The closed degradation span (100 ns → 700 ns) is residency.
+        let report = ch.fault_report(Time::from_ns(10_000)).unwrap();
+        assert_eq!(report.degraded, Dur::from_ns(600));
+    }
+
+    #[test]
+    fn failed_probes_follow_the_bounded_schedule_then_give_up() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.faults.ber = 1.0; // lane still broken: every probe fails
+        cfg.faults.max_retries = 1;
+        cfg.faults.failback_quiet_ns = 1_000;
+        cfg.faults.failback_max_probes = 3;
+        let mut ch = FbdChannel::for_channel(&cfg, 0);
+        // BER 1 fails the first command over immediately.
+        let _ = ch.send_command_checked(Time::ZERO);
+        assert_eq!(ch.fault_counters().unwrap().failovers, 1);
+        // Drive transfers far apart so every pending probe comes due.
+        for i in 1..100u64 {
+            let _ = ch.send_command_checked(Time::from_ns(i * 100_000));
+        }
+        let c = ch.fault_counters().unwrap();
+        assert_eq!(c.probes, 3, "probe budget bounds the schedule");
+        assert_eq!(c.failbacks, 0);
+        assert_eq!(ch.cmd_slot, Dur::from_ns(4), "lane stays degraded");
+    }
+
+    #[test]
+    fn flapping_lanes_stay_failed() {
+        let mut cfg = MemoryConfig::fbdimm_default();
+        cfg.faults.ber = 1e-9;
+        cfg.faults.failback_quiet_ns = 500;
+        cfg.faults.failback_max_flaps = 1;
+        let mut ch = FbdChannel::for_channel(&cfg, 0);
+        // First degradation: fails back after the quiet period.
+        ch.fail_over(LinkDir::North, Time::from_ns(100));
+        let _ = ch.return_read_data_checked(0, Time::from_ns(700), false);
+        assert_eq!(ch.fault_counters().unwrap().failbacks, 1);
+        assert_eq!(ch.read_slot, Dur::from_ns(6));
+        // Second degradation: the flap budget is spent — no probe is
+        // ever scheduled and the lane stays at half width.
+        ch.fail_over(LinkDir::North, Time::from_ns(1_000));
+        for i in 1..50u64 {
+            let _ = ch.return_read_data_checked(0, Time::from_ns(1_000 + i * 100_000), false);
+        }
+        let c = ch.fault_counters().unwrap();
+        assert_eq!(c.probes, 1, "no probes after the flap budget is spent");
+        assert_eq!(c.failbacks, 1);
+        assert_eq!(ch.read_slot, Dur::from_ns(12));
     }
 
     #[test]

@@ -412,6 +412,40 @@ impl FaultMode {
     }
 }
 
+/// Patrol-scrubbing policy selector. Mirrors the
+/// `fbd_ctrl::scrub_policies` registry entries, the way
+/// [`SchedPolicy`] mirrors the scheduler registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScrubPolicyKind {
+    /// No background scrubbing (the default; zero-cost off path).
+    #[default]
+    None,
+    /// Rate-limited patrol sweeps over the observed line footprint:
+    /// background read-verify passes in idle scheduler slots, with a
+    /// rewrite when the verify finds a latent corrupted line.
+    Patrol,
+}
+
+impl ScrubPolicyKind {
+    /// Resolves a scrub policy by its stable CLI/registry name:
+    /// `none` or `patrol`. Returns `None` for an unknown name.
+    pub fn by_name(name: &str) -> Option<ScrubPolicyKind> {
+        match name {
+            "none" => Some(ScrubPolicyKind::None),
+            "patrol" => Some(ScrubPolicyKind::Patrol),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI/registry name of this policy.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ScrubPolicyKind::None => "none",
+            ScrubPolicyKind::Patrol => "patrol",
+        }
+    }
+}
+
 /// Fault-injection configuration for the FB-DIMM channel links.
 ///
 /// When active (`ber > 0`), every southbound/northbound frame is
@@ -420,6 +454,14 @@ impl FaultMode {
 /// by bounded replay with exponential backoff, escalating to per-lane
 /// fail-over (degraded frame width) when retries are exhausted.
 /// Ignored by the DDR2 baseline, which has no frame CRC.
+///
+/// The recovery-side knobs close the lifecycle loop: `crc_bits`
+/// models imperfect detection (silent corruption), `scrub` converts
+/// latent corrupted lines back to clean, `failback_quiet_ns` lets a
+/// degraded lane probe its way back to full width, and
+/// `reissue_budget` re-fetches prefetch lines whose northbound
+/// returns were dropped. All four default off, so the default config
+/// is byte-identical to the pre-recovery model.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultConfig {
     /// Raw bit-error rate per transferred bit (0 disables injection;
@@ -438,6 +480,31 @@ pub struct FaultConfig {
     /// Frames corrupted per trigger in [`FaultMode::Burst`] (including
     /// the triggering frame).
     pub burst_frames: u32,
+    /// Effective CRC strength in check bits: a corrupted frame escapes
+    /// detection with probability ~2^-crc_bits (scaled by the
+    /// multi-bit-error fraction in [`FaultMode::Ber`] mode, since a
+    /// single-bit error never aliases a CRC). 0 models the ideal CRC
+    /// of the original fault model: every corruption is detected.
+    pub crc_bits: u32,
+    /// Background patrol-scrub policy ([`ScrubPolicyKind::None`] off).
+    pub scrub: ScrubPolicyKind,
+    /// Minimum gap between two scrub reads on one channel, in ns
+    /// (the patrol rate limit).
+    pub scrub_interval_ns: u64,
+    /// Quiet period before a failed-over lane direction is first
+    /// re-probed, in ns; later probes back off exponentially
+    /// (`fbd-faults`' bounded probe schedule). 0 disables fail-back:
+    /// a degraded lane stays degraded for the rest of the run.
+    pub failback_quiet_ns: u64,
+    /// Probe attempts per degradation episode before the lane is left
+    /// degraded for good.
+    pub failback_max_probes: u32,
+    /// Successful fail-backs allowed before a flapping lane is pinned
+    /// degraded (the fail-back hysteresis).
+    pub failback_max_flaps: u32,
+    /// Dropped prefetch returns the controller remembers per channel
+    /// and re-issues in idle scheduler slots. 0 disables re-issue.
+    pub reissue_budget: u32,
 }
 
 impl FaultConfig {
@@ -450,6 +517,13 @@ impl FaultConfig {
             mode: FaultMode::Ber,
             max_retries: 4,
             burst_frames: 4,
+            crc_bits: 0,
+            scrub: ScrubPolicyKind::None,
+            scrub_interval_ns: 600,
+            failback_quiet_ns: 0,
+            failback_max_probes: 6,
+            failback_max_flaps: 3,
+            reissue_budget: 0,
         }
     }
 
@@ -458,12 +532,25 @@ impl FaultConfig {
         self.ber > 0.0
     }
 
+    /// True when any recovery-side policy needs controller state even
+    /// if the error process itself is off (patrol scrubbing costs
+    /// bandwidth on a clean channel too).
+    pub fn recovery_active(&self) -> bool {
+        self.scrub != ScrubPolicyKind::None
+            || (self.is_active() && (self.reissue_budget > 0 || self.crc_bits > 0))
+    }
+
+    /// True when fail-back probing is enabled.
+    pub fn failback_enabled(&self) -> bool {
+        self.failback_quiet_ns > 0
+    }
+
     /// Checks the fault parameters.
     ///
     /// # Errors
     ///
     /// Returns an error if the BER is not a probability, or if the
-    /// retry/burst bounds are zero while injection is active.
+    /// retry/burst/recovery bounds are inconsistent.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.ber.is_finite() || !(0.0..=1.0).contains(&self.ber) {
             return Err(ConfigError::new(
@@ -484,6 +571,23 @@ impl FaultConfig {
                     "must be non-zero when injection is active",
                 ));
             }
+        }
+        if self.crc_bits > 64 {
+            return Err(ConfigError::new("faults.crc_bits", "must be at most 64"));
+        }
+        if self.scrub != ScrubPolicyKind::None && self.scrub_interval_ns == 0 {
+            return Err(ConfigError::new(
+                "faults.scrub_interval_ns",
+                "must be non-zero when scrubbing is active",
+            ));
+        }
+        if self.failback_enabled()
+            && (self.failback_max_probes == 0 || self.failback_max_flaps == 0)
+        {
+            return Err(ConfigError::new(
+                "faults.failback",
+                "probe and flap bounds must be non-zero when fail-back is active",
+            ));
         }
         Ok(())
     }
@@ -1071,11 +1175,62 @@ mod tests {
     }
 
     #[test]
+    fn recovery_config_validation() {
+        // All recovery knobs default off and validate.
+        let off = FaultConfig::off();
+        assert!(!off.recovery_active());
+        assert!(!off.failback_enabled());
+
+        let mut f = FaultConfig::off();
+        f.crc_bits = 65;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.crc_bits");
+        // crc_bits alone (no BER) needs no controller state.
+        f.crc_bits = 8;
+        f.validate().unwrap();
+        assert!(!f.recovery_active());
+        f.ber = 1e-5;
+        assert!(f.recovery_active());
+
+        let mut f = FaultConfig::off();
+        f.scrub = ScrubPolicyKind::Patrol;
+        assert!(f.recovery_active(), "scrubbing costs bandwidth even clean");
+        f.scrub_interval_ns = 0;
+        assert_eq!(
+            f.validate().unwrap_err().field(),
+            "faults.scrub_interval_ns"
+        );
+
+        let mut f = FaultConfig::off();
+        f.failback_quiet_ns = 2_000;
+        assert!(f.failback_enabled());
+        f.validate().unwrap();
+        f.failback_max_probes = 0;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.failback");
+        f.failback_max_probes = 6;
+        f.failback_max_flaps = 0;
+        assert_eq!(f.validate().unwrap_err().field(), "faults.failback");
+
+        let mut f = FaultConfig::off();
+        f.ber = 1e-5;
+        f.reissue_budget = 8;
+        assert!(f.recovery_active());
+        f.validate().unwrap();
+    }
+
+    #[test]
     fn fault_mode_names_round_trip() {
         for mode in [FaultMode::Ber, FaultMode::Burst, FaultMode::StuckLane] {
             assert_eq!(FaultMode::by_name(mode.name()), Some(mode));
         }
         assert_eq!(FaultMode::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn scrub_policy_names_round_trip() {
+        for kind in [ScrubPolicyKind::None, ScrubPolicyKind::Patrol] {
+            assert_eq!(ScrubPolicyKind::by_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ScrubPolicyKind::by_name("bogus"), None);
     }
 
     #[test]

@@ -15,8 +15,9 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 use fbd_core::{RunResult, RunSpec};
+use fbd_faults::{FaultCounters, FaultReport, SilentErrorReport};
 use fbd_telemetry::{json, Json};
-use fbd_types::config::FaultMode;
+use fbd_types::config::{FaultConfig, FaultMode, ScrubPolicyKind};
 use fbd_types::request::{Stage, REQ_CLASSES};
 use fbd_types::substrate::substrates;
 use fbd_types::time::Dur;
@@ -33,6 +34,19 @@ fn faulted(system: &str, ber: f64, mode: FaultMode) -> RunResult {
     spec.system_mut().mem.faults.ber = ber;
     spec.system_mut().mem.faults.seed = 7;
     spec.system_mut().mem.faults.mode = mode;
+    spec.run()
+}
+
+/// A run with the whole recovery lifecycle armed (overriding the
+/// preset's fault config with `faults` wholesale).
+fn recovered(system: &str, faults: FaultConfig) -> RunResult {
+    let mem = substrates().get(system).expect("known system").config();
+    let mut spec = RunSpec::paper_default(1)
+        .workload("1C-swim")
+        .memory(mem)
+        .budget(BUDGET)
+        .seed(42);
+    spec.system_mut().mem.faults = faults;
     spec.run()
 }
 
@@ -129,6 +143,143 @@ fn zero_ber_run_matches_no_fault_run_exactly() {
 }
 
 // ---------------------------------------------------------------------
+// The closed recovery loop: escapes, scrubbing, re-issue (ISSUE 10).
+// ---------------------------------------------------------------------
+
+#[test]
+fn crc_escape_accounting_is_exact() {
+    // One CRC check bit makes escapes common enough to observe at this
+    // budget while keeping detection the majority outcome.
+    let mut fc = FaultConfig::off();
+    fc.ber = 1e-4;
+    fc.seed = 7;
+    fc.crc_bits = 1;
+    let r = recovered("fbd-ap", fc);
+    let f = r.faults.as_ref().expect("fault report");
+    assert!(f.counters.injected > 0, "BER 1e-4 must inject");
+    assert!(
+        f.counters.escaped > 0,
+        "1 check bit must let escapes through"
+    );
+    assert_eq!(
+        f.counters.detected + f.counters.escaped,
+        f.counters.injected,
+        "every injected corruption is either detected or escaped"
+    );
+    // Without scrubbing, nothing converts poisoned lines back to clean.
+    assert_eq!(f.counters.scrub_reads, 0);
+    assert_eq!(f.silent.scrubbed_clean, 0);
+    // Attribution survives the escape path (escaped transfers complete
+    // without retry slots, so their stamps must still balance).
+    assert_eq!(r.profile.mismatches(), 0);
+    assert_eq!(r.profile.write_mismatches(), 0);
+}
+
+#[test]
+fn patrol_scrub_issues_traffic_and_repairs_poisoned_lines() {
+    let mut fc = FaultConfig::off();
+    fc.ber = 1e-4;
+    fc.seed = 7;
+    fc.crc_bits = 1;
+    fc.scrub = ScrubPolicyKind::Patrol;
+    fc.scrub_interval_ns = 100;
+    let r = recovered("fbd-ap", fc);
+    let f = r.faults.as_ref().expect("fault report");
+    assert!(f.counters.scrub_reads > 0, "patrol must sweep idle slots");
+    assert_eq!(
+        f.counters.scrub_rewrites, f.silent.scrubbed_clean,
+        "every scrub rewrite is a line converted back to clean"
+    );
+    // The scrub traffic is real stamped traffic: the stage-sum
+    // invariant holds with sweeps and rewrites in flight.
+    assert_eq!(r.profile.mismatches(), 0);
+    assert_eq!(r.profile.write_mismatches(), 0);
+
+    // Scrubbing on a clean channel is pure overhead but still reports:
+    // the errors surface exists whenever the policy costs bandwidth.
+    let mut clean = FaultConfig::off();
+    clean.scrub = ScrubPolicyKind::Patrol;
+    clean.scrub_interval_ns = 100;
+    let r = recovered("fbd-ap", clean);
+    let f = r.faults.as_ref().expect("scrub-only runs report");
+    assert!(f.counters.scrub_reads > 0);
+    assert_eq!(f.counters.injected, 0);
+    assert_eq!(f.counters.scrub_rewrites, 0, "nothing to repair at BER 0");
+}
+
+#[test]
+fn dropped_prefetch_returns_are_reissued_within_budget() {
+    let mut fc = FaultConfig::off();
+    fc.ber = 1e-4;
+    fc.seed = 7;
+    fc.reissue_budget = 8;
+    let r = recovered("fbd-ap", fc);
+    let f = r.faults.as_ref().expect("fault report");
+    assert!(
+        f.counters.dropped_prefetch > 0,
+        "BER 1e-4 must drop returns"
+    );
+    assert!(f.counters.reissued > 0, "remembered drops must re-issue");
+    assert!(
+        f.counters.reissued <= f.counters.dropped_prefetch,
+        "each re-issue answers a remembered drop"
+    );
+    assert_eq!(r.profile.mismatches(), 0);
+    assert_eq!(r.profile.write_mismatches(), 0);
+}
+
+/// Regression for the `compare`-grid merge: a merged [`FaultReport`]
+/// must not depend on the order workers hand their reports back.
+#[test]
+fn fault_report_merge_is_order_independent() {
+    let reports: Vec<FaultReport> = (1..=4u64)
+        .map(|i| FaultReport {
+            counters: FaultCounters {
+                injected: 10 * i,
+                detected: 9 * i,
+                escaped: i,
+                retried: 7 * i,
+                retry_exhausted: i / 2,
+                failovers: i % 2,
+                dropped_prefetch: 3 * i,
+                probes: 2 * i,
+                failbacks: i / 3,
+                reissued: 2 * i,
+                scrub_reads: 5 * i,
+                scrub_rewrites: i,
+            },
+            degraded: Dur::from_ns(100 * i),
+            silent: SilentErrorReport {
+                poisoned_lines: i,
+                demand_consumed: i / 2,
+                scrubbed_clean: i * 2,
+            },
+        })
+        .collect();
+    let merge_in = |order: &[usize]| {
+        let mut acc = FaultReport::default();
+        for &i in order {
+            acc.merge(&reports[i]);
+        }
+        acc
+    };
+    let reference = merge_in(&[0, 1, 2, 3]);
+    for order in [
+        [3, 2, 1, 0],
+        [2, 0, 3, 1],
+        [1, 3, 0, 2],
+        [3, 0, 1, 2],
+        [0, 2, 1, 3],
+    ] {
+        assert_eq!(
+            merge_in(&order),
+            reference,
+            "merge order {order:?} changed the report"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Binary-level determinism: the exported stats JSON is the contract.
 // ---------------------------------------------------------------------
 
@@ -215,6 +366,60 @@ fn zero_ber_stats_json_is_byte_identical_to_no_fault_path() {
 }
 
 #[test]
+fn full_lifecycle_stats_json_is_deterministic_and_schema_complete() {
+    let flags = [
+        "--fault-ber",
+        "1e-4",
+        "--fault-seed",
+        "3",
+        "--crc-bits",
+        "4",
+        "--scrub",
+        "patrol",
+        "--scrub-interval-ns",
+        "200",
+        "--failback",
+        "2000",
+        "--reissue",
+        "8",
+    ];
+    let a = run_json(&flags);
+    let b = run_json(&flags);
+    assert_eq!(a, b, "the armed lifecycle must reproduce exactly");
+    let doc = json::parse(&a).expect("stats JSON");
+    let errors = doc.get("errors").expect("errors object");
+    for key in [
+        "injected",
+        "detected",
+        "escaped",
+        "retried",
+        "retry_exhausted",
+        "failovers",
+        "dropped_prefetch",
+        "degraded_ns",
+        "probes",
+        "failbacks",
+        "reissued",
+        "scrub_reads",
+        "scrub_rewrites",
+    ] {
+        assert!(errors.get(key).is_some(), "errors.{key} must be present");
+    }
+    let silent = errors.get("silent").expect("errors.silent object");
+    for key in ["poisoned_lines", "demand_consumed", "scrubbed_clean"] {
+        assert!(silent.get(key).is_some(), "errors.silent.{key} missing");
+    }
+    let injected = errors.get("injected").and_then(Json::as_f64).unwrap();
+    let detected = errors.get("detected").and_then(Json::as_f64).unwrap();
+    let escaped = errors.get("escaped").and_then(Json::as_f64).unwrap();
+    assert_eq!(detected + escaped, injected, "escape accounting in JSON");
+    assert!(
+        errors.get("scrub_reads").and_then(Json::as_f64).unwrap() > 0.0,
+        "patrol scrubbing must surface in the export"
+    );
+}
+
+#[test]
 fn compare_is_deterministic_under_parallel_execution() {
     // `compare` runs the four systems through `parallel_map`; per-link
     // fault streams are keyed by (seed, channel, direction), so thread
@@ -232,6 +437,12 @@ fn compare_is_deterministic_under_parallel_execution() {
             "1e-5",
             "--fault-seed",
             "9",
+            "--crc-bits",
+            "4",
+            "--scrub",
+            "patrol",
+            "--reissue",
+            "8",
             "--stats-json",
             path.to_str().unwrap(),
         ]);

@@ -144,6 +144,70 @@ fn parity_holds_under_fault_injection() {
 }
 
 #[test]
+fn explicit_reliability_off_spellings_are_byte_identical_to_absent() {
+    // Every off spelling of the recovery knobs must stay on the
+    // zero-cost path: same bytes as a run with no flags at all, and no
+    // `errors` object grown.
+    let baseline = stats_via("--system", "fbd-ap", &[]);
+    assert!(
+        !baseline.contains("\"errors\""),
+        "clean baseline must not carry an errors object"
+    );
+    for extra in [
+        &["--scrub", "none"][..],
+        &["--fault-ber", "0"],
+        &["--fault-ber", "0", "--crc-bits", "0"],
+        &["--fault-ber", "0", "--failback", "0"],
+        &["--fault-ber", "0", "--reissue", "0"],
+        &[
+            "--fault-ber",
+            "0",
+            "--crc-bits",
+            "0",
+            "--scrub",
+            "none",
+            "--failback",
+            "0",
+            "--reissue",
+            "0",
+        ],
+    ] {
+        let off = stats_via("--system", "fbd-ap", extra);
+        assert_eq!(
+            baseline, off,
+            "off spelling {extra:?} must not change a byte"
+        );
+    }
+}
+
+#[test]
+fn parity_holds_with_the_full_reliability_lifecycle_armed() {
+    let flags = [
+        "--fault-ber",
+        "1e-4",
+        "--fault-seed",
+        "3",
+        "--crc-bits",
+        "4",
+        "--scrub",
+        "patrol",
+        "--failback",
+        "2000",
+        "--reissue",
+        "8",
+    ];
+    let old = stats_via("--system", "fbd-ap", &flags);
+    let new = stats_via("--substrate", "fbd-ap", &flags);
+    assert_eq!(old, new, "armed lifecycle diverged between spellings");
+    let doc = json::parse(&old).expect("well-formed stats JSON");
+    let errors = doc.get("errors").expect("armed run reports errors");
+    assert!(
+        errors.get("silent").is_some(),
+        "silent-corruption accounting must be exported"
+    );
+}
+
+#[test]
 fn explicit_default_scheduler_is_byte_identical_to_none() {
     let implicit = stats_via("--system", "fbd-ap", &[]);
     let explicit = stats_via("--system", "fbd-ap", &["--scheduler", "hit-first"]);
@@ -286,6 +350,28 @@ fn event_wheel_heap_parity_holds_under_fault_injection() {
     assert_eq!(wheel, heap, "faulted run diverged between queue kinds");
     let doc = json::parse(&wheel).expect("well-formed stats JSON");
     assert!(doc.get("errors").is_some(), "faulted run reports errors");
+}
+
+#[test]
+fn event_wheel_heap_parity_holds_with_recovery_traffic() {
+    // Scrub sweeps and prefetch re-issue ride idle Decide events, so
+    // they are exactly the traffic that would expose a queue-ordering
+    // difference between the wheel and the seed heap.
+    let flags = [
+        "--fault-ber",
+        "1e-4",
+        "--fault-seed",
+        "3",
+        "--crc-bits",
+        "4",
+        "--scrub",
+        "patrol",
+        "--reissue",
+        "8",
+    ];
+    let wheel = stats_via_env("--system", "fbd-ap", &flags, WHEEL);
+    let heap = stats_via_env("--system", "fbd-ap", &flags, HEAP);
+    assert_eq!(wheel, heap, "recovery traffic diverged between queues");
 }
 
 #[test]

@@ -21,7 +21,14 @@ pub struct TestRng(u64);
 impl TestRng {
     /// Generator for case `case` of a run; fixed seed so failures replay.
     pub fn for_case(case: u64) -> TestRng {
-        TestRng(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case.wrapping_add(0x5851_F42D_4C95_7F2D)))
+        // Finalize the case index through the output mix: seeding with a
+        // raw golden-ratio multiple would make case k+1's stream equal
+        // case k's stream advanced by one step (the multiplier is also
+        // the generator's increment), so cases would share values.
+        let mut z = case.wrapping_add(0x5851_F42D_4C95_7F2D);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng(z ^ (z >> 31))
     }
 
     /// Next raw 64-bit value.
@@ -131,6 +138,33 @@ pub mod strategy {
     }
 
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    // 53-bit mantissa draw in [0, 1]; the closed upper
+                    // bound is reachable (u == 1.0 maps to `hi`).
+                    let u = (rng.next_u64() >> 11) as $t
+                        * (1.0 / ((1u64 << 53) - 1) as $t);
+                    lo + u * (hi - lo)
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
 
     macro_rules! tuple_strategy {
         ($($name:ident),+) => {
